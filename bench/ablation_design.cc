@@ -1,0 +1,81 @@
+// Ablation: the two design decisions the LVI protocol's latency story rests
+// on (§1, §3.2):
+//
+//   1. Speculative execution — without it, the function runs only after the
+//      LVI response validates, so coordination and execution serialize.
+//   2. The single-request commit (locks + write intents) — without it, the
+//      runtime must ship its writes and await an ack before answering the
+//      client, paying a second round trip on every write.
+//
+// Measured on the social media workload across all five regions.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/string_util.h"
+
+namespace radical {
+namespace {
+
+void Run() {
+  std::printf("Ablation: Radical's design decisions (social media workload)\n\n");
+  const AppSpec app = MakeSocialApp();
+
+  RunOptions base;
+  base.seed = 55;
+  base.requests_per_client = 150;
+
+  RunOptions no_spec = base;
+  no_spec.config.speculation_enabled = false;
+
+  RunOptions two_rtt = base;
+  two_rtt.config.single_request_commit = false;
+
+  const ExperimentResult full = RunApp(app, DeployKind::kRadical, base);
+  const ExperimentResult spec_off = RunApp(app, DeployKind::kRadical, no_spec);
+  const ExperimentResult two_rtt_result = RunApp(app, DeployKind::kRadical, two_rtt);
+  const ExperimentResult baseline = RunApp(app, DeployKind::kBaseline, base);
+
+  const std::vector<int> widths = {30, 10, 10};
+  PrintTableHeader({"configuration", "p50 ms", "p99 ms"}, widths);
+  PrintTableRow({"Radical (full)", Ms(full.overall.p50_ms), Ms(full.overall.p99_ms)}, widths);
+  PrintTableRow({"no speculation", Ms(spec_off.overall.p50_ms), Ms(spec_off.overall.p99_ms)},
+                widths);
+  PrintTableRow({"two-RTT commit (no intents)", Ms(two_rtt_result.overall.p50_ms),
+                 Ms(two_rtt_result.overall.p99_ms)},
+                widths);
+  PrintTableRow({"primary-DC baseline", Ms(baseline.overall.p50_ms),
+                 Ms(baseline.overall.p99_ms)},
+                widths);
+  PrintRule(widths);
+  std::printf(
+      "\nShapes: without speculation the median collapses toward (and past) the\n"
+      "baseline — overlap is where the win comes from. The two-RTT commit mostly\n"
+      "hurts the write functions' tail (writes are ~1%% of this mix), which is\n"
+      "exactly why the write-intent mechanism targets them.\n");
+
+  // Per-write-function view of the two-RTT ablation.
+  std::printf("\nWrite functions under the two-RTT commit:\n");
+  const std::vector<int> widths2 = {18, 12, 12, 14};
+  PrintTableHeader({"function", "full p50", "2-RTT p50", "added ms"}, widths2);
+  for (const FunctionSpec& fn : app.functions) {
+    if (!fn.writes) {
+      continue;
+    }
+    const Summary& f = full.per_function.at(fn.def.name);
+    const Summary& t = two_rtt_result.per_function.at(fn.def.name);
+    if (f.count == 0 || t.count == 0) {
+      continue;
+    }
+    PrintTableRow({fn.def.name, Ms(f.p50_ms), Ms(t.p50_ms), Ms(t.p50_ms - f.p50_ms)}, widths2);
+  }
+  PrintRule(widths2);
+}
+
+}  // namespace
+}  // namespace radical
+
+int main() {
+  radical::Run();
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/string_util.h"
+
+namespace radical {
+
+const char* DeployKindName(DeployKind kind) {
+  switch (kind) {
+    case DeployKind::kRadical:
+      return "Radical";
+    case DeployKind::kBaseline:
+      return "Baseline";
+    case DeployKind::kIdeal:
+      return "Ideal";
+  }
+  return "?";
+}
+
+ExperimentResult RunApp(const AppSpec& app, DeployKind kind, const RunOptions& options) {
+  Simulator sim(options.seed);
+  Network net(&sim, LatencyMatrix::PaperDefault());
+
+  std::unique_ptr<RadicalDeployment> radical;
+  std::unique_ptr<PrimaryBaselineDeployment> baseline;
+  std::unique_ptr<LocalIdealDeployment> ideal;
+  AppService* service = nullptr;
+  switch (kind) {
+    case DeployKind::kRadical:
+      radical = std::make_unique<RadicalDeployment>(&sim, &net, options.config, options.regions);
+      service = radical.get();
+      break;
+    case DeployKind::kBaseline:
+      baseline = std::make_unique<PrimaryBaselineDeployment>(&sim, &net, options.config);
+      service = baseline.get();
+      break;
+    case DeployKind::kIdeal:
+      ideal = std::make_unique<LocalIdealDeployment>(&sim, options.config, options.regions);
+      service = ideal.get();
+      break;
+  }
+  app.RegisterAll(service);
+  app.seed(service);
+  if (radical != nullptr) {
+    radical->WarmCaches();
+  }
+
+  LoadGeneratorOptions load_options;
+  load_options.clients_per_region = options.clients_per_region;
+  load_options.requests_per_client = options.requests_per_client;
+  load_options.think_time = options.think_time;
+  LoadGenerator generator(&sim, service, options.regions, app.make_workload(), load_options);
+  generator.Start();
+  sim.Run();
+
+  ExperimentResult result;
+  result.overall = generator.Overall().Summarize();
+  result.total_requests = generator.total_requests();
+  for (const Region region : options.regions) {
+    result.per_region[region] = generator.ForRegion(region).Summarize();
+  }
+  for (const FunctionSpec& fn : app.functions) {
+    result.per_function[fn.def.name] = generator.ForFunction(fn.def.name).Summarize();
+    for (const Region region : options.regions) {
+      result.per_region_function[{region, fn.def.name}] =
+          generator.ForRegionFunction(region, fn.def.name).Summarize();
+    }
+  }
+  if (radical != nullptr) {
+    result.validation_success_rate = radical->server().ValidationSuccessRate();
+    result.reexecutions = radical->server().reexecutions();
+    if (radical->local_locks() != nullptr) {
+      result.lock_waits = radical->local_locks()->table().waits();
+    }
+    result.lvi_requests = radical->server().counters().Get("lvi_requests");
+    uint64_t speculations = 0;
+    for (const Region region : options.regions) {
+      speculations += radical->runtime(region).counters().Get("speculations");
+    }
+    result.speculations = speculations;
+    result.wan_bytes = net.wan_bytes_sent();
+  }
+  return result;
+}
+
+void PrintTableHeader(const std::vector<std::string>& cols, const std::vector<int>& widths) {
+  PrintRule(widths);
+  PrintTableRow(cols, widths);
+  PrintRule(widths);
+}
+
+void PrintTableRow(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  std::string line = "|";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    line += " " + PadLeft(cells[i], static_cast<size_t>(width)) + " |";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void PrintRule(const std::vector<int>& widths) {
+  std::string line = "+";
+  for (const int width : widths) {
+    line += std::string(static_cast<size_t>(width) + 2, '-') + "+";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string Ms(double ms, int digits) { return FormatDouble(ms, digits); }
+
+}  // namespace radical

@@ -1,0 +1,89 @@
+// Latency breakdown (§5.5's component list): where each function's
+// end-to-end time goes in Radical, averaged per request:
+//
+//   (1)+(2) instantiation + blob load
+//   (3)     f^rw execution (plus version gathering)
+//   (4)     the overlap window: max(function execution, LVI round trip)
+//   (5)     completion after both finish (cache installs, reply) — the
+//           validation-failure path shows up as a larger overlap window
+//           (the backup execution happens inside the LVI round trip).
+//
+// The "LVI-stall" column is the §5.4 effect isolated: the time spent waiting
+// for the LVI response *after* the speculative execution already finished —
+// large exactly where the paper calls it out (short functions, far regions).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/radical/trace.h"
+
+namespace radical {
+namespace {
+
+void RunApp(const AppSpec& app, Region region) {
+  Simulator sim(4242);
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  RadicalDeployment radical(&sim, &net, RadicalConfig{}, {region});
+  app.RegisterAll(&radical);
+  app.seed(&radical);
+  radical.WarmCaches();
+  TraceCollector tracer;
+  radical.runtime(region).set_tracer(&tracer);
+
+  LoadGeneratorOptions load;
+  load.clients_per_region = 8;
+  load.requests_per_client = 250;
+  load.think_time = Seconds(2);
+  WorkloadFn workload = app.make_workload();
+  LoadGenerator generator(&sim, &radical, {region}, workload, load);
+  generator.Start();
+  sim.Run();
+
+  std::printf("%s from %s (per-request means, ms):\n", app.display_name.c_str(),
+              RegionName(region));
+  const std::vector<int> widths = {18, 9, 8, 9, 10, 10, 10, 10};
+  PrintTableHeader({"function", "instant.", "f^rw", "overlap", "lvi-stall", "complete",
+                    "total", "lvi-bound%"},
+                   widths);
+  for (const FunctionSpec& fn : app.functions) {
+    const auto traces = tracer.ForFunction(fn.def.name);
+    if (traces.empty()) {
+      continue;
+    }
+    PrintTableRow({fn.def.name,
+                   Ms(tracer.MeanMs(fn.def.name, &RequestTrace::Instantiation)),
+                   Ms(tracer.MeanMs(fn.def.name, &RequestTrace::FrwTime)),
+                   Ms(tracer.MeanMs(fn.def.name, &RequestTrace::OverlapWindow)),
+                   Ms(tracer.MeanMs(fn.def.name, &RequestTrace::LviStall)),
+                   Ms(tracer.MeanMs(fn.def.name, &RequestTrace::Completion)),
+                   Ms(tracer.MeanMs(fn.def.name, &RequestTrace::Total)),
+                   FormatDouble(100.0 * tracer.LviBoundFraction(fn.def.name), 0)},
+                  widths);
+  }
+  PrintRule(widths);
+  std::printf("\n");
+}
+
+void Run() {
+  std::printf("Latency breakdown: the five components of §5.5, measured per function\n\n");
+  // CA: moderate round trip — long functions fully hide it.
+  RunApp(MakeSocialApp(), Region::kCA);
+  // JP: the paper's outlier case — lat_nu<->ns (146 ms) exceeds several
+  // functions' execution times, so the LVI stall appears.
+  RunApp(MakeSocialApp(), Region::kJP);
+  RunApp(MakeHotelApp(), Region::kJP);
+  std::printf(
+      "Shapes: instantiation (~14 ms) and f^rw (~5 ms) are constant; the overlap\n"
+      "window equals max(execution, lat_nu<->ns); the LVI stall is zero in CA for\n"
+      ">100 ms functions and large in JP for functions shorter than 146 ms —\n"
+      "exactly the social-media-in-Japan effect of §5.4.\n");
+}
+
+}  // namespace
+}  // namespace radical
+
+int main() {
+  radical::Run();
+  return 0;
+}

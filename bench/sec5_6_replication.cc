@@ -1,0 +1,167 @@
+// §5.6: impact of replicating the LVI server. Locks move into a 3-node
+// etcd-style Raft cluster across availability zones; acquisitions happen in
+// series, so an LVI request with L locks pays roughly (idempotency-key write)
+// + 2.3*L ms extra.
+//
+// Reproduces: (a) the per-lock acquisition latency through Raft (~2.3 ms),
+// (b) the linear 3 + 2.3*L growth, and (c) the end-to-end effect on an LVI
+// request's server-side processing with L locks.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/func/builder.h"
+#include "src/lvi/lock_service.h"
+
+namespace radical {
+namespace {
+
+// Median latency of acquiring L locks through the Raft cluster — in series
+// (the paper's implementation) or batched into one commit (the optimization
+// the paper leaves as future work).
+double MeasureAcquire(int num_locks, bool batched = false) {
+  Simulator sim(600 + static_cast<uint64_t>(num_locks) + (batched ? 7777 : 0));
+  ReplicatedLockService service(&sim, 3, RaftOptions{}, LocalMeshOptions{}, batched);
+  if (!service.Bootstrap()) {
+    return -1;
+  }
+  sim.RunFor(Millis(200));
+  LatencySampler samples;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Key> keys;
+    std::vector<LockMode> modes;
+    for (int i = 0; i < num_locks; ++i) {
+      keys.push_back("r" + std::to_string(round) + "-k" + std::to_string(i));
+      modes.push_back(LockMode::kWrite);
+    }
+    const SimTime start = sim.Now();
+    bool done = false;
+    const ExecutionId exec = 1000 + static_cast<ExecutionId>(round);
+    service.AcquireAll(exec, keys, modes, [&] {
+      samples.Add(sim.Now() - start);
+      done = true;
+    });
+    sim.RunFor(Millis(500));
+    if (!done) {
+      return -1;
+    }
+    service.ReleaseAll(exec);
+    sim.RunFor(Millis(50));
+  }
+  return samples.MedianMs();
+}
+
+// End-to-end latency of one write-validating LVI request with L locks,
+// singleton vs replicated server (server-side only: request handled locally).
+double MeasureServerSide(int num_locks, bool replicated) {
+  Simulator sim(700 + static_cast<uint64_t>(num_locks) * 2 + (replicated ? 1 : 0));
+  Analyzer analyzer(&HostRegistry::Standard());
+  Interpreter interp(&HostRegistry::Standard());
+  FunctionRegistry registry(&analyzer);
+  VersionedStore store;
+  // A function writing L keys derived from its inputs.
+  StmtList body;
+  for (int i = 0; i < num_locks; ++i) {
+    body.push_back(Write(Cat({C("k" + std::to_string(i) + ":"), In("id")}), In("id")));
+  }
+  body.push_back(Return(In("id")));
+  registry.Register(Fn("writer", {"id"}, std::move(body)));
+
+  std::unique_ptr<LocalLockService> local;
+  std::unique_ptr<ReplicatedLockService> repl;
+  LockService* locks = nullptr;
+  if (replicated) {
+    repl = std::make_unique<ReplicatedLockService>(&sim, 3);
+    repl->Bootstrap();
+    sim.RunFor(Millis(200));
+    locks = repl.get();
+  } else {
+    local = std::make_unique<LocalLockService>(&sim);
+    locks = local.get();
+  }
+  LviServerOptions options;
+  LviServer server(&sim, &store, &registry, &interp, locks, options, replicated);
+
+  LatencySampler samples;
+  for (int round = 0; round < 50; ++round) {
+    const std::string id = "x" + std::to_string(round);
+    LviRequest request;
+    request.exec_id = sim.NextId();
+    request.origin = Region::kCA;
+    request.function = "writer";
+    request.inputs = {Value(id)};
+    for (int i = 0; i < num_locks; ++i) {
+      request.items.push_back(
+          LviItem{"k" + std::to_string(i) + ":" + id, kMissingVersion, LockMode::kWrite});
+    }
+    std::sort(request.items.begin(), request.items.end(),
+              [](const LviItem& a, const LviItem& b) { return a.key < b.key; });
+    const SimTime start = sim.Now();
+    const ExecutionId exec_id = request.exec_id;
+    bool responded = false;
+    server.HandleLviRequest(std::move(request), [&](LviResponse) {
+      samples.Add(sim.Now() - start);
+      responded = true;
+    });
+    sim.RunFor(Millis(300));
+    if (!responded) {
+      return -1;
+    }
+    WriteFollowup followup;
+    followup.exec_id = exec_id;
+    server.HandleFollowup(std::move(followup));
+    sim.RunFor(Millis(100));
+  }
+  return samples.MedianMs();
+}
+
+void Run() {
+  std::printf("Section 5.6: impact of replicating the LVI server (3-node Raft lock store)\n\n");
+  std::printf("Per-acquisition latency through Raft (paper: ~2.3 ms per lock, serial):\n");
+  const std::vector<int> widths = {7, 13, 15, 17};
+  PrintTableHeader({"locks", "acquire ms", "ms per lock", "paper 2.3*L ms"}, widths);
+  for (const int locks : {1, 2, 4, 8}) {
+    const double ms = MeasureAcquire(locks);
+    PrintTableRow({std::to_string(locks), Ms(ms), Ms(ms / locks, 2),
+                   Ms(2.3 * locks, 1)},
+                  widths);
+  }
+  PrintRule(widths);
+
+  std::printf("\nBatched acquisition (one Raft commit per request — the future-work\n");
+  std::printf("optimization the paper anticipates):\n");
+  const std::vector<int> widths_b = {7, 12, 12, 13};
+  PrintTableHeader({"locks", "serial ms", "batched ms", "batch saves"}, widths_b);
+  for (const int locks : {1, 2, 4, 8}) {
+    const double serial = MeasureAcquire(locks, /*batched=*/false);
+    const double batched = MeasureAcquire(locks, /*batched=*/true);
+    PrintTableRow({std::to_string(locks), Ms(serial), Ms(batched), Ms(serial - batched)},
+                  widths_b);
+  }
+  PrintRule(widths_b);
+
+  std::printf("\nServer-side LVI request latency, singleton vs replicated (write path):\n");
+  const std::vector<int> widths2 = {7, 13, 14, 12, 19};
+  PrintTableHeader({"locks", "singleton ms", "replicated ms", "added ms", "paper 3+2.3*L ms"},
+                   widths2);
+  for (const int locks : {1, 2, 4, 8}) {
+    const double single = MeasureServerSide(locks, /*replicated=*/false);
+    const double repl = MeasureServerSide(locks, /*replicated=*/true);
+    PrintTableRow({std::to_string(locks), Ms(single), Ms(repl), Ms(repl - single),
+                   Ms(3.0 + 2.3 * locks, 1)},
+                  widths2);
+  }
+  PrintRule(widths2);
+  std::printf(
+      "\nShape: added latency grows linearly in the lock count at ~2.3 ms per lock\n"
+      "plus ~3 ms for the idempotency key, matching the paper's 3 + 2.3*L model;\n"
+      "the minimum beneficial execution time rises to ~16 + 2.3*L ms (~20 ms).\n");
+}
+
+}  // namespace
+}  // namespace radical
+
+int main() {
+  radical::Run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 2 (§5.2): round-trip latency between each deployment location and
+// the primary DynamoDB instance in Virginia (lat_nu<->ns) — the latency one
+// LVI request observes. Reports both the configured value and a measured
+// median over simulated ping messages (with jitter).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace radical {
+namespace {
+
+void Run() {
+  std::printf("Table 2: round-trip latency (ms) between each location and the primary (VA)\n\n");
+  Simulator sim(7);
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  const std::vector<int> widths = {8, 12, 14, 10};
+  PrintTableHeader({"region", "configured", "measured p50", "paper"}, widths);
+  const std::vector<int64_t> paper = {7, 74, 70, 93, 146};
+  size_t i = 0;
+  for (const Region region : DeploymentRegions()) {
+    // Measured: ping through the network + the LVI server hop, both ways.
+    LatencySampler samples;
+    for (int n = 0; n < 500; ++n) {
+      const SimTime start = sim.Now();
+      net.Send(region, kPrimaryRegion, [&] {
+        sim.Schedule(kServerHopRtt / 2, [&] {
+          sim.Schedule(kServerHopRtt / 2, [&] {
+            net.Send(kPrimaryRegion, region, [&, start] { samples.Add(sim.Now() - start); });
+          });
+        });
+      });
+      sim.Run();
+    }
+    const SimDuration configured = LviLinkRtt(net.latency(), region, kPrimaryRegion);
+    PrintTableRow({RegionName(region), Ms(ToMillis(configured), 0), Ms(samples.MedianMs(), 1),
+                   std::to_string(paper[i])},
+                  widths);
+    ++i;
+  }
+  PrintRule(widths);
+}
+
+}  // namespace
+}  // namespace radical
+
+int main() {
+  radical::Run();
+  return 0;
+}

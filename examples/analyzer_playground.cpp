@@ -1,0 +1,98 @@
+// Analyzer playground: watch the static analyzer derive f^rw.
+//
+// Prints, for a handful of instructive handlers and for every function of
+// the three benchmark applications, the original body and the derived slice
+// — showing what survives (storage keys and their dependencies), what is
+// dropped (compute, return values, written values), which reads are kept
+// log-only, and which functions need the dependent-read optimization or are
+// rejected outright.
+//
+// Run: ./build/examples/analyzer_playground
+
+#include <cstdio>
+
+#include "src/apps/apps.h"
+
+using namespace radical;  // Example code; library code never does this.
+
+namespace {
+
+void Show(const Analyzer& analyzer, const FunctionDef& fn, const char* note) {
+  const AnalyzedFunction analyzed = analyzer.Analyze(fn);
+  std::printf("---- %s ----\n%s\n", note, FunctionToString(fn).c_str());
+  if (!analyzed.analyzable) {
+    std::printf("=> UNANALYZABLE: %s\n   (Radical will always run this handler in the "
+                "near-storage location)\n\n",
+                analyzed.failure_reason.c_str());
+    return;
+  }
+  std::printf("=> f^rw (%zu of %zu statements kept%s):\n%s\n",
+              analyzed.derived_stmt_count, analyzed.original_stmt_count,
+              analyzed.has_dependent_reads ? "; DEPENDENT READS run against the cache" : "",
+              FunctionToString(analyzed.derived).c_str());
+}
+
+}  // namespace
+
+int main() {
+  Analyzer analyzer(&HostRegistry::Standard());
+
+  std::printf("== Instructive handlers ==\n\n");
+
+  Show(analyzer,
+       Fn("static_keys", {"user"},
+          {
+              Compute(Millis(200)),
+              Read("profile", Cat({C("profile:"), In("user")})),
+              Write(Cat({C("visits:"), In("user")}),
+                    Host("expensive_digest", {V("profile")})),
+              Return(V("profile")),
+          }),
+       "keys from inputs only: compute and the written value are sliced away");
+
+  Show(analyzer,
+       Fn("pointer_chase", {},
+          {
+              Read("ptr", C("pointer")),
+              Read("target", V("ptr")),
+              Return(V("target")),
+          }),
+       "dependent access (§3.3): the first read's value is the second's key");
+
+  Show(analyzer,
+       Fn("fanout", {"user", "text"},
+          {
+              Read("followers", Cat({C("followers:"), In("user")})),
+              ForEach("f", V("followers"),
+                      {
+                          Read("tl", Cat({C("timeline:"), V("f")})),
+                          Write(Cat({C("timeline:"), V("f")}), Append(V("tl"), In("text"))),
+                      }),
+          }),
+       "loop fan-out: the followers read feeds the loop's keys; timeline reads "
+       "feed only the written value, so they are kept log-only");
+
+  Show(analyzer,
+       Fn("opaque_key", {"user"},
+          {
+              Read("v", IntToStr(Host("expensive_digest", {In("user")}))),
+              Return(V("v")),
+          }),
+       "failure case (§3.3): the key needs a host call the analyzer cannot see "
+       "through");
+
+  std::printf("\n== All 27 ported functions (the five applications of §5.1) ==\n\n");
+  for (const AppSpec& app : AllFiveApps()) {
+    for (const FunctionSpec& fn : app.functions) {
+      const AnalyzedFunction analyzed = analyzer.Analyze(fn.def);
+      std::printf("%-20s %-5s %-28s %zu -> %zu stmts\n", fn.def.name.c_str(),
+                  analyzed.analyzable ? (analyzed.has_dependent_reads ? "Yes*" : "Yes") : "No",
+                  analyzed.analyzable
+                      ? (analyzed.has_dependent_reads ? "(dependent reads)" : "")
+                      : analyzed.failure_reason.c_str(),
+                  analyzed.original_stmt_count, analyzed.derived_stmt_count);
+    }
+  }
+  std::printf("\n(* = dependent-read optimization; exactly three functions need it, as §5.1\n   reports: social_post, hotel_search, danbooru_search)\n");
+  return 0;
+}

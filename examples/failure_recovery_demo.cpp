@@ -1,0 +1,89 @@
+// Failure recovery demo: write intents and deterministic re-execution.
+//
+// Scenario 1 — a near-user location dies right after answering its client:
+// the write followup never reaches the primary. The write intent's timer
+// fires at the LVI server, the function re-executes deterministically
+// against the primary (the still-held read locks guarantee it sees the same
+// state), and the identical write lands exactly once.
+//
+// Scenario 2 — a near-user cache loses all its state: the next request
+// misses, ships version -1, fails validation, and the response repopulates
+// the cache; the request after that is back on the speculative fast path.
+//
+// Run: ./build/examples/failure_recovery_demo
+
+#include <cstdio>
+
+#include "src/apps/apps.h"
+
+using namespace radical;  // Example code; library code never does this.
+
+int main() {
+  Simulator sim(2025);
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  RadicalConfig config;
+  config.server.intent_timeout = Millis(800);
+  RadicalDeployment radical(&sim, &net, config, DeploymentRegions());
+
+  radical.RegisterFunction(Fn("set_status", {"user", "status"}, {
+      Write(Cat({C("status:"), In("user")}), In("status")),
+      Compute(Millis(40)),
+      Return(In("status")),
+  }));
+  radical.RegisterFunction(Fn("get_status", {"user"}, {
+      Read("s", Cat({C("status:"), In("user")})),
+      Compute(Millis(40)),
+      Return(V("s")),
+  }));
+  radical.Seed("status:ada", Value("idle"));
+  radical.WarmCaches();
+
+  std::printf("== Scenario 1: the write followup is lost ==\n");
+  // Kill every followup leaving San Francisco (the location "crashes" right
+  // after replying to its client).
+  radical.runtime(Region::kCA).set_followup_filter([](const WriteFollowup&) { return false; });
+
+  const SimTime t0 = sim.Now();
+  radical.Invoke(Region::kCA, "set_status", {Value("ada"), Value("shipping radical")},
+                 [&](Value) {
+                   std::printf("  client answered after %.1f ms (speculative result released "
+                               "under the write intent)\n",
+                               ToMillis(sim.Now() - t0));
+                 });
+  sim.RunFor(Millis(300));
+  std::printf("  primary right after the reply: %s (followup lost, intent pending)\n",
+              radical.primary().Peek("status:ada")->value.ToString().c_str());
+  sim.Run();  // The intent timer fires; deterministic re-execution runs.
+  std::printf("  primary after the intent timer: %s (re-executions: %llu)\n",
+              radical.primary().Peek("status:ada")->value.ToString().c_str(),
+              static_cast<unsigned long long>(radical.server().reexecutions()));
+  std::printf("  version: %lld — applied exactly once despite the failure\n\n",
+              static_cast<long long>(radical.primary().VersionOf("status:ada")));
+
+  // Anyone reading afterwards sees the write (it was acknowledged, so
+  // linearizability demands it).
+  radical.Invoke(Region::kJP, "get_status", {Value("ada")}, [&](Value v) {
+    std::printf("  Tokyo reads status:ada = %s\n\n", v.ToString().c_str());
+  });
+  sim.Run();
+
+  std::printf("== Scenario 2: Frankfurt loses its entire cache ==\n");
+  radical.runtime(Region::kDE).cache().Clear();
+  for (int attempt = 1; attempt <= 2; ++attempt) {
+    const SimTime t = sim.Now();
+    radical.Invoke(Region::kDE, "get_status", {Value("ada")}, [&, attempt, t](Value v) {
+      std::printf("  request %d: %.1f ms -> %s\n", attempt, ToMillis(sim.Now() - t),
+                  v.ToString().c_str());
+    });
+    sim.Run();
+  }
+  std::printf("  request 1 missed (version -1, no speculation) and repopulated the cache;\n");
+  std::printf("  request 2 is back on the speculative fast path. Caches need no\n");
+  std::printf("  durability — write intents give the primary durability instead.\n");
+  std::printf("\nruntime DE counters: miss-skips=%llu, speculative=%llu\n",
+              static_cast<unsigned long long>(
+                  radical.runtime(Region::kDE).counters().Get("spec_skipped_miss")),
+              static_cast<unsigned long long>(
+                  radical.runtime(Region::kDE).counters().Get("validated_speculative")));
+  return 0;
+}

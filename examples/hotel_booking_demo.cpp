@@ -1,0 +1,87 @@
+// Hotel booking demo: strong consistency where it is worth money.
+//
+// Five users in five regions race to book the last two rooms of the same
+// hotel for the same night, concurrently. Radical's LVI protocol serializes
+// the bookings through per-item write locks and validation: exactly two
+// succeed, no room is ever double-booked, and each client still gets
+// near-local latency when there is no conflict.
+//
+// Run: ./build/examples/hotel_booking_demo
+
+#include <cstdio>
+
+#include "src/apps/apps.h"
+
+using namespace radical;  // Example code; library code never does this.
+
+int main() {
+  Simulator sim(99);
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  RadicalDeployment radical(&sim, &net, RadicalConfig{}, DeploymentRegions());
+
+  HotelOptions options;
+  options.initial_availability = 2;  // Two rooms left.
+  const AppSpec app = MakeHotelApp(options);
+  app.RegisterAll(&radical);
+  app.seed(&radical);
+  radical.WarmCaches();
+
+  std::printf("Hotel h0, date d0: 2 rooms left. Five users book simultaneously.\n\n");
+  struct Attempt {
+    Region region;
+    bool success = false;
+    double latency_ms = 0;
+    bool done = false;
+  };
+  std::vector<Attempt> attempts;
+  for (const Region region : DeploymentRegions()) {
+    attempts.push_back(Attempt{region});
+  }
+  const SimTime start = sim.Now();
+  for (size_t i = 0; i < attempts.size(); ++i) {
+    Attempt* attempt = &attempts[i];
+    radical.Invoke(attempt->region, "hotel_book",
+                   {Value("user-" + std::string(RegionName(attempt->region))), Value("h0"),
+                    Value("d0"), Value("bk" + std::to_string(i))},
+                   [&, attempt, start](Value result) {
+                     attempt->success = (result == Value(static_cast<int64_t>(1)));
+                     attempt->latency_ms = ToMillis(sim.Now() - start);
+                     attempt->done = true;
+                   });
+  }
+  sim.Run();
+
+  int successes = 0;
+  for (const Attempt& attempt : attempts) {
+    std::printf("  [%s] %-9s after %6.1f ms\n", RegionName(attempt.region),
+                attempt.success ? "CONFIRMED" : "sold out", attempt.latency_ms);
+    successes += attempt.success ? 1 : 0;
+  }
+  std::printf("\nconfirmed bookings: %d of 5 attempts (rooms available: 2)\n", successes);
+  std::printf("availability counter at the primary: %s\n",
+              radical.primary().Peek("avail:h0:d0")->value.ToString().c_str());
+  std::printf("(2 - 5 = -3: every attempt decremented, but only the two whose\n");
+  std::printf(" pre-decrement value was positive were confirmed — a linearizable\n");
+  std::printf(" counter, enforced by the LVI write locks and validation)\n\n");
+
+  // The conflict is visible in the protocol counters: the loser requests
+  // validated against moved versions and ran near storage instead.
+  std::printf("validation successes: %llu, failures (backup executions): %llu\n",
+              static_cast<unsigned long long>(radical.server().validations_succeeded()),
+              static_cast<unsigned long long>(radical.server().validations_failed()));
+
+  // And a quiet-path booking afterwards enjoys the fast path again.
+  std::printf("\nA later, uncontended booking from Frankfurt:\n");
+  const SimTime t2 = sim.Now();
+  radical.Invoke(Region::kDE, "hotel_book",
+                 {Value("user-late"), Value("h1"), Value("d1"), Value("bk-late")},
+                 [&](Value result) {
+                   std::printf("  [DE] %-9s after %6.1f ms (272 ms handler hides the 93 ms "
+                               "round trip)\n",
+                               result == Value(static_cast<int64_t>(1)) ? "CONFIRMED"
+                                                                        : "sold out",
+                               ToMillis(sim.Now() - t2));
+                 });
+  sim.Run();
+  return 0;
+}

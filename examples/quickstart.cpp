@@ -1,0 +1,68 @@
+// Quickstart: the smallest complete Radical program.
+//
+// Builds a five-region deployment, registers one request handler written in
+// the deterministic function IR, and invokes it from San Francisco. Walks
+// through what happens underneath: the static analyzer derives f^rw at
+// registration; at request time the runtime runs f^rw, sends the single LVI
+// request to Virginia, and speculatively executes the handler against the
+// local cache — answering the client as soon as both finish.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/apps/apps.h"
+#include "src/radical/deployment.h"
+
+using namespace radical;  // Example code; library code never does this.
+
+int main() {
+  // Everything runs on a deterministic discrete-event simulator: `sim.Now()`
+  // is virtual time, and a seed reproduces a run exactly.
+  Simulator sim(/*seed=*/1);
+  Network net(&sim, LatencyMatrix::PaperDefault());
+
+  // A Radical deployment: primary store + LVI server in Virginia, a runtime
+  // with an eventually consistent cache in each deployment location.
+  RadicalDeployment radical(&sim, &net, RadicalConfig{}, DeploymentRegions());
+
+  // A request handler: read the user's greeting, spend 100 ms rendering,
+  // record the visit, and return. Writes are explicit IR statements — that
+  // is what makes the read/write set statically derivable.
+  radical.RegisterFunction(Fn("greet", {"user"}, {
+      Read("greeting", Cat({C("greeting:"), In("user")})),
+      Compute(Millis(100)),
+      Write(Cat({C("last_visit:"), In("user")}), C(Value("today"))),
+      Return(V("greeting")),
+  }));
+
+  // The analyzer ran at registration; inspect its output.
+  const AnalyzedFunction* analyzed = radical.registry().Find("greet");
+  std::printf("registered 'greet': analyzable=%s, dependent_reads=%s\n",
+              analyzed->analyzable ? "yes" : "no",
+              analyzed->has_dependent_reads ? "yes" : "no");
+  std::printf("derived f^rw:\n%s\n", FunctionToString(analyzed->derived).c_str());
+
+  // Seed the primary and warm the caches (steady state after bootstrap).
+  radical.Seed("greeting:ada", Value("hello, ada!"));
+  radical.WarmCaches();
+
+  // Invoke from San Francisco. The LVI round trip to Virginia is 74 ms; the
+  // handler runs for ~101 ms — so coordination hides entirely behind
+  // execution and the client pays near-local latency.
+  const SimTime start = sim.Now();
+  radical.Invoke(Region::kCA, "greet", {Value("ada")}, [&](Value result) {
+    std::printf("reply after %.1f ms: %s\n", ToMillis(sim.Now() - start),
+                result.ToString().c_str());
+  });
+  sim.Run();  // Drains the reply, the write followup, and the lock release.
+
+  // The speculative write reached the primary via the write followup.
+  std::printf("primary last_visit:ada = %s (version %lld)\n",
+              radical.primary().Peek("last_visit:ada")->value.ToString().c_str(),
+              static_cast<long long>(radical.primary().VersionOf("last_visit:ada")));
+  std::printf("validation success rate: %.0f%%\n",
+              100.0 * radical.server().ValidationSuccessRate());
+  return 0;
+}

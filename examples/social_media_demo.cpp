@@ -1,0 +1,100 @@
+// Social media demo: the paper's flagship application end to end.
+//
+// Seeds the Diaspora-style social network, then tells a small story across
+// regions: a user in Tokyo posts, a follower in Dublin immediately sees the
+// post on their timeline (linearizability across the globe), and timeline
+// reads from every region show Radical's latency profile against what the
+// primary-datacenter baseline would pay.
+//
+// Run: ./build/examples/social_media_demo
+
+#include <cstdio>
+
+#include "src/apps/apps.h"
+
+using namespace radical;  // Example code; library code never does this.
+
+namespace {
+
+// Invokes synchronously (drives the simulator until the reply) and reports
+// the client-observed latency.
+Value Call(Simulator& sim, RadicalDeployment& radical, Region region,
+           const std::string& function, std::vector<Value> inputs) {
+  Value out;
+  const SimTime start = sim.Now();
+  bool done = false;
+  radical.Invoke(region, function, std::move(inputs), [&](Value v) {
+    out = std::move(v);
+    std::printf("  [%s] %-16s -> %6.1f ms\n", RegionName(region), function.c_str(),
+                ToMillis(sim.Now() - start));
+    done = true;
+  });
+  sim.Run();
+  if (!done) {
+    std::printf("  [%s] %s: no reply!\n", RegionName(region), function.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim(7);
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  RadicalDeployment radical(&sim, &net, RadicalConfig{}, DeploymentRegions());
+
+  const AppSpec app = MakeSocialApp();
+  app.RegisterAll(&radical);
+  app.seed(&radical);
+  radical.WarmCaches();
+
+  std::printf("== Log in from everywhere (pbkdf2 check, 213 ms of compute) ==\n");
+  for (const Region region : DeploymentRegions()) {
+    const Value ok = Call(sim, radical, region, "social_login", {Value("u1"), Value("pwu1")});
+    if (!(ok == Value(static_cast<int64_t>(1)))) {
+      std::printf("  login unexpectedly failed!\n");
+    }
+  }
+  std::printf("\nThe 213 ms of key derivation hides even Tokyo's 146 ms LVI round trip:\n");
+  std::printf("every region pays roughly local latency for a strongly consistent login.\n\n");
+
+  std::printf("== u1 (in Tokyo) posts; followers' timelines fan out ==\n");
+  Call(sim, radical, Region::kJP, "social_post",
+       {Value("u1"), Value("p-demo"), Value("radical is live!")});
+
+  // u1's followers include u2 (seeded (1 + 13k + 1) % N ... u2 at k=0).
+  std::printf("\n== u2 (in Dublin) reads their timeline right after ==\n");
+  const Value timeline = Call(sim, radical, Region::kIE, "social_timeline", {Value("u2")});
+  std::printf("  timeline tail: %s\n", timeline.ToString().c_str());
+  bool found = false;
+  if (timeline.is_list()) {
+    for (const Value& entry : timeline.AsList()) {
+      if (entry.is_string() && entry.AsString().find("radical is live!") != std::string::npos) {
+        found = true;
+      }
+    }
+  }
+  std::printf("  post visible in Dublin: %s (linearizable: the post completed before the "
+              "read began)\n\n",
+              found ? "YES" : "NO");
+
+  std::printf("== Timeline reads from every region (120 ms handler) ==\n");
+  for (const Region region : DeploymentRegions()) {
+    Call(sim, radical, region, "social_timeline", {Value("u5")});
+  }
+  std::printf("\nBaseline comparison: a primary-datacenter deployment pays the WAN round\n");
+  std::printf("trip on every request (e.g. +146 ms from Tokyo); Radical hides it behind\n");
+  std::printf("the handler's execution.\n\n");
+
+  std::printf("== Protocol counters ==\n");
+  std::printf("  LVI requests:          %llu\n",
+              static_cast<unsigned long long>(radical.server().counters().Get("lvi_requests")));
+  std::printf("  validation successes:  %llu\n",
+              static_cast<unsigned long long>(radical.server().validations_succeeded()));
+  std::printf("  validation failures:   %llu\n",
+              static_cast<unsigned long long>(radical.server().validations_failed()));
+  std::printf("  followups applied:     %llu\n",
+              static_cast<unsigned long long>(
+                  radical.server().counters().Get("followup_applied")));
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "src/analysis/analyzer.h"
+
+#include <cassert>
+#include <set>
+
+namespace radical {
+
+namespace {
+
+// Storage adapter for f^rw runs: reads pass through to the cache, writes are
+// discarded (f^rw must not mutate anything — it only discovers keys).
+//
+// Soundness guard: f^rw discards written *values* (they come from the real
+// execution), so if a later key depends on reading back a key this same
+// execution wrote, the prediction would be computed from stale data. Such a
+// value-needed read of an own write is detected here (log-only reads never
+// reach storage), and PredictRwSet fails — Radical then runs the function in
+// the near-storage location, the same fallback as any other §3.3 analysis
+// failure.
+class ProbeStorage : public Storage {
+ public:
+  explicit ProbeStorage(Storage* cache) : cache_(cache) {}
+
+  std::optional<Item> Get(const Key& key, SimDuration* latency) override {
+    if (written_.count(key) > 0) {
+      read_own_write_ = true;
+    }
+    return cache_->Get(key, latency);
+  }
+
+  void Put(const Key& key, const Value& value, SimDuration* latency) override {
+    (void)value;
+    (void)latency;
+    written_.insert(key);
+  }
+
+  bool read_own_write() const { return read_own_write_; }
+
+ private:
+  Storage* cache_;
+  std::set<Key> written_;
+  bool read_own_write_ = false;
+};
+
+}  // namespace
+
+Analyzer::Analyzer(const HostRegistry* hosts, AnalyzerOptions options)
+    : hosts_(hosts), options_(options) {
+  assert(hosts != nullptr);
+}
+
+AnalyzedFunction Analyzer::Analyze(const FunctionDef& fn) const {
+  AnalyzedFunction out;
+  out.original = fn;
+  out.original_stmt_count = CountStmts(fn.body);
+  if (out.original_stmt_count > options_.max_stmts) {
+    out.analyzable = false;
+    out.failure_reason = "analysis timeout: function exceeds work bound";
+    return out;
+  }
+  SliceResult slice = SliceForRwSet(fn.body, *hosts_);
+  if (slice.blocked) {
+    out.analyzable = false;
+    out.failure_reason = slice.blocked_reason;
+    return out;
+  }
+  out.analyzable = true;
+  out.has_dependent_reads = slice.has_dependent_reads;
+  out.derived.name = fn.name + "^rw";
+  out.derived.params = fn.params;
+  out.derived.body = std::move(slice.body);
+  out.derived_stmt_count = CountStmts(out.derived.body);
+  return out;
+}
+
+RwPrediction PredictRwSet(const AnalyzedFunction& analyzed, const std::vector<Value>& inputs,
+                          Storage* cache, const Interpreter& interpreter) {
+  RwPrediction out;
+  if (!analyzed.analyzable) {
+    out.status = Status::Error("function is not analyzable: " + analyzed.failure_reason);
+    return out;
+  }
+  ProbeStorage probe(cache);
+  const ExecResult result = interpreter.Execute(analyzed.derived, inputs, &probe);
+  if (!result.ok()) {
+    out.status = result.status;
+    return out;
+  }
+  if (probe.read_own_write()) {
+    out.status = Status::Error(
+        "f^rw read a key this execution writes: the read/write set depends on the "
+        "execution's own writes and cannot be derived ahead of time");
+    return out;
+  }
+  out.rw.reads.insert(result.reads.begin(), result.reads.end());
+  out.rw.writes.insert(result.writes.begin(), result.writes.end());
+  out.elapsed = result.elapsed;
+  return out;
+}
+
+}  // namespace radical

@@ -1,0 +1,81 @@
+// Analyzer: derives f^rw when a function is registered with Radical.
+//
+// Mirrors §3.3: when a client registers a function f, the analyzer
+// symbolically executes it (here: slices it; the IR makes every storage
+// access explicit, which is what serverless statelessness buys the paper's
+// analyzer) and emits f^rw — a function over the same inputs that returns
+// the exact read/write set for that execution. The analyzer can fail: a
+// storage key may depend on computation it cannot see through, or the
+// function may exceed its work bound ("symbolic execution is not guaranteed
+// to terminate"). Radical handles unanalyzable functions by always running
+// them in the near-storage location.
+//
+// PredictRwSet runs f^rw against the near-user cache (dependent reads
+// consult cached values; if those are stale, LVI validation catches it —
+// §3.3's safety argument) and returns the RwSet plus the virtual time f^rw
+// took, which the runtime adds to the critical path.
+
+#ifndef RADICAL_SRC_ANALYSIS_ANALYZER_H_
+#define RADICAL_SRC_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/rw_set.h"
+#include "src/analysis/slicer.h"
+#include "src/func/function.h"
+#include "src/func/interpreter.h"
+#include "src/kv/storage.h"
+
+namespace radical {
+
+// The analyzer's registration-time output for one function.
+struct AnalyzedFunction {
+  FunctionDef original;
+  FunctionDef derived;  // f^rw; valid only if analyzable.
+  bool analyzable = false;
+  bool has_dependent_reads = false;
+  // Developer-provided f^rw (§7): Radical lets developers supply the
+  // read/write-set function manually when the analyzer cannot derive it.
+  bool manually_provided = false;
+  std::string failure_reason;  // Set when !analyzable.
+  size_t original_stmt_count = 0;
+  size_t derived_stmt_count = 0;
+};
+
+// Options for the static analyzer.
+struct AnalyzerOptions {
+  // Work bound standing in for the symbolic-execution timeout: functions
+  // larger than this are declared unanalyzable.
+  size_t max_stmts = 4096;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const HostRegistry* hosts, AnalyzerOptions options = {});
+
+  AnalyzedFunction Analyze(const FunctionDef& fn) const;
+
+ private:
+  const HostRegistry* hosts_;
+  AnalyzerOptions options_;
+};
+
+// The result of one f^rw run at request time.
+struct RwPrediction {
+  Status status;  // Error if f^rw itself failed (falls back to near-storage).
+  RwSet rw;
+  SimDuration elapsed = 0;  // Virtual time f^rw took (critical-path cost).
+
+  bool ok() const { return status.ok(); }
+};
+
+// Runs f^rw on `inputs` against `cache`. Dependent reads fetch from the
+// cache; log-only reads and writes only record their keys, and nothing is
+// ever written (the probe makes writes no-ops).
+RwPrediction PredictRwSet(const AnalyzedFunction& analyzed, const std::vector<Value>& inputs,
+                          Storage* cache, const Interpreter& interpreter);
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,43 @@
+#include "src/analysis/registry.h"
+
+namespace radical {
+
+const AnalyzedFunction& FunctionRegistry::Register(const FunctionDef& fn) {
+  AnalyzedFunction analyzed = analyzer_->Analyze(fn);
+  auto [it, inserted] = functions_.insert_or_assign(fn.name, std::move(analyzed));
+  (void)inserted;
+  return it->second;
+}
+
+const AnalyzedFunction& FunctionRegistry::RegisterWithManualRw(const FunctionDef& fn,
+                                                               const FunctionDef& frw,
+                                                               bool has_dependent_reads) {
+  AnalyzedFunction analyzed;
+  analyzed.original = fn;
+  analyzed.derived = frw;
+  analyzed.analyzable = true;
+  analyzed.manually_provided = true;
+  analyzed.has_dependent_reads = has_dependent_reads;
+  analyzed.original_stmt_count = CountStmts(fn.body);
+  analyzed.derived_stmt_count = CountStmts(frw.body);
+  auto [it, inserted] = functions_.insert_or_assign(fn.name, std::move(analyzed));
+  (void)inserted;
+  return it->second;
+}
+
+const AnalyzedFunction* FunctionRegistry::Find(const std::string& name) const {
+  const auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, fn] : functions_) {
+    (void)fn;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace radical

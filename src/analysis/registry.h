@@ -1,0 +1,52 @@
+// FunctionRegistry: the set of functions registered with a Radical
+// deployment.
+//
+// Registration is the moment the static analyzer runs (§3.2 step one): the
+// registry stores f alongside its derived f^rw and the analysis metadata.
+// Both the near-user runtimes (which run f^rw and speculate f) and the LVI
+// server (which runs the backup copy on validation failure and replays f on
+// intent timeout) resolve functions here.
+
+#ifndef RADICAL_SRC_ANALYSIS_REGISTRY_H_
+#define RADICAL_SRC_ANALYSIS_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+
+namespace radical {
+
+class FunctionRegistry {
+ public:
+  explicit FunctionRegistry(const Analyzer* analyzer) : analyzer_(analyzer) {}
+
+  // Registers (or re-registers) a function: runs the analyzer and stores the
+  // result. Registration itself never fails — an unanalyzable function is
+  // stored with analyzable=false and will always execute near storage.
+  const AnalyzedFunction& Register(const FunctionDef& fn);
+
+  // Registers a function with a developer-provided f^rw (§7): used when the
+  // analyzer cannot derive one but the developer knows the read/write set.
+  // The manual f^rw must take the same parameters as `fn`; its reads and
+  // writes (against the cache) become the predicted set. Correctness still
+  // rests on the prediction covering the real execution — the same contract
+  // the analyzer's output satisfies by construction.
+  const AnalyzedFunction& RegisterWithManualRw(const FunctionDef& fn, const FunctionDef& frw,
+                                               bool has_dependent_reads = false);
+
+  // nullptr if the name was never registered.
+  const AnalyzedFunction* Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const { return functions_.size(); }
+
+ private:
+  const Analyzer* analyzer_;
+  std::map<std::string, AnalyzedFunction> functions_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_ANALYSIS_REGISTRY_H_

@@ -1,0 +1,53 @@
+#include "src/analysis/rw_set.h"
+
+#include <sstream>
+
+namespace radical {
+
+std::vector<Key> RwSet::AllKeysSorted() const {
+  std::vector<Key> out;
+  out.reserve(reads.size() + writes.size());
+  // Both sets are ordered; merge keeps lexicographic order and dedups.
+  auto r = reads.begin();
+  auto w = writes.begin();
+  while (r != reads.end() || w != writes.end()) {
+    if (w == writes.end()) {
+      out.push_back(*r++);
+    } else if (r == reads.end()) {
+      out.push_back(*w++);
+    } else if (*r < *w) {
+      out.push_back(*r++);
+    } else if (*w < *r) {
+      out.push_back(*w++);
+    } else {
+      out.push_back(*r);
+      ++r;
+      ++w;
+    }
+  }
+  return out;
+}
+
+LockMode RwSet::ModeFor(const Key& key) const {
+  return writes.count(key) > 0 ? LockMode::kWrite : LockMode::kRead;
+}
+
+std::string RwSet::ToString() const {
+  std::ostringstream os;
+  os << "reads{";
+  bool first = true;
+  for (const Key& k : reads) {
+    os << (first ? "" : ", ") << k;
+    first = false;
+  }
+  os << "} writes{";
+  first = true;
+  for (const Key& k : writes) {
+    os << (first ? "" : ", ") << k;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace radical

@@ -1,0 +1,43 @@
+// RwSet: the read/write set of one function execution.
+//
+// The output of running f^rw on a request's inputs (§3.3): the exact keys
+// the execution will read and write. The LVI request carries these keys with
+// the cache's version for each, and the server acquires a read or write lock
+// per key (write locks subsume reads for keys in both sets).
+
+#ifndef RADICAL_SRC_ANALYSIS_RW_SET_H_
+#define RADICAL_SRC_ANALYSIS_RW_SET_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/kv/item.h"
+
+namespace radical {
+
+enum class LockMode { kRead, kWrite };
+
+struct RwSet {
+  std::set<Key> reads;
+  std::set<Key> writes;
+
+  bool has_writes() const { return !writes.empty(); }
+
+  // All keys (reads ∪ writes) in lexicographic order — the lock acquisition
+  // order that avoids deadlocks (§3.6).
+  std::vector<Key> AllKeysSorted() const;
+
+  // Lock mode for a key: write if it is in the write set, else read.
+  LockMode ModeFor(const Key& key) const;
+
+  bool operator==(const RwSet& other) const {
+    return reads == other.reads && writes == other.writes;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_ANALYSIS_RW_SET_H_

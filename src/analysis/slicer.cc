@@ -1,0 +1,165 @@
+#include "src/analysis/slicer.h"
+
+#include <algorithm>
+
+#include "src/func/builder.h"
+
+namespace radical {
+
+namespace {
+
+struct SliceCtx {
+  const HostRegistry* hosts;
+  bool has_dependent_reads = false;
+  bool blocked = false;
+  std::string blocked_reason;
+
+  // Adds the variables an expression reads to `needed`, and flags the slice
+  // as blocked if the expression calls a host function the analyzer cannot
+  // see through.
+  void AddExprDeps(const ExprPtr& expr, std::set<std::string>& needed) {
+    if (expr == nullptr) {
+      return;
+    }
+    if (!blocked &&
+        ContainsOpaque(expr, [this](const std::string& name) {
+          return !hosts->IsTransparent(name);
+        })) {
+      blocked = true;
+      blocked_reason = "storage access depends on opaque host call in: " + expr->ToString();
+    }
+    std::vector<std::string> vars;
+    CollectExprDeps(expr, /*inputs=*/nullptr, &vars);
+    needed.insert(vars.begin(), vars.end());
+  }
+};
+
+// Slices `body` backward. On entry `needed` holds the variables required
+// after the body; on exit it holds those required before it. Returns the
+// kept statements.
+StmtList SliceBody(const StmtList& body, std::set<std::string>& needed, SliceCtx& ctx) {
+  StmtList kept_reversed;
+  for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    const StmtPtr& stmt = *it;
+    switch (stmt->kind) {
+      case StmtKind::kCompute:
+      case StmtKind::kReturn:
+        // Never needed for key derivation; this is why f^rw is cheap.
+        break;
+      case StmtKind::kExternalCall:
+        // External calls must not run inside f^rw (they have side effects
+        // and at-most-once semantics); a storage key depending on a service
+        // response makes the function unanalyzable (§3.3, §3.5).
+        if (needed.count(stmt->var) > 0 && !ctx.blocked) {
+          ctx.blocked = true;
+          ctx.blocked_reason =
+              "storage access depends on external service response: " + stmt->service;
+        }
+        break;
+      case StmtKind::kWrite: {
+        auto sliced = std::make_shared<Stmt>();
+        sliced->kind = StmtKind::kWrite;
+        sliced->expr = stmt->expr;
+        sliced->value = C(Value());  // Values come from the real execution.
+        kept_reversed.push_back(sliced);
+        ctx.AddExprDeps(stmt->expr, needed);
+        break;
+      }
+      case StmtKind::kRead: {
+        const bool value_needed = needed.count(stmt->var) > 0;
+        auto sliced = std::make_shared<Stmt>();
+        sliced->kind = StmtKind::kRead;
+        sliced->var = stmt->var;
+        sliced->expr = stmt->expr;
+        sliced->log_only = !value_needed;
+        kept_reversed.push_back(sliced);
+        if (value_needed) {
+          // A later storage key depends on this read's value: the dependent
+          // read optimization (§3.3) runs it against the near-user cache
+          // inside f^rw.
+          ctx.has_dependent_reads = true;
+        }
+        needed.erase(stmt->var);
+        ctx.AddExprDeps(stmt->expr, needed);
+        break;
+      }
+      case StmtKind::kLet: {
+        if (needed.count(stmt->var) == 0) {
+          break;
+        }
+        kept_reversed.push_back(stmt);
+        needed.erase(stmt->var);
+        ctx.AddExprDeps(stmt->expr, needed);
+        break;
+      }
+      case StmtKind::kIf: {
+        std::set<std::string> then_needed = needed;
+        std::set<std::string> else_needed = needed;
+        StmtList then_sliced = SliceBody(stmt->then_body, then_needed, ctx);
+        StmtList else_sliced = SliceBody(stmt->else_body, else_needed, ctx);
+        if (then_sliced.empty() && else_sliced.empty()) {
+          break;
+        }
+        auto sliced = std::make_shared<Stmt>();
+        sliced->kind = StmtKind::kIf;
+        sliced->expr = stmt->expr;
+        sliced->then_body = std::move(then_sliced);
+        sliced->else_body = std::move(else_sliced);
+        kept_reversed.push_back(sliced);
+        // Conservative join: a variable needed on either path (or after the
+        // if, when only one branch defines it) stays needed before the if.
+        needed.insert(then_needed.begin(), then_needed.end());
+        needed.insert(else_needed.begin(), else_needed.end());
+        ctx.AddExprDeps(stmt->expr, needed);
+        break;
+      }
+      case StmtKind::kForEach: {
+        // Fixpoint over loop-carried dependencies: a variable needed at the
+        // top of iteration i may be defined at the bottom of iteration i-1.
+        std::set<std::string> at_iteration_end = needed;
+        StmtList body_sliced;
+        for (;;) {
+          std::set<std::string> work = at_iteration_end;
+          body_sliced = SliceBody(stmt->then_body, work, ctx);
+          work.erase(stmt->var);  // Redefined every iteration.
+          std::set<std::string> merged = at_iteration_end;
+          merged.insert(work.begin(), work.end());
+          if (merged == at_iteration_end) {
+            break;
+          }
+          at_iteration_end = std::move(merged);
+        }
+        if (body_sliced.empty()) {
+          break;
+        }
+        auto sliced = std::make_shared<Stmt>();
+        sliced->kind = StmtKind::kForEach;
+        sliced->var = stmt->var;
+        sliced->expr = stmt->expr;
+        sliced->then_body = std::move(body_sliced);
+        kept_reversed.push_back(sliced);
+        at_iteration_end.erase(stmt->var);
+        needed.insert(at_iteration_end.begin(), at_iteration_end.end());
+        ctx.AddExprDeps(stmt->expr, needed);
+        break;
+      }
+    }
+  }
+  std::reverse(kept_reversed.begin(), kept_reversed.end());
+  return kept_reversed;
+}
+
+}  // namespace
+
+SliceResult SliceForRwSet(const StmtList& body, const HostRegistry& hosts) {
+  SliceCtx ctx{&hosts, false, false, {}};
+  std::set<std::string> needed;
+  SliceResult out;
+  out.body = SliceBody(body, needed, ctx);
+  out.has_dependent_reads = ctx.has_dependent_reads;
+  out.blocked = ctx.blocked;
+  out.blocked_reason = ctx.blocked_reason;
+  return out;
+}
+
+}  // namespace radical

@@ -1,0 +1,46 @@
+// Backward dependency slicer: extracts f^rw from f.
+//
+// The analyzer symbolically walks a function and keeps only the statements
+// needed to determine the inputs of its storage read and write calls (§3.3):
+//
+//   - Writes are kept with their key expression; the written *value* is
+//     replaced by unit (values are produced by the real execution, not f^rw).
+//   - Reads are always kept so their key is logged into the read set. A read
+//     whose value feeds a later storage key (a *dependent read*, §3.3) keeps
+//     its fetch and will run against the near-user cache inside f^rw; a read
+//     kept only for key logging is marked log_only and fetches nothing.
+//   - Lets survive iff their variable feeds a kept statement; conditions and
+//     loop lists survive with the statements they guard. Compute statements
+//     and returns are always dropped — this is why f^rw is cheap to run.
+//
+// Loops are sliced to a fixpoint so loop-carried dependencies are kept.
+// Slicing is conservative: the sliced program may keep more than strictly
+// necessary, never less, so the predicted read/write set always matches the
+// real execution's (tests/analysis_test.cc asserts this property).
+
+#ifndef RADICAL_SRC_ANALYSIS_SLICER_H_
+#define RADICAL_SRC_ANALYSIS_SLICER_H_
+
+#include <set>
+#include <string>
+
+#include "src/func/function.h"
+#include "src/func/interpreter.h"
+
+namespace radical {
+
+struct SliceResult {
+  StmtList body;                     // The sliced statements (f^rw body).
+  bool has_dependent_reads = false;  // Any read whose value feeds a key.
+  bool blocked = false;              // A kept expression calls a host the
+                                     // analyzer cannot see through.
+  std::string blocked_reason;
+};
+
+// Slices `body` given the set of variables needed after it (empty at the
+// top level). `hosts` identifies transparent host functions.
+SliceResult SliceForRwSet(const StmtList& body, const HostRegistry& hosts);
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_ANALYSIS_SLICER_H_

@@ -1,0 +1,24 @@
+#include "src/apps/app_spec.h"
+
+namespace radical {
+
+void AppSpec::RegisterAll(AppService* service) const {
+  for (const FunctionSpec& fn : functions) {
+    service->RegisterFunction(fn.def);
+  }
+}
+
+const FunctionSpec* AppSpec::Find(const std::string& function_name) const {
+  for (const FunctionSpec& fn : functions) {
+    if (fn.def.name == function_name) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+int64_t PasswordHash(const std::string& password) {
+  return static_cast<int64_t>(Value(password).StableHash() & 0x7fffffffffffffffULL);
+}
+
+}  // namespace radical

@@ -1,0 +1,56 @@
+// AppSpec: one benchmark application — its functions (Table 1 rows), data
+// seeding, and workload mix.
+//
+// The paper ports three applications whose functionality spans Radical's
+// benefit range (§5.1): a social network (Diaspora), a hotel reservation
+// service (DeathStarBench), and a forum (Lobsters). Each is decomposed into
+// independent serverless request handlers written in the deterministic IR;
+// per-function compute durations are calibrated so the median execution
+// times match Table 1 (bench/table1_functions verifies this).
+
+#ifndef RADICAL_SRC_APPS_APP_SPEC_H_
+#define RADICAL_SRC_APPS_APP_SPEC_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/func/builder.h"
+#include "src/radical/deployment.h"
+#include "src/radical/load_generator.h"
+
+namespace radical {
+
+// One row of Table 1.
+struct FunctionSpec {
+  FunctionDef def;
+  std::string description;
+  bool writes = false;            // Table 1 "Writes".
+  bool dependent_reads = false;   // Table 1 asterisk: needs the §3.3
+                                  // dependent-read optimization.
+  double workload_pct = 0.0;      // Table 1 "Workload%".
+  SimDuration paper_exec_time = 0;  // Table 1 median execution time.
+};
+
+struct AppSpec {
+  std::string name;
+  std::string display_name;
+  std::vector<FunctionSpec> functions;
+  // Seeds the application's dataset into a deployment.
+  std::function<void(AppService*)> seed;
+  // Creates a fresh workload source (owns its unique-id counter; share one
+  // WorkloadFn across the clients of one load generator).
+  std::function<WorkloadFn()> make_workload;
+
+  // Registers every function with the deployment.
+  void RegisterAll(AppService* service) const;
+  const FunctionSpec* Find(const std::string& function_name) const;
+};
+
+// Deterministic password-hash value matching the IR's kHash operator; used
+// both to seed `user:<u>:pwhash` items and by tests.
+int64_t PasswordHash(const std::string& password);
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_APPS_APP_SPEC_H_

@@ -1,0 +1,192 @@
+#include "src/apps/danbooru.h"
+
+#include <memory>
+
+namespace radical {
+
+AppSpec MakeDanbooruApp(DanbooruOptions options) {
+  AppSpec app;
+  app.name = "danbooru";
+  app.display_name = "Image Board";
+
+  // --- danbooru_search: dependent reads (tag index -> image metadata) --------
+  FunctionSpec search;
+  search.def = Fn("danbooru_search", {"tag"},
+                  {
+                      Read("ids", Cat({C("tagindex:"), In("tag")})),
+                      ForEach("p", Take(V("ids"), C(static_cast<int64_t>(10))),
+                              {
+                                  Read("meta", Cat({C("image:"), V("p")})),
+                              }),
+                      Compute(Millis(120)),  // Thumbnail grid rendering.
+                      Return(Take(V("ids"), C(static_cast<int64_t>(10)))),
+                  });
+  search.description = "Find images carrying a tag";
+  search.writes = false;
+  search.dependent_reads = true;
+  search.workload_pct = 55.0;
+  search.paper_exec_time = Millis(132);  // Estimate; not in Table 1.
+
+  // --- danbooru_view -----------------------------------------------------------
+  FunctionSpec view;
+  view.def = Fn("danbooru_view", {"image_id"},
+                {
+                    Read("meta", Cat({C("image:"), In("image_id")})),
+                    Read("ts", Cat({C("tags:"), In("image_id")})),
+                    Read("notes", Cat({C("notes:"), In("image_id")})),
+                    Compute(Millis(92)),  // Image page rendering.
+                    Return(Append(Append(C(ValueList{}), V("meta")), V("ts"))),
+                });
+  view.description = "View an image with tags and notes";
+  view.writes = false;
+  view.workload_pct = 25.0;
+  view.paper_exec_time = Millis(95);
+
+  // --- danbooru_upload: fan-out over the *input* tag list (analyzable without
+  // dependent reads — the loop's list is a parameter, not a storage value) ----
+  FunctionSpec upload;
+  upload.def = Fn("danbooru_upload", {"user", "image_id", "meta", "tag_list"},
+                  {
+                      Compute(Millis(38)),  // Checksum + thumbnail generation.
+                      Write(Cat({C("image:"), In("image_id")}), In("meta")),
+                      Write(Cat({C("tags:"), In("image_id")}), In("tag_list")),
+                      ForEach("t", In("tag_list"),
+                              {
+                                  Read("idx", Cat({C("tagindex:"), V("t")})),
+                                  Write(Cat({C("tagindex:"), V("t")}),
+                                        Take(Append(V("idx"), In("image_id")),
+                                             C(static_cast<int64_t>(200)))),
+                              }),
+                      Read("ups", Cat({C("uploads:"), In("user")})),
+                      Write(Cat({C("uploads:"), In("user")}),
+                            Take(Append(V("ups"), In("image_id")),
+                                 C(static_cast<int64_t>(100)))),
+                      Return(In("image_id")),
+                  });
+  upload.description = "Upload an image and index its tags";
+  upload.writes = true;
+  upload.workload_pct = 1.0;
+  upload.paper_exec_time = Millis(46);
+
+  // --- danbooru_favorite: per-(user, image) row, like Lobsters votes ----------
+  FunctionSpec favorite;
+  favorite.def = Fn("danbooru_favorite", {"user", "image_id"},
+                    {
+                        Compute(Millis(12)),
+                        Read("meta", Cat({C("image:"), In("image_id")})),
+                        Write(Cat({C("fav:"), In("image_id"), C(":"), In("user")}),
+                              C(static_cast<int64_t>(1))),
+                        Return(C(static_cast<int64_t>(1))),
+                    });
+  favorite.description = "Favorite an image";
+  favorite.writes = true;
+  favorite.workload_pct = 8.0;
+  favorite.paper_exec_time = Millis(15);
+
+  // --- danbooru_tag: append a tag to an image and the tag's index -------------
+  FunctionSpec tag;
+  tag.def = Fn("danbooru_tag", {"user", "image_id", "tag"},
+               {
+                   Compute(Millis(14)),
+                   Read("ts", Cat({C("tags:"), In("image_id")})),
+                   Write(Cat({C("tags:"), In("image_id")}), Append(V("ts"), In("tag"))),
+                   Read("idx", Cat({C("tagindex:"), In("tag")})),
+                   Write(Cat({C("tagindex:"), In("tag")}),
+                         Take(Append(V("idx"), In("image_id")),
+                              C(static_cast<int64_t>(200)))),
+                   Return(In("tag")),
+               });
+  tag.description = "Add a tag to an image";
+  tag.writes = true;
+  tag.workload_pct = 3.0;
+  tag.paper_exec_time = Millis(19);
+
+  // --- danbooru_login (reused across applications, §5.1) -----------------------
+  FunctionSpec login;
+  login.def = Fn("danbooru_login", {"user", "password"},
+                 {
+                     Read("stored", Cat({C("user:"), In("user"), C(":pwhash")})),
+                     Compute(Millis(211)),  // pbkdf2.
+                     Return(Eq(V("stored"), HashOf(In("password")))),
+                 });
+  login.description = "Performs pbkdf2-based password check";
+  login.writes = false;
+  login.workload_pct = 8.0;
+  login.paper_exec_time = Millis(213);
+
+  app.functions = {search, view, upload, favorite, tag, login};
+
+  const DanbooruOptions opts = options;
+  app.seed = [opts](AppService* service) {
+    for (uint64_t p = 0; p < opts.num_images; ++p) {
+      const std::string image = "img" + std::to_string(p);
+      service->Seed("image:" + image, Value("metadata of " + image));
+      ValueList tags;
+      tags.push_back(Value("t" + std::to_string(p % opts.num_tags)));
+      tags.push_back(Value("t" + std::to_string((p * 7 + 3) % opts.num_tags)));
+      service->Seed("tags:" + image, Value(tags));
+      ValueList notes;
+      notes.push_back(Value("note on " + image));
+      service->Seed("notes:" + image, Value(notes));
+    }
+    for (uint64_t t = 0; t < opts.num_tags; ++t) {
+      ValueList index;
+      for (uint64_t p = t; p < opts.num_images && index.size() < 20; p += opts.num_tags) {
+        index.push_back(Value("img" + std::to_string(p)));
+      }
+      service->Seed("tagindex:t" + std::to_string(t), Value(index));
+    }
+    for (uint64_t u = 0; u < opts.num_users; ++u) {
+      const std::string user = "u" + std::to_string(u);
+      service->Seed("user:" + user + ":pwhash", Value(PasswordHash("pw" + user)));
+      service->Seed("uploads:" + user, Value(ValueList{}));
+    }
+  };
+
+  app.make_workload = [opts]() -> WorkloadFn {
+    auto tag_zipf = std::make_shared<ZipfGenerator>(opts.num_tags, opts.zipf_theta);
+    auto image_zipf = std::make_shared<ZipfGenerator>(opts.num_images, opts.zipf_theta);
+    auto next_upload = std::make_shared<uint64_t>(0);
+    const uint64_t num_users = opts.num_users;
+    const uint64_t num_tags = opts.num_tags;
+    return [tag_zipf, image_zipf, next_upload, num_users, num_tags](Rng& rng) -> RequestSpec {
+      const std::string user = "u" + std::to_string(rng.NextBelow(num_users));
+      const std::string image = "img" + std::to_string(image_zipf->Sample(rng));
+      const std::string tag_name = "t" + std::to_string(tag_zipf->Sample(rng));
+      const double dice = rng.NextDouble() * 100.0;
+      if (dice < 55.0) {
+        return {"danbooru_search", {Value(tag_name)}};
+      }
+      if (dice < 80.0) {
+        return {"danbooru_view", {Value(image)}};
+      }
+      if (dice < 88.0) {
+        return {"danbooru_favorite", {Value(user), Value(image)}};
+      }
+      if (dice < 91.0) {
+        return {"danbooru_tag", {Value(user), Value(image), Value(tag_name)}};
+      }
+      if (dice < 92.0) {
+        const std::string new_image = "new" + std::to_string((*next_upload)++) + "_" +
+                                      std::to_string(rng.Next() % 1000000);
+        ValueList tag_list;
+        tag_list.push_back(Value(tag_name));
+        tag_list.push_back(Value("t" + std::to_string(rng.NextBelow(num_tags))));
+        // Built field by field: initializer-list forms here trip a GCC 12
+        // -Wmaybe-uninitialized false positive inside std::variant.
+        RequestSpec spec;
+        spec.function = "danbooru_upload";
+        spec.inputs.emplace_back(user);
+        spec.inputs.emplace_back(new_image);
+        spec.inputs.emplace_back("fresh upload");
+        spec.inputs.emplace_back(std::move(tag_list));
+        return spec;
+      }
+      return {"danbooru_login", {Value(user), Value("pw" + user)}};
+    };
+  };
+
+  return app;
+}
+
+}  // namespace radical

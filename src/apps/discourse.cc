@@ -1,0 +1,145 @@
+#include "src/apps/discourse.h"
+
+#include <memory>
+
+namespace radical {
+
+AppSpec MakeDiscourseApp(DiscourseOptions options) {
+  AppSpec app;
+  app.name = "discourse";
+  app.display_name = "Discussion Forum";
+
+  // --- discourse_latest: category page ----------------------------------------
+  FunctionSpec latest;
+  latest.def = Fn("discourse_latest", {"category"},
+                  {
+                      Read("topics", Cat({C("category:"), In("category")})),
+                      Compute(Millis(172)),  // Ranking and rendering.
+                      Return(Take(V("topics"), C(static_cast<int64_t>(20)))),
+                  });
+  latest.description = "List the latest topics in a category";
+  latest.writes = false;
+  latest.workload_pct = 60.0;
+  latest.paper_exec_time = Millis(174);
+
+  // --- discourse_view: topic plus replies, mark read ---------------------------
+  FunctionSpec view;
+  view.def = Fn("discourse_view", {"user", "topic_id"},
+                {
+                    Read("topic", Cat({C("topic:"), In("topic_id")})),
+                    Read("rs", Cat({C("replies:"), In("topic_id")})),
+                    Write(Cat({C("tracking:"), In("topic_id"), C(":"), In("user")}),
+                          C(static_cast<int64_t>(1))),
+                    Compute(Millis(104)),  // Thread rendering.
+                    Return(Append(Append(C(ValueList{}), V("topic")), V("rs"))),
+                });
+  view.description = "View a topic, its replies, and mark it read";
+  view.writes = true;  // The per-user read-tracking row.
+  view.workload_pct = 22.0;
+  view.paper_exec_time = Millis(110);
+
+  // --- discourse_create: new topic onto its category page ----------------------
+  FunctionSpec create;
+  create.def = Fn("discourse_create", {"user", "category", "topic_id", "title"},
+                  {
+                      Compute(Millis(18)),
+                      Write(Cat({C("topic:"), In("topic_id")}),
+                            Cat({In("user"), C(": "), In("title")})),
+                      Read("topics", Cat({C("category:"), In("category")})),
+                      Write(Cat({C("category:"), In("category")}),
+                            Take(Append(V("topics"), Cat({In("topic_id"), C(" "), In("title")})),
+                                 C(static_cast<int64_t>(100)))),
+                      Return(In("topic_id")),
+                  });
+  create.description = "Create a topic in a category";
+  create.writes = true;
+  create.workload_pct = 1.0;
+  create.paper_exec_time = Millis(23);
+
+  // --- discourse_reply ----------------------------------------------------------
+  FunctionSpec reply;
+  reply.def = Fn("discourse_reply", {"user", "topic_id", "text"},
+                 {
+                     Compute(Millis(15)),
+                     Read("rs", Cat({C("replies:"), In("topic_id")})),
+                     Write(Cat({C("replies:"), In("topic_id")}),
+                           Take(Append(V("rs"), Cat({In("user"), C(": "), In("text")})),
+                                C(static_cast<int64_t>(200)))),
+                     Return(C(static_cast<int64_t>(1))),
+                 });
+  reply.description = "Reply to a topic";
+  reply.writes = true;
+  reply.workload_pct = 9.0;
+  reply.paper_exec_time = Millis(18);
+
+  // --- discourse_login (reused pbkdf2 check, §5.1) -------------------------------
+  FunctionSpec login;
+  login.def = Fn("discourse_login", {"user", "password"},
+                 {
+                     Read("stored", Cat({C("user:"), In("user"), C(":pwhash")})),
+                     Compute(Millis(211)),
+                     Return(Eq(V("stored"), HashOf(In("password")))),
+                 });
+  login.description = "Performs pbkdf2-based password check";
+  login.writes = false;
+  login.workload_pct = 8.0;
+  login.paper_exec_time = Millis(213);
+
+  app.functions = {latest, view, create, reply, login};
+
+  const DiscourseOptions opts = options;
+  app.seed = [opts](AppService* service) {
+    std::vector<ValueList> categories(opts.num_categories);
+    for (uint64_t t = 0; t < opts.num_topics; ++t) {
+      const std::string topic = "topic" + std::to_string(t);
+      service->Seed("topic:" + topic, Value("body of " + topic));
+      ValueList replies;
+      replies.push_back(Value("first reply on " + topic));
+      service->Seed("replies:" + topic, Value(replies));
+      ValueList& category = categories[t % opts.num_categories];
+      if (category.size() < 30) {
+        category.push_back(Value(topic + " title of " + topic));
+      }
+    }
+    for (uint64_t c = 0; c < opts.num_categories; ++c) {
+      service->Seed("category:c" + std::to_string(c), Value(categories[c]));
+    }
+    for (uint64_t u = 0; u < opts.num_users; ++u) {
+      const std::string user = "u" + std::to_string(u);
+      service->Seed("user:" + user + ":pwhash", Value(PasswordHash("pw" + user)));
+    }
+  };
+
+  app.make_workload = [opts]() -> WorkloadFn {
+    auto topic_zipf = std::make_shared<ZipfGenerator>(opts.num_topics, opts.zipf_theta);
+    auto next_topic = std::make_shared<uint64_t>(0);
+    const uint64_t num_users = opts.num_users;
+    const uint64_t num_categories = opts.num_categories;
+    return [topic_zipf, next_topic, num_users, num_categories](Rng& rng) -> RequestSpec {
+      const std::string user = "u" + std::to_string(rng.NextBelow(num_users));
+      const std::string category = "c" + std::to_string(rng.NextBelow(num_categories));
+      const std::string topic = "topic" + std::to_string(topic_zipf->Sample(rng));
+      const double dice = rng.NextDouble() * 100.0;
+      if (dice < 60.0) {
+        return {"discourse_latest", {Value(category)}};
+      }
+      if (dice < 82.0) {
+        return {"discourse_view", {Value(user), Value(topic)}};
+      }
+      if (dice < 91.0) {
+        return {"discourse_reply", {Value(user), Value(topic), Value("nice point")}};
+      }
+      if (dice < 99.0) {
+        return {"discourse_login", {Value(user), Value("pw" + user)}};
+      }
+      const std::string new_topic = "nt" + std::to_string((*next_topic)++) + "_" +
+                                    std::to_string(rng.Next() % 1000000);
+      return {"discourse_create",
+              {Value(user), Value(category), Value(new_topic), Value("a new discussion")}};
+    };
+  };
+
+  return app;
+}
+
+}  // namespace radical

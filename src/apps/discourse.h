@@ -1,0 +1,34 @@
+// Discourse-style discussion forum (§5.1).
+//
+// The fifth ported application. Like the image board, it is outside the
+// paper's focused evaluation (no Table 1 rows); handler shapes and times are
+// modeled in the same style, and the login handler is the pbkdf2 check
+// reused across applications ("We were able to reuse some functions across
+// multiple applications", §5.1).
+//
+// Data model:
+//   user:<u>:pwhash     int     password hash
+//   category:<c>        list    topic summaries in category c (capped)
+//   topic:<t>           string  topic title/body
+//   replies:<t>         list    reply strings (capped)
+//   tracking:<t>:<u>    int     per-(user, topic) read-tracking row
+
+#ifndef RADICAL_SRC_APPS_DISCOURSE_H_
+#define RADICAL_SRC_APPS_DISCOURSE_H_
+
+#include "src/apps/app_spec.h"
+
+namespace radical {
+
+struct DiscourseOptions {
+  uint64_t num_topics = 1500;
+  uint64_t num_users = 1000;
+  uint64_t num_categories = 12;
+  double zipf_theta = 0.99;  // Topic popularity skew.
+};
+
+AppSpec MakeDiscourseApp(DiscourseOptions options = {});
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_APPS_DISCOURSE_H_

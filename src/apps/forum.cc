@@ -1,0 +1,143 @@
+#include "src/apps/forum.h"
+
+#include <memory>
+
+namespace radical {
+
+AppSpec MakeForumApp(ForumOptions options) {
+  AppSpec app;
+  app.name = "forum";
+  app.display_name = "Forum";
+
+  // --- forum_homepage: 209 ms median, read-only ------------------------------
+  FunctionSpec homepage;
+  homepage.def = Fn("forum_homepage", {},
+                    {
+                        Read("fp", C("frontpage")),
+                        Compute(Millis(207)),  // Ranking and rendering.
+                        Return(V("fp")),
+                    });
+  homepage.description = "View most recent/popular posts";
+  homepage.writes = false;
+  homepage.workload_pct = 80.0;
+  homepage.paper_exec_time = Millis(209);
+
+  // --- forum_post: 18 ms median, writes --------------------------------------
+  FunctionSpec post;
+  post.def = Fn("forum_post", {"user", "post_id", "text"},
+                {
+                    Compute(Millis(14)),
+                    Write(Cat({C("post:"), In("post_id")}),
+                          Cat({In("user"), C(": "), In("text")})),
+                    Read("fp", C("frontpage")),
+                    Write(C("frontpage"),
+                          Take(Append(V("fp"), Cat({In("post_id"), C(" "), In("text")})),
+                               C(static_cast<int64_t>(100)))),
+                    Return(In("post_id")),
+                });
+  post.description = "Make a comment or post";
+  post.writes = true;
+  post.workload_pct = 1.0;
+  post.paper_exec_time = Millis(18);
+
+  // --- forum_interact: 16 ms median, writes -----------------------------------
+  // Lobsters stores votes as per-(user, story) rows in a votes table; the
+  // displayed score is read for the response. Writing the per-user vote row
+  // (not a shared counter) is what keeps hot stories from serializing every
+  // upvote through one write lock.
+  FunctionSpec interact;
+  interact.def = Fn("forum_interact", {"user", "post_id"},
+                    {
+                        Compute(Millis(13)),
+                        Read("s", Cat({C("score:"), In("post_id")})),
+                        Write(Cat({C("vote:"), In("post_id"), C(":"), In("user")}),
+                              C(static_cast<int64_t>(1))),
+                        Return(Add(V("s"), C(static_cast<int64_t>(1)))),
+                    });
+  interact.description = "Upvote or favorite comments/posts";
+  interact.writes = true;
+  interact.workload_pct = 9.0;
+  interact.paper_exec_time = Millis(16);
+
+  // --- forum_view: 123 ms median, read-only -----------------------------------
+  FunctionSpec view;
+  view.def = Fn("forum_view", {"post_id"},
+                {
+                    Read("p", Cat({C("post:"), In("post_id")})),
+                    Read("c", Cat({C("comments:"), In("post_id")})),
+                    Read("s", Cat({C("score:"), In("post_id")})),
+                    Compute(Millis(119)),  // Comment-tree rendering.
+                    Return(Append(Append(C(ValueList{}), V("p")), V("s"))),
+                });
+  view.description = "View a post and all comments";
+  view.writes = false;
+  view.workload_pct = 8.0;
+  view.paper_exec_time = Millis(123);
+
+  // --- forum_login: 212 ms median, read-only -----------------------------------
+  FunctionSpec login;
+  login.def = Fn("forum_login", {"user", "password"},
+                 {
+                     Read("stored", Cat({C("user:"), In("user"), C(":pwhash")})),
+                     Compute(Millis(210)),  // pbkdf2.
+                     Return(Eq(V("stored"), HashOf(In("password")))),
+                 });
+  login.description = "Performs pbkdf2-based password check";
+  login.writes = false;
+  login.workload_pct = 2.0;
+  login.paper_exec_time = Millis(212);
+
+  app.functions = {homepage, post, interact, view, login};
+
+  const ForumOptions opts = options;
+  app.seed = [opts](AppService* service) {
+    ValueList frontpage;
+    for (uint64_t p = 0; p < opts.num_posts; ++p) {
+      const std::string post_id = "fp" + std::to_string(p);
+      service->Seed("post:" + post_id, Value("content of " + post_id));
+      ValueList comments;
+      comments.push_back(Value("first comment on " + post_id));
+      comments.push_back(Value("second comment on " + post_id));
+      service->Seed("comments:" + post_id, Value(comments));
+      service->Seed("score:" + post_id, Value(static_cast<int64_t>(p % 40)));
+      if (frontpage.size() < static_cast<size_t>(opts.frontpage_cap)) {
+        frontpage.push_back(Value(post_id + " content of " + post_id));
+      }
+    }
+    service->Seed("frontpage", Value(frontpage));
+    for (uint64_t u = 0; u < opts.num_users; ++u) {
+      const std::string user = "u" + std::to_string(u);
+      service->Seed("user:" + user + ":pwhash", Value(PasswordHash("pw" + user)));
+    }
+  };
+
+  app.make_workload = [opts]() -> WorkloadFn {
+    auto zipf = std::make_shared<ZipfGenerator>(opts.num_posts, opts.zipf_theta);
+    auto next_post_id = std::make_shared<uint64_t>(0);
+    const uint64_t num_users = opts.num_users;
+    return [zipf, next_post_id, num_users](Rng& rng) -> RequestSpec {
+      const double dice = rng.NextDouble() * 100.0;
+      if (dice < 80.0) {
+        return {"forum_homepage", {}};
+      }
+      const std::string user = "u" + std::to_string(rng.NextBelow(num_users));
+      const std::string post_id = "fp" + std::to_string(zipf->Sample(rng));
+      if (dice < 89.0) {
+        return {"forum_interact", {Value(user), Value(post_id)}};
+      }
+      if (dice < 97.0) {
+        return {"forum_view", {Value(post_id)}};
+      }
+      if (dice < 99.0) {
+        return {"forum_login", {Value(user), Value("pw" + user)}};
+      }
+      const std::string new_post = "np" + std::to_string((*next_post_id)++) + "_" +
+                                   std::to_string(rng.Next() % 1000000);
+      return {"forum_post", {Value(user), Value(new_post), Value("story by " + user)}};
+    };
+  };
+
+  return app;
+}
+
+}  // namespace radical

@@ -1,0 +1,37 @@
+// Forum benchmark application (Lobsters-style, §5.1).
+//
+// Five request handlers (Table 1): homepage, post, interact (upvote or
+// favorite), view, and login. The mix follows lobste.rs reported statistics
+// with zipf 0.99 post selection (§5.3); interactions concentrate on hot
+// posts, which stresses the LVI locking scheme — this is the application
+// where Radical's benefit is smallest in the paper.
+//
+// Data model:
+//   user:<u>:pwhash   int     password hash
+//   frontpage         list    rendered summaries of recent/popular posts
+//                             (written only by forum_post, ~1% of requests)
+//   post:<p>          string  post content
+//   comments:<p>      list    comment strings
+//   score:<p>         int     displayed vote count
+//   vote:<p>:<u>      int     per-(user, post) vote row (Lobsters keeps votes
+//                             in a per-row table; forum_interact writes here)
+
+#ifndef RADICAL_SRC_APPS_FORUM_H_
+#define RADICAL_SRC_APPS_FORUM_H_
+
+#include "src/apps/app_spec.h"
+
+namespace radical {
+
+struct ForumOptions {
+  uint64_t num_posts = 1000;
+  uint64_t num_users = 1000;
+  double zipf_theta = 0.99;  // Post-selection skew.
+  int frontpage_cap = 25;
+};
+
+AppSpec MakeForumApp(ForumOptions options = {});
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_APPS_FORUM_H_

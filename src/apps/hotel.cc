@@ -1,0 +1,209 @@
+#include "src/apps/hotel.h"
+
+#include <memory>
+
+namespace radical {
+
+namespace {
+
+// cell = geo_cell(loc): the transparent host helper maps a coordinate to a
+// coarse grid cell (loc / 10).
+ExprPtr CellOf(ExprPtr loc) { return Host("geo_cell", {std::move(loc)}); }
+
+ExprPtr CellKey(const char* prefix, ExprPtr loc) {
+  return Cat({C(prefix), IntToStr(CellOf(std::move(loc)))});
+}
+
+}  // namespace
+
+AppSpec MakeHotelApp(HotelOptions options) {
+  AppSpec app;
+  app.name = "hotel";
+  app.display_name = "Hotel Reservation";
+
+  // --- hotel_search: 161 ms median, read-only, dependent reads -------------
+  // The geo-index read yields the hotel ids whose rates and availability are
+  // then read — the Table 1 asterisk (dependent-read optimization).
+  FunctionSpec search;
+  search.def = Fn("hotel_search", {"loc", "date"},
+                  {
+                      Read("hotels", CellKey("geo:", In("loc"))),
+                      ForEach("h", V("hotels"),
+                              {
+                                  Read("r", Cat({C("rate:"), V("h")})),
+                                  Read("a", Cat({C("avail:"), V("h"), C(":"), In("date")})),
+                              }),
+                      Compute(Millis(148)),  // Ranking and filtering.
+                      Return(V("hotels")),
+                  });
+  search.description = "Finds all hotels near a user's location";
+  search.writes = false;
+  search.dependent_reads = true;
+  search.workload_pct = 60.0;
+  search.paper_exec_time = Millis(161);
+
+  // --- hotel_recommend: 207 ms median, read-only ----------------------------
+  // Recommendations are precomputed per cell from prior reviews; the handler
+  // reads and re-ranks them (no dependent reads).
+  FunctionSpec recommend;
+  recommend.def = Fn("hotel_recommend", {"loc"},
+                     {
+                         Read("rec", CellKey("rec:", In("loc"))),
+                         Compute(Millis(205)),  // Model scoring.
+                         Return(V("rec")),
+                     });
+  recommend.description = "Get recommendations based on prior reviews";
+  recommend.writes = false;
+  recommend.workload_pct = 30.0;
+  recommend.paper_exec_time = Millis(207);
+
+  // --- hotel_book: 272 ms median, writes ------------------------------------
+  // The availability counter is decremented unconditionally and the booking
+  // record always written (its content encodes success), so the write set is
+  // static and the handler analyzes without dependent reads. A booking
+  // succeeds iff the pre-decrement availability was positive.
+  FunctionSpec book;
+  book.def = Fn("hotel_book", {"user", "hotel", "date", "booking_id"},
+                {
+                    Compute(Millis(180)),  // Payment processing (idempotent
+                                           // external call, §3.5).
+                    Read("a", Cat({C("avail:"), In("hotel"), C(":"), In("date")})),
+                    Write(Cat({C("avail:"), In("hotel"), C(":"), In("date")}),
+                          Sub(V("a"), C(static_cast<int64_t>(1)))),
+                    Write(Cat({C("booking:"), In("user"), C(":"), In("booking_id")}),
+                          Cat({IntToStr(Lt(C(static_cast<int64_t>(0)), V("a"))), C(":"),
+                               In("hotel"), C(":"), In("date")})),
+                    Compute(Millis(86)),  // Confirmation rendering.
+                    Return(Lt(C(static_cast<int64_t>(0)), V("a"))),
+                });
+  book.description = "Book a room in a hotel";
+  book.writes = true;
+  book.workload_pct = 0.5;
+  book.paper_exec_time = Millis(272);
+
+  // --- hotel_review: 13 ms median, writes -----------------------------------
+  FunctionSpec review;
+  review.def = Fn("hotel_review", {"user", "hotel", "text"},
+                  {
+                      Compute(Millis(10)),
+                      Read("rv", Cat({C("reviews:"), In("hotel")})),
+                      Write(Cat({C("reviews:"), In("hotel")}),
+                            Take(Append(V("rv"), Cat({In("user"), C(": "), In("text")})),
+                                 C(static_cast<int64_t>(100)))),
+                      Return(C(static_cast<int64_t>(1))),
+                  });
+  review.description = "Make a review for a hotel";
+  review.writes = true;
+  review.workload_pct = 0.5;
+  review.paper_exec_time = Millis(13);
+
+  // --- hotel_login: 213 ms median, read-only (shared with social media) -----
+  FunctionSpec login;
+  login.def = Fn("hotel_login", {"user", "password"},
+                 {
+                     Read("stored", Cat({C("user:"), In("user"), C(":pwhash")})),
+                     Compute(Millis(211)),  // pbkdf2.
+                     Return(Eq(V("stored"), HashOf(In("password")))),
+                 });
+  login.description = "Performs pbkdf2-based password check";
+  login.writes = false;
+  login.workload_pct = 0.5;
+  login.paper_exec_time = Millis(213);
+
+  // --- hotel_attractions: 111 ms median, read-only ---------------------------
+  FunctionSpec attractions;
+  attractions.def = Fn("hotel_attractions", {"loc"},
+                       {
+                           Read("attr", CellKey("attr:", In("loc"))),
+                           Compute(Millis(109)),  // Map rendering.
+                           Return(V("attr")),
+                       });
+  attractions.description = "View all nearby attractions to a hotel";
+  attractions.writes = false;
+  attractions.workload_pct = 8.5;
+  attractions.paper_exec_time = Millis(111);
+
+  app.functions = {search, recommend, book, review, login, attractions};
+
+  const HotelOptions opts = options;
+  app.seed = [opts](AppService* service) {
+    const uint64_t num_cells =
+        (opts.num_hotels + static_cast<uint64_t>(opts.hotels_per_cell) - 1) /
+        static_cast<uint64_t>(opts.hotels_per_cell);
+    for (uint64_t h = 0; h < opts.num_hotels; ++h) {
+      const std::string hotel = "h" + std::to_string(h);
+      service->Seed("hotel:" + hotel, Value("info for " + hotel));
+      service->Seed("rate:" + hotel, Value(static_cast<int64_t>(80 + h % 120)));
+      for (int d = 0; d < opts.num_dates; ++d) {
+        service->Seed("avail:" + hotel + ":d" + std::to_string(d),
+                      Value(static_cast<int64_t>(opts.initial_availability)));
+      }
+      ValueList reviews;
+      reviews.push_back(Value("seeded review of " + hotel));
+      service->Seed("reviews:" + hotel, Value(reviews));
+    }
+    for (uint64_t cell = 0; cell < num_cells; ++cell) {
+      ValueList hotels;
+      ValueList recs;
+      ValueList attrs;
+      for (int k = 0; k < opts.hotels_per_cell; ++k) {
+        const uint64_t h = cell * static_cast<uint64_t>(opts.hotels_per_cell) +
+                           static_cast<uint64_t>(k);
+        if (h < opts.num_hotels) {
+          hotels.push_back(Value("h" + std::to_string(h)));
+          recs.push_back(Value("h" + std::to_string(h)));
+        }
+        attrs.push_back(Value("attraction " + std::to_string(cell) + "-" + std::to_string(k)));
+      }
+      service->Seed("geo:" + std::to_string(cell), Value(hotels));
+      service->Seed("rec:" + std::to_string(cell), Value(recs));
+      service->Seed("attr:" + std::to_string(cell), Value(attrs));
+    }
+    for (uint64_t u = 0; u < opts.num_users; ++u) {
+      const std::string user = "u" + std::to_string(u);
+      service->Seed("user:" + user + ":pwhash", Value(PasswordHash("pw" + user)));
+    }
+  };
+
+  app.make_workload = [opts]() -> WorkloadFn {
+    auto next_booking_id = std::make_shared<uint64_t>(0);
+    const uint64_t num_cells =
+        (opts.num_hotels + static_cast<uint64_t>(opts.hotels_per_cell) - 1) /
+        static_cast<uint64_t>(opts.hotels_per_cell);
+    const int64_t loc_range = static_cast<int64_t>(num_cells) * 10;
+    const int num_dates = opts.num_dates;
+    const uint64_t num_hotels = opts.num_hotels;
+    const uint64_t num_users = opts.num_users;
+    // DeathStarBench's mixed workload selects hotels and users uniformly.
+    return [next_booking_id, loc_range, num_dates, num_hotels, num_users](
+               Rng& rng) -> RequestSpec {
+      const Value loc(rng.NextInRange(0, loc_range - 1));
+      const std::string date = "d" + std::to_string(rng.NextBelow(static_cast<uint64_t>(num_dates)));
+      const double dice = rng.NextDouble() * 100.0;
+      if (dice < 60.0) {
+        return {"hotel_search", {loc, Value(date)}};
+      }
+      if (dice < 90.0) {
+        return {"hotel_recommend", {loc}};
+      }
+      if (dice < 98.5) {
+        return {"hotel_attractions", {loc}};
+      }
+      const std::string user = "u" + std::to_string(rng.NextBelow(num_users));
+      const std::string hotel = "h" + std::to_string(rng.NextBelow(num_hotels));
+      if (dice < 99.0) {
+        const std::string booking_id = "b" + std::to_string((*next_booking_id)++) + "_" +
+                                       std::to_string(rng.Next() % 1000000);
+        return {"hotel_book", {Value(user), Value(hotel), Value(date), Value(booking_id)}};
+      }
+      if (dice < 99.5) {
+        return {"hotel_review", {Value(user), Value(hotel), Value("nice stay")}};
+      }
+      return {"hotel_login", {Value(user), Value("pw" + user)}};
+    };
+  };
+
+  return app;
+}
+
+}  // namespace radical

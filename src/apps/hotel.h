@@ -1,0 +1,39 @@
+// Hotel reservation benchmark application (DeathStarBench Hotel, §5.1).
+//
+// Six request handlers (Table 1): search (geo lookup then per-hotel rates
+// and availability — needs the dependent-read optimization), recommend,
+// book, review, login, and attractions. The mixed workload accesses hotels
+// and users uniformly at random (§5.3).
+//
+// Data model:
+//   user:<u>:pwhash    int     password hash
+//   geo:<cell>         list    hotel ids in the cell
+//   hotel:<h>          string  hotel info
+//   rate:<h>           int     nightly rate
+//   avail:<h>:<date>   int     rooms remaining (may go negative; a booking
+//                              succeeds iff the pre-decrement value was > 0)
+//   booking:<u>:<b>    string  booking record ("ok ..." or "failed ...")
+//   reviews:<h>        list    review strings
+//   rec:<cell>         list    precomputed recommendations for the cell
+//   attr:<cell>        list    attractions near the cell
+
+#ifndef RADICAL_SRC_APPS_HOTEL_H_
+#define RADICAL_SRC_APPS_HOTEL_H_
+
+#include "src/apps/app_spec.h"
+
+namespace radical {
+
+struct HotelOptions {
+  uint64_t num_hotels = 100;
+  uint64_t num_users = 1000;
+  int hotels_per_cell = 5;
+  int num_dates = 7;
+  int initial_availability = 50;
+};
+
+AppSpec MakeHotelApp(HotelOptions options = {});
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_APPS_HOTEL_H_

@@ -1,0 +1,177 @@
+#include "src/apps/social.h"
+
+#include <memory>
+
+namespace radical {
+
+namespace {
+
+// Key-expression helpers.
+ExprPtr UserKey(const char* prefix, ExprPtr user, const char* suffix = "") {
+  if (suffix[0] == '\0') {
+    return Cat({C(prefix), std::move(user)});
+  }
+  return Cat({C(prefix), std::move(user), C(suffix)});
+}
+
+FunctionDef LoginFn(const std::string& name, SimDuration pbkdf2_cost) {
+  // Performs a pbkdf2-based password check (Table 1): one read of the stored
+  // hash, then a long deterministic key-derivation compute.
+  return Fn(name, {"user", "password"},
+            {
+                Read("stored", UserKey("user:", In("user"), ":pwhash")),
+                Compute(pbkdf2_cost),
+                Return(Eq(V("stored"), HashOf(In("password")))),
+            });
+}
+
+}  // namespace
+
+AppSpec MakeSocialApp(SocialOptions options) {
+  AppSpec app;
+  app.name = "social";
+  app.display_name = "Social Media";
+
+  // --- social_login: 213 ms median, read-only ------------------------------
+  FunctionSpec login;
+  login.def = LoginFn("social_login", Millis(211));
+  login.description = "Performs pbkdf2-based password check";
+  login.writes = false;
+  login.workload_pct = 9.5;
+  login.paper_exec_time = Millis(213);
+
+  // --- social_post: 106 ms median, writes, dependent reads -----------------
+  // Makes a post and fans it out to every follower's timeline. The followers
+  // list read feeds the timeline keys, so f^rw runs it against the cache
+  // (the §3.3 dependent-read optimization; the Table 1 asterisk).
+  FunctionSpec post;
+  post.def = Fn("social_post", {"user", "post_id", "text"},
+                {
+                    Compute(Millis(30)),  // Render/validate the post.
+                    Write(UserKey("post:", In("post_id")),
+                          Cat({In("user"), C(": "), In("text")})),
+                    Read("followers", UserKey("followers:", In("user"))),
+                    ForEach("f", V("followers"),
+                            {
+                                Read("tl", UserKey("timeline:", V("f"))),
+                                Write(UserKey("timeline:", V("f")),
+                                      Take(Append(V("tl"),
+                                                  Cat({In("user"), C(": "), In("text")})),
+                                           C(static_cast<int64_t>(100)))),
+                            }),
+                    Compute(Millis(56)),  // Notification assembly.
+                    Return(In("post_id")),
+                });
+  post.description = "Make a post and add to follower's timelines";
+  post.writes = true;
+  post.dependent_reads = true;
+  post.workload_pct = 0.5;
+  post.paper_exec_time = Millis(106);
+
+  // --- social_follow: 16 ms median, writes ---------------------------------
+  FunctionSpec follow;
+  follow.def = Fn("social_follow", {"user", "target"},
+                  {
+                      Compute(Millis(11)),
+                      Read("fl", UserKey("following:", In("user"))),
+                      Write(UserKey("following:", In("user")), Append(V("fl"), In("target"))),
+                      Read("fr", UserKey("followers:", In("target"))),
+                      Write(UserKey("followers:", In("target")), Append(V("fr"), In("user"))),
+                      Return(C(static_cast<int64_t>(1))),
+                  });
+  follow.description = "Follow another user";
+  follow.writes = true;
+  follow.workload_pct = 0.5;
+  follow.paper_exec_time = Millis(16);
+
+  // --- social_timeline: 120 ms median, read-only ---------------------------
+  // Timelines hold fully rendered entries (fanned out at post time), so one
+  // read suffices and no dependent reads are needed.
+  FunctionSpec timeline;
+  timeline.def = Fn("social_timeline", {"user"},
+                    {
+                        Read("tl", UserKey("timeline:", In("user"))),
+                        Compute(Millis(118)),  // Feed ranking and rendering.
+                        Return(Take(V("tl"), C(static_cast<int64_t>(10)))),
+                    });
+  timeline.description = "View the posts from following users";
+  timeline.writes = false;
+  timeline.workload_pct = 80.0;
+  timeline.paper_exec_time = Millis(120);
+
+  // --- social_profile: 124 ms median, read-only ----------------------------
+  FunctionSpec profile;
+  profile.def = Fn("social_profile", {"user"},
+                   {
+                       Read("p", UserKey("profile:", In("user"))),
+                       Read("posts", UserKey("posts_by:", In("user"))),
+                       Compute(Millis(121)),  // Page rendering.
+                       Return(Append(Append(C(ValueList{}), V("p")), V("posts"))),
+                   });
+  profile.description = "View a user's profile and their posts";
+  profile.writes = false;
+  profile.workload_pct = 9.5;
+  profile.paper_exec_time = Millis(124);
+
+  app.functions = {login, post, follow, timeline, profile};
+
+  const uint64_t num_users = options.num_users;
+  const int followers_per_user = options.followers_per_user;
+  app.seed = [num_users, followers_per_user](AppService* service) {
+    for (uint64_t u = 0; u < num_users; ++u) {
+      const std::string user = "u" + std::to_string(u);
+      service->Seed("user:" + user + ":pwhash", Value(PasswordHash("pw" + user)));
+      ValueList followers;
+      ValueList following;
+      for (int k = 0; k < followers_per_user; ++k) {
+        followers.push_back(
+            Value("u" + std::to_string((u + static_cast<uint64_t>(k) * 13 + 1) % num_users)));
+        following.push_back(
+            Value("u" + std::to_string((u + static_cast<uint64_t>(k) * 7 + 3) % num_users)));
+      }
+      service->Seed("followers:" + user, Value(followers));
+      service->Seed("following:" + user, Value(following));
+      ValueList timeline_entries;
+      ValueList own_posts;
+      for (int k = 0; k < 5; ++k) {
+        timeline_entries.push_back(Value(user + ": seeded post " + std::to_string(k)));
+        if (k < 3) {
+          own_posts.push_back(Value(user + ": own post " + std::to_string(k)));
+        }
+      }
+      service->Seed("timeline:" + user, Value(timeline_entries));
+      service->Seed("posts_by:" + user, Value(own_posts));
+      service->Seed("profile:" + user, Value("profile of " + user));
+    }
+  };
+
+  const double theta = options.zipf_theta;
+  app.make_workload = [num_users, theta]() -> WorkloadFn {
+    auto zipf = std::make_shared<ZipfGenerator>(num_users, theta);
+    auto next_post_id = std::make_shared<uint64_t>(0);
+    return [zipf, next_post_id, num_users](Rng& rng) -> RequestSpec {
+      const std::string user = "u" + std::to_string(zipf->Sample(rng));
+      const double dice = rng.NextDouble() * 100.0;
+      if (dice < 80.0) {
+        return {"social_timeline", {Value(user)}};
+      }
+      if (dice < 89.5) {
+        return {"social_profile", {Value(user)}};
+      }
+      if (dice < 99.0) {
+        return {"social_login", {Value(user), Value("pw" + user)}};
+      }
+      if (dice < 99.5) {
+        const std::string post_id = "p" + std::to_string((*next_post_id)++) + "_" +
+                                    std::to_string(rng.Next() % 1000000);
+        return {"social_post", {Value(user), Value(post_id), Value("hello from " + user)}};
+      }
+      const std::string target = "u" + std::to_string(rng.NextBelow(num_users));
+      return {"social_follow", {Value(user), Value(target)}};
+    };
+  };
+
+  return app;
+}
+
+}  // namespace radical

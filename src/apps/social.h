@@ -1,0 +1,35 @@
+// Social media benchmark application (Diaspora-style, §5.1).
+//
+// Five request handlers (Table 1): login (pbkdf2 check), post (fan-out to
+// followers' timelines — needs the dependent-read optimization), follow,
+// timeline view, and profile view. Workload mix and zipf 0.99 user selection
+// follow the Tapir parameters the paper reuses (§5.3).
+//
+// Data model:
+//   user:<u>:pwhash   int      password hash
+//   followers:<u>     list     users following u
+//   following:<u>     list     users u follows
+//   timeline:<u>      list     rendered posts fanned out to u (capped)
+//   posts_by:<u>      list     u's own posts (capped)
+//   profile:<u>       string   profile blob
+//   post:<p>          string   post content
+
+#ifndef RADICAL_SRC_APPS_SOCIAL_H_
+#define RADICAL_SRC_APPS_SOCIAL_H_
+
+#include "src/apps/app_spec.h"
+
+namespace radical {
+
+struct SocialOptions {
+  uint64_t num_users = 1000;
+  int followers_per_user = 8;
+  double zipf_theta = 0.99;  // Tapir's user-selection skew.
+  int timeline_cap = 20;
+};
+
+AppSpec MakeSocialApp(SocialOptions options = {});
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_APPS_SOCIAL_H_

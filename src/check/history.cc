@@ -1,0 +1,13 @@
+#include "src/check/history.h"
+
+namespace radical {
+
+std::map<Key, std::vector<HistoryOp>> HistoryRecorder::ByKey() const {
+  std::map<Key, std::vector<HistoryOp>> out;
+  for (const HistoryOp& op : ops_) {
+    out[op.key].push_back(op);
+  }
+  return out;
+}
+
+}  // namespace radical

@@ -1,0 +1,47 @@
+// Operation histories for consistency checking.
+//
+// Tests drive register-shaped functions (one read or one write of a single
+// key) through a deployment and record each operation's real-time invocation
+// and response instants. The checker (linearizability.h) then decides
+// whether the per-key history admits a legal linearization — the paper's
+// correctness claim (§3.6) made machine-checkable.
+
+#ifndef RADICAL_SRC_CHECK_HISTORY_H_
+#define RADICAL_SRC_CHECK_HISTORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/common/value.h"
+#include "src/kv/item.h"
+
+namespace radical {
+
+struct HistoryOp {
+  bool is_write = false;
+  Key key;
+  Value value;          // Written value, or the value the read returned.
+  SimTime invoke = 0;   // When the client issued the request.
+  SimTime response = 0; // When the client received the result.
+};
+
+class HistoryRecorder {
+ public:
+  // Records one completed operation.
+  void Record(HistoryOp op) { ops_.push_back(std::move(op)); }
+
+  // Ops grouped per key (linearizability is compositional across keys).
+  std::map<Key, std::vector<HistoryOp>> ByKey() const;
+
+  const std::vector<HistoryOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<HistoryOp> ops_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_CHECK_HISTORY_H_

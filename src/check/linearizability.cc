@@ -1,0 +1,101 @@
+#include "src/check/linearizability.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace radical {
+
+namespace {
+
+struct SearchState {
+  const std::vector<HistoryOp>* ops;
+  const Value* initial;
+  // Visited (linearized-mask, last-write-index) pairs; -1 = initial value.
+  std::set<std::pair<uint64_t, int>> visited;
+};
+
+// Value of the register after the write at `last_write` (-1 = initial).
+const Value& RegisterValue(const SearchState& s, int last_write) {
+  if (last_write < 0) {
+    return *s.initial;
+  }
+  return (*s.ops)[static_cast<size_t>(last_write)].value;
+}
+
+bool Search(SearchState& s, uint64_t done_mask, int last_write) {
+  const size_t n = s.ops->size();
+  if (done_mask == (n == 64 ? ~0ULL : ((1ULL << n) - 1))) {
+    return true;
+  }
+  if (!s.visited.emplace(done_mask, last_write).second) {
+    return false;
+  }
+  // An op may linearize next only if it is pending and no other pending op
+  // responded before it was invoked (else that one must come first).
+  SimTime min_pending_response = INT64_MAX;
+  for (size_t i = 0; i < n; ++i) {
+    if ((done_mask & (1ULL << i)) == 0) {
+      min_pending_response = std::min(min_pending_response, (*s.ops)[i].response);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if ((done_mask & (1ULL << i)) != 0) {
+      continue;
+    }
+    const HistoryOp& op = (*s.ops)[i];
+    if (op.invoke > min_pending_response) {
+      continue;  // Some pending op strictly precedes it in real time.
+    }
+    if (op.is_write) {
+      if (Search(s, done_mask | (1ULL << i), static_cast<int>(i))) {
+        return true;
+      }
+    } else {
+      if (op.value == RegisterValue(s, last_write) &&
+          Search(s, done_mask | (1ULL << i), last_write)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LinearizabilityResult CheckRegisterHistory(const std::vector<HistoryOp>& ops,
+                                           const Value& initial) {
+  LinearizabilityResult result;
+  if (ops.empty()) {
+    return result;
+  }
+  if (ops.size() > 64) {
+    result.linearizable = false;
+    result.violation = "history too large for the checker (> 64 ops per key)";
+    return result;
+  }
+  SearchState state{&ops, &initial, {}};
+  if (!Search(state, 0, -1)) {
+    result.linearizable = false;
+    std::ostringstream os;
+    os << "no linearization exists for key " << ops.front().key << " (" << ops.size()
+       << " ops)";
+    result.violation = os.str();
+  }
+  return result;
+}
+
+LinearizabilityResult CheckHistory(const HistoryRecorder& history,
+                                   const std::map<Key, Value>& initials) {
+  for (const auto& [key, ops] : history.ByKey()) {
+    const auto it = initials.find(key);
+    const Value initial = it == initials.end() ? Value() : it->second;
+    const LinearizabilityResult result = CheckRegisterHistory(ops, initial);
+    if (!result.linearizable) {
+      return result;
+    }
+  }
+  return LinearizabilityResult{};
+}
+
+}  // namespace radical

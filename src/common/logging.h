@@ -1,0 +1,46 @@
+// Minimal leveled logging.
+//
+// The simulator is deterministic and single-threaded, so logging is a plain
+// stream with a global level; benches run with kWarn to keep output clean,
+// tests may raise the level when debugging protocol traces.
+
+#ifndef RADICAL_SRC_COMMON_LOGGING_H_
+#define RADICAL_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace radical {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log level; defaults to kWarn.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr if `level` is enabled.
+void LogLine(LogLevel level, const std::string& message);
+
+// Stream-style helper: LogMessage(kInfo).stream() << ...; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define RLOG(level) \
+  if (::radical::GetLogLevel() <= ::radical::LogLevel::level) \
+  ::radical::LogMessage(::radical::LogLevel::level).stream()
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+// Result<T>: a lightweight value-or-error type used instead of exceptions.
+//
+// The codebase follows the Google style rule of not using exceptions across
+// public API boundaries; fallible operations return Result<T> (or Status for
+// void-returning operations) carrying a human-readable error message.
+
+#ifndef RADICAL_SRC_COMMON_RESULT_H_
+#define RADICAL_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace radical {
+
+// Error state shared by Status and Result<T>.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return !error_.has_value(); }
+  // Requires: !ok().
+  const std::string& message() const {
+    assert(error_.has_value());
+    return *error_;
+  }
+
+  bool operator==(const Status& other) const { return error_ == other.error_; }
+
+ private:
+  explicit Status(std::string message) : error_(std::move(message)) {}
+
+  std::optional<std::string> error_;
+};
+
+// A value of type T or an error message. T must be movable.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` or
+  // `return Status::Error("...")`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  static Result<T> Error(std::string message) {
+    return Result<T>(Status::Error(std::move(message)));
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  // Requires: !ok().
+  const std::string& message() const { return status_.message(); }
+
+  // Requires: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_RESULT_H_

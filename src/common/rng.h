@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the simulator (network jitter, workload key
+// selection, client think times) draws from an explicitly seeded Rng so that
+// a given seed reproduces a byte-identical run. The generator is
+// xoshiro256** seeded via splitmix64, which is fast and high quality for
+// simulation purposes (not cryptographic).
+//
+// ZipfGenerator implements the skewed key-popularity distribution used by the
+// paper's workloads (zipf parameter 0.99 for selecting users/posts, §5.3).
+
+#ifndef RADICAL_SRC_COMMON_RNG_H_
+#define RADICAL_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace radical {
+
+// splitmix64 step; used for seeding and as a cheap standalone mixer.
+uint64_t SplitMix64(uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). Requires bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Samples from a normal distribution via Box-Muller.
+  double NextGaussian(double mean, double stddev);
+
+  // Forks an independent generator; the child stream does not overlap the
+  // parent's for any practical sequence length.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed ranks over [0, n). Rank 0 is the most popular item.
+// Uses the classic precomputed-CDF method with binary search; construction is
+// O(n), sampling is O(log n). Suitable for the key-space sizes used in the
+// evaluation (thousands to hundreds of thousands of keys).
+class ZipfGenerator {
+ public:
+  // theta is the zipf exponent (0.99 in the paper's workloads). theta == 0
+  // degenerates to uniform.
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Samples a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  // Probability mass of the given rank (for tests).
+  double Pmf(uint64_t rank) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_RNG_H_

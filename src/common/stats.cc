@@ -1,0 +1,141 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace radical {
+
+std::string Summary::ToString() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "n=" << count << " mean=" << mean_ms << "ms p50=" << p50_ms << "ms p90=" << p90_ms
+     << "ms p99=" << p99_ms << "ms max=" << max_ms << "ms";
+  return os.str();
+}
+
+void LatencySampler::Add(SimDuration sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void LatencySampler::Merge(const LatencySampler& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void LatencySampler::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void LatencySampler::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencySampler::PercentileMs(double pct) const {
+  assert(!samples_.empty());
+  assert(pct >= 0.0 && pct <= 100.0);
+  EnsureSorted();
+  if (samples_.size() == 1) {
+    return ToMillis(samples_[0]);
+  }
+  const double pos = pct / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return ToMillis(samples_[lo]) * (1.0 - frac) + ToMillis(samples_[hi]) * frac;
+}
+
+double LatencySampler::MeanMs() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const SimDuration s : samples_) {
+    sum += ToMillis(s);
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+Summary LatencySampler::Summarize() const {
+  Summary out;
+  out.count = samples_.size();
+  if (samples_.empty()) {
+    return out;
+  }
+  EnsureSorted();
+  out.mean_ms = MeanMs();
+  out.min_ms = ToMillis(samples_.front());
+  out.p50_ms = PercentileMs(50.0);
+  out.p90_ms = PercentileMs(90.0);
+  out.p99_ms = PercentileMs(99.0);
+  out.max_ms = ToMillis(samples_.back());
+  return out;
+}
+
+Histogram::Histogram(double bucket_width_ms, double max_ms) : bucket_width_ms_(bucket_width_ms) {
+  assert(bucket_width_ms > 0.0);
+  assert(max_ms > 0.0);
+  // One extra bucket catches overflow samples.
+  counts_.assign(static_cast<size_t>(std::ceil(max_ms / bucket_width_ms)) + 1, 0);
+}
+
+size_t Histogram::BucketFor(double ms) const {
+  if (ms < 0.0) {
+    return 0;
+  }
+  const size_t b = static_cast<size_t>(ms / bucket_width_ms_);
+  return std::min(b, counts_.size() - 1);
+}
+
+void Histogram::Add(SimDuration sample) {
+  ++counts_[BucketFor(ToMillis(sample))];
+  ++total_;
+}
+
+double Histogram::FractionBetween(double lo_ms, double hi_ms) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  uint64_t n = 0;
+  for (size_t b = BucketFor(lo_ms); b < BucketFor(hi_ms); ++b) {
+    n += counts_[b];
+  }
+  return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) {
+      continue;
+    }
+    os << "[" << b * bucket_width_ms_ << "," << (b + 1) * bucket_width_ms_
+       << ") -> " << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+void Counters::Increment(const std::string& name, uint64_t by) { counters_[name] += by; }
+
+uint64_t Counters::Get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Counters::RatioOf(const std::string& num, const std::string& denom) const {
+  const double n = static_cast<double>(Get(num));
+  const double d = static_cast<double>(Get(denom));
+  if (n + d == 0.0) {
+    return 0.0;
+  }
+  return n / (n + d);
+}
+
+}  // namespace radical

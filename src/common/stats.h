@@ -1,0 +1,103 @@
+// Latency statistics collection and summarization.
+//
+// Every experiment in the paper reports medians and p99s of end-to-end
+// latency (Figures 4-6) plus derived quantities (improvement over baseline,
+// fraction of the maximum possible improvement). LatencySampler collects raw
+// samples; Summary computes the order statistics; Histogram provides a
+// fixed-bucket view for distribution-shape assertions in tests.
+
+#ifndef RADICAL_SRC_COMMON_STATS_H_
+#define RADICAL_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace radical {
+
+// Order statistics over a set of duration samples.
+struct Summary {
+  size_t count = 0;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+
+  std::string ToString() const;
+};
+
+// Accumulates duration samples (virtual-time microseconds).
+class LatencySampler {
+ public:
+  void Add(SimDuration sample);
+  void Merge(const LatencySampler& other);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Percentile in [0, 100]; interpolates between adjacent order statistics.
+  // Requires a non-empty sampler.
+  double PercentileMs(double pct) const;
+  double MedianMs() const { return PercentileMs(50.0); }
+  double MeanMs() const;
+
+  Summary Summarize() const;
+
+  const std::vector<SimDuration>& samples() const { return samples_; }
+
+ private:
+  // Sorts samples_ if new samples arrived since the last query.
+  void EnsureSorted() const;
+
+  mutable std::vector<SimDuration> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width histogram over milliseconds, used by tests to assert on
+// distribution shape (e.g. bimodality of the validation-failure path).
+class Histogram {
+ public:
+  Histogram(double bucket_width_ms, double max_ms);
+
+  void Add(SimDuration sample);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t BucketCount(size_t bucket) const { return counts_[bucket]; }
+  uint64_t total() const { return total_; }
+  // Bucket that the given millisecond value falls into.
+  size_t BucketFor(double ms) const;
+  // Fraction of samples in [lo_ms, hi_ms).
+  double FractionBetween(double lo_ms, double hi_ms) const;
+
+  std::string ToString() const;
+
+ private:
+  double bucket_width_ms_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Simple named-counter registry used for protocol statistics (validation
+// successes/failures, re-executions, lock waits, ...).
+class Counters {
+ public:
+  void Increment(const std::string& name, uint64_t by = 1);
+  uint64_t Get(const std::string& name) const;
+  // Ratio numerator/(numerator+denominator); 0 if both are zero.
+  double RatioOf(const std::string& num, const std::string& denom) const;
+  const std::map<std::string, uint64_t>& all() const { return counters_; }
+  void Clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_STATS_H_

@@ -1,0 +1,26 @@
+// Small string helpers used across reporting code.
+
+#ifndef RADICAL_SRC_COMMON_STRING_UTIL_H_
+#define RADICAL_SRC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace radical {
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Left-pads (or passes through) to `width` with spaces.
+std::string PadLeft(const std::string& s, size_t width);
+std::string PadRight(const std::string& s, size_t width);
+
+// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,38 @@
+// Core scalar types shared across the Radical codebase.
+//
+// All simulated time in this repository is expressed in *microseconds* of
+// virtual time (SimTime). Helper constructors below keep call sites readable
+// (e.g. `Millis(120)` for a 120 ms function execution).
+
+#ifndef RADICAL_SRC_COMMON_TYPES_H_
+#define RADICAL_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace radical {
+
+// Virtual time, in microseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of virtual time, in microseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration Micros(int64_t us) { return us; }
+constexpr SimDuration Millis(int64_t ms) { return ms * 1000; }
+constexpr SimDuration Seconds(int64_t s) { return s * 1000 * 1000; }
+
+// Converts a duration to fractional milliseconds for reporting.
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1000.0; }
+
+// Item version numbers. kMissingVersion marks an item absent from a cache;
+// the LVI protocol sends it so validation is guaranteed to fail and the
+// response repopulates the cache (§3.2, "Managing caches").
+using Version = int64_t;
+constexpr Version kMissingVersion = -1;
+
+// Globally unique id for one execution of one function (one client request).
+using ExecutionId = uint64_t;
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_TYPES_H_

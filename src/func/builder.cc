@@ -1,0 +1,141 @@
+#include "src/func/builder.h"
+
+namespace radical {
+
+namespace {
+
+ExprPtr MakeExpr(ExprKind kind, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->args = std::move(args);
+  return e;
+}
+
+}  // namespace
+
+ExprPtr C(Value literal) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->literal = std::move(literal);
+  return e;
+}
+
+ExprPtr In(const std::string& name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kInput;
+  e->name = name;
+  return e;
+}
+
+ExprPtr V(const std::string& name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kVar;
+  e->name = name;
+  return e;
+}
+
+ExprPtr Cat(std::vector<ExprPtr> parts) { return MakeExpr(ExprKind::kConcat, std::move(parts)); }
+ExprPtr Add(ExprPtr a, ExprPtr b) { return MakeExpr(ExprKind::kAdd, {std::move(a), std::move(b)}); }
+ExprPtr Sub(ExprPtr a, ExprPtr b) { return MakeExpr(ExprKind::kSub, {std::move(a), std::move(b)}); }
+ExprPtr Eq(ExprPtr a, ExprPtr b) { return MakeExpr(ExprKind::kEq, {std::move(a), std::move(b)}); }
+ExprPtr Ne(ExprPtr a, ExprPtr b) { return MakeExpr(ExprKind::kNe, {std::move(a), std::move(b)}); }
+ExprPtr Lt(ExprPtr a, ExprPtr b) { return MakeExpr(ExprKind::kLt, {std::move(a), std::move(b)}); }
+ExprPtr Le(ExprPtr a, ExprPtr b) { return MakeExpr(ExprKind::kLe, {std::move(a), std::move(b)}); }
+ExprPtr And(ExprPtr a, ExprPtr b) { return MakeExpr(ExprKind::kAnd, {std::move(a), std::move(b)}); }
+ExprPtr Or(ExprPtr a, ExprPtr b) { return MakeExpr(ExprKind::kOr, {std::move(a), std::move(b)}); }
+ExprPtr Not(ExprPtr a) { return MakeExpr(ExprKind::kNot, {std::move(a)}); }
+ExprPtr Len(ExprPtr a) { return MakeExpr(ExprKind::kLen, {std::move(a)}); }
+ExprPtr Index(ExprPtr list, ExprPtr i) {
+  return MakeExpr(ExprKind::kIndex, {std::move(list), std::move(i)});
+}
+ExprPtr Append(ExprPtr list, ExprPtr elem) {
+  return MakeExpr(ExprKind::kAppend, {std::move(list), std::move(elem)});
+}
+ExprPtr Take(ExprPtr list, ExprPtr n) {
+  return MakeExpr(ExprKind::kTake, {std::move(list), std::move(n)});
+}
+ExprPtr HashOf(ExprPtr a) { return MakeExpr(ExprKind::kHash, {std::move(a)}); }
+ExprPtr IntToStr(ExprPtr a) { return MakeExpr(ExprKind::kIntToStr, {std::move(a)}); }
+
+ExprPtr Host(const std::string& name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kOpaque;
+  e->name = name;
+  e->args = std::move(args);
+  return e;
+}
+
+StmtPtr Compute(SimDuration duration) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kCompute;
+  s->duration = duration;
+  return s;
+}
+
+StmtPtr Let(const std::string& var, ExprPtr e) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kLet;
+  s->var = var;
+  s->expr = std::move(e);
+  return s;
+}
+
+StmtPtr Read(const std::string& var, ExprPtr key) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kRead;
+  s->var = var;
+  s->expr = std::move(key);
+  return s;
+}
+
+StmtPtr Write(ExprPtr key, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kWrite;
+  s->expr = std::move(key);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr If(ExprPtr cond, StmtList then_body, StmtList else_body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kIf;
+  s->expr = std::move(cond);
+  s->then_body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr ForEach(const std::string& var, ExprPtr list, StmtList body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kForEach;
+  s->var = var;
+  s->expr = std::move(list);
+  s->then_body = std::move(body);
+  return s;
+}
+
+StmtPtr Return(ExprPtr e) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kReturn;
+  s->expr = std::move(e);
+  return s;
+}
+
+StmtPtr External(const std::string& var, const std::string& service, ExprPtr request) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kExternalCall;
+  s->var = var;
+  s->service = service;
+  s->expr = std::move(request);
+  return s;
+}
+
+FunctionDef Fn(const std::string& name, std::vector<std::string> params, StmtList body) {
+  FunctionDef fn;
+  fn.name = name;
+  fn.params = std::move(params);
+  fn.body = std::move(body);
+  return fn;
+}
+
+}  // namespace radical

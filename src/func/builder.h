@@ -1,0 +1,71 @@
+// Builder DSL for writing IR functions tersely.
+//
+// The benchmark applications (src/apps) define their request handlers with
+// these helpers; a handler reads close to the Rust source the paper ports:
+//
+//   FunctionDef post = Fn("social_post", {"user", "post_id", "text"}, {
+//       Compute(Millis(40)),
+//       Read("followers", Cat({C("followers:"), In("user")})),
+//       Write(Cat({C("post:"), In("post_id")}), In("text")),
+//       ForEach("follower", V("followers"), {
+//           Read("tl", Cat({C("timeline:"), V("follower")})),
+//           Write(Cat({C("timeline:"), V("follower")}),
+//                 Append(V("tl"), In("post_id"))),
+//       }),
+//       Return(In("post_id")),
+//   });
+
+#ifndef RADICAL_SRC_FUNC_BUILDER_H_
+#define RADICAL_SRC_FUNC_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/func/function.h"
+
+namespace radical {
+
+// --- Expressions -----------------------------------------------------------
+
+ExprPtr C(Value literal);                         // Constant.
+ExprPtr In(const std::string& name);              // Function input.
+ExprPtr V(const std::string& name);               // Local variable.
+ExprPtr Cat(std::vector<ExprPtr> parts);          // String concat (keys).
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+ExprPtr Len(ExprPtr a);
+ExprPtr Index(ExprPtr list, ExprPtr i);
+ExprPtr Append(ExprPtr list, ExprPtr elem);
+ExprPtr Take(ExprPtr list, ExprPtr n);
+ExprPtr HashOf(ExprPtr a);
+ExprPtr IntToStr(ExprPtr a);
+ExprPtr Host(const std::string& name, std::vector<ExprPtr> args);  // kOpaque.
+
+// --- Statements -------------------------------------------------------------
+
+StmtPtr Compute(SimDuration duration);
+StmtPtr Let(const std::string& var, ExprPtr e);
+StmtPtr Read(const std::string& var, ExprPtr key);
+StmtPtr Write(ExprPtr key, ExprPtr value);
+StmtPtr If(ExprPtr cond, StmtList then_body, StmtList else_body = {});
+StmtPtr ForEach(const std::string& var, ExprPtr list, StmtList body);
+StmtPtr Return(ExprPtr e);
+// External service call with at-most-once semantics (§3.5): the interpreter
+// derives the idempotency key from the execution id and call position.
+StmtPtr External(const std::string& var, const std::string& service, ExprPtr request);
+
+// --- Function ---------------------------------------------------------------
+
+FunctionDef Fn(const std::string& name, std::vector<std::string> params, StmtList body);
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_FUNC_BUILDER_H_

@@ -1,0 +1,115 @@
+#include "src/func/expr.h"
+
+#include <sstream>
+
+namespace radical {
+
+namespace {
+
+const char* KindName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kConst:
+      return "const";
+    case ExprKind::kInput:
+      return "input";
+    case ExprKind::kVar:
+      return "var";
+    case ExprKind::kConcat:
+      return "concat";
+    case ExprKind::kAdd:
+      return "add";
+    case ExprKind::kSub:
+      return "sub";
+    case ExprKind::kEq:
+      return "eq";
+    case ExprKind::kNe:
+      return "ne";
+    case ExprKind::kLt:
+      return "lt";
+    case ExprKind::kLe:
+      return "le";
+    case ExprKind::kAnd:
+      return "and";
+    case ExprKind::kOr:
+      return "or";
+    case ExprKind::kNot:
+      return "not";
+    case ExprKind::kLen:
+      return "len";
+    case ExprKind::kIndex:
+      return "index";
+    case ExprKind::kAppend:
+      return "append";
+    case ExprKind::kTake:
+      return "take";
+    case ExprKind::kHash:
+      return "hash";
+    case ExprKind::kIntToStr:
+      return "int_to_str";
+    case ExprKind::kOpaque:
+      return "opaque";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kConst:
+      return literal.ToString();
+    case ExprKind::kInput:
+      return "$" + name;
+    case ExprKind::kVar:
+      return name;
+    case ExprKind::kOpaque:
+      os << name << "(";
+      break;
+    default:
+      os << KindName(kind) << "(";
+      break;
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << args[i]->ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+void CollectExprDeps(const ExprPtr& expr, std::vector<std::string>* inputs,
+                     std::vector<std::string>* vars) {
+  if (expr == nullptr) {
+    return;
+  }
+  if (expr->kind == ExprKind::kInput && inputs != nullptr) {
+    inputs->push_back(expr->name);
+  }
+  if (expr->kind == ExprKind::kVar && vars != nullptr) {
+    vars->push_back(expr->name);
+  }
+  for (const ExprPtr& arg : expr->args) {
+    CollectExprDeps(arg, inputs, vars);
+  }
+}
+
+bool ContainsOpaque(const ExprPtr& expr,
+                    const std::function<bool(const std::string&)>& is_blocking) {
+  if (expr == nullptr) {
+    return false;
+  }
+  if (expr->kind == ExprKind::kOpaque && is_blocking(expr->name)) {
+    return true;
+  }
+  for (const ExprPtr& arg : expr->args) {
+    if (ContainsOpaque(arg, is_blocking)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace radical

@@ -1,0 +1,74 @@
+// Expression trees of the deterministic function IR.
+//
+// Radical requires applications to compile to a deterministic subset of
+// WebAssembly with explicit storage accesses (§3.4, §4). This repository
+// models that target as a small tree-shaped IR: expressions are pure
+// (deterministic by construction — no time, no randomness), and the only
+// effects are the Read/Write/Compute statements in stmt.h. The IR is rich
+// enough to express all 16 evaluation functions (Table 1), and explicit
+// enough that the static analyzer (src/analysis) can symbolically execute
+// and slice it.
+
+#ifndef RADICAL_SRC_FUNC_EXPR_H_
+#define RADICAL_SRC_FUNC_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace radical {
+
+enum class ExprKind {
+  kConst,     // Literal value.
+  kInput,     // Function parameter, by name.
+  kVar,       // Local variable, by name.
+  kConcat,    // String concatenation of all args (builds storage keys).
+  kAdd,       // Integer +.
+  kSub,       // Integer -.
+  kEq,        // Structural equality -> 0/1.
+  kNe,        // Structural inequality -> 0/1.
+  kLt,        // Integer < -> 0/1.
+  kLe,        // Integer <= -> 0/1.
+  kAnd,       // Logical and of ints -> 0/1.
+  kOr,        // Logical or of ints -> 0/1.
+  kNot,       // Logical not of int -> 0/1.
+  kLen,       // Length of list or string.
+  kIndex,     // List element: args[0][args[1]].
+  kAppend,    // args[0] (list) with args[1] appended; also lifts unit -> [x].
+  kTake,      // First args[1] elements of list args[0].
+  kHash,      // Deterministic structural hash of args[0] -> int.
+  kIntToStr,  // Integer to decimal string.
+  kOpaque,    // Call to a registered host function (see HostFunction in
+              // interpreter.h). Deterministic, but the analyzer can only see
+              // through it if the host registered it as transparent.
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind;
+  Value literal;               // kConst only.
+  std::string name;            // kInput/kVar: variable name; kOpaque: host fn.
+  std::vector<ExprPtr> args;   // Operands.
+
+  // Structural description, for diagnostics.
+  std::string ToString() const;
+};
+
+// Collects the names of inputs and variables the expression reads into the
+// two output sets (either may be null). Used by the analyzer's slicer.
+void CollectExprDeps(const ExprPtr& expr, std::vector<std::string>* inputs,
+                     std::vector<std::string>* vars);
+
+// True if any subexpression is a kOpaque call whose name is in `opaque_set`
+// semantics: caller supplies a predicate for "analyzer cannot see through".
+bool ContainsOpaque(const ExprPtr& expr,
+                    const std::function<bool(const std::string&)>& is_blocking);
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_FUNC_EXPR_H_

@@ -1,0 +1,58 @@
+#include "src/func/external.h"
+
+namespace radical {
+
+ExternalService::ExternalService(std::string name, Handler handler, SimDuration latency,
+                                 SimDuration replay_latency)
+    : name_(std::move(name)),
+      handler_(std::move(handler)),
+      latency_(latency),
+      replay_latency_(replay_latency) {}
+
+Value ExternalService::Call(const std::string& idempotency_key, const Value& request,
+                            SimDuration* latency) {
+  ++calls_;
+  const auto it = responses_.find(idempotency_key);
+  if (it != responses_.end()) {
+    if (latency != nullptr) {
+      *latency += replay_latency_;
+    }
+    return it->second;
+  }
+  if (latency != nullptr) {
+    *latency += latency_;
+  }
+  ++executions_;
+  Value response = handler_ ? handler_(request) : Value();
+  responses_.emplace(idempotency_key, response);
+  return response;
+}
+
+const Value* ExternalService::ResponseFor(const std::string& idempotency_key) const {
+  const auto it = responses_.find(idempotency_key);
+  return it == responses_.end() ? nullptr : &it->second;
+}
+
+ExternalService* ExternalServiceRegistry::Register(std::string name,
+                                                   ExternalService::Handler handler,
+                                                   SimDuration latency,
+                                                   SimDuration replay_latency) {
+  const std::string key = name;
+  services_.erase(key);
+  auto [it, inserted] = services_.emplace(
+      key, ExternalService(std::move(name), std::move(handler), latency, replay_latency));
+  (void)inserted;
+  return &it->second;
+}
+
+ExternalService* ExternalServiceRegistry::Find(const std::string& name) {
+  const auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+const ExternalService* ExternalServiceRegistry::Find(const std::string& name) const {
+  const auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+}  // namespace radical

@@ -1,0 +1,82 @@
+// External services with at-most-once semantics (§3.5).
+//
+// A single Radical request can execute its function twice — near-user
+// speculatively, and near-storage on validation failure or intent timeout.
+// Calling an external service (a payment processor, a mail gateway) from
+// both executions would duplicate its side effects, so Radical only permits
+// services that support idempotency keys (the paper's example is Stripe's
+// IdempotencyKey): the interpreter derives a deterministic key from the
+// execution id and the call's position, and the service deduplicates on it,
+// returning the recorded response for replays.
+//
+// Services must themselves be deterministic (same request -> same response)
+// for deterministic re-execution to hold; the registry enforces nothing
+// beyond at-most-once, mirroring the paper's "developers must take steps to
+// make that communication safe".
+
+#ifndef RADICAL_SRC_FUNC_EXTERNAL_H_
+#define RADICAL_SRC_FUNC_EXTERNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/common/value.h"
+
+namespace radical {
+
+class ExternalService {
+ public:
+  using Handler = std::function<Value(const Value& request)>;
+
+  // `latency` is the virtual time one (non-deduplicated) call takes;
+  // deduplicated replays only pay the network-ish `replay_latency`.
+  ExternalService(std::string name, Handler handler, SimDuration latency,
+                  SimDuration replay_latency = 0);
+
+  // Invokes the service with an idempotency key. The first call with a given
+  // key executes the handler and records the response; replays return the
+  // recorded response without re-executing. `latency` (if non-null) is
+  // incremented by the call's cost.
+  Value Call(const std::string& idempotency_key, const Value& request, SimDuration* latency);
+
+  const std::string& name() const { return name_; }
+  // Calls that actually executed the handler (side effects happened).
+  uint64_t executions() const { return executions_; }
+  // All invocations, including deduplicated replays.
+  uint64_t calls() const { return calls_; }
+  // The recorded response for a key, if any (tests).
+  const Value* ResponseFor(const std::string& idempotency_key) const;
+
+ private:
+  std::string name_;
+  Handler handler_;
+  SimDuration latency_;
+  SimDuration replay_latency_;
+  std::map<std::string, Value> responses_;
+  uint64_t executions_ = 0;
+  uint64_t calls_ = 0;
+};
+
+// The set of external services a deployment can reach. Shared by every
+// location (there is one Stripe), unlike storage.
+class ExternalServiceRegistry {
+ public:
+  // Registers a service; replaces any previous one with the same name.
+  ExternalService* Register(std::string name, ExternalService::Handler handler,
+                            SimDuration latency, SimDuration replay_latency = 0);
+
+  ExternalService* Find(const std::string& name);
+  const ExternalService* Find(const std::string& name) const;
+
+  size_t size() const { return services_.size(); }
+
+ private:
+  std::map<std::string, ExternalService> services_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_FUNC_EXTERNAL_H_

@@ -1,0 +1,83 @@
+#include "src/func/function.h"
+
+#include <sstream>
+
+namespace radical {
+
+namespace {
+
+void AppendStmt(const StmtPtr& stmt, int indent, std::ostringstream& os) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (stmt->kind) {
+    case StmtKind::kCompute:
+      os << pad << "compute " << ToMillis(stmt->duration) << "ms\n";
+      break;
+    case StmtKind::kLet:
+      os << pad << "let " << stmt->var << " = " << stmt->expr->ToString() << "\n";
+      break;
+    case StmtKind::kRead:
+      os << pad << (stmt->log_only ? "read[log-only] " : "read ") << stmt->var << " = get("
+         << stmt->expr->ToString() << ")\n";
+      break;
+    case StmtKind::kWrite:
+      os << pad << "write put(" << stmt->expr->ToString() << ", "
+         << (stmt->value ? stmt->value->ToString() : "unit") << ")\n";
+      break;
+    case StmtKind::kIf:
+      os << pad << "if " << stmt->expr->ToString() << " {\n";
+      for (const StmtPtr& s : stmt->then_body) {
+        AppendStmt(s, indent + 1, os);
+      }
+      if (!stmt->else_body.empty()) {
+        os << pad << "} else {\n";
+        for (const StmtPtr& s : stmt->else_body) {
+          AppendStmt(s, indent + 1, os);
+        }
+      }
+      os << pad << "}\n";
+      break;
+    case StmtKind::kForEach:
+      os << pad << "for " << stmt->var << " in " << stmt->expr->ToString() << " {\n";
+      for (const StmtPtr& s : stmt->then_body) {
+        AppendStmt(s, indent + 1, os);
+      }
+      os << pad << "}\n";
+      break;
+    case StmtKind::kReturn:
+      os << pad << "return " << (stmt->expr ? stmt->expr->ToString() : "unit") << "\n";
+      break;
+    case StmtKind::kExternalCall:
+      os << pad << "external " << stmt->var << " = " << stmt->service << "("
+         << (stmt->expr ? stmt->expr->ToString() : "unit") << ")\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string FunctionToString(const FunctionDef& fn) {
+  std::ostringstream os;
+  os << "fn " << fn.name << "(";
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << fn.params[i];
+  }
+  os << ") {\n";
+  for (const StmtPtr& s : fn.body) {
+    AppendStmt(s, 1, os);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+size_t CountStmts(const StmtList& body) {
+  size_t n = 0;
+  for (const StmtPtr& s : body) {
+    n += 1 + CountStmts(s->then_body) + CountStmts(s->else_body);
+  }
+  return n;
+}
+
+}  // namespace radical

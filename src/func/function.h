@@ -1,0 +1,72 @@
+// Statements and function definitions of the deterministic function IR.
+//
+// A Function is one serverless request handler (one row of Table 1). Its
+// body is a tree of statements whose only effects are explicit storage
+// reads/writes and simulated compute time — exactly the properties Radical
+// needs from its deterministic-WASM target: every storage access is visible
+// to the analyzer, and re-executing on the same inputs against the same
+// storage state produces the same writes.
+
+#ifndef RADICAL_SRC_FUNC_FUNCTION_H_
+#define RADICAL_SRC_FUNC_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/func/expr.h"
+
+namespace radical {
+
+enum class StmtKind {
+  kCompute,  // Burn `duration` of compute time. No data effect.
+  kLet,      // var = expr.
+  kRead,     // var = storage.Get(key_expr); unit if absent.
+  kWrite,    // storage.Put(key_expr, value_expr).
+  kIf,       // if (cond != 0) then_body else else_body.
+  kForEach,  // for var in list_expr { body } (body aliased to then_body).
+  kReturn,   // return expr; unwinds the whole function.
+  kExternalCall,  // var = service(request_expr), with an idempotency key
+                  // derived from (execution id, call index) — §3.5.
+};
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+struct Stmt {
+  StmtKind kind;
+  SimDuration duration = 0;  // kCompute.
+  std::string var;           // kLet / kRead / kForEach loop variable /
+                             // kExternalCall result.
+  std::string service;       // kExternalCall: registered service name.
+  ExprPtr expr;              // kLet value, kRead key, kWrite key, kIf cond,
+                             // kForEach list, kReturn value, kExternalCall
+                             // request payload.
+  ExprPtr value;             // kWrite value.
+  StmtList then_body;        // kIf then-branch; kForEach body.
+  StmtList else_body;        // kIf else-branch.
+
+  // Set only on statements inside a derived f^rw (the analyzer's slice
+  // output): the read's key must be logged into the read set, but its value
+  // feeds nothing, so f^rw skips the actual fetch (§3.3: f^rw contains only
+  // the pieces needed to determine the inputs to read and write calls).
+  bool log_only = false;
+};
+
+struct FunctionDef {
+  std::string name;
+  std::vector<std::string> params;
+  StmtList body;
+};
+
+// Pretty-prints a function body (diagnostics / golden tests).
+std::string FunctionToString(const FunctionDef& fn);
+
+// Counts statements recursively (the analyzer's work bound).
+size_t CountStmts(const StmtList& body);
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_FUNC_FUNCTION_H_

@@ -1,0 +1,105 @@
+// Interpreter: executes IR functions deterministically, accounting virtual
+// time.
+//
+// The interpreter is the reproduction's Wasmtime: it runs a function against
+// a Storage binding (near-user cache overlay, or the primary store for
+// near-storage/backup executions) with *no* access to wall-clock time or
+// randomness, so re-executing on the same inputs and storage state yields
+// identical results and identical writes — the property deterministic
+// re-execution (§3.4) relies on.
+//
+// Virtual-time accounting: kCompute statements add their declared duration,
+// storage operations add the binding's per-op latency, host calls add their
+// registered cost, and every interpreted step adds a small constant. The
+// caller (the Radical runtime) schedules the function's completion event
+// `result.elapsed` into the virtual future.
+
+#ifndef RADICAL_SRC_FUNC_INTERPRETER_H_
+#define RADICAL_SRC_FUNC_INTERPRETER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/common/value.h"
+#include "src/func/external.h"
+#include "src/func/function.h"
+#include "src/kv/storage.h"
+
+namespace radical {
+
+// A deterministic host function callable from IR via ExprKind::kOpaque.
+// Hosts model native helpers linked into the WASM module. `transparent`
+// hosts are registered with the static analyzer (it may keep them inside
+// f^rw, paying `cost`); non-transparent hosts block analysis of any storage
+// key they feed (§3.3 failure case).
+struct HostFunction {
+  std::function<Value(const std::vector<Value>&)> fn;
+  SimDuration cost = 0;
+  bool transparent = false;
+};
+
+class HostRegistry {
+ public:
+  void Register(const std::string& name, HostFunction host);
+  const HostFunction* Find(const std::string& name) const;
+  bool IsTransparent(const std::string& name) const;
+
+  // Registry with the hosts the benchmark applications use.
+  static const HostRegistry& Standard();
+
+ private:
+  std::map<std::string, HostFunction> hosts_;
+};
+
+struct ExecLimits {
+  // Fuel: interpreted steps before the execution is aborted. Serverless
+  // functions are small; this mostly guards IR bugs.
+  uint64_t max_steps = 1'000'000;
+  // Virtual cost per interpreted step (models per-instruction WASM cost).
+  SimDuration per_step_cost = Micros(1);
+};
+
+// Per-execution environment: the execution id seeds idempotency keys for
+// external service calls (§3.5) so a speculative run and its deterministic
+// re-execution deduplicate against each other.
+struct ExecEnv {
+  ExecutionId exec_id = 0;
+  ExternalServiceRegistry* externals = nullptr;
+};
+
+struct ExecResult {
+  Status status;         // Error on fuel exhaustion, type error, unknown host.
+  Value return_value;
+  SimDuration elapsed = 0;
+  uint64_t steps = 0;
+  std::vector<Key> reads;   // Keys read, in execution order (with duplicates).
+  std::vector<Key> writes;  // Keys written, in execution order.
+
+  bool ok() const { return status.ok(); }
+};
+
+class Interpreter {
+ public:
+  // `hosts` must outlive the interpreter; pass &HostRegistry::Standard() for
+  // the default host set.
+  explicit Interpreter(const HostRegistry* hosts);
+
+  // Runs `fn` with positional `inputs` (matched to fn.params) against
+  // `storage`. Never throws; failures are reported in ExecResult::status.
+  // `env` supplies the execution id and external services; without one,
+  // external calls fail (functions that call services must run under a
+  // deployment that provides them).
+  ExecResult Execute(const FunctionDef& fn, const std::vector<Value>& inputs, Storage* storage,
+                     const ExecLimits& limits = {}, const ExecEnv* env = nullptr) const;
+
+ private:
+  const HostRegistry* hosts_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_FUNC_INTERPRETER_H_

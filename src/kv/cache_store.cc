@@ -1,0 +1,57 @@
+#include "src/kv/cache_store.h"
+
+namespace radical {
+
+CacheStore::CacheStore(CacheStoreOptions options) : options_(options) {}
+
+std::optional<Item> CacheStore::Get(const Key& key, SimDuration* latency) {
+  if (latency != nullptr) {
+    *latency += options_.read_latency;
+  }
+  const auto it = items_.find(key);
+  if (it == items_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void CacheStore::Put(const Key& key, const Value& value, SimDuration* latency) {
+  if (latency != nullptr) {
+    *latency += options_.write_latency;
+  }
+  items_[key].value = value;
+}
+
+Version CacheStore::VersionOf(const Key& key) const {
+  const auto it = items_.find(key);
+  return it == items_.end() ? kMissingVersion : it->second.version;
+}
+
+void CacheStore::Install(const Key& key, const Value& value, Version version) {
+  Item& item = items_[key];
+  item.value = value;
+  item.version = version;
+}
+
+std::optional<Item> CacheStore::Peek(const Key& key) const {
+  const auto it = items_.find(key);
+  if (it == items_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void CacheStore::Evict(const Key& key) { items_.erase(key); }
+
+size_t CacheStore::CrashRestart() {
+  if (!options_.persistent) {
+    items_.clear();
+  }
+  return items_.size();
+}
+
+void CacheStore::Clear() { items_.clear(); }
+
+}  // namespace radical

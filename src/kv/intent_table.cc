@@ -1,0 +1,40 @@
+#include "src/kv/intent_table.h"
+
+namespace radical {
+
+bool IntentTable::Create(ExecutionId id) {
+  const auto [it, inserted] = intents_.emplace(id, IntentStatus::kPending);
+  (void)it;
+  if (inserted) {
+    ++created_;
+  }
+  return inserted;
+}
+
+bool IntentTable::TryComplete(ExecutionId id) {
+  const auto it = intents_.find(id);
+  if (it == intents_.end() || it->second != IntentStatus::kPending) {
+    return false;
+  }
+  it->second = IntentStatus::kDone;
+  ++completed_;
+  return true;
+}
+
+bool IntentTable::IsPending(ExecutionId id) const {
+  const auto it = intents_.find(id);
+  return it != intents_.end() && it->second == IntentStatus::kPending;
+}
+
+bool IntentTable::Remove(ExecutionId id) {
+  const auto it = intents_.find(id);
+  if (it == intents_.end() || it->second != IntentStatus::kDone) {
+    return false;
+  }
+  intents_.erase(it);
+  return true;
+}
+
+bool IdempotencyTable::RecordOnce(ExecutionId id) { return seen_.insert(id).second; }
+
+}  // namespace radical

@@ -1,0 +1,78 @@
+// Write intents and idempotency keys.
+//
+// A write intent maps an execution id to a status bit and signals that a
+// speculative execution may perform writes that have not yet reached the
+// primary (§3.4). The LVI server creates the intent during the LVI request,
+// starts a timer, and the intent is resolved either by the write followup or
+// by deterministic re-execution; whichever happens first wins, and the loser
+// is discarded (this is what makes the "validation succeeds but the followup
+// is late" case linearizable, §3.6).
+//
+// Idempotency keys (§5.6) bound each user request to at most two executions:
+// once near-user, and at most once near storage. Both tables live in the
+// primary store in the paper (DynamoDB); here they are separate structures
+// whose access latency the LVI server accounts with the store's write cost.
+
+#ifndef RADICAL_SRC_KV_INTENT_TABLE_H_
+#define RADICAL_SRC_KV_INTENT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/types.h"
+
+namespace radical {
+
+enum class IntentStatus {
+  kPending,  // Intent created; awaiting followup or re-execution.
+  kDone,     // Updates applied (by followup or re-execution).
+};
+
+class IntentTable {
+ public:
+  // Creates a pending intent. Returns false if one already exists for this
+  // execution (a protocol error the server treats as a duplicate request).
+  bool Create(ExecutionId id);
+
+  // Atomically transitions kPending -> kDone. Returns true iff this call won
+  // the race; the caller that loses (late followup, or a timer firing after
+  // the followup landed) must discard its updates.
+  bool TryComplete(ExecutionId id);
+
+  // True if the intent exists and is still pending.
+  bool IsPending(ExecutionId id) const;
+  bool Exists(ExecutionId id) const { return intents_.count(id) > 0; }
+
+  // Removes a completed intent from storage (the paper removes intents once
+  // handled). Returns false if absent or still pending.
+  bool Remove(ExecutionId id);
+
+  size_t size() const { return intents_.size(); }
+  uint64_t created() const { return created_; }
+  uint64_t completed_by_followup_or_replay() const { return completed_; }
+
+ private:
+  std::unordered_map<ExecutionId, IntentStatus> intents_;
+  uint64_t created_ = 0;
+  uint64_t completed_ = 0;
+};
+
+// At-most-once guard for near-storage executions of a given user request.
+class IdempotencyTable {
+ public:
+  // Records the id; returns true iff this is the first time it is seen (the
+  // caller may proceed), false if a near-storage execution already ran.
+  bool RecordOnce(ExecutionId id);
+
+  bool Seen(ExecutionId id) const { return seen_.count(id) > 0; }
+  size_t size() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<ExecutionId> seen_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_KV_INTENT_TABLE_H_

@@ -1,0 +1,280 @@
+#include "src/kv/quorum_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace radical {
+
+QuorumStore::QuorumStore(Network* network, std::vector<Region> replica_regions,
+                         QuorumStoreOptions options)
+    : network_(network), replica_regions_(std::move(replica_regions)), options_(options) {
+  assert(!replica_regions_.empty());
+}
+
+Region QuorumStore::NearestReplica(Region from) const {
+  Region best = replica_regions_.front();
+  SimDuration best_rtt = network_->latency().Rtt(from, best);
+  for (const Region r : replica_regions_) {
+    const SimDuration rtt = network_->latency().Rtt(from, r);
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = r;
+    }
+  }
+  return best;
+}
+
+Region QuorumStore::HomeReplica(const Key& key) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return replica_regions_[h % replica_regions_.size()];
+}
+
+std::vector<Region> QuorumStore::PeersByDistance(Region self) const {
+  std::vector<Region> peers;
+  for (const Region r : replica_regions_) {
+    if (r != self) {
+      peers.push_back(r);
+    }
+  }
+  std::sort(peers.begin(), peers.end(), [&](Region a, Region b) {
+    return network_->latency().Rtt(self, a) < network_->latency().Rtt(self, b);
+  });
+  return peers;
+}
+
+SimDuration QuorumStore::ExpectedStrongReadLatency(Region client, Region home) const {
+  const Region coord = home;
+  // The coordinator's quorum completes when the (majority-1)-th nearest peer
+  // replies (it counts itself).
+  const std::vector<Region> peers = PeersByDistance(coord);
+  const int needed = majority() - 1;
+  SimDuration quorum_rtt = 0;
+  if (needed > 0) {
+    assert(static_cast<size_t>(needed) <= peers.size());
+    quorum_rtt = network_->latency().Rtt(coord, peers[needed - 1]);
+  }
+  return network_->latency().Rtt(client, coord) + quorum_rtt + 3 * options_.replica_process;
+}
+
+void QuorumStore::Read(Region client, const Key& key, ReadCallback done) {
+  const uint64_t op_id = network_->simulator()->NextId();
+  PendingOp& op = pending_[op_id];
+  op.is_write = false;
+  op.client = client;
+  // Strong reads serialize at the key's home replica, like writes.
+  op.coordinator = HomeReplica(key);
+  op.key = key;
+  op.read_done = std::move(done);
+  // Client -> coordinator hop.
+  network_->Send(client, op.coordinator, [this, op_id] { CoordinateRead(op_id); });
+  ArmTimeout(op_id);
+}
+
+void QuorumStore::Write(Region client, const Key& key, const Value& value, WriteCallback done) {
+  const uint64_t op_id = network_->simulator()->NextId();
+  PendingOp& op = pending_[op_id];
+  op.is_write = true;
+  op.client = client;
+  op.coordinator = HomeReplica(key);
+  op.key = key;
+  op.value = value;
+  op.write_done = std::move(done);
+  network_->Send(client, op.coordinator, [this, op_id] { CoordinateWrite(op_id); });
+  ArmTimeout(op_id);
+}
+
+void QuorumStore::CoordinateRead(uint64_t op_id) {
+  const auto it = pending_.find(op_id);
+  if (it == pending_.end() || it->second.done) {
+    return;
+  }
+  PendingOp& op = it->second;
+  const Region coord = op.coordinator;
+  Simulator* sim = network_->simulator();
+  // Local copy counts toward the quorum after local processing.
+  sim->Schedule(options_.replica_process, [this, op_id, coord] {
+    auto pit = pending_.find(op_id);
+    if (pit == pending_.end() || pit->second.done) {
+      return;
+    }
+    PendingOp& p = pit->second;
+    const auto& data = ReplicaData(coord);
+    const auto dit = data.find(p.key);
+    if (dit != data.end() && (!p.found || dit->second.version > p.best.version)) {
+      p.best = dit->second;
+      p.found = true;
+    }
+    if (++p.acks >= majority()) {
+      OnQuorumReached(op_id);
+    }
+  });
+  // Witness acknowledgements: peers confirm the home replica still leads
+  // this key (and report their copies, which can only lag the home's).
+  for (const Region peer : PeersByDistance(coord)) {
+    network_->Send(coord, peer, [this, op_id, peer, coord] {
+      auto pit = pending_.find(op_id);
+      if (pit == pending_.end() || pit->second.done) {
+        return;
+      }
+      std::optional<Item> copy;
+      const auto& data = ReplicaData(peer);
+      const auto dit = data.find(pit->second.key);
+      if (dit != data.end()) {
+        copy = dit->second;
+      }
+      network_->Send(peer, coord, [this, op_id, copy] {
+        auto pit2 = pending_.find(op_id);
+        if (pit2 == pending_.end() || pit2->second.done) {
+          return;
+        }
+        PendingOp& p = pit2->second;
+        if (copy.has_value() && (!p.found || copy->version > p.best.version)) {
+          p.best = *copy;
+          p.found = true;
+        }
+        if (++p.acks >= majority()) {
+          OnQuorumReached(op_id);
+        }
+      });
+    });
+  }
+}
+
+void QuorumStore::CoordinateWrite(uint64_t op_id) {
+  const auto it = pending_.find(op_id);
+  if (it == pending_.end() || it->second.done) {
+    return;
+  }
+  PendingOp& op = it->second;
+  const Region coord = op.coordinator;
+  Simulator* sim = network_->simulator();
+  sim->Schedule(options_.replica_process, [this, op_id, coord] {
+    auto pit = pending_.find(op_id);
+    if (pit == pending_.end() || pit->second.done) {
+      return;
+    }
+    PendingOp& p = pit->second;
+    // The home replica serializes writes to this key and assigns the version.
+    auto& data = ReplicaData(coord);
+    Item& item = data[p.key];
+    item.value = p.value;
+    ++item.version;
+    p.committed_version = item.version;
+    ++p.acks;
+    // Replicate to peers; each ack counts toward the quorum.
+    const Item replicated = item;
+    for (const Region peer : PeersByDistance(coord)) {
+      network_->Send(coord, peer, [this, op_id, peer, coord, replicated] {
+        auto pit2 = pending_.find(op_id);
+        if (pit2 == pending_.end()) {
+          return;
+        }
+        auto& peer_data = ReplicaData(peer);
+        Item& copy = peer_data[pit2->second.key];
+        if (replicated.version > copy.version) {
+          copy = replicated;
+        }
+        network_->Send(peer, coord, [this, op_id] {
+          auto pit3 = pending_.find(op_id);
+          if (pit3 == pending_.end() || pit3->second.done) {
+            return;
+          }
+          if (++pit3->second.acks >= majority()) {
+            OnQuorumReached(op_id);
+          }
+        });
+      });
+    }
+    if (p.acks >= majority()) {
+      OnQuorumReached(op_id);
+    }
+  });
+}
+
+void QuorumStore::OnQuorumReached(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end() || it->second.done) {
+    return;
+  }
+  PendingOp& op = it->second;
+  op.done = true;
+  if (op.timeout_event != kInvalidEventId) {
+    network_->simulator()->Cancel(op.timeout_event);
+  }
+  // Coordinator -> client reply hop, then complete.
+  const bool is_write = op.is_write;
+  network_->Send(op.coordinator, op.client, [this, op_id, is_write] {
+    auto fit = pending_.find(op_id);
+    if (fit == pending_.end()) {
+      return;
+    }
+    PendingOp op_copy = std::move(fit->second);
+    pending_.erase(fit);
+    if (is_write) {
+      ++writes_completed_;
+      if (op_copy.write_done) {
+        op_copy.write_done(op_copy.committed_version);
+      }
+    } else {
+      ++reads_completed_;
+      if (op_copy.read_done) {
+        if (op_copy.found) {
+          op_copy.read_done(op_copy.best);
+        } else {
+          op_copy.read_done(std::nullopt);
+        }
+      }
+    }
+  });
+}
+
+void QuorumStore::ArmTimeout(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.timeout_event =
+      network_->simulator()->Schedule(options_.op_timeout, [this, op_id] { Retry(op_id); });
+}
+
+void QuorumStore::Retry(uint64_t op_id) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end() || it->second.done) {
+    return;
+  }
+  PendingOp& op = it->second;
+  if (++op.attempts >= options_.max_retries) {
+    // Give up silently; the callback never fires (callers that care use
+    // their own deadlines). Drop the op to avoid leaks.
+    pending_.erase(it);
+    return;
+  }
+  ++retries_;
+  op.acks = 0;
+  op.found = false;
+  op.best = Item{};
+  const Region from = op.client;
+  const Region coord = op.coordinator;
+  const bool is_write = op.is_write;
+  network_->Send(from, coord, [this, op_id, is_write] {
+    if (is_write) {
+      CoordinateWrite(op_id);
+    } else {
+      CoordinateRead(op_id);
+    }
+  });
+  ArmTimeout(op_id);
+}
+
+void QuorumStore::Seed(const Key& key, const Value& value) {
+  for (const Region r : replica_regions_) {
+    Item& item = ReplicaData(r)[key];
+    item.value = value;
+    item.version = 1;
+  }
+}
+
+}  // namespace radical

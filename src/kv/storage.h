@@ -1,0 +1,37 @@
+// Storage: the synchronous storage interface the function interpreter binds
+// to.
+//
+// Functions are interpreted synchronously while virtual time is accounted
+// explicitly: each Get/Put reports the latency the operation would take at
+// the location where the function runs (sub-millisecond cache hits near the
+// user, a few milliseconds of DynamoDB access near storage). The interpreter
+// sums these into the function's elapsed execution time, and the runtime
+// schedules the completion event that far in the future.
+
+#ifndef RADICAL_SRC_KV_STORAGE_H_
+#define RADICAL_SRC_KV_STORAGE_H_
+
+#include <optional>
+
+#include "src/common/types.h"
+#include "src/kv/item.h"
+
+namespace radical {
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  // Reads an item; nullopt if absent. `latency` (if non-null) receives the
+  // virtual duration of this access.
+  virtual std::optional<Item> Get(const Key& key, SimDuration* latency) = 0;
+
+  // Writes a value. How the version number advances is implementation
+  // defined (the primary increments; caches and buffers have their own
+  // rules — see each class).
+  virtual void Put(const Key& key, const Value& value, SimDuration* latency) = 0;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_KV_STORAGE_H_

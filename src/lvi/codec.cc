@@ -1,0 +1,444 @@
+#include "src/lvi/codec.h"
+
+#include <cassert>
+
+namespace radical {
+
+namespace {
+
+constexpr uint8_t kTagUnit = 0;
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagString = 2;
+constexpr uint8_t kTagList = 3;
+
+constexpr int kMaxValueDepth = 32;
+constexpr uint64_t kMaxLength = 1u << 26;  // 64 MiB: sanity bound on decode.
+
+}  // namespace
+
+// --- WireWriter -----------------------------------------------------------------
+
+void WireWriter::WriteByte(uint8_t b) { out_->push_back(b); }
+
+void WireWriter::WriteVarint(uint64_t v) {
+  while (v >= 0x80) {
+    out_->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out_->push_back(static_cast<uint8_t>(v));
+}
+
+void WireWriter::WriteSigned(int64_t v) {
+  // Zigzag: small magnitudes (either sign) stay small on the wire.
+  WriteVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+}
+
+void WireWriter::WriteString(const std::string& s) {
+  WriteVarint(s.size());
+  out_->insert(out_->end(), s.begin(), s.end());
+}
+
+void WireWriter::WriteValue(const Value& v) {
+  if (v.is_unit()) {
+    WriteByte(kTagUnit);
+  } else if (v.is_int()) {
+    WriteByte(kTagInt);
+    WriteSigned(v.AsInt());
+  } else if (v.is_string()) {
+    WriteByte(kTagString);
+    WriteString(v.AsString());
+  } else {
+    WriteByte(kTagList);
+    const ValueList& list = v.AsList();
+    WriteVarint(list.size());
+    for (const Value& element : list) {
+      WriteValue(element);
+    }
+  }
+}
+
+// --- WireReader -----------------------------------------------------------------
+
+void WireReader::Fail(const std::string& message) {
+  if (ok_) {
+    ok_ = false;
+    error_ = message;
+  }
+}
+
+uint8_t WireReader::ReadByte() {
+  if (!ok_ || pos_ >= size_) {
+    Fail("truncated message: byte");
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint64_t WireReader::ReadVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (ok_) {
+    if (pos_ >= size_) {
+      Fail("truncated message: varint");
+      return 0;
+    }
+    const uint8_t b = data_[pos_++];
+    if (shift >= 64) {
+      Fail("varint overflow");
+      return 0;
+    }
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+  return 0;
+}
+
+int64_t WireReader::ReadSigned() {
+  const uint64_t z = ReadVarint();
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+std::string WireReader::ReadString() {
+  const uint64_t length = ReadVarint();
+  if (!ok_) {
+    return {};
+  }
+  if (length > kMaxLength || pos_ + length > size_) {
+    Fail("truncated message: string body");
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), length);
+  pos_ += length;
+  return s;
+}
+
+Value WireReader::ReadValue() {
+  if (++value_depth_ > kMaxValueDepth) {
+    Fail("value nesting too deep");
+    --value_depth_;
+    return Value();
+  }
+  Value out;
+  const uint8_t tag = ReadByte();
+  switch (tag) {
+    case kTagUnit:
+      out = Value();
+      break;
+    case kTagInt:
+      out = Value(ReadSigned());
+      break;
+    case kTagString:
+      out = Value(ReadString());
+      break;
+    case kTagList: {
+      const uint64_t count = ReadVarint();
+      if (count > kMaxLength) {
+        Fail("list too long");
+        break;
+      }
+      ValueList list;
+      list.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count && ok_; ++i) {
+        list.push_back(ReadValue());
+      }
+      out = Value(std::move(list));
+      break;
+    }
+    default:
+      Fail("unknown value tag");
+      break;
+  }
+  --value_depth_;
+  return out;
+}
+
+// --- Messages --------------------------------------------------------------------
+
+namespace {
+
+constexpr uint8_t kMsgLviRequest = 1;
+constexpr uint8_t kMsgLviResponse = 2;
+constexpr uint8_t kMsgFollowup = 3;
+constexpr uint8_t kMsgFunction = 4;
+
+void WriteFreshItem(WireWriter& w, const FreshItem& item) {
+  w.WriteString(item.key);
+  w.WriteValue(item.value);
+  w.WriteSigned(item.version);
+}
+
+FreshItem ReadFreshItem(WireReader& r) {
+  FreshItem item;
+  item.key = r.ReadString();
+  item.value = r.ReadValue();
+  item.version = r.ReadSigned();
+  return item;
+}
+
+}  // namespace
+
+WireBuffer EncodeLviRequest(const LviRequest& request) {
+  WireBuffer out;
+  WireWriter w(&out);
+  w.WriteByte(kMsgLviRequest);
+  w.WriteVarint(request.exec_id);
+  w.WriteVarint(static_cast<uint64_t>(request.origin));
+  w.WriteString(request.function);
+  w.WriteVarint(request.inputs.size());
+  for (const Value& input : request.inputs) {
+    w.WriteValue(input);
+  }
+  w.WriteVarint(request.items.size());
+  for (const LviItem& item : request.items) {
+    w.WriteString(item.key);
+    w.WriteSigned(item.cached_version);
+    w.WriteByte(item.mode == LockMode::kWrite ? 1 : 0);
+  }
+  return out;
+}
+
+Result<LviRequest> DecodeLviRequest(const WireBuffer& buffer) {
+  WireReader r(buffer);
+  if (r.ReadByte() != kMsgLviRequest) {
+    return Status::Error("not an LVI request");
+  }
+  LviRequest request;
+  request.exec_id = r.ReadVarint();
+  const uint64_t origin = r.ReadVarint();
+  if (origin >= static_cast<uint64_t>(kNumRegions)) {
+    return Status::Error("invalid origin region");
+  }
+  request.origin = static_cast<Region>(origin);
+  request.function = r.ReadString();
+  const uint64_t num_inputs = r.ReadVarint();
+  for (uint64_t i = 0; i < num_inputs && r.ok(); ++i) {
+    request.inputs.push_back(r.ReadValue());
+  }
+  const uint64_t num_items = r.ReadVarint();
+  for (uint64_t i = 0; i < num_items && r.ok(); ++i) {
+    LviItem item;
+    item.key = r.ReadString();
+    item.cached_version = r.ReadSigned();
+    item.mode = r.ReadByte() == 1 ? LockMode::kWrite : LockMode::kRead;
+    request.items.push_back(std::move(item));
+  }
+  if (!r.AtEnd()) {
+    return Status::Error(r.ok() ? "trailing bytes in LVI request" : r.error());
+  }
+  return request;
+}
+
+WireBuffer EncodeLviResponse(const LviResponse& response) {
+  WireBuffer out;
+  WireWriter w(&out);
+  w.WriteByte(kMsgLviResponse);
+  w.WriteVarint(response.exec_id);
+  w.WriteByte(response.validated ? 1 : 0);
+  w.WriteValue(response.backup_result);
+  w.WriteVarint(response.fresh_items.size());
+  for (const FreshItem& item : response.fresh_items) {
+    WriteFreshItem(w, item);
+  }
+  return out;
+}
+
+Result<LviResponse> DecodeLviResponse(const WireBuffer& buffer) {
+  WireReader r(buffer);
+  if (r.ReadByte() != kMsgLviResponse) {
+    return Status::Error("not an LVI response");
+  }
+  LviResponse response;
+  response.exec_id = r.ReadVarint();
+  response.validated = r.ReadByte() == 1;
+  response.backup_result = r.ReadValue();
+  const uint64_t count = r.ReadVarint();
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    response.fresh_items.push_back(ReadFreshItem(r));
+  }
+  if (!r.AtEnd()) {
+    return Status::Error(r.ok() ? "trailing bytes in LVI response" : r.error());
+  }
+  return response;
+}
+
+WireBuffer EncodeWriteFollowup(const WriteFollowup& followup) {
+  WireBuffer out;
+  WireWriter w(&out);
+  w.WriteByte(kMsgFollowup);
+  w.WriteVarint(followup.exec_id);
+  w.WriteVarint(followup.writes.size());
+  for (const BufferedWrite& write : followup.writes) {
+    w.WriteString(write.key);
+    w.WriteValue(write.value);
+  }
+  return out;
+}
+
+Result<WriteFollowup> DecodeWriteFollowup(const WireBuffer& buffer) {
+  WireReader r(buffer);
+  if (r.ReadByte() != kMsgFollowup) {
+    return Status::Error("not a write followup");
+  }
+  WriteFollowup followup;
+  followup.exec_id = r.ReadVarint();
+  const uint64_t count = r.ReadVarint();
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    BufferedWrite write;
+    write.key = r.ReadString();
+    write.value = r.ReadValue();
+    followup.writes.push_back(std::move(write));
+  }
+  if (!r.AtEnd()) {
+    return Status::Error(r.ok() ? "trailing bytes in followup" : r.error());
+  }
+  return followup;
+}
+
+// --- Function images ----------------------------------------------------------------
+
+namespace {
+
+void WriteExpr(WireWriter& w, const ExprPtr& expr);
+
+void WriteExprList(WireWriter& w, const std::vector<ExprPtr>& exprs) {
+  w.WriteVarint(exprs.size());
+  for (const ExprPtr& e : exprs) {
+    WriteExpr(w, e);
+  }
+}
+
+void WriteExpr(WireWriter& w, const ExprPtr& expr) {
+  if (expr == nullptr) {
+    w.WriteByte(0xff);  // Null expression marker.
+    return;
+  }
+  w.WriteByte(static_cast<uint8_t>(expr->kind));
+  w.WriteValue(expr->literal);
+  w.WriteString(expr->name);
+  WriteExprList(w, expr->args);
+}
+
+ExprPtr ReadExpr(WireReader& r, int depth);
+
+std::vector<ExprPtr> ReadExprList(WireReader& r, int depth) {
+  std::vector<ExprPtr> out;
+  const uint64_t count = r.ReadVarint();
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    out.push_back(ReadExpr(r, depth));
+  }
+  return out;
+}
+
+ExprPtr ReadExpr(WireReader& r, int depth) {
+  if (depth > 64) {
+    return nullptr;
+  }
+  const uint8_t kind = r.ReadByte();
+  if (kind == 0xff) {
+    return nullptr;
+  }
+  if (kind > static_cast<uint8_t>(ExprKind::kOpaque)) {
+    return nullptr;  // Reader flags the error via later AtEnd mismatch.
+  }
+  auto expr = std::make_shared<Expr>();
+  expr->kind = static_cast<ExprKind>(kind);
+  expr->literal = r.ReadValue();
+  expr->name = r.ReadString();
+  expr->args = ReadExprList(r, depth + 1);
+  return expr;
+}
+
+void WriteStmtList(WireWriter& w, const StmtList& body);
+
+void WriteStmt(WireWriter& w, const StmtPtr& stmt) {
+  w.WriteByte(static_cast<uint8_t>(stmt->kind));
+  w.WriteSigned(stmt->duration);
+  w.WriteString(stmt->var);
+  w.WriteString(stmt->service);
+  WriteExpr(w, stmt->expr);
+  WriteExpr(w, stmt->value);
+  WriteStmtList(w, stmt->then_body);
+  WriteStmtList(w, stmt->else_body);
+  w.WriteByte(stmt->log_only ? 1 : 0);
+}
+
+void WriteStmtList(WireWriter& w, const StmtList& body) {
+  w.WriteVarint(body.size());
+  for (const StmtPtr& stmt : body) {
+    WriteStmt(w, stmt);
+  }
+}
+
+StmtList ReadStmtList(WireReader& r, int depth);
+
+StmtPtr ReadStmt(WireReader& r, int depth) {
+  const uint8_t kind = r.ReadByte();
+  auto stmt = std::make_shared<Stmt>();
+  if (kind > static_cast<uint8_t>(StmtKind::kExternalCall)) {
+    return nullptr;
+  }
+  stmt->kind = static_cast<StmtKind>(kind);
+  stmt->duration = r.ReadSigned();
+  stmt->var = r.ReadString();
+  stmt->service = r.ReadString();
+  stmt->expr = ReadExpr(r, 0);
+  stmt->value = ReadExpr(r, 0);
+  stmt->then_body = ReadStmtList(r, depth + 1);
+  stmt->else_body = ReadStmtList(r, depth + 1);
+  stmt->log_only = r.ReadByte() == 1;
+  return stmt;
+}
+
+StmtList ReadStmtList(WireReader& r, int depth) {
+  StmtList out;
+  if (depth > 64) {
+    return out;
+  }
+  const uint64_t count = r.ReadVarint();
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    StmtPtr stmt = ReadStmt(r, depth);
+    if (stmt == nullptr) {
+      return out;
+    }
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+}  // namespace
+
+WireBuffer EncodeFunction(const FunctionDef& fn) {
+  WireBuffer out;
+  WireWriter w(&out);
+  w.WriteByte(kMsgFunction);
+  w.WriteString(fn.name);
+  w.WriteVarint(fn.params.size());
+  for (const std::string& param : fn.params) {
+    w.WriteString(param);
+  }
+  WriteStmtList(w, fn.body);
+  return out;
+}
+
+Result<FunctionDef> DecodeFunction(const WireBuffer& buffer) {
+  WireReader r(buffer);
+  if (r.ReadByte() != kMsgFunction) {
+    return Status::Error("not a function image");
+  }
+  FunctionDef fn;
+  fn.name = r.ReadString();
+  const uint64_t num_params = r.ReadVarint();
+  for (uint64_t i = 0; i < num_params && r.ok(); ++i) {
+    fn.params.push_back(r.ReadString());
+  }
+  fn.body = ReadStmtList(r, 0);
+  if (!r.AtEnd()) {
+    return Status::Error(r.ok() ? "trailing bytes in function image" : r.error());
+  }
+  return fn;
+}
+
+}  // namespace radical

@@ -1,0 +1,97 @@
+// Binary wire codec for Radical's protocol messages and function images.
+//
+// The near-user and near-storage locations exchange LVI requests, responses,
+// and write followups over the WAN; function registration ships each f (and
+// its derived f^rw) to every location (§3.2). This codec defines the wire
+// format: a compact tagged binary encoding with varint integers and
+// length-prefixed strings, symmetric Encode/Decode pairs, and strict bounds
+// checking on decode (a truncated or corrupted message yields an error, not
+// undefined behaviour).
+//
+// The simulator passes message objects by value — the codec exists so that
+// (a) message sizes on the wire are exact rather than approximated, and
+// (b) the repository is honest about what crossing a network requires.
+
+#ifndef RADICAL_SRC_LVI_CODEC_H_
+#define RADICAL_SRC_LVI_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/value.h"
+#include "src/func/function.h"
+#include "src/lvi/messages.h"
+
+namespace radical {
+
+using WireBuffer = std::vector<uint8_t>;
+
+// --- Primitive layer ---------------------------------------------------------
+
+// Append-only writer over a WireBuffer.
+class WireWriter {
+ public:
+  explicit WireWriter(WireBuffer* out) : out_(out) {}
+
+  void WriteByte(uint8_t b);
+  // LEB128-style varint (unsigned).
+  void WriteVarint(uint64_t v);
+  // Zigzag-encoded signed varint.
+  void WriteSigned(int64_t v);
+  void WriteString(const std::string& s);
+  void WriteValue(const Value& v);
+
+ private:
+  WireBuffer* out_;
+};
+
+// Bounds-checked reader.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const WireBuffer& buffer) : WireReader(buffer.data(), buffer.size()) {}
+
+  bool ok() const { return ok_; }
+  // First failure description, empty if ok.
+  const std::string& error() const { return error_; }
+  // All bytes consumed and no error.
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+  uint8_t ReadByte();
+  uint64_t ReadVarint();
+  int64_t ReadSigned();
+  std::string ReadString();
+  Value ReadValue();
+
+ private:
+  void Fail(const std::string& message);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+  int value_depth_ = 0;  // Guards against maliciously deep list nesting.
+};
+
+// --- Message layer -------------------------------------------------------------
+
+WireBuffer EncodeLviRequest(const LviRequest& request);
+Result<LviRequest> DecodeLviRequest(const WireBuffer& buffer);
+
+WireBuffer EncodeLviResponse(const LviResponse& response);
+Result<LviResponse> DecodeLviResponse(const WireBuffer& buffer);
+
+WireBuffer EncodeWriteFollowup(const WriteFollowup& followup);
+Result<WriteFollowup> DecodeWriteFollowup(const WireBuffer& buffer);
+
+// --- Function images (registration, §3.2) ---------------------------------------
+
+WireBuffer EncodeFunction(const FunctionDef& fn);
+Result<FunctionDef> DecodeFunction(const WireBuffer& buffer);
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_LVI_CODEC_H_

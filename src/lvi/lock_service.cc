@@ -1,0 +1,149 @@
+#include "src/lvi/lock_service.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace radical {
+
+void LocalLockService::AcquireAll(ExecutionId exec, std::vector<Key> keys,
+                                  std::vector<LockMode> modes, std::function<void()> granted) {
+  table_.AcquireAll(exec, std::move(keys), std::move(modes), std::move(granted));
+}
+
+void LocalLockService::ReleaseAll(ExecutionId exec) { table_.ReleaseAll(exec); }
+
+ReplicatedLockService::ReplicatedLockService(Simulator* sim, int node_count,
+                                             RaftOptions raft_options,
+                                             LocalMeshOptions mesh_options, bool batched)
+    : sim_(sim), batched_(batched) {
+  machines_.reserve(static_cast<size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    auto machine = std::make_unique<LockStateMachine>();
+    machine->set_grant_listener(
+        [this](ExecutionId exec, const Key& key) { OnGrant(exec, key); });
+    machines_.push_back(std::move(machine));
+  }
+  cluster_ = std::make_unique<RaftCluster>(
+      sim, node_count, raft_options,
+      [this](NodeId id) -> RaftNode::ApplyFn {
+        // On restart the machine is rebuilt from scratch and replayed.
+        auto machine = std::make_unique<LockStateMachine>();
+        machine->set_grant_listener(
+            [this](ExecutionId exec, const Key& key) { OnGrant(exec, key); });
+        machines_[static_cast<size_t>(id)] = std::move(machine);
+        LockStateMachine* raw = machines_[static_cast<size_t>(id)].get();
+        return [raw](LogIndex index, const std::string& command) { raw->Apply(index, command); };
+      },
+      mesh_options);
+  // Snapshot hooks resolve the machine at call time, so they stay valid
+  // across node restarts (which recreate the machines).
+  for (NodeId id = 0; id < node_count; ++id) {
+    cluster_->node(id)->set_snapshot_hooks(
+        [this, id]() { return machines_[static_cast<size_t>(id)]->EncodeSnapshot(); },
+        [this, id](const std::string& data) {
+          machines_[static_cast<size_t>(id)]->RestoreSnapshot(data);
+        });
+  }
+}
+
+ReplicatedLockService::~ReplicatedLockService() = default;
+
+bool ReplicatedLockService::Bootstrap() { return cluster_->StartAndElect() >= 0; }
+
+const LockStateMachine* ReplicatedLockService::LeaderState() const {
+  const NodeId id = cluster_->LeaderId();
+  return id < 0 ? nullptr : machines_[static_cast<size_t>(id)].get();
+}
+
+void ReplicatedLockService::AcquireAll(ExecutionId exec, std::vector<Key> keys,
+                                       std::vector<LockMode> modes,
+                                       std::function<void()> granted) {
+  assert(keys.size() == modes.size());
+  if (keys.empty()) {
+    sim_->Schedule(0, std::move(granted));
+    return;
+  }
+  PendingAcquire acq{std::move(keys), std::move(modes), 0, {}, std::move(granted)};
+  const auto [it, inserted] = pending_.emplace(exec, std::move(acq));
+  (void)inserted;
+  if (batched_) {
+    // One commit carries the whole (sorted) key set; the state machine
+    // grants what is free and queues the rest atomically.
+    cluster_->SubmitToLeader(
+        LockStateMachine::EncodeBatchAcquire(exec, it->second.keys, it->second.modes),
+        [](LogIndex index) {
+          if (index == 0) {
+            RLOG(kWarn) << "replicated batch-acquire proposal timed out";
+          }
+        });
+    return;
+  }
+  SubmitNext(exec);
+}
+
+void ReplicatedLockService::SubmitNext(ExecutionId exec) {
+  const auto it = pending_.find(exec);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingAcquire& acq = it->second;
+  assert(acq.next < acq.keys.size());
+  const std::string command =
+      LockStateMachine::EncodeAcquire(exec, acq.modes[acq.next], acq.keys[acq.next]);
+  // Locks are acquired in series (§5.6): the next key is only submitted once
+  // this one is granted — see OnGrant.
+  cluster_->SubmitToLeader(command, [](LogIndex index) {
+    if (index == 0) {
+      RLOG(kWarn) << "replicated lock acquire proposal timed out";
+    }
+  });
+}
+
+void ReplicatedLockService::OnGrant(ExecutionId exec, const Key& key) {
+  // Every replica applies every command; act once per (exec, key).
+  if (!seen_grants_.emplace(exec, key).second) {
+    return;
+  }
+  const auto it = pending_.find(exec);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingAcquire& acq = it->second;
+  const bool expected =
+      std::find(acq.keys.begin(), acq.keys.end(), key) != acq.keys.end();
+  if (!expected) {
+    return;  // A grant for some other key (e.g. replayed after restart).
+  }
+  acq.granted_keys.insert(key);
+  if (!batched_ && acq.next < acq.keys.size() && acq.keys[acq.next] == key) {
+    ++acq.next;
+    if (acq.next < acq.keys.size()) {
+      // Schedule rather than recurse: grants fire inside Raft's apply path.
+      sim_->Schedule(0, [this, exec] { SubmitNext(exec); });
+    }
+  }
+  if (acq.granted_keys.size() < acq.keys.size()) {
+    return;
+  }
+  std::function<void()> granted = std::move(acq.granted);
+  pending_.erase(it);
+  if (granted) {
+    sim_->Schedule(0, std::move(granted));
+  }
+}
+
+void ReplicatedLockService::ReleaseAll(ExecutionId exec) {
+  pending_.erase(exec);
+  for (auto it = seen_grants_.begin(); it != seen_grants_.end();) {
+    if (it->first == exec) {
+      it = seen_grants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cluster_->SubmitToLeader(LockStateMachine::EncodeRelease(exec), {});
+}
+
+}  // namespace radical

@@ -1,0 +1,166 @@
+#include "src/lvi/lock_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace radical {
+
+LockTable::LockTable(Simulator* sim) : sim_(sim) {}
+
+void LockTable::AcquireAll(ExecutionId exec, std::vector<Key> keys, std::vector<LockMode> modes,
+                           std::function<void()> granted) {
+  assert(keys.size() == modes.size());
+  assert(std::is_sorted(keys.begin(), keys.end()));
+  assert(pending_.count(exec) == 0 && "one acquisition at a time per execution");
+  ++acquisitions_;
+  Acquisition acq{std::move(keys), std::move(modes), 0, std::move(granted)};
+  pending_.emplace(exec, std::move(acq));
+  Advance(exec);
+}
+
+void LockTable::Advance(ExecutionId exec) {
+  const auto it = pending_.find(exec);
+  if (it == pending_.end()) {
+    return;
+  }
+  Acquisition& acq = it->second;
+  while (acq.next < acq.keys.size()) {
+    const Key& key = acq.keys[acq.next];
+    const LockMode mode = acq.modes[acq.next];
+    KeyLock& lock = locks_[key];
+    // Already held (write subsumes read in the rw-set, so re-requests only
+    // happen if a caller passes duplicate keys; treat as held).
+    if (lock.writer == exec || lock.readers.count(exec) > 0) {
+      ++acq.next;
+      continue;
+    }
+    const bool grantable = mode == LockMode::kWrite
+                               ? lock.Free() && lock.queue.empty()
+                               : lock.writer == 0 && lock.queue.empty();
+    if (!grantable) {
+      ++waits_;
+      lock.queue.push_back(Waiter{exec, mode});
+      return;  // Parked; DrainQueue resumes us on release.
+    }
+    Hold(exec, mode, key, lock);
+    ++acq.next;
+  }
+  // All keys held.
+  std::function<void()> granted = std::move(acq.granted);
+  pending_.erase(it);
+  if (granted) {
+    // Zero-delay event: callers never re-enter the table from inside it.
+    sim_->Schedule(0, std::move(granted));
+  }
+}
+
+void LockTable::Hold(ExecutionId exec, LockMode mode, const Key& key, KeyLock& lock) {
+  if (mode == LockMode::kWrite) {
+    assert(lock.Free());
+    lock.writer = exec;
+  } else {
+    assert(lock.writer == 0);
+    lock.readers.insert(exec);
+  }
+  held_[exec].insert(key);
+}
+
+void LockTable::ReleaseAll(ExecutionId exec) {
+  // Cancel queued waits (robustness; the LVI protocol never releases while
+  // still acquiring, but failure handling may).
+  const auto pit = pending_.find(exec);
+  if (pit != pending_.end()) {
+    for (const Key& key : pit->second.keys) {
+      const auto lit = locks_.find(key);
+      if (lit == locks_.end()) {
+        continue;
+      }
+      auto& queue = lit->second.queue;
+      queue.erase(std::remove_if(queue.begin(), queue.end(),
+                                 [exec](const Waiter& w) { return w.exec == exec; }),
+                  queue.end());
+    }
+    pending_.erase(pit);
+  }
+  const auto hit = held_.find(exec);
+  if (hit == held_.end()) {
+    return;
+  }
+  const std::set<Key> keys = hit->second;
+  held_.erase(hit);
+  for (const Key& key : keys) {
+    const auto lit = locks_.find(key);
+    if (lit == locks_.end()) {
+      continue;
+    }
+    KeyLock& lock = lit->second;
+    if (lock.writer == exec) {
+      lock.writer = 0;
+    }
+    lock.readers.erase(exec);
+    DrainQueue(key);
+    const auto lit2 = locks_.find(key);
+    if (lit2 != locks_.end() && lit2->second.Free() && lit2->second.queue.empty()) {
+      locks_.erase(lit2);
+    }
+  }
+}
+
+void LockTable::DrainQueue(const Key& key) {
+  // Waiters resumed here continue their own sequential acquisitions; the
+  // loop re-reads the lock each round because Advance may mutate locks_.
+  for (;;) {
+    const auto lit = locks_.find(key);
+    if (lit == locks_.end() || lit->second.queue.empty()) {
+      return;
+    }
+    KeyLock& lock = lit->second;
+    const Waiter head = lock.queue.front();
+    if (head.mode == LockMode::kWrite) {
+      if (!lock.Free()) {
+        return;
+      }
+      lock.queue.pop_front();
+      Hold(head.exec, head.mode, key, lock);
+      const auto pit = pending_.find(head.exec);
+      if (pit != pending_.end()) {
+        ++pit->second.next;
+        Advance(head.exec);
+      }
+      return;  // A granted writer excludes everything behind it.
+    }
+    if (lock.writer != 0) {
+      return;
+    }
+    lock.queue.pop_front();
+    Hold(head.exec, head.mode, key, lock);
+    const auto pit = pending_.find(head.exec);
+    if (pit != pending_.end()) {
+      ++pit->second.next;
+      Advance(head.exec);
+    }
+    // Consecutive readers are granted together: loop.
+  }
+}
+
+bool LockTable::IsWriteHeldBy(const Key& key, ExecutionId exec) const {
+  const auto it = locks_.find(key);
+  return it != locks_.end() && it->second.writer == exec;
+}
+
+bool LockTable::IsReadHeldBy(const Key& key, ExecutionId exec) const {
+  const auto it = locks_.find(key);
+  return it != locks_.end() && it->second.readers.count(exec) > 0;
+}
+
+size_t LockTable::WaitingCount(const Key& key) const {
+  const auto it = locks_.find(key);
+  return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+size_t LockTable::HeldKeyCount(ExecutionId exec) const {
+  const auto it = held_.find(exec);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace radical

@@ -1,0 +1,94 @@
+// LockTable: the singleton LVI server's in-memory read/write lock table.
+//
+// Each LVI request acquires a read or write lock per item in its read/write
+// set (§3.6). Locks are acquired in lexicographic key order, strictly one
+// after another (resource ordering — provably deadlock-free), with FIFO wait
+// queues per key: readers share, writers exclude, and a new reader queues
+// behind a waiting writer so writers cannot starve.
+//
+// The table is in-memory (the paper persists it to disk for durability; the
+// replicated variant in lock_service.h moves it into Raft). Grant
+// continuations are scheduled as zero-delay simulator events, never run
+// re-entrantly inside Acquire/Release.
+
+#ifndef RADICAL_SRC_LVI_LOCK_TABLE_H_
+#define RADICAL_SRC_LVI_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/analysis/rw_set.h"
+#include "src/sim/simulator.h"
+
+namespace radical {
+
+class LockTable {
+ public:
+  explicit LockTable(Simulator* sim);
+
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  // Acquires a lock on every key (sorted lexicographically; asserted) with
+  // the matching mode; `granted` fires once all are held. Keys are taken
+  // strictly in order — the acquisition blocks on the first contended key.
+  void AcquireAll(ExecutionId exec, std::vector<Key> keys, std::vector<LockMode> modes,
+                  std::function<void()> granted);
+
+  // Releases every lock held by `exec` and cancels any of its queued waits;
+  // unblocked waiters continue their acquisition sequences.
+  void ReleaseAll(ExecutionId exec);
+
+  // --- Introspection ------------------------------------------------------
+  bool IsWriteHeldBy(const Key& key, ExecutionId exec) const;
+  bool IsReadHeldBy(const Key& key, ExecutionId exec) const;
+  size_t WaitingCount(const Key& key) const;
+  size_t HeldKeyCount(ExecutionId exec) const;
+  size_t active_lock_count() const { return locks_.size(); }
+
+  // --- Stats ---------------------------------------------------------------
+  uint64_t acquisitions() const { return acquisitions_; }
+  uint64_t waits() const { return waits_; }  // Acquisitions that queued.
+
+ private:
+  struct Waiter {
+    ExecutionId exec;
+    LockMode mode;
+  };
+
+  struct KeyLock {
+    ExecutionId writer = 0;  // 0 = none.
+    std::set<ExecutionId> readers;
+    std::deque<Waiter> queue;
+
+    bool Free() const { return writer == 0 && readers.empty(); }
+  };
+
+  struct Acquisition {
+    std::vector<Key> keys;
+    std::vector<LockMode> modes;
+    size_t next = 0;  // Index of the next key to take.
+    std::function<void()> granted;
+  };
+
+  // Advances `exec`'s acquisition: takes every immediately available key,
+  // queues on the first contended one, fires `granted` when done.
+  void Advance(ExecutionId exec);
+  void Hold(ExecutionId exec, LockMode mode, const Key& key, KeyLock& lock);
+  void DrainQueue(const Key& key);
+
+  Simulator* sim_;
+  std::map<Key, KeyLock> locks_;
+  std::map<ExecutionId, std::set<Key>> held_;
+  std::map<ExecutionId, Acquisition> pending_;
+  uint64_t acquisitions_ = 0;
+  uint64_t waits_ = 0;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_LVI_LOCK_TABLE_H_

@@ -1,0 +1,376 @@
+#include "src/lvi/lvi_server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace radical {
+
+namespace {
+
+size_t ValueWireSize(const Value& v) { return v.ApproxSizeBytes() + 4; }
+
+}  // namespace
+
+size_t LviRequest::ApproxSizeBytes() const {
+  size_t n = 64;  // Header, exec id, function name.
+  n += function.size();
+  for (const Value& v : inputs) {
+    n += ValueWireSize(v);
+  }
+  for (const LviItem& item : items) {
+    n += item.key.size() + 9;  // Key + version + mode.
+  }
+  return n;
+}
+
+size_t LviResponse::ApproxSizeBytes() const {
+  size_t n = 32;
+  n += ValueWireSize(backup_result);
+  for (const FreshItem& item : fresh_items) {
+    n += item.key.size() + ValueWireSize(item.value) + 8;
+  }
+  return n;
+}
+
+size_t WriteFollowup::ApproxSizeBytes() const {
+  size_t n = 32;
+  for (const BufferedWrite& w : writes) {
+    n += w.key.size() + ValueWireSize(w.value);
+  }
+  return n;
+}
+
+LviServer::LviServer(Simulator* sim, VersionedStore* store, const FunctionRegistry* registry,
+                     const Interpreter* interpreter, LockService* locks, LviServerOptions options,
+                     bool replicated, ExternalServiceRegistry* externals)
+    : sim_(sim),
+      store_(store),
+      registry_(registry),
+      interpreter_(interpreter),
+      locks_(locks),
+      options_(options),
+      replicated_(replicated),
+      externals_(externals) {}
+
+void LviServer::Crash() {
+  alive_ = false;
+  // Timers are in-memory: they die with the process. Locks (disk) and
+  // intents + execution records (primary store) survive in executions_.
+  for (auto& [exec_id, state] : executions_) {
+    (void)exec_id;
+    if (state.intent_timer != kInvalidEventId) {
+      sim_->Cancel(state.intent_timer);
+      state.intent_timer = kInvalidEventId;
+    }
+  }
+}
+
+void LviServer::Recover() {
+  assert(!alive_);
+  alive_ = true;
+  counters_.Increment("recoveries");
+  // Re-arm a timer for every intent still pending: their followups may have
+  // been lost while the server was down, and deterministic re-execution is
+  // how such writes reach the primary (§3.4).
+  for (auto& [exec_id, state] : executions_) {
+    if (intents_.IsPending(exec_id)) {
+      const ExecutionId id = exec_id;
+      state.intent_timer =
+          sim_->Schedule(options_.intent_timeout, [this, id] { FireIntentTimer(id); });
+    }
+  }
+}
+
+SimDuration LviServer::AdmissionDelay() {
+  if (options_.serving_capacity_rps == 0) {
+    return options_.process_delay;
+  }
+  // Deterministic service time 1/capacity; arrivals queue behind the busy
+  // period (M/D/1 with the workload's arrival process).
+  const SimDuration service_time =
+      Seconds(1) / static_cast<SimDuration>(options_.serving_capacity_rps);
+  const SimTime start = std::max(sim_->Now(), busy_until_);
+  busy_until_ = start + service_time;
+  const SimDuration queueing = start - sim_->Now();
+  if (queueing > 0) {
+    counters_.Increment("queued_arrivals");
+  }
+  return queueing + service_time + options_.process_delay;
+}
+
+void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
+  if (!alive_) {
+    counters_.Increment("dropped_while_down");
+    return;
+  }
+  counters_.Increment("lvi_requests");
+  sim_->Schedule(AdmissionDelay(),
+                 [this, request = std::move(request), respond = std::move(respond)]() mutable {
+                   // (4) Acquire a read or write lock per item, in the
+                   // request's (lexicographic) key order.
+                   std::vector<Key> keys;
+                   std::vector<LockMode> modes;
+                   keys.reserve(request.items.size());
+                   modes.reserve(request.items.size());
+                   for (const LviItem& item : request.items) {
+                     keys.push_back(item.key);
+                     modes.push_back(item.mode);
+                   }
+                   const ExecutionId exec_id = request.exec_id;
+                   locks_->AcquireAll(exec_id, std::move(keys), std::move(modes),
+                                      [this, request = std::move(request),
+                                       respond = std::move(respond)]() mutable {
+                                        Validate(std::move(request), std::move(respond));
+                                      });
+                 });
+}
+
+void LviServer::Validate(LviRequest request, RespondFn respond) {
+  // (5) One batched read of the primary's versions for every item.
+  std::vector<Key> keys;
+  keys.reserve(request.items.size());
+  for (const LviItem& item : request.items) {
+    keys.push_back(item.key);
+  }
+  SimDuration read_latency = 0;
+  std::vector<Version> primary_versions = store_->BatchVersions(keys, &read_latency);
+  std::vector<size_t> stale;
+  for (size_t i = 0; i < request.items.size(); ++i) {
+    if (request.items[i].cached_version != primary_versions[i]) {
+      stale.push_back(i);
+    }
+  }
+  sim_->Schedule(read_latency, [this, request = std::move(request), respond = std::move(respond),
+                                primary_versions = std::move(primary_versions),
+                                stale = std::move(stale)]() mutable {
+    if (stale.empty()) {
+      OnValidationSuccess(std::move(request), std::move(respond), std::move(primary_versions));
+    } else {
+      OnValidationFailure(std::move(request), std::move(respond), stale);
+    }
+  });
+}
+
+void LviServer::OnValidationSuccess(LviRequest request, RespondFn respond,
+                                    std::vector<Version> primary_versions) {
+  counters_.Increment("validate_success");
+  const ExecutionId exec_id = request.exec_id;
+  std::vector<Key> write_keys;
+  std::vector<Version> validated_versions;
+  for (size_t i = 0; i < request.items.size(); ++i) {
+    if (request.items[i].mode == LockMode::kWrite) {
+      write_keys.push_back(request.items[i].key);
+      validated_versions.push_back(primary_versions[i]);
+    }
+  }
+  if (write_keys.empty()) {
+    // Read-only: validation is the linearization point; nothing further will
+    // arrive for this execution, so the read locks release now.
+    locks_->ReleaseAll(exec_id);
+    LviResponse response;
+    response.exec_id = exec_id;
+    response.validated = true;
+    respond(std::move(response));
+    return;
+  }
+  // (6a) Commit a write intent (one primary-store write; plus the
+  // idempotency key in the replicated configuration) and start its timer,
+  // then reply. Locks stay held until the followup or re-execution.
+  SimDuration intent_latency = store_->options().write_latency;
+  if (replicated_) {
+    intent_latency += options_.idempotency_write;
+  }
+  sim_->Schedule(intent_latency, [this, request = std::move(request),
+                                  respond = std::move(respond),
+                                  write_keys = std::move(write_keys),
+                                  validated_versions = std::move(validated_versions)]() mutable {
+    const ExecutionId exec_id2 = request.exec_id;
+    const bool created = intents_.Create(exec_id2);
+    assert(created && "duplicate execution id");
+    (void)created;
+    ExecState state;
+    state.request = std::move(request);
+    state.write_keys = std::move(write_keys);
+    state.validated_versions = std::move(validated_versions);
+    state.intent_timer = sim_->Schedule(options_.intent_timeout,
+                                        [this, exec_id2] { FireIntentTimer(exec_id2); });
+    executions_.emplace(exec_id2, std::move(state));
+    LviResponse response;
+    response.exec_id = exec_id2;
+    response.validated = true;
+    respond(std::move(response));
+  });
+}
+
+void LviServer::OnValidationFailure(LviRequest request, RespondFn respond,
+                                    const std::vector<size_t>& stale_indices) {
+  counters_.Increment("validate_fail");
+  // (6b) Run the backup copy of the function against the primary, under the
+  // locks already held.
+  const AnalyzedFunction* fn = registry_->Find(request.function);
+  assert(fn != nullptr && "function not registered at the near-storage location");
+  std::vector<Key> stale_keys;
+  for (const size_t i : stale_indices) {
+    stale_keys.push_back(request.items[i].key);
+  }
+  sim_->Schedule(options_.backup_invoke_overhead, [this, request = std::move(request),
+                                                   respond = std::move(respond), fn,
+                                                   stale_keys = std::move(stale_keys)]() mutable {
+    const ExecEnv env{request.exec_id, externals_};
+    const ExecResult exec = interpreter_->Execute(fn->original, request.inputs, store_,
+                                                  options_.exec_limits, &env);
+    assert(exec.ok() && "backup execution failed");
+    // Cache repairs: every stale item plus everything the execution wrote.
+    std::vector<Key> repair_keys = stale_keys;
+    repair_keys.insert(repair_keys.end(), exec.writes.begin(), exec.writes.end());
+    std::sort(repair_keys.begin(), repair_keys.end());
+    repair_keys.erase(std::unique(repair_keys.begin(), repair_keys.end()), repair_keys.end());
+    LviResponse response;
+    response.exec_id = request.exec_id;
+    response.validated = false;
+    response.backup_result = exec.return_value;
+    for (const Key& key : repair_keys) {
+      const std::optional<Item> item = store_->Peek(key);
+      if (item.has_value()) {
+        response.fresh_items.push_back(FreshItem{key, item->value, item->version});
+      }
+    }
+    const ExecutionId exec_id = request.exec_id;
+    // (7b) The execution (and its elapsed virtual time) finishes, locks
+    // release, and the response heads back with the repairs.
+    sim_->Schedule(exec.elapsed, [this, exec_id, respond = std::move(respond),
+                                  response = std::move(response)]() mutable {
+      locks_->ReleaseAll(exec_id);
+      respond(std::move(response));
+    });
+  });
+}
+
+void LviServer::HandleFollowup(WriteFollowup followup, std::function<void()> ack) {
+  if (!alive_) {
+    counters_.Increment("dropped_while_down");
+    return;
+  }
+  counters_.Increment("followups_received");
+  sim_->Schedule(AdmissionDelay(), [this, followup = std::move(followup),
+                                          ack = std::move(ack)]() mutable {
+    const ExecutionId exec_id = followup.exec_id;
+    if (!intents_.TryComplete(exec_id)) {
+      // The intent was already handled (re-execution beat us, or this is a
+      // duplicate): discard (§3.6, "validation succeeds but the followup is
+      // late").
+      counters_.Increment("followup_late");
+      if (ack) {
+        ack();
+      }
+      return;
+    }
+    const auto it = executions_.find(exec_id);
+    assert(it != executions_.end());
+    ExecState state = std::move(it->second);
+    executions_.erase(it);
+    if (state.intent_timer != kInvalidEventId) {
+      sim_->Cancel(state.intent_timer);
+    }
+    counters_.Increment("followup_applied");
+    ApplyAndFinish(std::move(state), followup.writes, std::move(ack));
+  });
+}
+
+void LviServer::ApplyAndFinish(ExecState state, const std::vector<BufferedWrite>& writes,
+                               std::function<void()> ack) {
+  // (9) Apply the updates under the versions pinned at validation; the write
+  // locks guarantee nothing moved underneath.
+  SimDuration apply_latency = 0;
+  for (const BufferedWrite& write : writes) {
+    const auto pos = std::lower_bound(state.write_keys.begin(), state.write_keys.end(), write.key);
+    assert(pos != state.write_keys.end() && *pos == write.key &&
+           "followup write outside the declared write set");
+    const size_t idx = static_cast<size_t>(pos - state.write_keys.begin());
+    store_->ApplyValidatedWrite(write.key, write.value, state.validated_versions[idx],
+                                &apply_latency);
+  }
+  const ExecutionId exec_id = state.request.exec_id;
+  sim_->Schedule(apply_latency, [this, exec_id, ack = std::move(ack)] {
+    // (10) Release the locks and retire the intent.
+    locks_->ReleaseAll(exec_id);
+    intents_.Remove(exec_id);
+    if (ack) {
+      ack();
+    }
+  });
+}
+
+void LviServer::FireIntentTimer(ExecutionId exec_id) {
+  if (!alive_) {
+    return;  // Fired while down (cancelled timers never fire; guard anyway).
+  }
+  if (!intents_.TryComplete(exec_id)) {
+    return;  // The followup won the race.
+  }
+  const auto it = executions_.find(exec_id);
+  assert(it != executions_.end());
+  ExecState state = std::move(it->second);
+  executions_.erase(it);
+  counters_.Increment("reexecute");
+  if (replicated_ && !idempotency_.RecordOnce(exec_id)) {
+    // At-most-once near storage: a previous near-storage run already
+    // happened for this request; just clean up.
+    locks_->ReleaseAll(exec_id);
+    intents_.Remove(exec_id);
+    return;
+  }
+  // Deterministic re-execution (§3.4): same inputs, and the read locks held
+  // since the LVI request guarantee the same storage state, so the writes
+  // are identical to the speculative ones that never arrived.
+  const AnalyzedFunction* fn = registry_->Find(state.request.function);
+  assert(fn != nullptr);
+  // Same execution id as the speculative run: external-service idempotency
+  // keys match, so services replay instead of re-charging (§3.5).
+  const ExecEnv env{exec_id, externals_};
+  const ExecResult exec = interpreter_->Execute(fn->original, state.request.inputs, store_,
+                                                options_.exec_limits, &env);
+  assert(exec.ok() && "deterministic re-execution failed");
+  sim_->Schedule(options_.backup_invoke_overhead + exec.elapsed, [this, exec_id] {
+    locks_->ReleaseAll(exec_id);
+    intents_.Remove(exec_id);
+  });
+}
+
+void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
+  if (!alive_) {
+    counters_.Increment("dropped_while_down");
+    return;
+  }
+  counters_.Increment("direct_requests");
+  const AnalyzedFunction* fn = registry_->Find(request.function);
+  assert(fn != nullptr && "function not registered at the near-storage location");
+  sim_->Schedule(
+      options_.process_delay + options_.backup_invoke_overhead,
+      [this, request = std::move(request), respond = std::move(respond), fn]() mutable {
+        const ExecEnv env{request.exec_id, externals_};
+        const ExecResult exec = interpreter_->Execute(fn->original, request.inputs, store_,
+                                                      options_.exec_limits, &env);
+        assert(exec.ok() && "direct execution failed");
+        DirectResponse response;
+        response.exec_id = request.exec_id;
+        response.result = exec.return_value;
+        std::vector<Key> written = exec.writes;
+        std::sort(written.begin(), written.end());
+        written.erase(std::unique(written.begin(), written.end()), written.end());
+        for (const Key& key : written) {
+          const std::optional<Item> item = store_->Peek(key);
+          if (item.has_value()) {
+            response.fresh_items.push_back(FreshItem{key, item->value, item->version});
+          }
+        }
+        sim_->Schedule(exec.elapsed, [respond = std::move(respond),
+                                      response = std::move(response)]() mutable {
+          respond(std::move(response));
+        });
+      });
+}
+
+}  // namespace radical

@@ -1,0 +1,157 @@
+// LviServer: the near-storage server handling LVI requests (§3.2, Figure 3).
+//
+// One server runs alongside the primary copy of the data. For each LVI
+// request it (4) acquires a read/write lock per item, (5) validates the
+// cache's versions against the primary, then either (6a) sets up a write
+// intent with a timer and replies success, or (6b) runs the backup copy of
+// the function against the primary, releases the locks, and replies with the
+// result plus fresh values for the near-user cache. Write followups apply
+// speculative writes and release locks; if a followup never arrives, the
+// intent timer triggers deterministic re-execution (§3.4). Late followups
+// lose the intent race and are discarded (§3.6, case 3).
+//
+// The server is transport-agnostic: callers hand it a request plus a respond
+// callback, and the Radical runtime wraps both sides with network sends.
+
+#ifndef RADICAL_SRC_LVI_LVI_SERVER_H_
+#define RADICAL_SRC_LVI_LVI_SERVER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/registry.h"
+#include "src/common/stats.h"
+#include "src/kv/intent_table.h"
+#include "src/kv/versioned_store.h"
+#include "src/lvi/lock_service.h"
+#include "src/lvi/messages.h"
+#include "src/sim/simulator.h"
+
+namespace radical {
+
+struct LviServerOptions {
+  // Request parsing / handler dispatch.
+  SimDuration process_delay = Micros(300);
+  // Overhead of invoking the backup copy of a function in the near-storage
+  // location (the paper measures ~12 ms to invoke a Lambda in-datacenter).
+  SimDuration backup_invoke_overhead = Millis(12);
+  // Write-intent timer: longer than the expected execution latency of the
+  // function plus the followup's network trip (§3.4).
+  SimDuration intent_timeout = Millis(1500);
+  // Replicated mode only (§5.6): cost of writing + updating the idempotency
+  // key for a function invocation (the paper measures 3 ms).
+  SimDuration idempotency_write = Millis(3);
+  // Serving capacity in requests/second; 0 = unlimited. The paper's server
+  // is a singleton t3.2xlarge and "the only bottleneck Radical introduces"
+  // (§5.3): with a finite capacity, arrivals queue M/D/1-style and response
+  // times blow up near saturation (bench/throughput_server).
+  uint64_t serving_capacity_rps = 0;
+  ExecLimits exec_limits;
+};
+
+class LviServer {
+ public:
+  using RespondFn = std::function<void(LviResponse)>;
+  using DirectRespondFn = std::function<void(DirectResponse)>;
+
+  // All pointers must outlive the server. `locks` is either a
+  // LocalLockService (singleton server, §4) or a ReplicatedLockService
+  // (§5.6); pass `replicated=true` with the latter to enable idempotency-key
+  // accounting and at-most-once enforcement.
+  // `externals` (optional) provides the external services functions may
+  // call (§3.5); backup executions and deterministic re-executions reuse
+  // the original execution id so services deduplicate.
+  LviServer(Simulator* sim, VersionedStore* store, const FunctionRegistry* registry,
+            const Interpreter* interpreter, LockService* locks, LviServerOptions options = {},
+            bool replicated = false, ExternalServiceRegistry* externals = nullptr);
+
+  LviServer(const LviServer&) = delete;
+  LviServer& operator=(const LviServer&) = delete;
+
+  // Handles one LVI request; `respond` fires (as a simulator event) when the
+  // response is ready to be sent back.
+  void HandleLviRequest(LviRequest request, RespondFn respond);
+
+  // Handles a write followup. Normally no response is sent (the client was
+  // already answered before the followup left the near-user location); the
+  // optional `ack` exists for the two-round-trip ablation, firing once the
+  // writes are applied (or the followup is discarded as late).
+  void HandleFollowup(WriteFollowup followup, std::function<void()> ack = {});
+
+  // Executes a function directly in the near-storage location: the fallback
+  // for unanalyzable functions, and the primary-datacenter baseline's path.
+  void HandleDirect(DirectRequest request, DirectRespondFn respond);
+
+  // --- Failure injection ------------------------------------------------------
+  // Crash-stops the server: requests and followups arriving while it is down
+  // are lost (clients see no reply until they retry; LVI requests cannot be
+  // handled "until the server is brought back online", §5.6). Volatile state
+  // — the intent timers — dies; the durable state survives: locks are
+  // persisted to disk (§4) and write intents (with the execution's inputs)
+  // live in the primary store (§3.1).
+  void Crash();
+
+  // Brings the server back: every still-pending write intent gets a fresh
+  // timer, so executions whose followups were lost during the outage resolve
+  // by deterministic re-execution.
+  void Recover();
+
+  bool alive() const { return alive_; }
+
+  // --- Statistics -----------------------------------------------------------
+  const Counters& counters() const { return counters_; }
+  uint64_t validations_succeeded() const { return counters_.Get("validate_success"); }
+  uint64_t validations_failed() const { return counters_.Get("validate_fail"); }
+  uint64_t reexecutions() const { return counters_.Get("reexecute"); }
+  uint64_t late_followups_discarded() const { return counters_.Get("followup_late"); }
+  double ValidationSuccessRate() const {
+    return counters_.RatioOf("validate_success", "validate_fail");
+  }
+  // True if no execution state is pending (tests: nothing leaked).
+  bool idle() const { return executions_.empty(); }
+
+ private:
+  struct ExecState {
+    LviRequest request;
+    std::vector<Key> write_keys;              // Sorted.
+    std::vector<Version> validated_versions;  // Parallel to write_keys.
+    EventId intent_timer = kInvalidEventId;
+  };
+
+  void Validate(LviRequest request, RespondFn respond);
+  void OnValidationSuccess(LviRequest request, RespondFn respond,
+                           std::vector<Version> primary_versions);
+  void OnValidationFailure(LviRequest request, RespondFn respond,
+                           const std::vector<size_t>& stale_indices);
+  void FireIntentTimer(ExecutionId exec_id);
+  // Applies `writes` under the validated versions in `state` and finishes
+  // the execution (release locks, complete + remove intent).
+  void ApplyAndFinish(ExecState state, const std::vector<BufferedWrite>& writes,
+                      std::function<void()> ack);
+
+  Simulator* sim_;
+  VersionedStore* store_;
+  const FunctionRegistry* registry_;
+  const Interpreter* interpreter_;
+  LockService* locks_;
+  LviServerOptions options_;
+  bool replicated_;
+  ExternalServiceRegistry* externals_;
+  bool alive_ = true;
+  IntentTable intents_;
+  IdempotencyTable idempotency_;
+  std::unordered_map<ExecutionId, ExecState> executions_;
+  Counters counters_;
+  // Capacity model: the instant the server frees up (>= now when busy).
+  SimTime busy_until_ = 0;
+  // Admission: returns the queueing + processing delay for one arriving
+  // message under the capacity model.
+  SimDuration AdmissionDelay();
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_LVI_LVI_SERVER_H_

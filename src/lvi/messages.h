@@ -1,0 +1,89 @@
+// Wire messages of the LVI protocol.
+//
+// One LVI request travels near-user -> near-storage carrying the read/write
+// set (from f^rw) with the cache's version per item; the response reports
+// validation success, or — on failure — the backup execution's result plus
+// fresh copies of every stale or written item so the near-user cache can be
+// repaired (§3.2). The write followup ships the speculative writes after the
+// client has already been answered.
+
+#ifndef RADICAL_SRC_LVI_MESSAGES_H_
+#define RADICAL_SRC_LVI_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/rw_set.h"
+#include "src/common/types.h"
+#include "src/common/value.h"
+#include "src/kv/item.h"
+#include "src/kv/write_buffer.h"
+#include "src/sim/region.h"
+
+namespace radical {
+
+// One entry of the request's item list.
+struct LviItem {
+  Key key;
+  Version cached_version = kMissingVersion;  // -1 when absent from the cache.
+  LockMode mode = LockMode::kRead;
+};
+
+struct LviRequest {
+  ExecutionId exec_id = 0;
+  Region origin = Region::kVA;
+  std::string function;       // Registered function name.
+  std::vector<Value> inputs;  // Needed near-storage for backup execution and
+                              // deterministic re-execution (§3.4).
+  std::vector<LviItem> items;  // Sorted by key.
+
+  // Approximate wire size for bandwidth accounting.
+  size_t ApproxSizeBytes() const;
+};
+
+// Fresh copy shipped back for a stale or backup-written item.
+struct FreshItem {
+  Key key;
+  Value value;
+  Version version = 0;
+};
+
+struct LviResponse {
+  ExecutionId exec_id = 0;
+  bool validated = false;
+  // Validation failure only: the backup execution's result and fresh copies
+  // of stale/written items for cache repair. (On success the runtime needs
+  // nothing extra: validation proved its cached versions match the primary,
+  // so it installs its speculative writes at cached_version + 1 — exactly
+  // the version the primary will assign when the followup lands.)
+  Value backup_result;
+  std::vector<FreshItem> fresh_items;
+
+  size_t ApproxSizeBytes() const;
+};
+
+struct WriteFollowup {
+  ExecutionId exec_id = 0;
+  std::vector<BufferedWrite> writes;
+
+  size_t ApproxSizeBytes() const;
+};
+
+// Fallback path for functions the analyzer could not handle: the request is
+// forwarded whole and executes in the near-storage location (§3.3).
+struct DirectRequest {
+  ExecutionId exec_id = 0;
+  Region origin = Region::kVA;
+  std::string function;
+  std::vector<Value> inputs;
+};
+
+struct DirectResponse {
+  ExecutionId exec_id = 0;
+  Value result;
+  std::vector<FreshItem> fresh_items;  // Written items, for cache repair.
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_LVI_MESSAGES_H_

@@ -1,0 +1,46 @@
+// RadicalConfig: deployment-wide tuning knobs.
+//
+// Defaults reproduce the paper's AWS deployment (§5.2): ~12 ms Lambda
+// invocation, ~2 ms to load the WASM blob, DynamoDB-speed storage in every
+// location (the paper deliberately uses DynamoDB for the caches too, to
+// isolate the effect of the architecture), and the LVI server colocated with
+// the primary in Virginia.
+
+#ifndef RADICAL_SRC_RADICAL_CONFIG_H_
+#define RADICAL_SRC_RADICAL_CONFIG_H_
+
+#include "src/func/interpreter.h"
+#include "src/kv/cache_store.h"
+#include "src/kv/versioned_store.h"
+#include "src/lvi/lvi_server.h"
+
+namespace radical {
+
+struct RadicalConfig {
+  // §5.5 latency components (1) and (2): function instantiation and loading
+  // the WebAssembly blob from disk.
+  SimDuration lambda_invoke = Millis(12);
+  SimDuration blob_load = Millis(2);
+  // §5.5 component (3): invoking the extracted f^rw in the WASM runtime
+  // (fixed overhead on top of f^rw's own dependent reads). This cost is on
+  // the critical path — f^rw runs strictly before f (§3.3, §7).
+  SimDuration frw_invoke_overhead = Millis(3);
+
+  VersionedStoreOptions primary_store;
+  CacheStoreOptions cache;
+  LviServerOptions server;
+  ExecLimits exec_limits;
+
+  // --- Ablation switches (bench/ablation_design) ----------------------------
+  // Off: the function runs only after the LVI response validates, i.e. no
+  // overlap between coordination and execution.
+  bool speculation_enabled = true;
+  // Off: the runtime ships its writes and waits for the server's ack before
+  // answering the client — the "second round trip" the write-intent
+  // mechanism exists to avoid (§1).
+  bool single_request_commit = true;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_RADICAL_CONFIG_H_

@@ -1,0 +1,177 @@
+#include "src/radical/deployment.h"
+
+#include <cassert>
+
+namespace radical {
+
+namespace {
+
+// The near-storage location invokes backup copies the same way the near-user
+// location invokes functions: Lambda instantiation plus blob load.
+LviServerOptions ServerOptionsFor(const RadicalConfig& config) {
+  LviServerOptions options = config.server;
+  options.backup_invoke_overhead = config.lambda_invoke + config.blob_load;
+  options.exec_limits = config.exec_limits;
+  return options;
+}
+
+}  // namespace
+
+RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalConfig config,
+                                     std::vector<Region> regions, int replicated_locks)
+    : sim_(sim),
+      config_(std::move(config)),
+      analyzer_(&HostRegistry::Standard()),
+      interpreter_(&HostRegistry::Standard()),
+      registry_(&analyzer_),
+      primary_(config_.primary_store) {
+  LockService* locks = nullptr;
+  if (replicated_locks > 0) {
+    replicated_locks_ = std::make_unique<ReplicatedLockService>(sim, replicated_locks);
+    const bool elected = replicated_locks_->Bootstrap();
+    assert(elected && "replicated lock service failed to elect a leader");
+    (void)elected;
+    locks = replicated_locks_.get();
+  } else {
+    local_locks_ = std::make_unique<LocalLockService>(sim);
+    locks = local_locks_.get();
+  }
+  server_ = std::make_unique<LviServer>(sim, &primary_, &registry_, &interpreter_, locks,
+                                        ServerOptionsFor(config_),
+                                        /*replicated=*/replicated_locks > 0, &externals_);
+  for (const Region region : regions) {
+    runtimes_.emplace(region,
+                      std::make_unique<Runtime>(sim, network, region, kPrimaryRegion,
+                                                server_.get(), &registry_, &interpreter_,
+                                                config_, &externals_));
+  }
+}
+
+RadicalDeployment::~RadicalDeployment() = default;
+
+void RadicalDeployment::Invoke(Region origin, const std::string& function,
+                               std::vector<Value> inputs, std::function<void(Value)> done) {
+  runtime(origin).Invoke(function, std::move(inputs), std::move(done));
+}
+
+const AnalyzedFunction& RadicalDeployment::RegisterFunction(const FunctionDef& fn) {
+  return registry_.Register(fn);
+}
+
+void RadicalDeployment::Seed(const Key& key, const Value& value) { primary_.Seed(key, value); }
+
+void RadicalDeployment::WarmCaches() {
+  primary_.ForEachItem([this](const Key& key, const Item& item) {
+    for (auto& [region, runtime] : runtimes_) {
+      (void)region;
+      runtime->cache().Install(key, item.value, item.version);
+    }
+  });
+}
+
+Runtime& RadicalDeployment::runtime(Region region) {
+  const auto it = runtimes_.find(region);
+  assert(it != runtimes_.end() && "no runtime deployed in this region");
+  return *it->second;
+}
+
+PrimaryBaselineDeployment::PrimaryBaselineDeployment(Simulator* sim, Network* network,
+                                                     RadicalConfig config)
+    : sim_(sim),
+      network_(network),
+      config_(std::move(config)),
+      analyzer_(&HostRegistry::Standard()),
+      interpreter_(&HostRegistry::Standard()),
+      registry_(&analyzer_),
+      primary_(config_.primary_store) {
+  locks_ = std::make_unique<LocalLockService>(sim);
+  server_ = std::make_unique<LviServer>(sim, &primary_, &registry_, &interpreter_, locks_.get(),
+                                        ServerOptionsFor(config_), /*replicated=*/false,
+                                        &externals_);
+}
+
+void PrimaryBaselineDeployment::Invoke(Region origin, const std::string& function,
+                                       std::vector<Value> inputs,
+                                       std::function<void(Value)> done) {
+  // The request crosses the WAN to the application running beside the
+  // primary, executes there, and the response crosses back. No server hop:
+  // the client invokes the application directly.
+  DirectRequest request;
+  request.exec_id = sim_->NextId();
+  request.origin = origin;
+  request.function = function;
+  request.inputs = std::move(inputs);
+  network_->Send(origin, kPrimaryRegion, [this, origin, request = std::move(request),
+                                          done = std::move(done)]() mutable {
+    server_->HandleDirect(std::move(request),
+                          [this, origin, done = std::move(done)](DirectResponse response) {
+                            network_->Send(kPrimaryRegion, origin,
+                                           [done = std::move(done),
+                                            result = std::move(response.result)]() mutable {
+                                             done(std::move(result));
+                                           });
+                          });
+  });
+}
+
+const AnalyzedFunction& PrimaryBaselineDeployment::RegisterFunction(const FunctionDef& fn) {
+  return registry_.Register(fn);
+}
+
+void PrimaryBaselineDeployment::Seed(const Key& key, const Value& value) {
+  primary_.Seed(key, value);
+}
+
+LocalIdealDeployment::LocalIdealDeployment(Simulator* sim, RadicalConfig config,
+                                           std::vector<Region> regions)
+    : sim_(sim),
+      config_(std::move(config)),
+      analyzer_(&HostRegistry::Standard()),
+      interpreter_(&HostRegistry::Standard()),
+      registry_(&analyzer_) {
+  for (const Region region : regions) {
+    // Local storage with cache-grade latency: the paper's red line runs each
+    // location against its own (inconsistent) local store.
+    VersionedStoreOptions options;
+    options.read_latency = config_.cache.read_latency;
+    options.write_latency = config_.cache.write_latency;
+    stores_.emplace(region, std::make_unique<VersionedStore>(options));
+  }
+}
+
+void LocalIdealDeployment::Invoke(Region origin, const std::string& function,
+                                  std::vector<Value> inputs, std::function<void(Value)> done) {
+  const AnalyzedFunction* fn = registry_.Find(function);
+  assert(fn != nullptr && "function not registered");
+  sim_->Schedule(config_.lambda_invoke + config_.blob_load,
+                 [this, fn, origin, inputs = std::move(inputs), done = std::move(done)]() mutable {
+                   const ExecEnv env{sim_->NextId(), &externals_};
+                   const ExecResult exec = interpreter_.Execute(fn->original, inputs,
+                                                                &store(origin),
+                                                                config_.exec_limits, &env);
+                   assert(exec.ok() && "ideal execution failed");
+                   sim_->Schedule(exec.elapsed, [done = std::move(done),
+                                                 result = exec.return_value]() mutable {
+                     done(std::move(result));
+                   });
+                 });
+}
+
+const AnalyzedFunction& LocalIdealDeployment::RegisterFunction(const FunctionDef& fn) {
+  return registry_.Register(fn);
+}
+
+void LocalIdealDeployment::Seed(const Key& key, const Value& value) {
+  for (auto& [region, store] : stores_) {
+    (void)region;
+    store->Seed(key, value);
+  }
+}
+
+VersionedStore& LocalIdealDeployment::store(Region region) {
+  const auto it = stores_.find(region);
+  assert(it != stores_.end() && "no local store in this region");
+  return *it->second;
+}
+
+}  // namespace radical

@@ -1,0 +1,136 @@
+// Deployments: wiring for a whole Radical system and for the baselines the
+// evaluation compares against.
+//
+//  - RadicalDeployment: primary store + LVI server in the near-storage
+//    region, a Runtime (with its cache) per deployment location (§3.1).
+//  - PrimaryBaselineDeployment: the paper's baseline — every request is sent
+//    to the application copy running alongside the primary (§5.3).
+//  - LocalIdealDeployment: the "red line" — each location executes against
+//    local, *inconsistent* storage; the best possible latency and a bound no
+//    consistent system can beat (§2, §5.3).
+//
+// All three expose the same AppService interface so workloads and load
+// generators are deployment-agnostic.
+
+#ifndef RADICAL_SRC_RADICAL_DEPLOYMENT_H_
+#define RADICAL_SRC_RADICAL_DEPLOYMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/radical/runtime.h"
+
+namespace radical {
+
+class AppService {
+ public:
+  virtual ~AppService() = default;
+
+  // Invokes `function` on behalf of a client colocated with `origin`.
+  virtual void Invoke(Region origin, const std::string& function, std::vector<Value> inputs,
+                      std::function<void(Value)> done) = 0;
+
+  // Registers a function with the deployment (runs the static analyzer).
+  virtual const AnalyzedFunction& RegisterFunction(const FunctionDef& fn) = 0;
+
+  // Seeds an item into the deployment's authoritative storage.
+  virtual void Seed(const Key& key, const Value& value) = 0;
+
+  // External services reachable from this deployment's functions (§3.5).
+  virtual ExternalServiceRegistry& externals() = 0;
+};
+
+class RadicalDeployment : public AppService {
+ public:
+  // `replicated_locks > 0` switches the LVI server to the §5.6 configuration
+  // with that many Raft nodes holding the locks.
+  RadicalDeployment(Simulator* sim, Network* network, RadicalConfig config,
+                    std::vector<Region> regions, int replicated_locks = 0);
+  ~RadicalDeployment() override;
+
+  void Invoke(Region origin, const std::string& function, std::vector<Value> inputs,
+              std::function<void(Value)> done) override;
+  const AnalyzedFunction& RegisterFunction(const FunctionDef& fn) override;
+  void Seed(const Key& key, const Value& value) override;
+
+  // Copies every primary item (value and version) into every cache: the
+  // steady state after the gradual bootstrap of §3.2.
+  void WarmCaches();
+
+  Runtime& runtime(Region region);
+  LviServer& server() { return *server_; }
+  VersionedStore& primary() { return primary_; }
+  FunctionRegistry& registry() { return registry_; }
+  ExternalServiceRegistry& externals() override { return externals_; }
+  const RadicalConfig& config() const { return config_; }
+  LocalLockService* local_locks() { return local_locks_.get(); }
+  ReplicatedLockService* replicated_locks() { return replicated_locks_.get(); }
+
+ private:
+  Simulator* sim_;
+  RadicalConfig config_;
+  Analyzer analyzer_;
+  Interpreter interpreter_;
+  FunctionRegistry registry_;
+  ExternalServiceRegistry externals_;
+  VersionedStore primary_;
+  std::unique_ptr<LocalLockService> local_locks_;
+  std::unique_ptr<ReplicatedLockService> replicated_locks_;
+  std::unique_ptr<LviServer> server_;
+  std::map<Region, std::unique_ptr<Runtime>> runtimes_;
+};
+
+class PrimaryBaselineDeployment : public AppService {
+ public:
+  PrimaryBaselineDeployment(Simulator* sim, Network* network, RadicalConfig config);
+
+  void Invoke(Region origin, const std::string& function, std::vector<Value> inputs,
+              std::function<void(Value)> done) override;
+  const AnalyzedFunction& RegisterFunction(const FunctionDef& fn) override;
+  void Seed(const Key& key, const Value& value) override;
+
+  VersionedStore& primary() { return primary_; }
+  LviServer& server() { return *server_; }
+  ExternalServiceRegistry& externals() override { return externals_; }
+
+ private:
+  Simulator* sim_;
+  Network* network_;
+  RadicalConfig config_;
+  Analyzer analyzer_;
+  Interpreter interpreter_;
+  FunctionRegistry registry_;
+  ExternalServiceRegistry externals_;
+  VersionedStore primary_;
+  std::unique_ptr<LocalLockService> locks_;
+  std::unique_ptr<LviServer> server_;
+};
+
+class LocalIdealDeployment : public AppService {
+ public:
+  LocalIdealDeployment(Simulator* sim, RadicalConfig config, std::vector<Region> regions);
+
+  void Invoke(Region origin, const std::string& function, std::vector<Value> inputs,
+              std::function<void(Value)> done) override;
+  const AnalyzedFunction& RegisterFunction(const FunctionDef& fn) override;
+  // Seeds every region's local (divergent-by-design) store.
+  void Seed(const Key& key, const Value& value) override;
+
+  VersionedStore& store(Region region);
+  ExternalServiceRegistry& externals() override { return externals_; }
+
+ private:
+  Simulator* sim_;
+  RadicalConfig config_;
+  Analyzer analyzer_;
+  Interpreter interpreter_;
+  FunctionRegistry registry_;
+  ExternalServiceRegistry externals_;
+  std::map<Region, std::unique_ptr<VersionedStore>> stores_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_RADICAL_DEPLOYMENT_H_

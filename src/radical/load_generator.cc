@@ -1,0 +1,93 @@
+#include "src/radical/load_generator.h"
+
+namespace radical {
+
+LoadGenerator::LoadGenerator(Simulator* sim, AppService* service, std::vector<Region> regions,
+                             WorkloadFn workload, LoadGeneratorOptions options)
+    : sim_(sim),
+      service_(service),
+      regions_(std::move(regions)),
+      workload_(std::move(workload)),
+      options_(options) {}
+
+void LoadGenerator::Start() {
+  total_clients_ = static_cast<int>(regions_.size()) * options_.clients_per_region;
+  finished_clients_ = 0;
+  for (const Region region : regions_) {
+    for (int c = 0; c < options_.clients_per_region; ++c) {
+      auto rng = std::make_shared<Rng>(sim_->rng().Fork());
+      // Stagger client starts so they do not arrive in lockstep.
+      const SimDuration stagger = static_cast<SimDuration>(
+          rng->NextBelow(static_cast<uint64_t>(options_.think_time) + 1));
+      sim_->Schedule(stagger, [this, region, rng] {
+        RunClient(region, rng, options_.requests_per_client);
+      });
+    }
+  }
+}
+
+void LoadGenerator::RunClient(Region region, std::shared_ptr<Rng> rng, uint64_t remaining) {
+  if (remaining == 0) {
+    ++finished_clients_;
+    return;
+  }
+  RequestSpec spec = workload_(*rng);
+  const SimTime start = sim_->Now();
+  const std::string function = spec.function;
+  service_->Invoke(region, function, std::move(spec.inputs),
+                   [this, region, rng, remaining, start, function](Value result) {
+                     (void)result;
+                     samples_[{region, function}].Add(sim_->Now() - start);
+                     ++total_requests_;
+                     SimDuration think = options_.think_time;
+                     if (options_.think_jitter_frac > 0.0 && think > 0) {
+                       const double frac =
+                           1.0 + options_.think_jitter_frac * (2.0 * rng->NextDouble() - 1.0);
+                       think = static_cast<SimDuration>(static_cast<double>(think) * frac);
+                     }
+                     sim_->Schedule(think, [this, region, rng, remaining] {
+                       RunClient(region, rng, remaining - 1);
+                     });
+                   });
+}
+
+LatencySampler LoadGenerator::Overall() const {
+  LatencySampler out;
+  for (const auto& [key, sampler] : samples_) {
+    (void)key;
+    out.Merge(sampler);
+  }
+  return out;
+}
+
+LatencySampler LoadGenerator::ForRegion(Region region) const {
+  LatencySampler out;
+  for (const auto& [key, sampler] : samples_) {
+    if (key.first == region) {
+      out.Merge(sampler);
+    }
+  }
+  return out;
+}
+
+LatencySampler LoadGenerator::ForFunction(const std::string& function) const {
+  LatencySampler out;
+  for (const auto& [key, sampler] : samples_) {
+    if (key.second == function) {
+      out.Merge(sampler);
+    }
+  }
+  return out;
+}
+
+LatencySampler LoadGenerator::ForRegionFunction(Region region,
+                                                const std::string& function) const {
+  LatencySampler out;
+  const auto it = samples_.find({region, function});
+  if (it != samples_.end()) {
+    out.Merge(it->second);
+  }
+  return out;
+}
+
+}  // namespace radical

@@ -1,0 +1,82 @@
+// LoadGenerator: closed-loop logical clients driving an AppService.
+//
+// Mirrors the paper's methodology (§5.2): logical client processes colocated
+// with each deployment location issue requests drawn from an application's
+// workload mix, one outstanding request per client, with a short think time
+// between requests. Latency samples are collected per (region, function) so
+// every figure's grouping (per app, per region, per function) can be derived
+// from one run.
+
+#ifndef RADICAL_SRC_RADICAL_LOAD_GENERATOR_H_
+#define RADICAL_SRC_RADICAL_LOAD_GENERATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/radical/deployment.h"
+
+namespace radical {
+
+// One request drawn from a workload.
+struct RequestSpec {
+  std::string function;
+  std::vector<Value> inputs;
+};
+
+// Draws the next request (workloads are defined per application in
+// src/apps/workload.h).
+using WorkloadFn = std::function<RequestSpec(Rng& rng)>;
+
+struct LoadGeneratorOptions {
+  int clients_per_region = 10;
+  // Requests each client issues before stopping.
+  uint64_t requests_per_client = 200;
+  // Think time between a response and the next request.
+  SimDuration think_time = Millis(10);
+  double think_jitter_frac = 0.5;  // Uniform +/- fraction of think_time.
+};
+
+class LoadGenerator {
+ public:
+  LoadGenerator(Simulator* sim, AppService* service, std::vector<Region> regions,
+                WorkloadFn workload, LoadGeneratorOptions options = {});
+
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  // Starts every client; run the simulator afterwards. Completion can be
+  // polled with finished().
+  void Start();
+  bool finished() const { return finished_clients_ == total_clients_; }
+
+  // --- Results --------------------------------------------------------------
+  // All samples, across regions and functions.
+  LatencySampler Overall() const;
+  // Samples for one region (all functions).
+  LatencySampler ForRegion(Region region) const;
+  // Samples for one function (all regions).
+  LatencySampler ForFunction(const std::string& function) const;
+  LatencySampler ForRegionFunction(Region region, const std::string& function) const;
+  uint64_t total_requests() const { return total_requests_; }
+
+ private:
+  void RunClient(Region region, std::shared_ptr<Rng> rng, uint64_t remaining);
+
+  Simulator* sim_;
+  AppService* service_;
+  std::vector<Region> regions_;
+  WorkloadFn workload_;
+  LoadGeneratorOptions options_;
+  int total_clients_ = 0;
+  int finished_clients_ = 0;
+  uint64_t total_requests_ = 0;
+  std::map<std::pair<Region, std::string>, LatencySampler> samples_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_RADICAL_LOAD_GENERATOR_H_

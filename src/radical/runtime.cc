@@ -1,0 +1,300 @@
+#include "src/radical/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+#include "src/lvi/codec.h"
+
+namespace radical {
+
+Runtime::Runtime(Simulator* sim, Network* network, Region region, Region server_region,
+                 LviServer* server, const FunctionRegistry* registry,
+                 const Interpreter* interpreter, const RadicalConfig& config,
+                 ExternalServiceRegistry* externals)
+    : sim_(sim),
+      network_(network),
+      region_(region),
+      server_region_(server_region),
+      server_(server),
+      registry_(registry),
+      interpreter_(interpreter),
+      config_(config),
+      cache_(config.cache),
+      externals_(externals) {}
+
+void Runtime::Invoke(const std::string& function, std::vector<Value> inputs, DoneFn done) {
+  counters_.Increment("requests");
+  const SimTime invoked_at = sim_->Now();
+  // §5.5 components (1) and (2): instantiate the function, load the blob.
+  sim_->Schedule(config_.lambda_invoke + config_.blob_load,
+                 [this, function, inputs = std::move(inputs), done = std::move(done),
+                  invoked_at]() mutable {
+    auto state = std::make_shared<RequestState>();
+    state->exec_id = sim_->NextId();
+    state->function = function;
+    state->inputs = std::move(inputs);
+    state->done = std::move(done);
+    state->trace.exec_id = state->exec_id;
+    state->trace.function = function;
+    state->trace.region = region_;
+    state->trace.invoked = invoked_at;
+    state->trace.frw_started = sim_->Now();
+    const AnalyzedFunction* fn = registry_->Find(function);
+    assert(fn != nullptr && "function not registered");
+    if (!fn->analyzable) {
+      // §3.3 failure case: always run in the near-storage location.
+      counters_.Increment("direct_unanalyzable");
+      InvokeDirect(std::move(state));
+      return;
+    }
+    // (1) Run f^rw on the same inputs to get this execution's read/write set.
+    RwPrediction prediction = PredictRwSet(*fn, state->inputs, &cache_, *interpreter_);
+    if (!prediction.ok()) {
+      counters_.Increment("frw_failed");
+      InvokeDirect(std::move(state));
+      return;
+    }
+    // f^rw runs strictly before f (its latency is on the critical path,
+    // §3.3/§7); gathering the item versions costs one batched cache read.
+    const SimDuration frw_cost =
+        config_.frw_invoke_overhead + prediction.elapsed + cache_.options().read_latency;
+    sim_->Schedule(frw_cost, [this, state = std::move(state),
+                              rw = std::move(prediction.rw)]() mutable {
+      StartLvi(std::move(state), std::move(rw));
+    });
+  });
+}
+
+void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
+  state->trace.lvi_sent = sim_->Now();
+  const AnalyzedFunction* fn = registry_->Find(state->function);
+  // Assemble the LVI request: every item with its cached version and lock
+  // mode; misses carry version -1 so validation is guaranteed to fail and
+  // the response repopulates the cache (§3.2).
+  LviRequest request;
+  request.exec_id = state->exec_id;
+  request.origin = region_;
+  request.function = state->function;
+  request.inputs = state->inputs;
+  // Speculation is pointless only when a key the function *reads* is absent
+  // from the cache (validation is then guaranteed to fail, §3.2). A missing
+  // blind-write key is normal — functions create keys (new posts, bookings,
+  // votes) — and carries -1 that matches the primary's "absent" on the
+  // validate step.
+  bool read_missing = false;
+  for (const Key& key : rw.AllKeysSorted()) {
+    const Version version = cache_.VersionOf(key);
+    if (version == kMissingVersion && rw.reads.count(key) > 0) {
+      read_missing = true;
+    }
+    request.items.push_back(LviItem{key, version, rw.ModeFor(key)});
+    if (rw.ModeFor(key) == LockMode::kWrite) {
+      state->write_keys.push_back(key);
+      state->write_base_versions.push_back(version);
+    }
+  }
+  // (2b) Send the LVI request to the near-storage location. Wire sizes are
+  // the exact encoded lengths (src/lvi/codec.h).
+  const size_t request_size = EncodeLviRequest(request).size();
+  SendToServer([this, request, state] {
+    server_->HandleLviRequest(request, [this, state](LviResponse response) {
+      const size_t size = EncodeLviResponse(response).size();
+      SendFromServer([this, state, response = std::move(response)] {
+        state->response_received = true;
+        state->trace.response_received = sim_->Now();
+        state->trace.validated = response.validated;
+        state->response = response;
+        TryComplete(state);
+      }, size);
+    });
+  }, request_size);
+
+  // (2a) Speculatively execute f against the cache, writes buffered. Skipped
+  // on a cache miss (validation is guaranteed to fail) and under the
+  // no-speculation ablation.
+  if (read_missing) {
+    counters_.Increment("spec_skipped_miss");
+    return;
+  }
+  if (!config_.speculation_enabled) {
+    counters_.Increment("spec_disabled");
+    return;
+  }
+  state->buffer = std::make_unique<WriteBuffer>(&cache_);
+  const ExecEnv env{state->exec_id, externals_};
+  const ExecResult exec = interpreter_->Execute(fn->original, state->inputs,
+                                                state->buffer.get(), config_.exec_limits, &env);
+  assert(exec.ok() && "speculative execution failed");
+  state->speculated = true;
+  state->trace.speculated = true;
+  counters_.Increment("speculations");
+  sim_->Schedule(exec.elapsed, [this, state, result = exec.return_value] {
+    state->spec_finished = true;
+    state->trace.spec_finished = sim_->Now();
+    state->spec_result = result;
+    TryComplete(state);
+  });
+}
+
+void Runtime::TryComplete(const std::shared_ptr<RequestState>& state) {
+  // The client is answered only once the LVI response is in and — on the
+  // speculative path — the execution has finished (§3.2: "Radical delays
+  // responding to the client until it receives a response from the
+  // near-storage location and f finishes executing").
+  if (!state->response_received || state->completed) {
+    return;
+  }
+  if (!state->response.validated) {
+    state->completed = true;
+    CompleteFailed(state);
+    return;
+  }
+  if (state->speculated && !state->spec_finished) {
+    return;
+  }
+  state->completed = true;
+  CompleteValidated(state);
+}
+
+void Runtime::CompleteValidated(const std::shared_ptr<RequestState>& state) {
+  if (state->speculated) {
+    counters_.Increment("validated_speculative");
+    CommitSpeculation(state, state->spec_result);
+    return;
+  }
+  // Validation succeeded but nothing ran speculatively (miss whose key is
+  // absent at the primary too, or the no-speculation ablation): execute now
+  // against the cache — validation pinned every item to the primary's state,
+  // so the local run is equivalent to a near-storage run.
+  counters_.Increment("validated_local_exec");
+  const AnalyzedFunction* fn = registry_->Find(state->function);
+  state->buffer = std::make_unique<WriteBuffer>(&cache_);
+  const ExecEnv env{state->exec_id, externals_};
+  const ExecResult exec = interpreter_->Execute(fn->original, state->inputs, state->buffer.get(),
+                                                config_.exec_limits, &env);
+  assert(exec.ok());
+  sim_->Schedule(exec.elapsed, [this, state, result = exec.return_value] {
+    CommitSpeculation(state, result);
+  });
+}
+
+void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Value result) {
+  const std::vector<BufferedWrite> writes = state->buffer->DrainWrites();
+  // Install the speculative writes into the cache at validated version + 1
+  // — the exact version the primary will assign when the followup applies —
+  // and bump the version along with the update (§3.1).
+  for (const BufferedWrite& write : writes) {
+    const auto pos =
+        std::lower_bound(state->write_keys.begin(), state->write_keys.end(), write.key);
+    assert(pos != state->write_keys.end() && *pos == write.key &&
+           "speculative write outside the predicted write set");
+    const size_t idx = static_cast<size_t>(pos - state->write_keys.begin());
+    cache_.Install(write.key, write.value, state->write_base_versions[idx] + 1);
+  }
+  const SimDuration install_cost = writes.empty() ? 0 : cache_.options().write_latency;
+  sim_->Schedule(install_cost, [this, state, result = std::move(result),
+                                writes = std::move(writes)]() mutable {
+    if (writes.empty()) {
+      Reply(state, std::move(result));
+      return;
+    }
+    WriteFollowup followup;
+    followup.exec_id = state->exec_id;
+    followup.writes = std::move(writes);
+    if (config_.single_request_commit) {
+      // (7a) Reply, then (8a) ship the followup *after* returning to the
+      // client — the write intent guarantees the updates reach the primary
+      // even if this message is lost.
+      Reply(state, std::move(result));
+      if (followup_filter_ && !followup_filter_(followup)) {
+        // Injected near-user failure: the followup never leaves; the write
+        // intent's timer will re-execute near storage.
+        counters_.Increment("followups_dropped");
+        return;
+      }
+      const size_t followup_size = EncodeWriteFollowup(followup).size();
+      SendToServer([this, followup = std::move(followup)]() mutable {
+        server_->HandleFollowup(std::move(followup));
+      }, followup_size);
+      return;
+    }
+    // Two-round-trip ablation: wait for the server to apply the writes
+    // before answering — what the LVI protocol exists to avoid.
+    counters_.Increment("two_rtt_commits");
+    const size_t followup_size = EncodeWriteFollowup(followup).size();
+    SendToServer([this, state, result = std::move(result),
+                  followup = std::move(followup)]() mutable {
+      server_->HandleFollowup(std::move(followup), [this, state, result = std::move(result)]() mutable {
+        SendFromServer([this, state, result = std::move(result)]() mutable {
+          Reply(state, std::move(result));
+        }, 64);
+      });
+    }, followup_size);
+  });
+}
+
+void Runtime::CompleteFailed(const std::shared_ptr<RequestState>& state) {
+  counters_.Increment("invalidated_speculative");
+  // (8b) Repair the cache with the fresh items from the backup execution,
+  // then (9b) return the backup result to the client.
+  if (state->buffer != nullptr) {
+    state->buffer->Discard();
+  }
+  for (const FreshItem& item : state->response.fresh_items) {
+    cache_.Install(item.key, item.value, item.version);
+  }
+  const SimDuration repair_cost =
+      state->response.fresh_items.empty() ? 0 : cache_.options().write_latency;
+  sim_->Schedule(repair_cost, [this, state] {
+    Reply(state, state->response.backup_result);
+  });
+}
+
+void Runtime::InvokeDirect(std::shared_ptr<RequestState> state) {
+  DirectRequest request;
+  request.exec_id = state->exec_id;
+  request.origin = region_;
+  request.function = state->function;
+  request.inputs = state->inputs;
+  state->trace.direct = true;
+  SendToServer([this, request = std::move(request), state]() mutable {
+    server_->HandleDirect(std::move(request), [this, state](DirectResponse response) {
+      SendFromServer([this, state, response = std::move(response)] {
+        state->trace.response_received = sim_->Now();
+        for (const FreshItem& item : response.fresh_items) {
+          cache_.Install(item.key, item.value, item.version);
+        }
+        Reply(state, response.result);
+      }, 256);
+    });
+  }, 128);
+}
+
+
+void Runtime::SendToServer(std::function<void()> deliver, size_t bytes) {
+  network_->Send(region_, server_region_, [this, deliver = std::move(deliver)]() mutable {
+    sim_->Schedule(kServerHopRtt / 2, std::move(deliver));
+  }, bytes);
+}
+
+void Runtime::SendFromServer(std::function<void()> deliver, size_t bytes) {
+  // The server-side hop back to the edge of the datacenter, then the WAN.
+  sim_->Schedule(kServerHopRtt / 2, [this, deliver = std::move(deliver), bytes]() mutable {
+    network_->Send(server_region_, region_, std::move(deliver), bytes);
+  });
+}
+
+void Runtime::Reply(const std::shared_ptr<RequestState>& state, Value result) {
+  counters_.Increment("replies");
+  if (state->done) {
+    state->trace.replied = sim_->Now();
+    if (tracer_ != nullptr) {
+      tracer_->Record(state->trace);
+    }
+    DoneFn done = std::move(state->done);
+    done(std::move(result));
+  }
+}
+
+}  // namespace radical

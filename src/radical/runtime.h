@@ -1,0 +1,125 @@
+// Runtime: Radical's near-user component (§3.1, Figure 2).
+//
+// For each client request the runtime (1) runs f^rw against the local cache
+// to derive the read/write set, then simultaneously (2a) speculatively
+// executes f against the cache through a write buffer and (2b) sends the LVI
+// request — with the cache's version per item — to the near-storage
+// location. The client is answered when both the speculative execution and
+// the LVI response have arrived: with the speculative result if validation
+// succeeded (the write followup ships the buffered writes *after* the
+// reply), or with the backup execution's result if it failed (in which case
+// the response's fresh items repair the cache).
+//
+// Cache misses put version -1 in the request and skip speculation;
+// unanalyzable functions skip the protocol entirely and execute in the
+// near-storage location (§3.3).
+
+#ifndef RADICAL_SRC_RADICAL_RUNTIME_H_
+#define RADICAL_SRC_RADICAL_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/registry.h"
+#include "src/common/stats.h"
+#include "src/kv/cache_store.h"
+#include "src/lvi/lvi_server.h"
+#include "src/radical/config.h"
+#include "src/radical/trace.h"
+#include "src/sim/network.h"
+
+namespace radical {
+
+class Runtime {
+ public:
+  using DoneFn = std::function<void(Value result)>;
+
+  // `server` lives in `server_region` (the near-storage location); all
+  // pointers must outlive the runtime.
+  Runtime(Simulator* sim, Network* network, Region region, Region server_region,
+          LviServer* server, const FunctionRegistry* registry, const Interpreter* interpreter,
+          const RadicalConfig& config, ExternalServiceRegistry* externals = nullptr);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Invokes a registered function on behalf of a colocated client. `done`
+  // fires (as a simulator event) when the result is released to the client.
+  void Invoke(const std::string& function, std::vector<Value> inputs, DoneFn done);
+
+  Region region() const { return region_; }
+  CacheStore& cache() { return cache_; }
+  const Counters& counters() const { return counters_; }
+
+  // Failure-injection hook: return false to drop a write followup before it
+  // leaves this location (models near-user failure right after replying to
+  // the client — the case write intents + deterministic re-execution exist
+  // for, §3.4). Pass nullptr to clear.
+  using FollowupFilter = std::function<bool(const WriteFollowup&)>;
+  void set_followup_filter(FollowupFilter filter) { followup_filter_ = std::move(filter); }
+
+  // Attaches a trace collector; every completed request records a
+  // RequestTrace with its §5.5 phase boundaries. Pass nullptr to detach.
+  void set_tracer(TraceCollector* tracer) { tracer_ = tracer; }
+
+ private:
+  struct RequestState {
+    ExecutionId exec_id = 0;
+    std::string function;
+    std::vector<Value> inputs;
+    DoneFn done;
+    // Cached version per write key (sorted), for post-success installs.
+    std::vector<Key> write_keys;
+    std::vector<Version> write_base_versions;
+    // Speculation.
+    std::unique_ptr<WriteBuffer> buffer;
+    bool speculated = false;       // A speculative execution was started.
+    bool spec_finished = false;    // ... and its completion event fired.
+    Value spec_result;
+    // Rendezvous.
+    bool response_received = false;
+    bool completed = false;  // Client answered (or completion in progress).
+    LviResponse response;
+    RequestTrace trace;
+  };
+
+  // Runs the LVI path once f^rw produced a read/write set.
+  void StartLvi(std::shared_ptr<RequestState> state, RwSet rw);
+  // Fallback: execute in the near-storage location (unanalyzable functions
+  // or f^rw failure).
+  void InvokeDirect(std::shared_ptr<RequestState> state);
+  // Called when either the speculative execution or the LVI response is
+  // ready; completes the request when both are.
+  void TryComplete(const std::shared_ptr<RequestState>& state);
+  void CompleteValidated(const std::shared_ptr<RequestState>& state);
+  void CompleteFailed(const std::shared_ptr<RequestState>& state);
+  // Installs speculative writes into the cache and ships the followup.
+  void CommitSpeculation(const std::shared_ptr<RequestState>& state, Value result);
+  void Reply(const std::shared_ptr<RequestState>& state, Value result);
+  // Message legs to/from the LVI server: WAN path plus the intra-DC hop to
+  // the server's EC2 instance (kServerHopRtt; Table 2's lat_nu<->ns is the
+  // sum of both).
+  void SendToServer(std::function<void()> deliver, size_t bytes);
+  void SendFromServer(std::function<void()> deliver, size_t bytes);
+
+  Simulator* sim_;
+  Network* network_;
+  const Region region_;
+  const Region server_region_;
+  LviServer* server_;
+  const FunctionRegistry* registry_;
+  const Interpreter* interpreter_;
+  const RadicalConfig& config_;
+  CacheStore cache_;
+  Counters counters_;
+  FollowupFilter followup_filter_;
+  ExternalServiceRegistry* externals_;
+  TraceCollector* tracer_ = nullptr;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_RADICAL_RUNTIME_H_

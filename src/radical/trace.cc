@@ -1,0 +1,43 @@
+#include "src/radical/trace.h"
+
+namespace radical {
+
+std::vector<const RequestTrace*> TraceCollector::ForFunction(const std::string& function) const {
+  std::vector<const RequestTrace*> out;
+  for (const RequestTrace& trace : traces_) {
+    if (trace.function == function) {
+      out.push_back(&trace);
+    }
+  }
+  return out;
+}
+
+double TraceCollector::MeanMs(const std::string& function,
+                              SimDuration (RequestTrace::*component)() const) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const RequestTrace& trace : traces_) {
+    if (trace.function == function) {
+      sum += ToMillis((trace.*component)());
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TraceCollector::LviBoundFraction(const std::string& function) const {
+  size_t bound = 0;
+  size_t n = 0;
+  for (const RequestTrace& trace : traces_) {
+    if (trace.function != function || !trace.speculated || !trace.validated) {
+      continue;
+    }
+    ++n;
+    if (trace.LviStall() > 0) {
+      ++bound;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(bound) / static_cast<double>(n);
+}
+
+}  // namespace radical

@@ -1,0 +1,95 @@
+// Request tracing: per-request timelines through the Radical runtime.
+//
+// §5.5 decomposes a request's total latency into five components: (1)
+// function instantiation, (2) loading the WASM blob, (3) executing the
+// extracted f^rw, (4) max(function execution, LVI round trip), and (5) the
+// near-storage execution on validation failure. The runtime stamps each
+// phase boundary into a RequestTrace; the TraceCollector aggregates them so
+// benches (bench/latency_breakdown) and tests can attribute where time goes
+// — the same analysis Figure 6's discussion performs.
+
+#ifndef RADICAL_SRC_RADICAL_TRACE_H_
+#define RADICAL_SRC_RADICAL_TRACE_H_
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/sim/region.h"
+
+namespace radical {
+
+struct RequestTrace {
+  ExecutionId exec_id = 0;
+  std::string function;
+  Region region = Region::kVA;
+
+  // Phase boundaries (virtual time). Zero means "did not happen".
+  SimTime invoked = 0;        // Client called Invoke.
+  SimTime frw_started = 0;    // Instantiation + blob load done; f^rw begins.
+  SimTime lvi_sent = 0;       // f^rw done; LVI request leaves (speculation
+                              // starts at the same instant when it runs).
+  SimTime spec_finished = 0;  // Speculative execution completed.
+  SimTime response_received = 0;  // LVI response (or direct response) back.
+  SimTime replied = 0;        // Client answered.
+
+  // Outcome flags.
+  bool speculated = false;
+  bool validated = false;
+  bool direct = false;  // Unanalyzable/f^rw-failure fallback path.
+
+  // --- §5.5 component durations ------------------------------------------
+  // (1)+(2) Instantiation and blob load.
+  SimDuration Instantiation() const { return frw_started - invoked; }
+  // (3) f^rw execution (plus version gathering).
+  SimDuration FrwTime() const { return lvi_sent - frw_started; }
+  // (4) The overlap window: from LVI send until both the execution and the
+  // response are in.
+  SimDuration OverlapWindow() const {
+    const SimTime end = std::max(spec_finished, response_received);
+    return end - lvi_sent;
+  }
+  // Time spent waiting on the LVI response *after* the speculative execution
+  // finished (nonzero when the round trip, not execution, is the
+  // bottleneck — the social-media-in-JP effect, §5.4).
+  SimDuration LviStall() const {
+    if (!speculated || response_received == 0 || spec_finished == 0) {
+      return 0;
+    }
+    return std::max<SimDuration>(0, response_received - spec_finished);
+  }
+  // (5) Everything after the response (local completion, cache installs; on
+  // the failure path this is just the reply since the backup already ran).
+  SimDuration Completion() const { return replied - std::max(response_received, spec_finished); }
+  SimDuration Total() const { return replied - invoked; }
+};
+
+// Collects completed traces; aggregation helpers slice per function.
+class TraceCollector {
+ public:
+  void Record(RequestTrace trace) { traces_.push_back(std::move(trace)); }
+
+  const std::vector<RequestTrace>& traces() const { return traces_; }
+  size_t size() const { return traces_.size(); }
+  void Clear() { traces_.clear(); }
+
+  std::vector<const RequestTrace*> ForFunction(const std::string& function) const;
+
+  // Mean duration of a component over a function's traces (ms).
+  double MeanMs(const std::string& function,
+                SimDuration (RequestTrace::*component)() const) const;
+
+  // Fraction of a function's requests where the LVI response was the
+  // bottleneck (LviStall > 0 among speculated+validated requests).
+  double LviBoundFraction(const std::string& function) const;
+
+ private:
+  std::vector<RequestTrace> traces_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_RADICAL_TRACE_H_

@@ -1,0 +1,85 @@
+// RaftLog: the replicated log of one Raft node.
+//
+// Indices are 1-based as in the Raft paper; index 0 is the sentinel with
+// term 0. Entries carry an opaque command string (the lock state machine
+// serializes its operations into these).
+
+#ifndef RADICAL_SRC_RAFT_LOG_H_
+#define RADICAL_SRC_RAFT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace radical {
+
+using Term = uint64_t;
+using LogIndex = uint64_t;
+
+struct LogEntry {
+  Term term = 0;
+  std::string command;
+
+  bool operator==(const LogEntry& other) const {
+    return term == other.term && command == other.command;
+  }
+};
+
+// Supports snapshot-based compaction: entries up to `snapshot_index` may be
+// discarded once applied and captured in a state-machine snapshot; the log
+// then starts at that base (indices stay global and 1-based).
+class RaftLog {
+ public:
+  LogIndex last_index() const { return snapshot_index_ + entries_.size(); }
+  Term last_term() const {
+    return entries_.empty() ? snapshot_term_ : entries_.back().term;
+  }
+  LogIndex snapshot_index() const { return snapshot_index_; }
+  Term snapshot_term() const { return snapshot_term_; }
+
+  // Term of the entry at `index`; snapshot_term at the base, 0 when unknown
+  // (compacted away or past the end).
+  Term TermAt(LogIndex index) const;
+
+  // True if the entry at `index` is still present (not compacted, not past
+  // the end).
+  bool HasEntry(LogIndex index) const {
+    return index > snapshot_index_ && index <= last_index();
+  }
+
+  // Entry at 1-based `index`. Requires HasEntry(index).
+  const LogEntry& At(LogIndex index) const;
+
+  // Appends one entry; returns its index.
+  LogIndex Append(LogEntry entry);
+
+  // Implements the AppendEntries consistency check + conflict resolution:
+  // verifies (prev_index, prev_term) matches, deletes conflicting suffixes,
+  // appends new entries. Returns false if the check failed. Entries at or
+  // below the snapshot base are already committed and are skipped.
+  bool TryAppend(LogIndex prev_index, Term prev_term, const std::vector<LogEntry>& entries);
+
+  // Entries in (from, last_index], capped at `max_batch`. Requires
+  // from >= snapshot_index().
+  std::vector<LogEntry> EntriesAfter(LogIndex from, size_t max_batch = 64) const;
+
+  // Discards entries up to and including `index` (which must be present or
+  // the base itself); the caller has captured their effect in a snapshot.
+  void CompactTo(LogIndex index);
+
+  // Replaces the whole log with a snapshot base (InstallSnapshot on a
+  // follower whose log is behind the leader's compaction point).
+  void ResetToSnapshot(LogIndex index, Term term);
+
+  // Entries currently held in memory (post-compaction suffix).
+  size_t size() const { return entries_.size(); }
+
+ private:
+  LogIndex snapshot_index_ = 0;
+  Term snapshot_term_ = 0;
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_RAFT_LOG_H_

@@ -1,0 +1,427 @@
+#include "src/raft/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace radical {
+
+const char* RaftRoleName(RaftRole role) {
+  switch (role) {
+    case RaftRole::kFollower:
+      return "follower";
+    case RaftRole::kCandidate:
+      return "candidate";
+    case RaftRole::kLeader:
+      return "leader";
+  }
+  return "?";
+}
+
+RaftNode::RaftNode(NodeId id, int cluster_size, LocalMesh* mesh, RaftOptions options,
+                   ApplyFn apply)
+    : id_(id),
+      cluster_size_(cluster_size),
+      mesh_(mesh),
+      options_(options),
+      apply_(std::move(apply)),
+      rng_(mesh->simulator()->rng().Fork()) {}
+
+void RaftNode::Start() {
+  alive_ = true;
+  role_ = RaftRole::kFollower;
+  ResetElectionTimer();
+}
+
+void RaftNode::Crash() {
+  alive_ = false;
+  CancelTimers();
+  // Volatile state is gone; persistent (term, votedFor, log) stays.
+  commit_index_ = 0;
+  last_applied_ = 0;
+  votes_received_ = 0;
+  leader_hint_ = -1;
+  next_index_.clear();
+  match_index_.clear();
+  FailPendingProposals();
+}
+
+void RaftNode::Restart() {
+  assert(!alive_);
+  // Rebuild the state machine: restore the persisted snapshot (if any), then
+  // the apply loop replays the remaining log suffix as commit advances.
+  if (!snapshot_data_.empty() && restore_) {
+    restore_(snapshot_data_);
+  }
+  last_applied_ = log_.snapshot_index();
+  commit_index_ = log_.snapshot_index();
+  Start();
+}
+
+void RaftNode::CancelTimers() {
+  Simulator* sim = mesh_->simulator();
+  if (election_timer_ != kInvalidEventId) {
+    sim->Cancel(election_timer_);
+    election_timer_ = kInvalidEventId;
+  }
+  if (heartbeat_timer_ != kInvalidEventId) {
+    sim->Cancel(heartbeat_timer_);
+    heartbeat_timer_ = kInvalidEventId;
+  }
+}
+
+void RaftNode::ResetElectionTimer() {
+  Simulator* sim = mesh_->simulator();
+  if (election_timer_ != kInvalidEventId) {
+    sim->Cancel(election_timer_);
+  }
+  const SimDuration timeout = rng_.NextInRange(options_.election_timeout_min,
+                                               options_.election_timeout_max);
+  election_timer_ = sim->Schedule(timeout, [this] {
+    election_timer_ = kInvalidEventId;
+    if (alive_ && role_ != RaftRole::kLeader) {
+      BecomeCandidate();
+    }
+  });
+}
+
+void RaftNode::BecomeFollower(Term term) {
+  const bool was_leader = (role_ == RaftRole::kLeader);
+  role_ = RaftRole::kFollower;
+  if (term > current_term_) {
+    current_term_ = term;
+    voted_for_ = -1;
+  }
+  if (heartbeat_timer_ != kInvalidEventId) {
+    mesh_->simulator()->Cancel(heartbeat_timer_);
+    heartbeat_timer_ = kInvalidEventId;
+  }
+  if (was_leader) {
+    FailPendingProposals();
+  }
+  ResetElectionTimer();
+}
+
+void RaftNode::BecomeCandidate() {
+  role_ = RaftRole::kCandidate;
+  ++current_term_;
+  voted_for_ = id_;
+  votes_received_ = 1;  // Own vote.
+  RLOG(kDebug) << "raft node " << id_ << " starts election, term " << current_term_;
+  ResetElectionTimer();
+  RequestVoteArgs args{.term = current_term_,
+                       .candidate = id_,
+                       .last_log_index = log_.last_index(),
+                       .last_log_term = log_.last_term()};
+  for (NodeId peer = 0; peer < mesh_->node_count(); ++peer) {
+    if (peer == id_) {
+      continue;
+    }
+    mesh_->Send(id_, peer, [this, peer, args] {
+      RaftNode* node = peers_(peer);
+      if (node == nullptr || !node->alive_) {
+        return;
+      }
+      const RequestVoteReply reply = node->HandleRequestVote(args);
+      mesh_->Send(peer, id_, [this, reply] {
+        if (alive_) {
+          HandleVoteReply(reply);
+        }
+      });
+    });
+  }
+}
+
+void RaftNode::BecomeLeader() {
+  role_ = RaftRole::kLeader;
+  leader_hint_ = id_;
+  RLOG(kInfo) << "raft node " << id_ << " becomes leader, term " << current_term_;
+  next_index_.assign(static_cast<size_t>(mesh_->node_count()), log_.last_index() + 1);
+  match_index_.assign(static_cast<size_t>(mesh_->node_count()), 0);
+  match_index_[static_cast<size_t>(id_)] = log_.last_index();
+  if (election_timer_ != kInvalidEventId) {
+    mesh_->simulator()->Cancel(election_timer_);
+    election_timer_ = kInvalidEventId;
+  }
+  SendHeartbeats();
+}
+
+void RaftNode::SendHeartbeats() {
+  if (!alive_ || role_ != RaftRole::kLeader) {
+    return;
+  }
+  for (NodeId peer = 0; peer < mesh_->node_count(); ++peer) {
+    if (peer != id_) {
+      ReplicateTo(peer);
+    }
+  }
+  heartbeat_timer_ = mesh_->simulator()->Schedule(options_.heartbeat_interval, [this] {
+    heartbeat_timer_ = kInvalidEventId;
+    SendHeartbeats();
+  });
+}
+
+void RaftNode::ReplicateTo(NodeId peer) {
+  if (!alive_ || role_ != RaftRole::kLeader) {
+    return;
+  }
+  if (next_index_[static_cast<size_t>(peer)] <= log_.snapshot_index()) {
+    // The entries this follower needs were compacted away: ship the whole
+    // state-machine snapshot instead.
+    SendSnapshotTo(peer);
+    return;
+  }
+  const LogIndex prev = next_index_[static_cast<size_t>(peer)] - 1;
+  AppendEntriesArgs args{.term = current_term_,
+                         .leader = id_,
+                         .prev_index = prev,
+                         .prev_term = log_.TermAt(prev),
+                         .entries = log_.EntriesAfter(prev, options_.max_entries_per_append),
+                         .leader_commit = commit_index_};
+  mesh_->Send(id_, peer, [this, peer, args] {
+    RaftNode* node = peers_(peer);
+    if (node == nullptr || !node->alive_) {
+      return;
+    }
+    // The follower fsyncs new entries to its WAL before acknowledging.
+    const SimDuration handle_delay =
+        options_.process_delay + (args.entries.empty() ? 0 : options_.fsync_delay);
+    mesh_->simulator()->Schedule(handle_delay, [this, peer, args] {
+      RaftNode* target = peers_(peer);
+      if (target == nullptr || !target->alive_) {
+        return;
+      }
+      const AppendEntriesReply reply = target->HandleAppendEntries(args);
+      mesh_->Send(peer, id_, [this, reply] {
+        if (alive_) {
+          HandleAppendReply(reply);
+        }
+      });
+    });
+  });
+}
+
+void RaftNode::SendSnapshotTo(NodeId peer) {
+  InstallSnapshotArgs args{.term = current_term_,
+                           .leader = id_,
+                           .last_included_index = log_.snapshot_index(),
+                           .last_included_term = log_.snapshot_term(),
+                           .data = snapshot_data_};
+  mesh_->Send(id_, peer, [this, peer, args] {
+    RaftNode* node = peers_(peer);
+    if (node == nullptr || !node->alive_) {
+      return;
+    }
+    // Installing a snapshot is a disk write on the follower.
+    mesh_->simulator()->Schedule(options_.process_delay + options_.fsync_delay,
+                                 [this, peer, args] {
+      RaftNode* target = peers_(peer);
+      if (target == nullptr || !target->alive_) {
+        return;
+      }
+      const AppendEntriesReply reply = target->HandleInstallSnapshot(args);
+      mesh_->Send(peer, id_, [this, reply] {
+        if (alive_) {
+          HandleAppendReply(reply);
+        }
+      });
+    });
+  });
+}
+
+AppendEntriesReply RaftNode::HandleInstallSnapshot(const InstallSnapshotArgs& args) {
+  AppendEntriesReply reply{.term = current_term_, .success = false, .match_index = 0,
+                           .from = id_};
+  if (args.term < current_term_) {
+    return reply;
+  }
+  if (args.term > current_term_ || role_ != RaftRole::kFollower) {
+    BecomeFollower(args.term);
+  } else {
+    ResetElectionTimer();
+  }
+  leader_hint_ = args.leader;
+  reply.term = current_term_;
+  if (args.last_included_index <= log_.snapshot_index()) {
+    // Stale snapshot; we already have at least this much.
+    reply.success = true;
+    reply.match_index = log_.snapshot_index();
+    return reply;
+  }
+  // If our log already contains the snapshot's last entry with the right
+  // term, keep the suffix (Raft §7); otherwise discard everything.
+  if (log_.HasEntry(args.last_included_index) &&
+      log_.TermAt(args.last_included_index) == args.last_included_term) {
+    log_.CompactTo(args.last_included_index);
+  } else {
+    log_.ResetToSnapshot(args.last_included_index, args.last_included_term);
+  }
+  snapshot_data_ = args.data;
+  if (restore_) {
+    restore_(args.data);
+  }
+  last_applied_ = args.last_included_index;
+  commit_index_ = std::max(commit_index_, args.last_included_index);
+  reply.success = true;
+  reply.match_index = args.last_included_index;
+  return reply;
+}
+
+void RaftNode::MaybeCompact() {
+  if (options_.compaction_threshold == 0 || !snapshot_ ||
+      last_applied_ - log_.snapshot_index() < options_.compaction_threshold) {
+    return;
+  }
+  snapshot_data_ = snapshot_();
+  log_.CompactTo(last_applied_);
+}
+
+RequestVoteReply RaftNode::HandleRequestVote(const RequestVoteArgs& args) {
+  RequestVoteReply reply{.term = current_term_, .granted = false, .from = id_};
+  if (args.term < current_term_) {
+    return reply;
+  }
+  if (args.term > current_term_) {
+    BecomeFollower(args.term);
+  }
+  reply.term = current_term_;
+  const bool log_ok = args.last_log_term > log_.last_term() ||
+                      (args.last_log_term == log_.last_term() &&
+                       args.last_log_index >= log_.last_index());
+  if ((voted_for_ == -1 || voted_for_ == args.candidate) && log_ok) {
+    voted_for_ = args.candidate;
+    reply.granted = true;
+    ResetElectionTimer();
+  }
+  return reply;
+}
+
+void RaftNode::HandleVoteReply(const RequestVoteReply& reply) {
+  if (reply.term > current_term_) {
+    BecomeFollower(reply.term);
+    return;
+  }
+  if (role_ != RaftRole::kCandidate || reply.term < current_term_ || !reply.granted) {
+    return;
+  }
+  if (++votes_received_ >= majority()) {
+    BecomeLeader();
+  }
+}
+
+AppendEntriesReply RaftNode::HandleAppendEntries(const AppendEntriesArgs& args) {
+  AppendEntriesReply reply{.term = current_term_, .success = false, .match_index = 0,
+                           .from = id_};
+  if (args.term < current_term_) {
+    return reply;
+  }
+  // Valid leader for this term (or newer): follow it.
+  if (args.term > current_term_ || role_ != RaftRole::kFollower) {
+    BecomeFollower(args.term);
+  } else {
+    ResetElectionTimer();
+  }
+  leader_hint_ = args.leader;
+  reply.term = current_term_;
+  if (!log_.TryAppend(args.prev_index, args.prev_term, args.entries)) {
+    return reply;
+  }
+  reply.success = true;
+  reply.match_index = args.prev_index + args.entries.size();
+  if (args.leader_commit > commit_index_) {
+    commit_index_ = std::min(args.leader_commit, log_.last_index());
+    ApplyCommitted();
+  }
+  return reply;
+}
+
+void RaftNode::HandleAppendReply(const AppendEntriesReply& reply) {
+  if (reply.term > current_term_) {
+    BecomeFollower(reply.term);
+    return;
+  }
+  if (role_ != RaftRole::kLeader || reply.term < current_term_) {
+    return;
+  }
+  const auto peer = static_cast<size_t>(reply.from);
+  if (reply.success) {
+    match_index_[peer] = std::max(match_index_[peer], reply.match_index);
+    next_index_[peer] = match_index_[peer] + 1;
+    AdvanceCommit();
+    // More to ship? Keep the pipe full without waiting for the next beat.
+    if (next_index_[peer] <= log_.last_index()) {
+      ReplicateTo(reply.from);
+    }
+  } else {
+    // Consistency check failed: back up and retry.
+    if (next_index_[peer] > 1) {
+      --next_index_[peer];
+    }
+    ReplicateTo(reply.from);
+  }
+}
+
+void RaftNode::AdvanceCommit() {
+  // Largest N with a majority of matchIndex >= N and log[N].term == current.
+  std::vector<LogIndex> matches = match_index_;
+  matches[static_cast<size_t>(id_)] = log_.last_index();
+  std::sort(matches.begin(), matches.end());
+  // The (cluster_size - majority)-th smallest is replicated on a majority.
+  const LogIndex candidate = matches[static_cast<size_t>(cluster_size_ - majority())];
+  if (candidate > commit_index_ && log_.TermAt(candidate) == current_term_) {
+    commit_index_ = candidate;
+    ApplyCommitted();
+  }
+}
+
+void RaftNode::ApplyCommitted() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    if (apply_) {
+      apply_(last_applied_, log_.At(last_applied_).command);
+    }
+    const auto it = pending_proposals_.find(last_applied_);
+    if (it != pending_proposals_.end()) {
+      ProposeCallback cb = std::move(it->second);
+      pending_proposals_.erase(it);
+      cb(last_applied_);
+    }
+  }
+  MaybeCompact();
+}
+
+void RaftNode::Propose(std::string command, ProposeCallback done) {
+  if (!alive_ || role_ != RaftRole::kLeader) {
+    if (done) {
+      done(0);
+    }
+    return;
+  }
+  const LogIndex index = log_.Append(LogEntry{current_term_, std::move(command)});
+  match_index_[static_cast<size_t>(id_)] = index;
+  if (done) {
+    pending_proposals_[index] = std::move(done);
+  }
+  // Replicate eagerly rather than waiting for the heartbeat.
+  for (NodeId peer = 0; peer < mesh_->node_count(); ++peer) {
+    if (peer != id_) {
+      ReplicateTo(peer);
+    }
+  }
+  // Single-node cluster: commit immediately.
+  AdvanceCommit();
+}
+
+void RaftNode::FailPendingProposals() {
+  auto pending = std::move(pending_proposals_);
+  pending_proposals_.clear();
+  for (auto& [index, cb] : pending) {
+    (void)index;
+    if (cb) {
+      cb(0);
+    }
+  }
+}
+
+}  // namespace radical

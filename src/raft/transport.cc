@@ -1,0 +1,48 @@
+#include "src/raft/transport.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace radical {
+
+LocalMesh::LocalMesh(Simulator* sim, int node_count, LocalMeshOptions options)
+    : sim_(sim), node_count_(node_count), options_(options), rng_(sim->rng().Fork()) {
+  assert(node_count > 0);
+  partitioned_.assign(static_cast<size_t>(node_count),
+                      std::vector<bool>(static_cast<size_t>(node_count), false));
+}
+
+void LocalMesh::Send(NodeId from, NodeId to, std::function<void()> deliver) {
+  assert(from >= 0 && from < node_count_ && to >= 0 && to < node_count_);
+  ++messages_sent_;
+  if (IsPartitioned(from, to) ||
+      (options_.drop_probability > 0.0 && rng_.NextBool(options_.drop_probability))) {
+    ++messages_dropped_;
+    return;
+  }
+  SimDuration delay = options_.one_way_delay;
+  if (options_.jitter_stddev_frac > 0.0) {
+    const double factor = std::max(0.5, rng_.NextGaussian(1.0, options_.jitter_stddev_frac));
+    delay = static_cast<SimDuration>(static_cast<double>(delay) * factor);
+  }
+  sim_->Schedule(delay, std::move(deliver));
+}
+
+void LocalMesh::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  partitioned_[static_cast<size_t>(a)][static_cast<size_t>(b)] = partitioned;
+  partitioned_[static_cast<size_t>(b)][static_cast<size_t>(a)] = partitioned;
+}
+
+bool LocalMesh::IsPartitioned(NodeId a, NodeId b) const {
+  return partitioned_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+}
+
+void LocalMesh::Isolate(NodeId node, bool isolated) {
+  for (NodeId peer = 0; peer < node_count_; ++peer) {
+    if (peer != node) {
+      SetPartitioned(node, peer, isolated);
+    }
+  }
+}
+
+}  // namespace radical

@@ -1,0 +1,69 @@
+// LocalMesh: point-to-point transport between Raft nodes.
+//
+// The replicated LVI server (§5.6) stores its locks in a 3-node etcd cluster
+// spread across availability zones of one datacenter. The mesh models those
+// AZ-to-AZ links: a uniform low RTT with jitter, plus per-link drop and
+// partition injection for the fault-tolerance tests. Kept separate from the
+// WAN Network (src/sim/network.h) because Raft nodes live inside one region.
+
+#ifndef RADICAL_SRC_RAFT_TRANSPORT_H_
+#define RADICAL_SRC_RAFT_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace radical {
+
+using NodeId = int;
+
+// Options for the AZ mesh.
+struct LocalMeshOptions {
+  // One-way delay between availability zones. With a ~0.9 ms one-way delay,
+  // one Raft commit (leader -> followers -> leader plus processing) lands
+  // near the 2.3 ms/lock the paper measures for its etcd cluster.
+  SimDuration one_way_delay = Micros(900);
+  double jitter_stddev_frac = 0.05;
+  double drop_probability = 0.0;
+};
+
+class LocalMesh {
+ public:
+  LocalMesh(Simulator* sim, int node_count, LocalMeshOptions options = {});
+
+  LocalMesh(const LocalMesh&) = delete;
+  LocalMesh& operator=(const LocalMesh&) = delete;
+
+  // Delivers `deliver` at `to` after one jittered one-way delay, unless the
+  // link is partitioned or the message is dropped.
+  void Send(NodeId from, NodeId to, std::function<void()> deliver);
+
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  bool IsPartitioned(NodeId a, NodeId b) const;
+  // Isolates a node from all peers (or reconnects it).
+  void Isolate(NodeId node, bool isolated);
+
+  void set_drop_probability(double p) { options_.drop_probability = p; }
+
+  Simulator* simulator() { return sim_; }
+  int node_count() const { return node_count_; }
+  SimDuration one_way_delay() const { return options_.one_way_delay; }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  Simulator* sim_;
+  int node_count_;
+  LocalMeshOptions options_;
+  Rng rng_;
+  std::vector<std::vector<bool>> partitioned_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_RAFT_TRANSPORT_H_

@@ -1,0 +1,43 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+
+namespace radical {
+
+EventId EventQueue::Push(SimTime when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::make_shared<std::function<void()>>(std::move(fn))});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) { return pending_.erase(id) > 0; }
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && pending_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  assert(!empty());
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+std::function<void()> EventQueue::Pop(SimTime* when, EventId* id) {
+  assert(!empty());
+  SkipCancelled();
+  assert(!heap_.empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  pending_.erase(top.id);
+  *when = top.when;
+  if (id != nullptr) {
+    *id = top.id;
+  }
+  return std::move(*top.fn);
+}
+
+}  // namespace radical

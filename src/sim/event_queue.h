@@ -1,0 +1,82 @@
+// Priority queue of timestamped events with stable FIFO ordering for
+// same-time events and O(1) cancellation.
+//
+// Determinism requirement: two events scheduled for the same virtual time
+// must fire in the order they were scheduled, on every run. The queue keys on
+// (time, sequence number) to guarantee this.
+
+#ifndef RADICAL_SRC_SIM_EVENT_QUEUE_H_
+#define RADICAL_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace radical {
+
+// Opaque handle for cancelling a scheduled event.
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` at absolute time `when`. Returns a handle usable with
+  // Cancel().
+  EventId Push(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event; returns false if it already fired or was
+  // cancelled. Cancellation is lazy: the entry stays in the heap and is
+  // skipped on pop.
+  bool Cancel(EventId id);
+
+  // True if `id` is scheduled and not yet fired or cancelled.
+  bool IsPending(EventId id) const { return pending_.count(id) > 0; }
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+
+  // Time of the earliest live event. Requires !empty().
+  SimTime NextTime() const;
+
+  // Pops the earliest live event, setting `when` to its timestamp and `id`
+  // to its handle (may be null). Requires !empty().
+  std::function<void()> Pop(SimTime* when, EventId* id = nullptr);
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    // Heap entries are copied during sifting; store the callback indirectly.
+    std::shared_ptr<std::function<void()>> fn;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return id > other.id;
+    }
+  };
+
+  // Drops cancelled entries from the heap top. Mutates only bookkeeping
+  // state, so it is safe to call from const accessors (members are mutable).
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Ids scheduled and not yet fired/cancelled.
+  mutable std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_SIM_EVENT_QUEUE_H_

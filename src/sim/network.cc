@@ -1,0 +1,103 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace radical {
+
+LatencyMatrix::LatencyMatrix() {
+  for (auto& row : rtt_) {
+    row.fill(kDefaultRtt);
+  }
+  // Intra-region RTT (through a load balancer hop).
+  for (int r = 0; r < kNumRegions; ++r) {
+    rtt_[r][r] = Millis(2);
+  }
+}
+
+LatencyMatrix LatencyMatrix::PaperDefault() {
+  LatencyMatrix m;
+  const auto set = [&m](Region a, Region b, int64_t ms) { m.SetRtt(a, b, Millis(ms)); };
+  // Table 2 reports lat_nu<->ns — the measured round trip of an LVI request,
+  // which crosses the WAN *and* hops through the LVI server's EC2 box next
+  // to the primary (kServerHopRtt = 5 ms; intra-VA that hop plus the 2 ms
+  // local RTT gives the paper's 7 ms). The raw WAN entries here are Table 2
+  // minus that server hop, so LviLinkRtt() reproduces Table 2 exactly.
+  set(Region::kVA, Region::kCA, 69);
+  set(Region::kVA, Region::kIE, 65);
+  set(Region::kVA, Region::kDE, 88);
+  set(Region::kVA, Region::kJP, 141);
+  // Global-table replica links (Figure 1 baseline; public AWS latencies).
+  set(Region::kVA, Region::kOH, 11);
+  set(Region::kVA, Region::kOR, 60);
+  set(Region::kOH, Region::kOR, 50);
+  // Remaining pairs (used by the geo-replicated baseline's nearest-replica
+  // routing and nothing else).
+  set(Region::kCA, Region::kOR, 22);
+  set(Region::kCA, Region::kOH, 50);
+  set(Region::kCA, Region::kIE, 140);
+  set(Region::kCA, Region::kDE, 150);
+  set(Region::kCA, Region::kJP, 110);
+  set(Region::kIE, Region::kDE, 25);
+  set(Region::kIE, Region::kOH, 82);
+  set(Region::kIE, Region::kOR, 130);
+  set(Region::kIE, Region::kJP, 210);
+  set(Region::kDE, Region::kOH, 100);
+  set(Region::kDE, Region::kOR, 145);
+  set(Region::kDE, Region::kJP, 230);
+  set(Region::kJP, Region::kOH, 135);
+  set(Region::kJP, Region::kOR, 90);
+  return m;
+}
+
+void LatencyMatrix::SetRtt(Region a, Region b, SimDuration rtt) {
+  assert(rtt >= 0);
+  rtt_[static_cast<int>(a)][static_cast<int>(b)] = rtt;
+  rtt_[static_cast<int>(b)][static_cast<int>(a)] = rtt;
+}
+
+SimDuration LatencyMatrix::Rtt(Region a, Region b) const {
+  return rtt_[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+Network::Network(Simulator* sim, LatencyMatrix latency, NetworkOptions options)
+    : sim_(sim), latency_(latency), options_(options), rng_(sim->rng().Fork()) {
+  for (auto& row : partitioned_) {
+    row.fill(false);
+  }
+}
+
+SimDuration Network::JitteredOneWay(Region from, Region to) {
+  const SimDuration nominal = latency_.OneWay(from, to);
+  if (options_.jitter_stddev_frac <= 0.0) {
+    return nominal;
+  }
+  const double factor =
+      std::max(options_.min_delay_frac, rng_.NextGaussian(1.0, options_.jitter_stddev_frac));
+  return static_cast<SimDuration>(static_cast<double>(nominal) * factor);
+}
+
+EventId Network::Send(Region from, Region to, std::function<void()> deliver, size_t size_bytes) {
+  ++messages_sent_;
+  bytes_sent_ += size_bytes;
+  if (from != to) {
+    wan_bytes_sent_ += size_bytes;
+  }
+  if (IsPartitioned(from, to) || (filter_ && !filter_(from, to)) ||
+      (options_.drop_probability > 0.0 && rng_.NextBool(options_.drop_probability))) {
+    ++messages_dropped_;
+    return kInvalidEventId;
+  }
+  return sim_->Schedule(JitteredOneWay(from, to), std::move(deliver));
+}
+
+void Network::SetPartitioned(Region a, Region b, bool partitioned) {
+  partitioned_[static_cast<int>(a)][static_cast<int>(b)] = partitioned;
+  partitioned_[static_cast<int>(b)][static_cast<int>(a)] = partitioned;
+}
+
+bool Network::IsPartitioned(Region a, Region b) const {
+  return partitioned_[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+}  // namespace radical

@@ -1,0 +1,31 @@
+#include "src/sim/region.h"
+
+namespace radical {
+
+const std::vector<Region>& DeploymentRegions() {
+  static const std::vector<Region> kRegions = {Region::kVA, Region::kCA, Region::kIE, Region::kDE,
+                                               Region::kJP};
+  return kRegions;
+}
+
+const char* RegionName(Region r) {
+  switch (r) {
+    case Region::kVA:
+      return "VA";
+    case Region::kCA:
+      return "CA";
+    case Region::kIE:
+      return "IE";
+    case Region::kDE:
+      return "DE";
+    case Region::kJP:
+      return "JP";
+    case Region::kOH:
+      return "OH";
+    case Region::kOR:
+      return "OR";
+  }
+  return "?";
+}
+
+}  // namespace radical

@@ -1,0 +1,39 @@
+// Deployment regions used throughout the evaluation.
+//
+// The paper deploys across five AWS regions (§5.2): Ashburn VA (the
+// near-storage location holding the primary copy of the data), San Francisco
+// CA, Dublin IE, Frankfurt DE, and Tokyo JP. The geo-replication baseline of
+// Figure 1 additionally uses DynamoDB global-table replicas in Columbus OH
+// and Portland OR.
+
+#ifndef RADICAL_SRC_SIM_REGION_H_
+#define RADICAL_SRC_SIM_REGION_H_
+
+#include <string>
+#include <vector>
+
+namespace radical {
+
+enum class Region {
+  kVA = 0,  // Ashburn, Virginia — near-storage (primary) location.
+  kCA = 1,  // San Francisco, California.
+  kIE = 2,  // Dublin, Ireland.
+  kDE = 3,  // Frankfurt, Germany.
+  kJP = 4,  // Tokyo, Japan.
+  kOH = 5,  // Columbus, Ohio — global-table replica (Figure 1 baseline).
+  kOR = 6,  // Portland, Oregon — global-table replica (Figure 1 baseline).
+};
+
+constexpr int kNumRegions = 7;
+
+// The five application deployment locations of §5.2, in paper order.
+const std::vector<Region>& DeploymentRegions();
+
+// The near-storage location (primary copy of the data).
+constexpr Region kPrimaryRegion = Region::kVA;
+
+const char* RegionName(Region r);
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_SIM_REGION_H_

@@ -1,0 +1,77 @@
+// Discrete-event simulator.
+//
+// The whole Radical deployment — runtimes, caches, LVI server, Raft nodes,
+// clients — executes on one Simulator in virtual time. The simulator is
+// single-threaded and fully deterministic for a given seed: concurrency
+// (overlapping executions, lock contention, message races) is expressed as
+// interleaved events, never as OS threads.
+
+#ifndef RADICAL_SRC_SIM_SIMULATOR_H_
+#define RADICAL_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/event_queue.h"
+
+namespace radical {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` after now. Negative delays clamp to zero
+  // (fires this instant, after currently queued same-time events).
+  EventId Schedule(SimDuration delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute virtual time `when` (clamped to now).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if it already fired.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue empties. Returns the number of events fired.
+  // Caveat: components with self-perpetuating timers (Raft heartbeats) never
+  // drain the queue — drive those systems with RunFor/RunUntil or a
+  // condition loop over Step() instead.
+  size_t Run();
+
+  // Runs events with timestamp <= deadline; leaves later events queued and
+  // advances the clock to `deadline`. Returns the number of events fired.
+  size_t RunUntil(SimTime deadline);
+
+  // Runs for `duration` of virtual time from now.
+  size_t RunFor(SimDuration duration) { return RunUntil(now_ + duration); }
+
+  // Runs a single event if any is ready. Returns false if the queue is empty.
+  bool Step();
+
+  bool idle() const { return queue_.empty(); }
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t events_fired() const { return events_fired_; }
+
+  // The simulation's root RNG; components should Fork() their own streams so
+  // adding a component does not perturb others' draws.
+  Rng& rng() { return rng_; }
+
+  // Monotonic id source for executions, requests, etc.
+  uint64_t NextId() { return next_id_++; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  uint64_t events_fired_ = 0;
+  uint64_t next_id_ = 1;
+  Rng rng_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,332 @@
+// Tests for the static analyzer: slicing, dependent reads, unanalyzable
+// detection, and the core soundness property — the predicted read/write set
+// must exactly match the real execution's accesses.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/registry.h"
+#include "src/func/builder.h"
+#include "src/kv/cache_store.h"
+#include "src/kv/versioned_store.h"
+
+namespace radical {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalyzedFunction Analyze(const FunctionDef& fn) { return analyzer_.Analyze(fn); }
+
+  // Predicts the rw-set via f^rw on `cache`, then runs the original on a
+  // `store` snapshot and asserts the prediction matches the actual accesses.
+  void ExpectPredictionMatchesExecution(const FunctionDef& fn, std::vector<Value> inputs,
+                                        CacheStore* cache, VersionedStore* store) {
+    const AnalyzedFunction analyzed = Analyze(fn);
+    ASSERT_TRUE(analyzed.analyzable) << analyzed.failure_reason;
+    const RwPrediction prediction = PredictRwSet(analyzed, inputs, cache, interp_);
+    ASSERT_TRUE(prediction.ok()) << prediction.status.message();
+    const ExecResult actual = interp_.Execute(fn, inputs, store);
+    ASSERT_TRUE(actual.ok()) << actual.status.message();
+    RwSet actual_rw;
+    actual_rw.reads.insert(actual.reads.begin(), actual.reads.end());
+    actual_rw.writes.insert(actual.writes.begin(), actual.writes.end());
+    EXPECT_EQ(prediction.rw, actual_rw)
+        << "predicted " << prediction.rw.ToString() << " actual " << actual_rw.ToString();
+  }
+
+  Analyzer analyzer_{&HostRegistry::Standard()};
+  Interpreter interp_{&HostRegistry::Standard()};
+};
+
+TEST_F(AnalysisTest, SimpleReadKeyFromInput) {
+  const FunctionDef fn = Fn("f", {"u"}, {
+      Read("v", Cat({C("user:"), In("u")})),
+      Compute(Millis(100)),
+      Return(V("v")),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable);
+  EXPECT_FALSE(analyzed.has_dependent_reads);
+  // The compute and return are sliced away.
+  EXPECT_LT(analyzed.derived_stmt_count, analyzed.original_stmt_count);
+  CacheStore cache;
+  VersionedStore store;
+  ExpectPredictionMatchesExecution(fn, {Value("alice")}, &cache, &store);
+}
+
+TEST_F(AnalysisTest, FrwIsCheapBecauseComputeIsSliced) {
+  const FunctionDef fn = Fn("f", {"u"}, {
+      Compute(Millis(500)),
+      Read("v", Cat({C("k:"), In("u")})),
+      Return(V("v")),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  CacheStore cache;
+  const RwPrediction prediction = PredictRwSet(analyzed, {Value("x")}, &cache, interp_);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_LT(prediction.elapsed, Millis(2));  // Nowhere near 500 ms.
+}
+
+TEST_F(AnalysisTest, LogOnlyReadsDoNotFetch) {
+  // The read's value feeds nothing downstream; f^rw must log the key without
+  // paying the cache fetch.
+  const FunctionDef fn = Fn("f", {"u"}, {
+      Read("v", Cat({C("k:"), In("u")})),
+      Return(C(static_cast<int64_t>(1))),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable);
+  EXPECT_FALSE(analyzed.has_dependent_reads);
+  CacheStore cache;
+  const RwPrediction prediction = PredictRwSet(analyzed, {Value("x")}, &cache, interp_);
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);  // No fetch happened.
+  EXPECT_EQ(prediction.rw.reads.count("k:x"), 1u);
+}
+
+TEST_F(AnalysisTest, DependentReadRunsAgainstCache) {
+  // read A -> value is the key of read B (§3.3 dependent accesses).
+  const FunctionDef fn = Fn("f", {}, {
+      Read("ptr", C("pointer")),
+      Read("target", V("ptr")),
+      Return(V("target")),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable);
+  EXPECT_TRUE(analyzed.has_dependent_reads);
+  CacheStore cache;
+  cache.Install("pointer", Value("dest"), 1);
+  cache.Install("dest", Value("payload"), 1);
+  const RwPrediction prediction = PredictRwSet(analyzed, {}, &cache, interp_);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction.rw.reads, (std::set<Key>{"pointer", "dest"}));
+}
+
+TEST_F(AnalysisTest, StaleDependentReadPredictsStaleKeysButValidationCatchesIt) {
+  // If the cache's pointer is stale, f^rw predicts the stale target — which
+  // is safe because the pointer itself is in the read set and validation
+  // will fail on it (§3.3).
+  const FunctionDef fn = Fn("f", {}, {
+      Read("ptr", C("pointer")),
+      Read("target", V("ptr")),
+      Return(V("target")),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  CacheStore cache;
+  cache.Install("pointer", Value("old-dest"), 1);  // Primary moved to "new-dest".
+  const RwPrediction prediction = PredictRwSet(analyzed, {}, &cache, interp_);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction.rw.reads.count("pointer"), 1u);
+  EXPECT_EQ(prediction.rw.reads.count("old-dest"), 1u);
+}
+
+TEST_F(AnalysisTest, WriteValuesAreSlicedAway) {
+  // The expensive digest feeds only the written *value*; keys stay static,
+  // so the function remains analyzable and f^rw cheap.
+  const FunctionDef fn = Fn("f", {"u"}, {
+      Write(Cat({C("out:"), In("u")}), Host("expensive_digest", {In("u")})),
+      Return(C(static_cast<int64_t>(1))),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable) << analyzed.failure_reason;
+  CacheStore cache;
+  const RwPrediction prediction = PredictRwSet(analyzed, {Value("x")}, &cache, interp_);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction.rw.writes.count("out:x"), 1u);
+  EXPECT_LT(prediction.elapsed, Millis(5));  // Digest not evaluated in f^rw.
+}
+
+TEST_F(AnalysisTest, FrwNeverMutatesTheCache) {
+  const FunctionDef fn = Fn("f", {}, {
+      Write(C("k"), C(Value("v"))),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  CacheStore cache;
+  cache.Install("k", Value("original"), 3);
+  const RwPrediction prediction = PredictRwSet(analyzed, {}, &cache, interp_);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(cache.Peek("k")->value, Value("original"));
+  EXPECT_EQ(cache.VersionOf("k"), 3);
+}
+
+TEST_F(AnalysisTest, OpaqueKeyDependencyIsUnanalyzable) {
+  // A storage key derived through a host the analyzer cannot see through
+  // (§3.3 failure case).
+  const FunctionDef fn = Fn("f", {"u"}, {
+      Let("k", IntToStr(Host("expensive_digest", {In("u")}))),
+      Read("v", V("k")),
+      Return(V("v")),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  EXPECT_FALSE(analyzed.analyzable);
+  EXPECT_NE(analyzed.failure_reason.find("opaque"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, TransparentHostInKeyIsFine) {
+  const FunctionDef fn = Fn("f", {"loc"}, {
+      Read("v", Cat({C("geo:"), IntToStr(Host("geo_cell", {In("loc")}))})),
+      Return(V("v")),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable) << analyzed.failure_reason;
+  CacheStore cache;
+  const RwPrediction prediction =
+      PredictRwSet(analyzed, {Value(static_cast<int64_t>(57))}, &cache, interp_);
+  EXPECT_EQ(prediction.rw.reads.count("geo:5"), 1u);
+}
+
+TEST_F(AnalysisTest, OversizedFunctionTimesOut) {
+  StmtList body;
+  for (int i = 0; i < 100; ++i) {
+    body.push_back(Compute(1));
+  }
+  body.push_back(Read("v", C("k")));
+  const FunctionDef fn = Fn("big", {}, std::move(body));
+  Analyzer small_analyzer(&HostRegistry::Standard(), AnalyzerOptions{.max_stmts = 50});
+  const AnalyzedFunction analyzed = small_analyzer.Analyze(fn);
+  EXPECT_FALSE(analyzed.analyzable);
+  EXPECT_NE(analyzed.failure_reason.find("timeout"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, ConditionalWriteKeepsCondition) {
+  // A write guarded by a condition on an input: the condition survives
+  // slicing, and the predicted write set matches whichever branch runs.
+  const FunctionDef fn = Fn("f", {"flag", "u"}, {
+      If(Eq(In("flag"), C(static_cast<int64_t>(1))),
+         {Write(Cat({C("a:"), In("u")}), C(Value("x")))},
+         {Write(Cat({C("b:"), In("u")}), C(Value("y")))}),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable);
+  CacheStore cache;
+  VersionedStore store;
+  ExpectPredictionMatchesExecution(fn, {Value(static_cast<int64_t>(1)), Value("u1")}, &cache,
+                                   &store);
+  CacheStore cache2;
+  VersionedStore store2;
+  ExpectPredictionMatchesExecution(fn, {Value(static_cast<int64_t>(0)), Value("u1")}, &cache2,
+                                   &store2);
+}
+
+TEST_F(AnalysisTest, ConditionOnReadValueBecomesDependentRead) {
+  const FunctionDef fn = Fn("f", {"u"}, {
+      Read("n", Cat({C("count:"), In("u")})),
+      If(Lt(C(static_cast<int64_t>(0)), V("n")),
+         {Write(Cat({C("hot:"), In("u")}), C(Value("1")))}, {}),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable);
+  EXPECT_TRUE(analyzed.has_dependent_reads);
+}
+
+TEST_F(AnalysisTest, LoopFanoutMatchesExecution) {
+  // The social-post shape: a list read feeds per-element read/write keys.
+  const FunctionDef fn = Fn("f", {"u", "text"}, {
+      Read("followers", Cat({C("followers:"), In("u")})),
+      ForEach("f", V("followers"), {
+          Read("tl", Cat({C("timeline:"), V("f")})),
+          Write(Cat({C("timeline:"), V("f")}), Append(V("tl"), In("text"))),
+      }),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable);
+  EXPECT_TRUE(analyzed.has_dependent_reads);
+  CacheStore cache;
+  VersionedStore store;
+  const ValueList followers{Value("a"), Value("b"), Value("c")};
+  cache.Install("followers:u1", Value(followers), 1);
+  store.Seed("followers:u1", Value(followers));
+  ExpectPredictionMatchesExecution(fn, {Value("u1"), Value("hi")}, &cache, &store);
+}
+
+TEST_F(AnalysisTest, LoopCarriedDependencyIsKept) {
+  // Pointer chasing: each iteration's read key comes from the previous
+  // iteration's read. The fixpoint slice must keep the chain.
+  const FunctionDef fn = Fn("f", {}, {
+      Read("cur", C("head")),
+      ForEach("i", C(Value(ValueList{Value(static_cast<int64_t>(0)),
+                                     Value(static_cast<int64_t>(1))})),
+              {
+                  Read("cur", V("cur")),
+              }),
+      Return(V("cur")),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable);
+  EXPECT_TRUE(analyzed.has_dependent_reads);
+  CacheStore cache;
+  cache.Install("head", Value("n1"), 1);
+  cache.Install("n1", Value("n2"), 1);
+  cache.Install("n2", Value("n3"), 1);
+  const RwPrediction prediction = PredictRwSet(analyzed, {}, &cache, interp_);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction.rw.reads, (std::set<Key>{"head", "n1", "n2"}));
+}
+
+TEST_F(AnalysisTest, WriteSubsumesReadInLockModes) {
+  RwSet rw;
+  rw.reads = {"a", "b"};
+  rw.writes = {"b", "c"};
+  EXPECT_EQ(rw.AllKeysSorted(), (std::vector<Key>{"a", "b", "c"}));
+  EXPECT_EQ(rw.ModeFor("a"), LockMode::kRead);
+  EXPECT_EQ(rw.ModeFor("b"), LockMode::kWrite);
+  EXPECT_EQ(rw.ModeFor("c"), LockMode::kWrite);
+}
+
+TEST_F(AnalysisTest, RegistryStoresAndFinds) {
+  FunctionRegistry registry(&analyzer_);
+  const FunctionDef fn = Fn("g", {"u"}, {Read("v", In("u")), Return(V("v"))});
+  const AnalyzedFunction& analyzed = registry.Register(fn);
+  EXPECT_TRUE(analyzed.analyzable);
+  EXPECT_NE(registry.Find("g"), nullptr);
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"g"}));
+}
+
+TEST_F(AnalysisTest, ValueNeededReadOfOwnWriteFailsPrediction) {
+  // write k<u>; read k<u> -> later key: f^rw cannot know the written value,
+  // so prediction must fail (the runtime falls back to near storage) rather
+  // than silently produce a wrong read/write set.
+  const FunctionDef fn = Fn("f", {"u"}, {
+      Write(Cat({C("k"), In("u")}), C(Value("5"))),
+      Read("ptr", Cat({C("k"), In("u")})),
+      Read("target", Cat({C("k"), V("ptr")})),
+      Return(V("target")),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable);
+  CacheStore cache;
+  cache.Install("k1", Value("old"), 1);
+  const RwPrediction prediction = PredictRwSet(analyzed, {Value("1")}, &cache, interp_);
+  EXPECT_FALSE(prediction.ok());
+  EXPECT_NE(prediction.status.message().find("own write"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, LogOnlyReadOfOwnWriteIsFine) {
+  // The read-back feeds nothing downstream: it is kept log-only, never
+  // fetches, and the prediction stays exact.
+  const FunctionDef fn = Fn("f", {"u"}, {
+      Write(Cat({C("k"), In("u")}), C(Value("5"))),
+      Read("echo", Cat({C("k"), In("u")})),
+      Return(C(static_cast<int64_t>(1))),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  ASSERT_TRUE(analyzed.analyzable);
+  CacheStore cache;
+  VersionedStore store;
+  store.Seed("k1", Value("old"));
+  cache.Install("k1", Value("old"), 1);
+  ExpectPredictionMatchesExecution(fn, {Value("1")}, &cache, &store);
+}
+
+TEST_F(AnalysisTest, PredictOnUnanalyzableReturnsError) {
+  const FunctionDef fn = Fn("f", {"u"}, {
+      Read("v", IntToStr(Host("expensive_digest", {In("u")}))),
+  });
+  const AnalyzedFunction analyzed = Analyze(fn);
+  CacheStore cache;
+  const RwPrediction prediction = PredictRwSet(analyzed, {Value("x")}, &cache, interp_);
+  EXPECT_FALSE(prediction.ok());
+}
+
+}  // namespace
+}  // namespace radical

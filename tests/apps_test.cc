@@ -1,0 +1,373 @@
+// Tests for the benchmark applications: Table 1 metadata (analyzability,
+// asterisks, writes), execution-time calibration, functional behaviour of
+// every handler, workload mix frequencies, and the no-double-booking
+// end-to-end consistency property.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/apps/apps.h"
+
+namespace radical {
+namespace {
+
+NetworkOptions NoJitter() {
+  NetworkOptions options;
+  options.jitter_stddev_frac = 0.0;
+  return options;
+}
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest()
+      : sim_(555),
+        net_(&sim_, LatencyMatrix::PaperDefault(), NoJitter()),
+        analyzer_(&HostRegistry::Standard()),
+        interp_(&HostRegistry::Standard()) {}
+
+  // Runs one function against a fresh seeded store and returns the result.
+  ExecResult RunSeeded(const AppSpec& app, const std::string& function,
+                       std::vector<Value> inputs, VersionedStore* store) {
+    // Seed through a throwaway ideal deployment adapter.
+    struct SeedOnly : AppService {
+      VersionedStore* store;
+      explicit SeedOnly(VersionedStore* s) : store(s) {}
+      void Invoke(Region, const std::string&, std::vector<Value>,
+                  std::function<void(Value)>) override {}
+      const AnalyzedFunction& RegisterFunction(const FunctionDef& fn) override {
+        static Analyzer analyzer(&HostRegistry::Standard());
+        static FunctionRegistry registry(&analyzer);
+        return registry.Register(fn);
+      }
+      void Seed(const Key& key, const Value& value) override { store->Seed(key, value); }
+      ExternalServiceRegistry& externals() override {
+        static ExternalServiceRegistry registry;
+        return registry;
+      }
+    } seeder(store);
+    app.seed(&seeder);
+    const FunctionSpec* spec = app.Find(function);
+    EXPECT_NE(spec, nullptr);
+    return interp_.Execute(spec->def, inputs, store);
+  }
+
+  Simulator sim_;
+  Network net_;
+  Analyzer analyzer_;
+  Interpreter interp_;
+};
+
+// --- Table 1 metadata ----------------------------------------------------------
+
+TEST_F(AppsTest, SixteenFunctionsAcrossThreeApps) {
+  size_t total = 0;
+  for (const AppSpec& app : AllApps()) {
+    total += app.functions.size();
+  }
+  EXPECT_EQ(total, 16u);
+}
+
+TEST_F(AppsTest, WorkloadMixSumsToHundredPercent) {
+  for (const AppSpec& app : AllApps()) {
+    double sum = 0.0;
+    for (const FunctionSpec& fn : app.functions) {
+      sum += fn.workload_pct;
+    }
+    EXPECT_NEAR(sum, 100.0, 1e-9) << app.name;
+  }
+}
+
+TEST_F(AppsTest, AllFunctionsAnalyzable) {
+  // Table 1: every function analyzes; the analyzer's dependent-read flag
+  // matches the asterisks (social_post and hotel_search).
+  for (const AppSpec& app : AllApps()) {
+    for (const FunctionSpec& fn : app.functions) {
+      const AnalyzedFunction analyzed = analyzer_.Analyze(fn.def);
+      EXPECT_TRUE(analyzed.analyzable) << fn.def.name << ": " << analyzed.failure_reason;
+      EXPECT_EQ(analyzed.has_dependent_reads, fn.dependent_reads) << fn.def.name;
+    }
+  }
+}
+
+TEST_F(AppsTest, WritesFlagMatchesActualBehaviour) {
+  for (const AppSpec& app : AllApps()) {
+    for (const FunctionSpec& fn : app.functions) {
+      // Detect writes structurally via the analyzer's slice.
+      const AnalyzedFunction analyzed = analyzer_.Analyze(fn.def);
+      bool has_write_stmt = false;
+      std::function<void(const StmtList&)> scan = [&](const StmtList& body) {
+        for (const StmtPtr& s : body) {
+          if (s->kind == StmtKind::kWrite) {
+            has_write_stmt = true;
+          }
+          scan(s->then_body);
+          scan(s->else_body);
+        }
+      };
+      scan(analyzed.derived.body);
+      EXPECT_EQ(has_write_stmt, fn.writes) << fn.def.name;
+    }
+  }
+}
+
+TEST_F(AppsTest, ExecutionTimesMatchTable1) {
+  // With a warm local store, each function's virtual execution time must be
+  // within 10% (or 3 ms for the short ones) of the Table 1 median.
+  struct Case {
+    std::string app;
+    std::string fn;
+    std::vector<Value> inputs;
+  };
+  const std::vector<Case> cases = {
+      {"social", "social_login", {Value("u1"), Value("pwu1")}},
+      {"social", "social_post", {Value("u1"), Value("p99"), Value("hi")}},
+      {"social", "social_follow", {Value("u1"), Value("u2")}},
+      {"social", "social_timeline", {Value("u1")}},
+      {"social", "social_profile", {Value("u1")}},
+      {"hotel", "hotel_search", {Value(static_cast<int64_t>(12)), Value("d0")}},
+      {"hotel", "hotel_recommend", {Value(static_cast<int64_t>(12))}},
+      {"hotel", "hotel_book",
+       {Value("u1"), Value("h3"), Value("d0"), Value("b1")}},
+      {"hotel", "hotel_review", {Value("u1"), Value("h3"), Value("good")}},
+      {"hotel", "hotel_login", {Value("u1"), Value("pwu1")}},
+      {"hotel", "hotel_attractions", {Value(static_cast<int64_t>(12))}},
+      {"forum", "forum_homepage", {}},
+      {"forum", "forum_post", {Value("u1"), Value("np1"), Value("story")}},
+      {"forum", "forum_interact", {Value("u1"), Value("fp0")}},
+      {"forum", "forum_view", {Value("fp0")}},
+      {"forum", "forum_login", {Value("u1"), Value("pwu1")}},
+  };
+  std::map<std::string, AppSpec> apps;
+  for (AppSpec& app : AllApps()) {
+    apps.emplace(app.name, std::move(app));
+  }
+  for (const Case& c : cases) {
+    const AppSpec& app = apps.at(c.app);
+    VersionedStore store;
+    const ExecResult result = RunSeeded(app, c.fn, c.inputs, &store);
+    ASSERT_TRUE(result.ok()) << c.fn << ": " << result.status.message();
+    const double expected = ToMillis(app.Find(c.fn)->paper_exec_time);
+    const double tolerance = std::max(expected * 0.10, 3.0);
+    EXPECT_NEAR(ToMillis(result.elapsed), expected, tolerance) << c.fn;
+  }
+}
+
+// --- Functional behaviour ---------------------------------------------------------
+
+TEST_F(AppsTest, LoginAcceptsCorrectAndRejectsWrongPassword) {
+  const AppSpec app = MakeSocialApp();
+  VersionedStore store;
+  const ExecResult good = RunSeeded(app, "social_login", {Value("u1"), Value("pwu1")}, &store);
+  EXPECT_EQ(good.return_value, Value(static_cast<int64_t>(1)));
+  VersionedStore store2;
+  const ExecResult bad =
+      RunSeeded(app, "social_login", {Value("u1"), Value("wrong")}, &store2);
+  EXPECT_EQ(bad.return_value, Value(static_cast<int64_t>(0)));
+}
+
+TEST_F(AppsTest, PostFansOutToFollowerTimelines) {
+  const AppSpec app = MakeSocialApp();
+  VersionedStore store;
+  const ExecResult result =
+      RunSeeded(app, "social_post", {Value("u1"), Value("p100"), Value("fresh news")}, &store);
+  ASSERT_TRUE(result.ok());
+  // The post itself landed.
+  EXPECT_EQ(store.Peek("post:p100")->value, Value("u1: fresh news"));
+  // Every follower's timeline got the rendered entry.
+  const ValueList followers = store.Peek("followers:u1")->value.AsList();
+  ASSERT_FALSE(followers.empty());
+  for (const Value& f : followers) {
+    const ValueList timeline = store.Peek("timeline:" + f.AsString())->value.AsList();
+    EXPECT_EQ(timeline.back(), Value("u1: fresh news")) << f.AsString();
+  }
+}
+
+TEST_F(AppsTest, FollowUpdatesBothSides) {
+  const AppSpec app = MakeSocialApp();
+  VersionedStore store;
+  RunSeeded(app, "social_follow", {Value("u1"), Value("u500")}, &store);
+  EXPECT_EQ(store.Peek("following:u1")->value.AsList().back(), Value("u500"));
+  EXPECT_EQ(store.Peek("followers:u500")->value.AsList().back(), Value("u1"));
+}
+
+TEST_F(AppsTest, TimelineReturnsSeededEntries) {
+  const AppSpec app = MakeSocialApp();
+  VersionedStore store;
+  const ExecResult result = RunSeeded(app, "social_timeline", {Value("u7")}, &store);
+  ASSERT_TRUE(result.return_value.is_list());
+  EXPECT_EQ(result.return_value.AsList().size(), 5u);
+}
+
+TEST_F(AppsTest, SearchReturnsHotelsOfTheCell) {
+  const AppSpec app = MakeHotelApp();
+  VersionedStore store;
+  const ExecResult result =
+      RunSeeded(app, "hotel_search", {Value(static_cast<int64_t>(12)), Value("d1")}, &store);
+  ASSERT_TRUE(result.return_value.is_list());
+  // loc 12 -> cell 1 -> hotels h5..h9.
+  EXPECT_EQ(result.return_value.AsList().front(), Value("h5"));
+  EXPECT_EQ(result.return_value.AsList().size(), 5u);
+}
+
+TEST_F(AppsTest, BookDecrementsAvailabilityAndRecordsBooking) {
+  HotelOptions options;
+  options.initial_availability = 2;
+  const AppSpec app = MakeHotelApp(options);
+  VersionedStore store;
+  const ExecResult first =
+      RunSeeded(app, "hotel_book", {Value("u1"), Value("h0"), Value("d0"), Value("b1")}, &store);
+  EXPECT_EQ(first.return_value, Value(static_cast<int64_t>(1)));  // Success.
+  EXPECT_EQ(store.Peek("avail:h0:d0")->value, Value(static_cast<int64_t>(1)));
+  EXPECT_EQ(store.Peek("booking:u1:b1")->value, Value("1:h0:d0"));
+  // Exhaust availability.
+  const FunctionSpec* book = app.Find("hotel_book");
+  interp_.Execute(book->def, {Value("u2"), Value("h0"), Value("d0"), Value("b2")}, &store);
+  const ExecResult third = interp_.Execute(
+      book->def, {Value("u3"), Value("h0"), Value("d0"), Value("b3")}, &store);
+  EXPECT_EQ(third.return_value, Value(static_cast<int64_t>(0)));  // Sold out.
+  EXPECT_EQ(store.Peek("booking:u3:b3")->value, Value("0:h0:d0"));
+}
+
+TEST_F(AppsTest, ReviewAppends) {
+  const AppSpec app = MakeHotelApp();
+  VersionedStore store;
+  RunSeeded(app, "hotel_review", {Value("u1"), Value("h2"), Value("lovely")}, &store);
+  const ValueList reviews = store.Peek("reviews:h2")->value.AsList();
+  EXPECT_EQ(reviews.back(), Value("u1: lovely"));
+}
+
+TEST_F(AppsTest, ForumInteractRecordsVoteAndReturnsNewScore) {
+  const AppSpec app = MakeForumApp();
+  VersionedStore store;
+  const ExecResult result =
+      RunSeeded(app, "forum_interact", {Value("u1"), Value("fp3")}, &store);
+  // The vote lands in the per-(user, post) row (Lobsters votes table).
+  EXPECT_EQ(store.Peek("vote:fp3:u1")->value, Value(static_cast<int64_t>(1)));
+  // The response shows the incremented score (seeded 3).
+  EXPECT_EQ(result.return_value, Value(static_cast<int64_t>(4)));
+}
+
+TEST_F(AppsTest, ForumPostLandsOnFrontpage) {
+  const AppSpec app = MakeForumApp();
+  VersionedStore store;
+  RunSeeded(app, "forum_post", {Value("u1"), Value("np7"), Value("big story")}, &store);
+  EXPECT_EQ(store.Peek("post:np7")->value, Value("u1: big story"));
+  const ValueList frontpage = store.Peek("frontpage")->value.AsList();
+  EXPECT_EQ(frontpage.back(), Value("np7 big story"));
+}
+
+TEST_F(AppsTest, ForumViewReturnsPostAndScore) {
+  const AppSpec app = MakeForumApp();
+  VersionedStore store;
+  const ExecResult result = RunSeeded(app, "forum_view", {Value("fp2")}, &store);
+  ASSERT_TRUE(result.return_value.is_list());
+  EXPECT_EQ(result.return_value.AsList()[0], Value("content of fp2"));
+}
+
+// --- Workload generators -------------------------------------------------------------
+
+TEST_F(AppsTest, WorkloadFrequenciesMatchTable1) {
+  for (const AppSpec& app : AllApps()) {
+    WorkloadFn workload = app.make_workload();
+    Rng rng(777);
+    std::map<std::string, int> counts;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      ++counts[workload(rng).function];
+    }
+    for (const FunctionSpec& fn : app.functions) {
+      const double measured = 100.0 * counts[fn.def.name] / n;
+      EXPECT_NEAR(measured, fn.workload_pct, 1.0) << fn.def.name;
+    }
+  }
+}
+
+TEST_F(AppsTest, WorkloadPostIdsAreUnique) {
+  const AppSpec app = MakeForumApp();
+  WorkloadFn workload = app.make_workload();
+  Rng rng(888);
+  std::set<std::string> ids;
+  int posts = 0;
+  for (int i = 0; i < 50000 && posts < 100; ++i) {
+    const RequestSpec spec = workload(rng);
+    if (spec.function == "forum_post") {
+      ++posts;
+      EXPECT_TRUE(ids.insert(spec.inputs[1].AsString()).second);
+    }
+  }
+  EXPECT_GE(posts, 50);
+}
+
+TEST_F(AppsTest, WorkloadInputsAreValidForSeededData) {
+  // Every drawn request must execute successfully against a seeded store.
+  for (const AppSpec& app : AllApps()) {
+    VersionedStore store;
+    struct SeedOnly : AppService {
+      VersionedStore* store;
+      explicit SeedOnly(VersionedStore* s) : store(s) {}
+      void Invoke(Region, const std::string&, std::vector<Value>,
+                  std::function<void(Value)>) override {}
+      const AnalyzedFunction& RegisterFunction(const FunctionDef& fn) override {
+        static Analyzer analyzer(&HostRegistry::Standard());
+        static FunctionRegistry registry(&analyzer);
+        return registry.Register(fn);
+      }
+      void Seed(const Key& key, const Value& value) override { store->Seed(key, value); }
+      ExternalServiceRegistry& externals() override {
+        static ExternalServiceRegistry registry;
+        return registry;
+      }
+    } seeder(&store);
+    app.seed(&seeder);
+    WorkloadFn workload = app.make_workload();
+    Rng rng(999);
+    for (int i = 0; i < 300; ++i) {
+      const RequestSpec spec = workload(rng);
+      const FunctionSpec* fn = app.Find(spec.function);
+      ASSERT_NE(fn, nullptr) << spec.function;
+      const ExecResult result = interp_.Execute(fn->def, spec.inputs, &store);
+      EXPECT_TRUE(result.ok()) << spec.function << ": " << result.status.message();
+    }
+  }
+}
+
+// --- End-to-end: no double booking under concurrency ----------------------------------
+
+TEST_F(AppsTest, NoOverbookingAcrossConcurrentRegions) {
+  HotelOptions options;
+  options.initial_availability = 3;
+  const AppSpec app = MakeHotelApp(options);
+  RadicalDeployment radical(&sim_, &net_, RadicalConfig{}, DeploymentRegions());
+  app.RegisterAll(&radical);
+  app.seed(&radical);
+  radical.WarmCaches();
+  // Ten concurrent bookings of the same room/date from five regions.
+  int successes = 0;
+  int completed = 0;
+  int booking = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (const Region region : DeploymentRegions()) {
+      radical.Invoke(region, "hotel_book",
+                     {Value("u" + std::to_string(booking)), Value("h0"), Value("d0"),
+                      Value("bk" + std::to_string(booking))},
+                     [&](Value result) {
+                       ++completed;
+                       if (result == Value(static_cast<int64_t>(1))) {
+                         ++successes;
+                       }
+                     });
+      ++booking;
+    }
+  }
+  sim_.RunFor(Seconds(30));
+  EXPECT_EQ(completed, 10);
+  // Exactly the three available rooms were granted — never more.
+  EXPECT_EQ(successes, 3);
+  EXPECT_EQ(radical.primary().Peek("avail:h0:d0")->value,
+            Value(static_cast<int64_t>(3 - 10)));
+  EXPECT_TRUE(radical.server().idle());
+}
+
+}  // namespace
+}  // namespace radical

@@ -1,0 +1,301 @@
+// Tests for the wire codec: primitive round trips, message round trips,
+// function-image round trips (including re-analysis and re-execution of a
+// decoded function), and robustness against truncation/corruption.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/analyzer.h"
+#include "src/apps/apps.h"
+#include "src/common/rng.h"
+#include "src/lvi/codec.h"
+#include "src/lvi/lvi_server.h"
+
+namespace radical {
+namespace {
+
+// --- Primitives ----------------------------------------------------------------
+
+TEST(WireCodecTest, VarintRoundTrip) {
+  WireBuffer buffer;
+  WireWriter w(&buffer);
+  const std::vector<uint64_t> cases = {0, 1, 127, 128, 300, 16384, 1ull << 32, ~0ull};
+  for (const uint64_t v : cases) {
+    w.WriteVarint(v);
+  }
+  WireReader r(buffer);
+  for (const uint64_t v : cases) {
+    EXPECT_EQ(r.ReadVarint(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireCodecTest, SignedZigzagRoundTrip) {
+  WireBuffer buffer;
+  WireWriter w(&buffer);
+  const std::vector<int64_t> cases = {0, -1, 1, -64, 64, kMissingVersion, INT64_MIN, INT64_MAX};
+  for (const int64_t v : cases) {
+    w.WriteSigned(v);
+  }
+  WireReader r(buffer);
+  for (const int64_t v : cases) {
+    EXPECT_EQ(r.ReadSigned(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireCodecTest, SmallMagnitudesStaySmall) {
+  WireBuffer buffer;
+  WireWriter w(&buffer);
+  w.WriteSigned(-1);  // Zigzag: one byte.
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(WireCodecTest, StringRoundTripIncludingEmbeddedNul) {
+  WireBuffer buffer;
+  WireWriter w(&buffer);
+  const std::string s("key\0with\0nuls", 13);
+  w.WriteString(s);
+  w.WriteString("");
+  WireReader r(buffer);
+  EXPECT_EQ(r.ReadString(), s);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireCodecTest, ValueRoundTripAllKinds) {
+  const Value nested(ValueList{
+      Value(), Value(static_cast<int64_t>(-42)), Value("text"),
+      Value(ValueList{Value("inner"), Value(static_cast<int64_t>(7))})});
+  WireBuffer buffer;
+  WireWriter w(&buffer);
+  w.WriteValue(nested);
+  WireReader r(buffer);
+  EXPECT_EQ(r.ReadValue(), nested);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireCodecTest, TruncatedInputFailsCleanly) {
+  WireBuffer buffer;
+  WireWriter w(&buffer);
+  w.WriteValue(Value("a longer string payload"));
+  for (size_t cut = 0; cut < buffer.size(); ++cut) {
+    WireBuffer truncated(buffer.begin(), buffer.begin() + static_cast<long>(cut));
+    WireReader r(truncated);
+    (void)r.ReadValue();
+    EXPECT_FALSE(r.AtEnd()) << "cut=" << cut;  // Either error or leftover state.
+  }
+}
+
+TEST(WireCodecTest, DeepNestingRejected) {
+  // 40 nested single-element lists exceed the depth guard.
+  WireBuffer buffer;
+  WireWriter w(&buffer);
+  for (int i = 0; i < 40; ++i) {
+    w.WriteByte(3);     // kTagList.
+    w.WriteVarint(1);   // One element...
+  }
+  w.WriteByte(0);  // ...bottoming out at unit.
+  WireReader r(buffer);
+  (void)r.ReadValue();
+  EXPECT_FALSE(r.ok());
+}
+
+// --- Messages -------------------------------------------------------------------
+
+LviRequest SampleRequest() {
+  LviRequest request;
+  request.exec_id = 987654321;
+  request.origin = Region::kJP;
+  request.function = "social_post";
+  request.inputs = {Value("u1"), Value("p1"), Value("hello")};
+  request.items = {{"followers:u1", 4, LockMode::kRead},
+                   {"post:p1", kMissingVersion, LockMode::kWrite},
+                   {"timeline:u2", 9, LockMode::kWrite}};
+  return request;
+}
+
+TEST(WireCodecTest, LviRequestRoundTrip) {
+  const LviRequest request = SampleRequest();
+  const WireBuffer buffer = EncodeLviRequest(request);
+  const Result<LviRequest> decoded = DecodeLviRequest(buffer);
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_EQ(decoded->exec_id, request.exec_id);
+  EXPECT_EQ(decoded->origin, request.origin);
+  EXPECT_EQ(decoded->function, request.function);
+  ASSERT_EQ(decoded->inputs.size(), 3u);
+  EXPECT_EQ(decoded->inputs[2], Value("hello"));
+  ASSERT_EQ(decoded->items.size(), 3u);
+  EXPECT_EQ(decoded->items[1].key, "post:p1");
+  EXPECT_EQ(decoded->items[1].cached_version, kMissingVersion);
+  EXPECT_EQ(decoded->items[1].mode, LockMode::kWrite);
+}
+
+TEST(WireCodecTest, LviResponseRoundTrip) {
+  LviResponse response;
+  response.exec_id = 55;
+  response.validated = false;
+  response.backup_result = Value(ValueList{Value("a"), Value("b")});
+  response.fresh_items = {{"k1", Value("v1"), 3}, {"k2", Value(static_cast<int64_t>(9)), 1}};
+  const Result<LviResponse> decoded = DecodeLviResponse(EncodeLviResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_FALSE(decoded->validated);
+  EXPECT_EQ(decoded->backup_result, response.backup_result);
+  ASSERT_EQ(decoded->fresh_items.size(), 2u);
+  EXPECT_EQ(decoded->fresh_items[0].version, 3);
+}
+
+TEST(WireCodecTest, FollowupRoundTrip) {
+  WriteFollowup followup;
+  followup.exec_id = 77;
+  followup.writes = {{"a", Value("x")}, {"b", Value(static_cast<int64_t>(2))}};
+  const Result<WriteFollowup> decoded = DecodeWriteFollowup(EncodeWriteFollowup(followup));
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_EQ(decoded->exec_id, 77u);
+  ASSERT_EQ(decoded->writes.size(), 2u);
+  EXPECT_EQ(decoded->writes[1].value, Value(static_cast<int64_t>(2)));
+}
+
+TEST(WireCodecTest, MessageTypeConfusionRejected) {
+  const WireBuffer request_bytes = EncodeLviRequest(SampleRequest());
+  EXPECT_FALSE(DecodeLviResponse(request_bytes).ok());
+  EXPECT_FALSE(DecodeWriteFollowup(request_bytes).ok());
+  EXPECT_FALSE(DecodeFunction(request_bytes).ok());
+}
+
+TEST(WireCodecTest, RequestTruncationAlwaysFails) {
+  const WireBuffer buffer = EncodeLviRequest(SampleRequest());
+  for (size_t cut = 0; cut < buffer.size(); ++cut) {
+    WireBuffer truncated(buffer.begin(), buffer.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeLviRequest(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireCodecTest, RandomCorruptionNeverCrashes) {
+  const WireBuffer original = EncodeLviRequest(SampleRequest());
+  Rng rng(13579);
+  for (int trial = 0; trial < 500; ++trial) {
+    WireBuffer corrupted = original;
+    const size_t flips = 1 + rng.NextBelow(4);
+    for (size_t i = 0; i < flips; ++i) {
+      corrupted[rng.NextBelow(corrupted.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextBelow(8));
+    }
+    // Must not crash; may decode to something or fail — both acceptable.
+    (void)DecodeLviRequest(corrupted);
+  }
+}
+
+// --- Function images ----------------------------------------------------------------
+
+TEST(WireCodecTest, FunctionRoundTripPreservesBehaviour) {
+  // Every evaluation function survives encode -> decode with identical
+  // pretty-printed structure, analysis result, and execution behaviour.
+  Analyzer analyzer(&HostRegistry::Standard());
+  Interpreter interp(&HostRegistry::Standard());
+  for (const AppSpec& app : AllApps()) {
+    for (const FunctionSpec& fn : app.functions) {
+      const WireBuffer buffer = EncodeFunction(fn.def);
+      const Result<FunctionDef> decoded = DecodeFunction(buffer);
+      ASSERT_TRUE(decoded.ok()) << fn.def.name << ": " << decoded.message();
+      EXPECT_EQ(FunctionToString(*decoded), FunctionToString(fn.def)) << fn.def.name;
+      const AnalyzedFunction a1 = analyzer.Analyze(fn.def);
+      const AnalyzedFunction a2 = analyzer.Analyze(*decoded);
+      EXPECT_EQ(a1.analyzable, a2.analyzable);
+      EXPECT_EQ(a1.has_dependent_reads, a2.has_dependent_reads);
+      EXPECT_EQ(a1.derived_stmt_count, a2.derived_stmt_count);
+    }
+  }
+}
+
+TEST(WireCodecTest, DecodedFunctionExecutesIdentically) {
+  const AppSpec app = MakeSocialApp();
+  const FunctionDef& original = app.Find("social_follow")->def;
+  const Result<FunctionDef> decoded = DecodeFunction(EncodeFunction(original));
+  ASSERT_TRUE(decoded.ok());
+  Interpreter interp(&HostRegistry::Standard());
+  VersionedStore s1;
+  VersionedStore s2;
+  for (VersionedStore* s : {&s1, &s2}) {
+    s->Seed("following:u1", Value(ValueList{Value("u9")}));
+    s->Seed("followers:u2", Value(ValueList{}));
+  }
+  const std::vector<Value> inputs = {Value("u1"), Value("u2")};
+  const ExecResult r1 = interp.Execute(original, inputs, &s1);
+  const ExecResult r2 = interp.Execute(*decoded, inputs, &s2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.return_value, r2.return_value);
+  EXPECT_EQ(r1.elapsed, r2.elapsed);
+  EXPECT_EQ(s1.Peek("following:u1")->value, s2.Peek("following:u1")->value);
+}
+
+TEST(WireCodecTest, WireSizesAreModest) {
+  // The LVI protocol's bandwidth claim (§5.7): requests are key names plus
+  // versions — a few hundred bytes, not kilobytes.
+  const WireBuffer request = EncodeLviRequest(SampleRequest());
+  EXPECT_LT(request.size(), 256u);
+  WriteFollowup followup;
+  followup.exec_id = 1;
+  followup.writes = {{"timeline:u2", Value("u1: hello")}};
+  EXPECT_LT(EncodeWriteFollowup(followup).size(), 128u);
+}
+
+// --- The codec carries the whole protocol -----------------------------------------
+// Route one complete LVI exchange through encode/decode at every hop: the
+// wire format is sufficient for the protocol, not merely round-trippable.
+
+TEST(WireCodecTest, FullProtocolExchangeThroughTheCodec) {
+  Simulator sim(515);
+  VersionedStore store;
+  store.Seed("k", Value("old"));
+  Analyzer analyzer(&HostRegistry::Standard());
+  Interpreter interp(&HostRegistry::Standard());
+  FunctionRegistry registry(&analyzer);
+  // Register the function from its decoded wire image (function shipping).
+  const FunctionDef original = Fn("set_k", {"v"}, {
+      Write(C("k"), In("v")),
+      Return(In("v")),
+  });
+  const Result<FunctionDef> shipped = DecodeFunction(EncodeFunction(original));
+  ASSERT_TRUE(shipped.ok());
+  registry.Register(*shipped);
+  LocalLockService locks(&sim);
+  LviServer server(&sim, &store, &registry, &interp, &locks);
+
+  // Client side: build the request, push it through the codec.
+  LviRequest request;
+  request.exec_id = 42;
+  request.origin = Region::kDE;
+  request.function = "set_k";
+  request.inputs = {Value("new")};
+  request.items = {{"k", 1, LockMode::kWrite}};
+  const Result<LviRequest> arrived = DecodeLviRequest(EncodeLviRequest(request));
+  ASSERT_TRUE(arrived.ok());
+
+  std::optional<LviResponse> received;
+  server.HandleLviRequest(*arrived, [&](LviResponse response) {
+    // Server -> client hop through the codec.
+    const Result<LviResponse> decoded = DecodeLviResponse(EncodeLviResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    received = *decoded;
+  });
+  sim.RunFor(Millis(100));
+  ASSERT_TRUE(received.has_value());
+  EXPECT_TRUE(received->validated);
+
+  // Followup through the codec.
+  WriteFollowup followup;
+  followup.exec_id = received->exec_id;
+  followup.writes = {{"k", Value("new")}};
+  const Result<WriteFollowup> followup_arrived =
+      DecodeWriteFollowup(EncodeWriteFollowup(followup));
+  ASSERT_TRUE(followup_arrived.ok());
+  server.HandleFollowup(*followup_arrived);
+  sim.Run();
+  EXPECT_EQ(store.Peek("k")->value, Value("new"));
+  EXPECT_EQ(store.VersionOf("k"), 2);
+  EXPECT_TRUE(server.idle());
+}
+
+}  // namespace
+}  // namespace radical

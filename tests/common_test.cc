@@ -1,0 +1,315 @@
+// Unit tests for src/common: Result, Value, Rng/Zipf, stats, strings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/string_util.h"
+#include "src/common/types.h"
+#include "src/common/value.h"
+
+namespace radical {
+namespace {
+
+// --- Result ------------------------------------------------------------------
+
+TEST(ResultTest, OkCarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, ErrorCarriesMessage) {
+  Result<int> r = Result<int>::Error("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.message(), "boom");
+}
+
+TEST(ResultTest, StatusDefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(Status::Error("x").ok());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+// --- Types -------------------------------------------------------------------
+
+TEST(TypesTest, DurationConversions) {
+  EXPECT_EQ(Millis(3), 3000);
+  EXPECT_EQ(Seconds(2), 2000000);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Micros(500)), 0.5);
+}
+
+// --- Value -------------------------------------------------------------------
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value().is_unit());
+  EXPECT_TRUE(Value(static_cast<int64_t>(1)).is_int());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(ValueList{}).is_list());
+}
+
+TEST(ValueTest, DeepEquality) {
+  Value a(ValueList{Value("x"), Value(static_cast<int64_t>(1))});
+  Value b(ValueList{Value("x"), Value(static_cast<int64_t>(1))});
+  Value c(ValueList{Value("x"), Value(static_cast<int64_t>(2))});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(Value("1"), Value(static_cast<int64_t>(1)));
+}
+
+TEST(ValueTest, StableHashIsDeterministicAndDiscriminating) {
+  EXPECT_EQ(Value("abc").StableHash(), Value("abc").StableHash());
+  EXPECT_NE(Value("abc").StableHash(), Value("abd").StableHash());
+  EXPECT_NE(Value(static_cast<int64_t>(7)).StableHash(), Value("7").StableHash());
+}
+
+TEST(ValueTest, ToStringRendersNested) {
+  Value v(ValueList{Value("a"), Value(static_cast<int64_t>(3))});
+  EXPECT_EQ(v.ToString(), "[\"a\", 3]");
+  EXPECT_EQ(Value().ToString(), "unit");
+}
+
+TEST(ValueTest, ApproxSizeCountsPayload) {
+  EXPECT_EQ(Value("abcd").ApproxSizeBytes(), 4u);
+  EXPECT_EQ(Value(static_cast<int64_t>(1)).ApproxSizeBytes(), 8u);
+  EXPECT_GT(Value(ValueList{Value("abcd"), Value("ef")}).ApproxSizeBytes(), 6u);
+}
+
+TEST(ValueTest, ListCopyIsShallowButImmutable) {
+  Value a(ValueList{Value("x")});
+  Value b = a;  // Shares the list representation.
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.AsList().size(), 1u);
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBool(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// --- Zipf ----------------------------------------------------------------------
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator zipf(10, 0.0);
+  EXPECT_NEAR(zipf.Pmf(0), 0.1, 1e-9);
+  EXPECT_NEAR(zipf.Pmf(9), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfGenerator zipf(1000, 0.99);
+  EXPECT_GT(zipf.Pmf(0), 0.1);      // Rank 0 is very popular.
+  EXPECT_LT(zipf.Pmf(999), 0.001);  // The tail is not.
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+}
+
+TEST(ZipfTest, SamplesMatchPmf) {
+  ZipfGenerator zipf(100, 0.99);
+  Rng rng(31);
+  std::vector<int> counts(100, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, zipf.Pmf(0), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, zipf.Pmf(1), 0.01);
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfGenerator zipf(5, 0.99);
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 5u);
+  }
+}
+
+// --- Stats ----------------------------------------------------------------------
+
+TEST(StatsTest, PercentilesOfKnownDistribution) {
+  LatencySampler s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(Millis(i));
+  }
+  EXPECT_NEAR(s.MedianMs(), 50.5, 0.01);
+  EXPECT_NEAR(s.PercentileMs(0), 1.0, 0.01);
+  EXPECT_NEAR(s.PercentileMs(100), 100.0, 0.01);
+  EXPECT_NEAR(s.PercentileMs(99), 99.01, 0.1);
+}
+
+TEST(StatsTest, SingleSample) {
+  LatencySampler s;
+  s.Add(Millis(42));
+  EXPECT_DOUBLE_EQ(s.MedianMs(), 42.0);
+  EXPECT_DOUBLE_EQ(s.PercentileMs(99), 42.0);
+}
+
+TEST(StatsTest, MergeCombinesSamples) {
+  LatencySampler a;
+  LatencySampler b;
+  a.Add(Millis(1));
+  b.Add(Millis(3));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.MeanMs(), 2.0, 1e-9);
+}
+
+TEST(StatsTest, SummaryFields) {
+  LatencySampler s;
+  for (int i = 1; i <= 10; ++i) {
+    s.Add(Millis(i * 10));
+  }
+  const Summary sum = s.Summarize();
+  EXPECT_EQ(sum.count, 10u);
+  EXPECT_DOUBLE_EQ(sum.min_ms, 10.0);
+  EXPECT_DOUBLE_EQ(sum.max_ms, 100.0);
+  EXPECT_NEAR(sum.mean_ms, 55.0, 1e-9);
+}
+
+TEST(StatsTest, AddAfterQueryResorts) {
+  LatencySampler s;
+  s.Add(Millis(10));
+  EXPECT_DOUBLE_EQ(s.MedianMs(), 10.0);
+  s.Add(Millis(2));
+  EXPECT_DOUBLE_EQ(s.PercentileMs(0), 2.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(10.0, 100.0);
+  h.Add(Millis(5));
+  h.Add(Millis(15));
+  h.Add(Millis(500));  // Overflow bucket.
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(h.bucket_count() - 1), 1u);
+}
+
+TEST(HistogramTest, FractionBetween) {
+  Histogram h(1.0, 100.0);
+  for (int i = 0; i < 10; ++i) {
+    h.Add(Millis(i < 7 ? 5 : 50));
+  }
+  EXPECT_NEAR(h.FractionBetween(0, 10), 0.7, 1e-9);
+  EXPECT_NEAR(h.FractionBetween(40, 60), 0.3, 1e-9);
+}
+
+TEST(CountersTest, IncrementAndRatio) {
+  Counters c;
+  c.Increment("a", 3);
+  c.Increment("b");
+  EXPECT_EQ(c.Get("a"), 3u);
+  EXPECT_EQ(c.Get("missing"), 0u);
+  EXPECT_NEAR(c.RatioOf("a", "b"), 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(Counters().RatioOf("x", "y"), 0.0);
+}
+
+// --- Strings ---------------------------------------------------------------------
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(PadLeft("x", 3), "  x");
+  EXPECT_EQ(PadRight("x", 3), "x  ");
+  EXPECT_EQ(PadLeft("xyz", 2), "xyz");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("timeline:u1", "timeline:"));
+  EXPECT_FALSE(StartsWith("tim", "timeline:"));
+}
+
+}  // namespace
+}  // namespace radical

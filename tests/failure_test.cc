@@ -1,0 +1,265 @@
+// Failure-injection tests: lost write followups, late followups, cache loss,
+// and linearizability under failures — the scenarios write intents and
+// deterministic re-execution exist for (§3.4, §3.6).
+
+#include <gtest/gtest.h>
+
+#include "src/check/linearizability.h"
+#include "src/func/builder.h"
+#include "src/radical/deployment.h"
+
+namespace radical {
+namespace {
+
+NetworkOptions NoJitter() {
+  NetworkOptions options;
+  options.jitter_stddev_frac = 0.0;
+  return options;
+}
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : sim_(31337), net_(&sim_, LatencyMatrix::PaperDefault(), NoJitter()) {
+    RadicalConfig config;
+    config.server.intent_timeout = Millis(500);
+    radical_ = std::make_unique<RadicalDeployment>(&sim_, &net_, config, DeploymentRegions());
+    radical_->RegisterFunction(Fn("reg_read", {"k"}, {
+        Read("v", In("k")),
+        Compute(Millis(25)),
+        Return(V("v")),
+    }));
+    radical_->RegisterFunction(Fn("reg_write", {"k", "v"}, {
+        Write(In("k"), In("v")),
+        Compute(Millis(25)),
+        Return(In("v")),
+    }));
+    radical_->Seed("k", Value("v0"));
+    radical_->WarmCaches();
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<RadicalDeployment> radical_;
+};
+
+TEST_F(FailureTest, DroppedFollowupIsRecoveredByReExecution) {
+  radical_->runtime(Region::kCA).set_followup_filter([](const WriteFollowup&) { return false; });
+  Value result;
+  radical_->Invoke(Region::kCA, "reg_write", {Value("k"), Value("v1")},
+                   [&](Value v) { result = std::move(v); });
+  sim_.Run();
+  // The client was answered from speculation...
+  EXPECT_EQ(result, Value("v1"));
+  EXPECT_EQ(radical_->runtime(Region::kCA).counters().Get("followups_dropped"), 1u);
+  // ...and the intent timer re-executed the function near storage, applying
+  // the identical write exactly once.
+  EXPECT_EQ(radical_->server().reexecutions(), 1u);
+  EXPECT_EQ(radical_->primary().Peek("k")->value, Value("v1"));
+  EXPECT_EQ(radical_->primary().VersionOf("k"), 2);
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+TEST_F(FailureTest, ReadAfterDroppedFollowupStillSeesTheWrite) {
+  radical_->runtime(Region::kCA).set_followup_filter([](const WriteFollowup&) { return false; });
+  bool write_done = false;
+  radical_->Invoke(Region::kCA, "reg_write", {Value("k"), Value("v1")},
+                   [&](Value) { write_done = true; });
+  sim_.Run();  // Write replied; re-execution completed.
+  ASSERT_TRUE(write_done);
+  // A JP read must observe v1 (linearizability survived the failure).
+  Value read_result;
+  radical_->Invoke(Region::kJP, "reg_read", {Value("k")},
+                   [&](Value v) { read_result = std::move(v); });
+  sim_.Run();
+  EXPECT_EQ(read_result, Value("v1"));
+}
+
+TEST_F(FailureTest, WaitingWriterUnblocksAfterReExecution) {
+  // CA's followup is lost while DE is queued on the same write lock: DE must
+  // proceed after the intent timer resolves CA's execution.
+  radical_->runtime(Region::kCA).set_followup_filter([](const WriteFollowup&) { return false; });
+  int done = 0;
+  radical_->Invoke(Region::kCA, "reg_write", {Value("k"), Value("vCA")},
+                   [&](Value) { ++done; });
+  radical_->Invoke(Region::kDE, "reg_write", {Value("k"), Value("vDE")},
+                   [&](Value) { ++done; });
+  sim_.Run();
+  EXPECT_EQ(done, 2);
+  // Both writes landed (CA via re-execution, DE via its own path).
+  EXPECT_EQ(radical_->primary().VersionOf("k"), 3);
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+TEST_F(FailureTest, SlowFollowupLosesIntentRaceAndIsDiscarded) {
+  // Partition the CA->VA link right after the LVI response returns, so the
+  // followup is dropped in flight; heal after the timer fires and resend
+  // manually — the server must discard it (§3.6 case 3).
+  RadicalConfig config;
+  config.server.intent_timeout = Millis(100);  // Timer beats the followup.
+  RadicalDeployment fast_timer(&sim_, &net_, config, {Region::kJP});
+  fast_timer.RegisterFunction(
+      Fn("reg_write", {"k", "v"}, {Write(In("k"), In("v")), Compute(Millis(25)),
+                                   Return(In("v"))}));
+  fast_timer.Seed("k", Value("v0"));
+  fast_timer.WarmCaches();
+  // JP's followup takes ~73 ms one way; with a 100 ms timer armed at
+  // validation time (which happens ~75 ms before the response reaches JP),
+  // the timer fires before the followup arrives.
+  bool done = false;
+  fast_timer.Invoke(Region::kJP, "reg_write", {Value("k"), Value("v1")},
+                    [&](Value) { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  // Re-execution won; the late followup was discarded; the write applied
+  // exactly once.
+  EXPECT_EQ(fast_timer.server().reexecutions(), 1u);
+  EXPECT_EQ(fast_timer.server().late_followups_discarded(), 1u);
+  EXPECT_EQ(fast_timer.primary().VersionOf("k"), 2);
+  EXPECT_EQ(fast_timer.primary().Peek("k")->value, Value("v1"));
+}
+
+TEST_F(FailureTest, CacheLossBootstrapsGradually) {
+  // Lose DE's entire cache: the next request misses (version -1), skips
+  // speculation, fails validation, and repairs; the one after speculates.
+  radical_->runtime(Region::kDE).cache().Clear();
+  Value r1;
+  radical_->Invoke(Region::kDE, "reg_read", {Value("k")}, [&](Value v) { r1 = std::move(v); });
+  sim_.Run();
+  EXPECT_EQ(r1, Value("v0"));
+  EXPECT_EQ(radical_->runtime(Region::kDE).counters().Get("spec_skipped_miss"), 1u);
+  Value r2;
+  radical_->Invoke(Region::kDE, "reg_read", {Value("k")}, [&](Value v) { r2 = std::move(v); });
+  sim_.Run();
+  EXPECT_EQ(r2, Value("v0"));
+  EXPECT_EQ(radical_->runtime(Region::kDE).counters().Get("validated_speculative"), 1u);
+}
+
+TEST_F(FailureTest, LinearizableUnderRandomFollowupLoss) {
+  // Every region drops ~40% of followups; random reads/writes across regions
+  // must still form a linearizable history, with intents guaranteeing every
+  // acknowledged write reaches the primary.
+  Rng drop_rng(99);
+  for (const Region region : DeploymentRegions()) {
+    radical_->runtime(region).set_followup_filter(
+        [&drop_rng](const WriteFollowup&) { return !drop_rng.NextBool(0.4); });
+  }
+  HistoryRecorder history;
+  Rng rng(2468);
+  int unique = 0;
+  const int total_ops = 50;
+  for (int i = 0; i < total_ops; ++i) {
+    const Region region = DeploymentRegions()[rng.NextBelow(DeploymentRegions().size())];
+    const bool is_write = rng.NextBool(0.5);
+    const SimDuration at = static_cast<SimDuration>(rng.NextBelow(Seconds(5)));
+    sim_.Schedule(at, [&, region, is_write] {
+      const SimTime invoke = sim_.Now();
+      if (is_write) {
+        const Value value("w" + std::to_string(unique++));
+        radical_->Invoke(region, "reg_write", {Value("k"), value}, [&, value, invoke](Value) {
+          history.Record(HistoryOp{true, "k", value, invoke, sim_.Now()});
+        });
+      } else {
+        radical_->Invoke(region, "reg_read", {Value("k")}, [&, invoke](Value result) {
+          history.Record(HistoryOp{false, "k", std::move(result), invoke, sim_.Now()});
+        });
+      }
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(history.size(), static_cast<size_t>(total_ops));
+  const LinearizabilityResult result =
+      CheckHistory(history, {{"k", Value("v0")}});
+  EXPECT_TRUE(result.linearizable) << result.violation;
+  EXPECT_TRUE(radical_->server().idle());
+  EXPECT_GT(radical_->server().reexecutions(), 0u);
+}
+
+TEST_F(FailureTest, ServerStateDrainsCleanAfterMixedTraffic) {
+  Rng rng(1357);
+  for (int i = 0; i < 40; ++i) {
+    const Region region = DeploymentRegions()[rng.NextBelow(DeploymentRegions().size())];
+    const SimDuration at = static_cast<SimDuration>(rng.NextBelow(Seconds(2)));
+    const bool is_write = rng.NextBool(0.3);
+    sim_.Schedule(at, [this, region, is_write, i] {
+      if (is_write) {
+        radical_->Invoke(region, "reg_write", {Value("k"), Value("x" + std::to_string(i))},
+                         [](Value) {});
+      } else {
+        radical_->Invoke(region, "reg_read", {Value("k")}, [](Value) {});
+      }
+    });
+  }
+  sim_.Run();
+  EXPECT_TRUE(radical_->server().idle());
+  EXPECT_EQ(radical_->server().counters().Get("lvi_requests"),
+            radical_->server().validations_succeeded() +
+                radical_->server().validations_failed());
+}
+
+TEST_F(FailureTest, ServerCrashDropsNewRequestsUntilRecovery) {
+  radical_->server().Crash();
+  bool replied = false;
+  radical_->Invoke(Region::kCA, "reg_read", {Value("k")}, [&](Value) { replied = true; });
+  sim_.RunFor(Seconds(3));
+  EXPECT_FALSE(replied);  // "LVI requests cannot be handled until the server
+                          // is brought back online" (§5.6).
+  EXPECT_GE(radical_->server().counters().Get("dropped_while_down"), 1u);
+  radical_->server().Recover();
+  Value result;
+  radical_->Invoke(Region::kCA, "reg_read", {Value("k")}, [&](Value v) { result = std::move(v); });
+  sim_.Run();
+  EXPECT_EQ(result, Value("v0"));
+}
+
+TEST_F(FailureTest, PendingIntentSurvivesServerCrashAndResolvesAfterRecovery) {
+  // A write validates and the client is answered; the server crashes before
+  // the followup lands (the followup is dropped while it is down). The
+  // durable intent — re-armed at recovery — re-executes the function, so the
+  // acknowledged write still reaches the primary exactly once.
+  bool replied = false;
+  radical_->Invoke(Region::kDE, "reg_write", {Value("k"), Value("v-crash")},
+                   [&](Value) { replied = true; });
+  // Run until the client has its answer but the followup is still in flight
+  // (the one-way DE->VA trip takes ~44 ms).
+  while (!replied && sim_.Step()) {
+  }
+  ASSERT_TRUE(replied);
+  radical_->server().Crash();
+  sim_.RunFor(Seconds(1));  // Followup arrives at a dead server: dropped.
+  EXPECT_EQ(radical_->primary().Peek("k")->value, Value("v0"));  // Not applied.
+  EXPECT_GE(radical_->server().counters().Get("dropped_while_down"), 1u);
+  radical_->server().Recover();
+  sim_.Run();  // Re-armed intent timer fires; deterministic re-execution.
+  EXPECT_EQ(radical_->server().reexecutions(), 1u);
+  EXPECT_EQ(radical_->primary().Peek("k")->value, Value("v-crash"));
+  EXPECT_EQ(radical_->primary().VersionOf("k"), 2);
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+TEST_F(FailureTest, LocksSurviveServerCrash) {
+  // Locks are persisted to disk (§4): a writer's lock held across a crash
+  // still excludes a competitor after recovery, until the writer's intent
+  // resolves.
+  bool writer_replied = false;
+  radical_->Invoke(Region::kCA, "reg_write", {Value("k"), Value("vA")},
+                   [&](Value) { writer_replied = true; });
+  while (!writer_replied && sim_.Step()) {
+  }
+  ASSERT_TRUE(writer_replied);
+  radical_->server().Crash();
+  sim_.RunFor(Millis(200));  // Followup lost at the dead server.
+  radical_->server().Recover();
+  // A competing writer must wait behind the persisted lock, then proceed
+  // once re-execution releases it.
+  bool competitor_replied = false;
+  radical_->Invoke(Region::kDE, "reg_write", {Value("k"), Value("vB")},
+                   [&](Value) { competitor_replied = true; });
+  sim_.Run();
+  EXPECT_TRUE(competitor_replied);
+  EXPECT_EQ(radical_->primary().VersionOf("k"), 3);  // Both applied, in order.
+  EXPECT_EQ(radical_->primary().Peek("k")->value, Value("vB"));
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+}  // namespace
+}  // namespace radical

@@ -1,0 +1,107 @@
+// Analytic latency-model tests, parameterized over every deployment region:
+// the simulator's end-to-end latencies must match the closed-form
+// expressions the paper's §5.5 component breakdown implies, per region.
+
+#include <gtest/gtest.h>
+
+#include "src/func/builder.h"
+#include "src/radical/deployment.h"
+
+namespace radical {
+namespace {
+
+NetworkOptions NoJitter() {
+  NetworkOptions options;
+  options.jitter_stddev_frac = 0.0;
+  return options;
+}
+
+constexpr SimDuration kLongExec = Millis(180);
+constexpr SimDuration kShortExec = Millis(15);
+
+class RegionLatencyTest : public ::testing::TestWithParam<Region> {
+ protected:
+  RegionLatencyTest() : sim_(808), net_(&sim_, LatencyMatrix::PaperDefault(), NoJitter()) {
+    radical_ = std::make_unique<RadicalDeployment>(&sim_, &net_, RadicalConfig{},
+                                                   DeploymentRegions());
+    radical_->RegisterFunction(Fn("long_fn", {"k"}, {
+        Read("v", In("k")),
+        Compute(kLongExec),
+        Return(V("v")),
+    }));
+    radical_->RegisterFunction(Fn("short_fn", {"k"}, {
+        Read("v", In("k")),
+        Compute(kShortExec),
+        Return(V("v")),
+    }));
+    radical_->Seed("k", Value("v"));
+    radical_->WarmCaches();
+  }
+
+  SimDuration Measure(Region region, const std::string& function) {
+    SimDuration latency = 0;
+    const SimTime start = sim_.Now();
+    radical_->Invoke(region, function, {Value("k")},
+                     [&](Value) { latency = sim_.Now() - start; });
+    sim_.Run();
+    EXPECT_GT(latency, 0);
+    return latency;
+  }
+
+  // The analytic model: instantiation + f^rw + max(exec, LVI leg) + reply.
+  // Fixed overheads measured once from the config.
+  SimDuration Expected(Region region, SimDuration exec) {
+    const RadicalConfig& config = radical_->config();
+    const SimDuration instantiation = config.lambda_invoke + config.blob_load;
+    // f^rw: invoke overhead + interpreter steps (sub-ms) + version gather.
+    const SimDuration frw =
+        config.frw_invoke_overhead + config.cache.read_latency;
+    const SimDuration exec_leg = exec + config.cache.read_latency;
+    const SimDuration lvi_leg = LviLinkRtt(net_.latency(), region, kPrimaryRegion) +
+                                config.server.process_delay +
+                                config.primary_store.read_latency;
+    return instantiation + frw + std::max(exec_leg, lvi_leg);
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<RadicalDeployment> radical_;
+};
+
+TEST_P(RegionLatencyTest, LongFunctionMatchesAnalyticModel) {
+  const Region region = GetParam();
+  const SimDuration measured = Measure(region, "long_fn");
+  const SimDuration expected = Expected(region, kLongExec);
+  EXPECT_NEAR(ToMillis(measured), ToMillis(expected), 2.0) << RegionName(region);
+}
+
+TEST_P(RegionLatencyTest, ShortFunctionMatchesAnalyticModel) {
+  const Region region = GetParam();
+  const SimDuration measured = Measure(region, "short_fn");
+  const SimDuration expected = Expected(region, kShortExec);
+  EXPECT_NEAR(ToMillis(measured), ToMillis(expected), 2.0) << RegionName(region);
+}
+
+TEST_P(RegionLatencyTest, LongFunctionLatencyIsRegionIndependentShortIsNot) {
+  // A >RTT function costs the same everywhere (the paper's "consistent
+  // regardless of how far users are from the datacenter"); a <RTT function
+  // costs the region's lat_nu<->ns.
+  const Region region = GetParam();
+  const SimDuration here_long = Measure(region, "long_fn");
+  const SimDuration va_long = Measure(Region::kVA, "long_fn");
+  EXPECT_NEAR(ToMillis(here_long), ToMillis(va_long), 1.0) << RegionName(region);
+  if (region != Region::kVA) {
+    const SimDuration here_short = Measure(region, "short_fn");
+    const SimDuration va_short = Measure(Region::kVA, "short_fn");
+    EXPECT_GT(here_short, va_short) << RegionName(region);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegions, RegionLatencyTest,
+                         ::testing::ValuesIn(DeploymentRegions()),
+                         [](const ::testing::TestParamInfo<Region>& info) {
+                           return RegionName(info.param);
+                         });
+
+}  // namespace
+}  // namespace radical

@@ -1,0 +1,243 @@
+// Protocol-level tests for the LVI server: validation, write intents,
+// followups, deterministic re-execution, and the direct path.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/registry.h"
+#include "src/func/builder.h"
+#include "src/lvi/lvi_server.h"
+
+namespace radical {
+namespace {
+
+class LviServerTest : public ::testing::Test {
+ protected:
+  LviServerTest()
+      : analyzer_(&HostRegistry::Standard()),
+        interp_(&HostRegistry::Standard()),
+        registry_(&analyzer_),
+        locks_(&sim_) {
+    options_.intent_timeout = Millis(500);
+    server_ = std::make_unique<LviServer>(&sim_, &store_, &registry_, &interp_, &locks_,
+                                          options_);
+    // reg_set(k, v): one write whose key is an input.
+    registry_.Register(Fn("reg_set", {"k", "v"}, {
+        Write(In("k"), In("v")),
+        Return(In("v")),
+    }));
+    // reg_get(k): one read.
+    registry_.Register(Fn("reg_get", {"k"}, {
+        Read("out", In("k")),
+        Return(V("out")),
+    }));
+  }
+
+  LviRequest MakeRequest(const std::string& function, std::vector<Value> inputs,
+                         std::vector<LviItem> items) {
+    LviRequest request;
+    request.exec_id = sim_.NextId();
+    request.origin = Region::kCA;
+    request.function = function;
+    request.inputs = std::move(inputs);
+    request.items = std::move(items);
+    return request;
+  }
+
+  Simulator sim_;
+  VersionedStore store_;
+  Analyzer analyzer_;
+  Interpreter interp_;
+  FunctionRegistry registry_;
+  LocalLockService locks_;
+  LviServerOptions options_;
+  std::unique_ptr<LviServer> server_;
+};
+
+TEST_F(LviServerTest, ReadOnlyValidationSuccessReleasesLocksImmediately) {
+  store_.Seed("k", Value("v"));  // Version 1.
+  std::optional<LviResponse> response;
+  server_->HandleLviRequest(MakeRequest("reg_get", {Value("k")},
+                                        {{"k", 1, LockMode::kRead}}),
+                            [&](LviResponse r) { response = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->validated);
+  EXPECT_EQ(server_->validations_succeeded(), 1u);
+  EXPECT_FALSE(locks_.table().IsReadHeldBy("k", response->exec_id));
+  EXPECT_TRUE(server_->idle());
+}
+
+TEST_F(LviServerTest, ValidationFailureRunsBackupAndRepairs) {
+  store_.Seed("k", Value("fresh"));  // Version 1; cache claims version 0.
+  std::optional<LviResponse> response;
+  server_->HandleLviRequest(MakeRequest("reg_get", {Value("k")},
+                                        {{"k", 0, LockMode::kRead}}),
+                            [&](LviResponse r) { response = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->validated);
+  EXPECT_EQ(response->backup_result, Value("fresh"));
+  ASSERT_EQ(response->fresh_items.size(), 1u);
+  EXPECT_EQ(response->fresh_items[0].key, "k");
+  EXPECT_EQ(response->fresh_items[0].version, 1);
+  EXPECT_EQ(server_->validations_failed(), 1u);
+  EXPECT_TRUE(server_->idle());
+}
+
+TEST_F(LviServerTest, MissingItemSentinelValidatesOnlyIfAbsent) {
+  // Cache says -1, primary has nothing: versions match, validation succeeds.
+  std::optional<LviResponse> r1;
+  server_->HandleLviRequest(MakeRequest("reg_get", {Value("nope")},
+                                        {{"nope", kMissingVersion, LockMode::kRead}}),
+                            [&](LviResponse r) { r1 = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_TRUE(r1->validated);
+  // Cache says -1 but the primary has the item: mismatch.
+  store_.Seed("there", Value("x"));
+  std::optional<LviResponse> r2;
+  server_->HandleLviRequest(MakeRequest("reg_get", {Value("there")},
+                                        {{"there", kMissingVersion, LockMode::kRead}}),
+                            [&](LviResponse r) { r2 = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_FALSE(r2->validated);
+}
+
+TEST_F(LviServerTest, WriteIntentHoldsLocksUntilFollowup) {
+  store_.Seed("k", Value("old"));
+  std::optional<LviResponse> response;
+  LviRequest request = MakeRequest("reg_set", {Value("k"), Value("new")},
+                                   {{"k", 1, LockMode::kWrite}});
+  const ExecutionId exec_id = request.exec_id;
+  server_->HandleLviRequest(std::move(request),
+                            [&](LviResponse r) { response = std::move(r); });
+  sim_.RunFor(Millis(50));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->validated);
+  // Locks still held; primary unchanged until the followup.
+  EXPECT_TRUE(locks_.table().IsWriteHeldBy("k", exec_id));
+  EXPECT_EQ(store_.Peek("k")->value, Value("old"));
+  // Followup applies the speculative write at the pinned version.
+  WriteFollowup followup;
+  followup.exec_id = exec_id;
+  followup.writes = {{"k", Value("new")}};
+  server_->HandleFollowup(std::move(followup));
+  sim_.RunFor(Millis(50));
+  EXPECT_EQ(store_.Peek("k")->value, Value("new"));
+  EXPECT_EQ(store_.VersionOf("k"), 2);
+  EXPECT_FALSE(locks_.table().IsWriteHeldBy("k", exec_id));
+  EXPECT_TRUE(server_->idle());
+  EXPECT_EQ(server_->counters().Get("followup_applied"), 1u);
+}
+
+TEST_F(LviServerTest, IntentTimerTriggersDeterministicReExecution) {
+  store_.Seed("k", Value("old"));
+  LviRequest request = MakeRequest("reg_set", {Value("k"), Value("speculated")},
+                                   {{"k", 1, LockMode::kWrite}});
+  const ExecutionId exec_id = request.exec_id;
+  server_->HandleLviRequest(std::move(request), [](LviResponse) {});
+  // Never send the followup; let the intent timer fire.
+  sim_.Run();
+  EXPECT_EQ(server_->reexecutions(), 1u);
+  // Re-execution on the same inputs produced the same write.
+  EXPECT_EQ(store_.Peek("k")->value, Value("speculated"));
+  EXPECT_EQ(store_.VersionOf("k"), 2);
+  EXPECT_FALSE(locks_.table().IsWriteHeldBy("k", exec_id));
+  EXPECT_TRUE(server_->idle());
+}
+
+TEST_F(LviServerTest, LateFollowupIsDiscarded) {
+  store_.Seed("k", Value("old"));
+  LviRequest request = MakeRequest("reg_set", {Value("k"), Value("v")},
+                                   {{"k", 1, LockMode::kWrite}});
+  const ExecutionId exec_id = request.exec_id;
+  server_->HandleLviRequest(std::move(request), [](LviResponse) {});
+  sim_.Run();  // Timer fires, re-execution applies "v" at version 2.
+  ASSERT_EQ(server_->reexecutions(), 1u);
+  WriteFollowup followup;
+  followup.exec_id = exec_id;
+  followup.writes = {{"k", Value("v")}};
+  bool acked = false;
+  server_->HandleFollowup(std::move(followup), [&] { acked = true; });
+  sim_.Run();
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(server_->late_followups_discarded(), 1u);
+  EXPECT_EQ(store_.VersionOf("k"), 2);  // Applied exactly once.
+}
+
+TEST_F(LviServerTest, ConcurrentWritersSerializeThroughLocks) {
+  store_.Seed("k", Value("v0"));
+  // Writer A validates and holds the write lock.
+  LviRequest a = MakeRequest("reg_set", {Value("k"), Value("vA")},
+                             {{"k", 1, LockMode::kWrite}});
+  const ExecutionId exec_a = a.exec_id;
+  bool a_validated = false;
+  server_->HandleLviRequest(std::move(a), [&](LviResponse r) { a_validated = r.validated; });
+  sim_.RunFor(Millis(50));
+  ASSERT_TRUE(a_validated);
+  // Writer B arrives with the same cached version; it must wait, and by the
+  // time it validates, the version has moved -> backup execution.
+  LviRequest b = MakeRequest("reg_set", {Value("k"), Value("vB")},
+                             {{"k", 1, LockMode::kWrite}});
+  std::optional<LviResponse> b_response;
+  server_->HandleLviRequest(std::move(b), [&](LviResponse r) { b_response = std::move(r); });
+  sim_.RunFor(Millis(50));
+  EXPECT_FALSE(b_response.has_value());  // Parked on A's lock.
+  WriteFollowup followup;
+  followup.exec_id = exec_a;
+  followup.writes = {{"k", Value("vA")}};
+  server_->HandleFollowup(std::move(followup));
+  sim_.Run();
+  ASSERT_TRUE(b_response.has_value());
+  EXPECT_FALSE(b_response->validated);  // Stale after A.
+  EXPECT_EQ(store_.Peek("k")->value, Value("vB"));  // B's backup ran under locks.
+  EXPECT_EQ(store_.VersionOf("k"), 3);
+  EXPECT_TRUE(server_->idle());
+}
+
+TEST_F(LviServerTest, DirectExecutionAppliesWritesAndReportsThem) {
+  store_.Seed("k", Value("old"));
+  DirectRequest request;
+  request.exec_id = sim_.NextId();
+  request.origin = Region::kJP;
+  request.function = "reg_set";
+  request.inputs = {Value("k"), Value("direct")};
+  std::optional<DirectResponse> response;
+  server_->HandleDirect(std::move(request),
+                        [&](DirectResponse r) { response = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->result, Value("direct"));
+  ASSERT_EQ(response->fresh_items.size(), 1u);
+  EXPECT_EQ(response->fresh_items[0].version, 2);
+  EXPECT_EQ(store_.Peek("k")->value, Value("direct"));
+}
+
+TEST_F(LviServerTest, ValidationLatencyComponentsAreCharged) {
+  store_.Seed("k", Value("v"));
+  const SimTime start = sim_.Now();
+  SimTime responded_at = 0;
+  server_->HandleLviRequest(MakeRequest("reg_set", {Value("k"), Value("x")},
+                                        {{"k", 1, LockMode::kWrite}}),
+                            [&](LviResponse) { responded_at = sim_.Now(); });
+  sim_.RunFor(Millis(100));
+  // process + batch read + intent write.
+  const SimDuration expected = options_.process_delay + store_.options().read_latency +
+                               store_.options().write_latency;
+  EXPECT_GE(responded_at - start, expected);
+  EXPECT_LT(responded_at - start, expected + Millis(2));
+}
+
+TEST_F(LviServerTest, ValidationSuccessRateCounter) {
+  store_.Seed("k", Value("v"));
+  server_->HandleLviRequest(
+      MakeRequest("reg_get", {Value("k")}, {{"k", 1, LockMode::kRead}}), [](LviResponse) {});
+  server_->HandleLviRequest(
+      MakeRequest("reg_get", {Value("k")}, {{"k", 99, LockMode::kRead}}), [](LviResponse) {});
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(server_->ValidationSuccessRate(), 0.5);
+}
+
+}  // namespace
+}  // namespace radical

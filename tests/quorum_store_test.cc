@@ -1,0 +1,176 @@
+// Tests for the geo-replicated quorum store (the Figure 1 baseline).
+
+#include <gtest/gtest.h>
+
+#include "src/check/linearizability.h"
+#include "src/common/stats.h"
+#include "src/kv/quorum_store.h"
+
+namespace radical {
+namespace {
+
+class QuorumStoreTest : public ::testing::Test {
+ protected:
+  QuorumStoreTest()
+      : sim_(42),
+        net_(&sim_, LatencyMatrix::PaperDefault(), NoJitter()),
+        store_(&net_, {Region::kVA, Region::kOH, Region::kOR}) {}
+
+  static NetworkOptions NoJitter() {
+    NetworkOptions options;
+    options.jitter_stddev_frac = 0.0;
+    return options;
+  }
+
+  Simulator sim_;
+  Network net_;
+  QuorumStore store_;
+};
+
+TEST_F(QuorumStoreTest, ReadsSeededValue) {
+  store_.Seed("k", Value("v"));
+  std::optional<Item> result;
+  store_.Read(Region::kCA, "k", [&](std::optional<Item> item) { result = item; });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, Value("v"));
+  EXPECT_EQ(result->version, 1);
+}
+
+TEST_F(QuorumStoreTest, MissingKeyReadsNullopt) {
+  bool called = false;
+  std::optional<Item> result;
+  store_.Read(Region::kDE, "missing", [&](std::optional<Item> item) {
+    called = true;
+    result = item;
+  });
+  sim_.Run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST_F(QuorumStoreTest, WriteThenReadFromAnotherRegion) {
+  Version committed = 0;
+  store_.Write(Region::kJP, "k", Value("from-jp"), [&](Version v) { committed = v; });
+  sim_.Run();
+  EXPECT_EQ(committed, 1);
+  std::optional<Item> result;
+  store_.Read(Region::kIE, "k", [&](std::optional<Item> item) { result = item; });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, Value("from-jp"));
+}
+
+TEST_F(QuorumStoreTest, StrongReadLatencyMatchesPramBound) {
+  store_.Seed("k", Value("v"));
+  // A strong read from CA must pay the home-replica distance plus majority
+  // coordination between replicas — it can never be local-fast.
+  const SimTime start = sim_.Now();
+  SimTime finished = 0;
+  store_.Read(Region::kCA, "k", [&](std::optional<Item>) { finished = sim_.Now(); });
+  sim_.Run();
+  const SimDuration measured = finished - start;
+  const SimDuration expected =
+      store_.ExpectedStrongReadLatency(Region::kCA, store_.HomeReplica("k"));
+  EXPECT_NEAR(static_cast<double>(measured), static_cast<double>(expected),
+              static_cast<double>(Millis(2)));
+  // PRAM floor: at least the inter-replica coordination cost.
+  EXPECT_GT(measured, Millis(20));
+}
+
+TEST_F(QuorumStoreTest, NearestReplicaSelection) {
+  EXPECT_EQ(store_.NearestReplica(Region::kCA), Region::kOR);
+  EXPECT_EQ(store_.NearestReplica(Region::kVA), Region::kVA);
+  EXPECT_EQ(store_.NearestReplica(Region::kIE), Region::kVA);
+}
+
+TEST_F(QuorumStoreTest, HomeReplicaIsDeterministic) {
+  const Region home = store_.HomeReplica("some-key");
+  EXPECT_EQ(store_.HomeReplica("some-key"), home);
+}
+
+TEST_F(QuorumStoreTest, WritesToSameKeySerializeAtHomeReplica) {
+  int committed = 0;
+  Version last = 0;
+  for (int i = 0; i < 5; ++i) {
+    store_.Write(Region::kCA, "k", Value("v" + std::to_string(i)), [&](Version v) {
+      ++committed;
+      last = std::max(last, v);
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(committed, 5);
+  EXPECT_EQ(last, 5);
+}
+
+TEST_F(QuorumStoreTest, MajorityIsTwoOfThree) { EXPECT_EQ(store_.majority(), 2); }
+
+TEST_F(QuorumStoreTest, RetriesThroughMessageLoss) {
+  store_.Seed("k", Value("v"));
+  net_.set_drop_probability(0.2);
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    store_.Read(Region::kCA, "k", [&](std::optional<Item> item) {
+      if (item.has_value()) {
+        ++completed;
+      }
+    });
+  }
+  sim_.RunFor(Seconds(10));
+  // Most reads survive thanks to retries (some may exhaust attempts).
+  EXPECT_GE(completed, 15);
+}
+
+TEST_F(QuorumStoreTest, ReadObservesCommittedWriteDespitePartialReplication) {
+  // Write coordinated at the home replica; read coordinated elsewhere: the
+  // majority quorums intersect, so the read sees the write.
+  const Region home = store_.HomeReplica("kk");
+  Version committed = 0;
+  store_.Write(Region::kVA, "kk", Value("newest"), [&](Version v) { committed = v; });
+  sim_.Run();
+  ASSERT_EQ(committed, 1);
+  std::optional<Item> result;
+  // Read from every region; all must see the committed value.
+  for (const Region r : DeploymentRegions()) {
+    result.reset();
+    store_.Read(r, "kk", [&](std::optional<Item> item) { result = item; });
+    sim_.Run();
+    ASSERT_TRUE(result.has_value()) << RegionName(r) << " home=" << RegionName(home);
+    EXPECT_EQ(result->value, Value("newest")) << RegionName(r);
+  }
+}
+
+TEST_F(QuorumStoreTest, ConcurrentHistoriesAreLinearizable) {
+  // Random concurrent reads/writes from all regions; per-key histories must
+  // linearize (the home replica is the single serialization point).
+  HistoryRecorder history;
+  Rng rng(777);
+  int unique = 0;
+  store_.Seed("reg", Value("init"));
+  for (int i = 0; i < 40; ++i) {
+    const Region region = DeploymentRegions()[rng.NextBelow(DeploymentRegions().size())];
+    const bool is_write = rng.NextBool(0.5);
+    const SimDuration at = static_cast<SimDuration>(rng.NextBelow(Seconds(2)));
+    sim_.Schedule(at, [&, region, is_write] {
+      const SimTime invoke = sim_.Now();
+      if (is_write) {
+        const Value value("w" + std::to_string(unique++));
+        store_.Write(region, "reg", value, [&, value, invoke](Version) {
+          history.Record(HistoryOp{true, "reg", value, invoke, sim_.Now()});
+        });
+      } else {
+        store_.Read(region, "reg", [&, invoke](std::optional<Item> item) {
+          history.Record(HistoryOp{false, "reg", item ? item->value : Value(), invoke,
+                                   sim_.Now()});
+        });
+      }
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(history.size(), 40u);
+  const LinearizabilityResult result = CheckHistory(history, {{"reg", Value("init")}});
+  EXPECT_TRUE(result.linearizable) << result.violation;
+}
+
+}  // namespace
+}  // namespace radical

@@ -1,0 +1,505 @@
+// Tests for the Raft substrate: election, replication, commitment, failover,
+// restart replay, and log-matching properties.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/stats.h"
+#include "src/raft/cluster.h"
+#include "src/raft/lock_state_machine.h"
+
+namespace radical {
+namespace {
+
+// Collects applied commands per node so tests can check state-machine
+// equivalence.
+struct Applied {
+  std::map<NodeId, std::vector<std::string>> by_node;
+
+  RaftCluster::ApplyFactory Factory() {
+    return [this](NodeId id) -> RaftNode::ApplyFn {
+      by_node[id].clear();  // Restart rebuilds the SM from scratch.
+      return [this, id](LogIndex index, const std::string& command) {
+        (void)index;
+        by_node[id].push_back(command);
+      };
+    };
+  }
+};
+
+TEST(RaftTest, ElectsExactlyOneLeader) {
+  Simulator sim(7);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  const NodeId leader = cluster.StartAndElect();
+  ASSERT_GE(leader, 0);
+  int leaders = 0;
+  for (NodeId id = 0; id < cluster.size(); ++id) {
+    leaders += cluster.node(id)->is_leader() ? 1 : 0;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(RaftTest, FiveNodeClusterElects) {
+  Simulator sim(11);
+  Applied applied;
+  RaftCluster cluster(&sim, 5, RaftOptions{}, applied.Factory());
+  EXPECT_GE(cluster.StartAndElect(), 0);
+}
+
+TEST(RaftTest, CommitsAndAppliesOnAllNodes) {
+  Simulator sim(13);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  ASSERT_GE(cluster.StartAndElect(), 0);
+  LogIndex committed = 0;
+  cluster.SubmitToLeader("cmd-1", [&](LogIndex index) { committed = index; });
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(committed, 1u);
+  // Heartbeats propagate commit to followers.
+  for (NodeId id = 0; id < cluster.size(); ++id) {
+    EXPECT_EQ(applied.by_node[id], (std::vector<std::string>{"cmd-1"})) << "node " << id;
+  }
+}
+
+TEST(RaftTest, CommitLatencyIsOneMeshRoundTripPlusFsync) {
+  Simulator sim(17);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  ASSERT_GE(cluster.StartAndElect(), 0);
+  sim.RunFor(Millis(50));  // Settle heartbeats.
+  LatencySampler samples;
+  for (int i = 0; i < 100; ++i) {
+    const SimTime start = sim.Now();
+    bool done = false;
+    cluster.SubmitToLeader("op", [&](LogIndex) {
+      samples.Add(sim.Now() - start);
+      done = true;
+    });
+    sim.RunFor(Millis(20));
+    ASSERT_TRUE(done);
+  }
+  // ~ one AZ round trip (1.6 ms) + fsync (0.4 ms) + processing: the §5.6
+  // 2.3 ms/lock constant.
+  EXPECT_GT(samples.MedianMs(), 1.5);
+  EXPECT_LT(samples.MedianMs(), 3.5);
+}
+
+TEST(RaftTest, OrderIsConsistentAcrossNodes) {
+  Simulator sim(19);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  ASSERT_GE(cluster.StartAndElect(), 0);
+  for (int i = 0; i < 20; ++i) {
+    cluster.SubmitToLeader("cmd-" + std::to_string(i), {});
+  }
+  sim.RunFor(Seconds(2));
+  ASSERT_EQ(applied.by_node[0].size(), 20u);
+  EXPECT_EQ(applied.by_node[0], applied.by_node[1]);
+  EXPECT_EQ(applied.by_node[1], applied.by_node[2]);
+  EXPECT_EQ(applied.by_node[0].front(), "cmd-0");
+}
+
+TEST(RaftTest, LeaderCrashTriggersReElectionAndProgress) {
+  Simulator sim(23);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  const NodeId first_leader = cluster.StartAndElect();
+  ASSERT_GE(first_leader, 0);
+  cluster.SubmitToLeader("before-crash", {});
+  sim.RunFor(Millis(200));
+  cluster.CrashNode(first_leader);
+  sim.RunFor(Seconds(2));
+  const NodeId second_leader = cluster.LeaderId();
+  ASSERT_GE(second_leader, 0);
+  EXPECT_NE(second_leader, first_leader);
+  bool committed = false;
+  cluster.SubmitToLeader("after-crash", [&](LogIndex index) { committed = index != 0; });
+  sim.RunFor(Seconds(2));
+  EXPECT_TRUE(committed);
+  // Surviving nodes agree and retain the pre-crash entry.
+  for (NodeId id = 0; id < 3; ++id) {
+    if (id == first_leader) {
+      continue;
+    }
+    ASSERT_EQ(applied.by_node[id].size(), 2u) << "node " << id;
+    EXPECT_EQ(applied.by_node[id][0], "before-crash");
+    EXPECT_EQ(applied.by_node[id][1], "after-crash");
+  }
+}
+
+TEST(RaftTest, RestartedNodeCatchesUpByReplay) {
+  Simulator sim(29);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  const NodeId leader = cluster.StartAndElect();
+  ASSERT_GE(leader, 0);
+  const NodeId victim = (leader + 1) % 3;
+  cluster.SubmitToLeader("one", {});
+  sim.RunFor(Millis(300));
+  cluster.CrashNode(victim);
+  cluster.SubmitToLeader("two", {});
+  sim.RunFor(Millis(300));
+  cluster.RestartNode(victim);
+  sim.RunFor(Seconds(2));
+  EXPECT_EQ(applied.by_node[victim], (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(RaftTest, MinorityPartitionCannotCommit) {
+  Simulator sim(31);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  const NodeId leader = cluster.StartAndElect();
+  ASSERT_GE(leader, 0);
+  // Isolate the leader: it keeps thinking it leads for a while but cannot
+  // commit anything new.
+  cluster.mesh().Isolate(leader, true);
+  bool committed = false;
+  cluster.node(leader)->Propose("doomed", [&](LogIndex index) { committed = index != 0; });
+  sim.RunFor(Seconds(1));
+  EXPECT_FALSE(committed);
+  // Majority side elects a fresh leader and makes progress.
+  const NodeId new_leader = cluster.LeaderId();
+  ASSERT_GE(new_leader, 0);
+  EXPECT_NE(new_leader, leader);
+  bool ok = false;
+  cluster.node(new_leader)->Propose("lives", [&](LogIndex index) { ok = index != 0; });
+  sim.RunFor(Seconds(1));
+  EXPECT_TRUE(ok);
+  // Heal: the old leader steps down and converges (the doomed entry is
+  // overwritten by the new leader's log).
+  cluster.mesh().Isolate(leader, false);
+  sim.RunFor(Seconds(2));
+  EXPECT_FALSE(cluster.node(leader)->is_leader());
+  std::vector<std::string> expect{"lives"};
+  EXPECT_EQ(applied.by_node[leader], expect);
+}
+
+TEST(RaftTest, ProposeOnFollowerFailsFast) {
+  Simulator sim(37);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  const NodeId leader = cluster.StartAndElect();
+  ASSERT_GE(leader, 0);
+  const NodeId follower = (leader + 1) % 3;
+  bool called = false;
+  LogIndex result = 99;
+  cluster.node(follower)->Propose("nope", [&](LogIndex index) {
+    called = true;
+    result = index;
+  });
+  EXPECT_TRUE(called);
+  EXPECT_EQ(result, 0u);
+}
+
+TEST(RaftTest, LogMatchingAfterChaos) {
+  Simulator sim(41);
+  Applied applied;
+  RaftCluster cluster(&sim, 5, RaftOptions{}, applied.Factory());
+  ASSERT_GE(cluster.StartAndElect(), 0);
+  Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    cluster.SubmitToLeader("r" + std::to_string(round), {});
+    if (round == 3) {
+      cluster.mesh().set_drop_probability(0.2);
+    }
+    if (round == 7) {
+      cluster.mesh().set_drop_probability(0.0);
+    }
+    sim.RunFor(Millis(200));
+  }
+  sim.RunFor(Seconds(3));
+  // All alive nodes converge to the same applied prefix.
+  const auto& reference = applied.by_node[0];
+  EXPECT_GE(reference.size(), 1u);
+  for (NodeId id = 1; id < 5; ++id) {
+    const auto& other = applied.by_node[id];
+    const size_t common = std::min(reference.size(), other.size());
+    for (size_t i = 0; i < common; ++i) {
+      EXPECT_EQ(reference[i], other[i]) << "divergence at index " << i << " on node " << id;
+    }
+  }
+}
+
+// --- Snapshotting / log compaction -------------------------------------------------
+
+// A snapshottable counter state machine for compaction tests.
+struct Counters2 {
+  std::map<NodeId, int64_t> value;
+  RaftCluster::ApplyFactory Factory() {
+    return [this](NodeId id) -> RaftNode::ApplyFn {
+      value[id] = 0;
+      return [this, id](LogIndex, const std::string& command) {
+        value[id] += std::stoll(command);
+      };
+    };
+  }
+  void WireSnapshots(RaftCluster& cluster) {
+    for (NodeId id = 0; id < cluster.size(); ++id) {
+      cluster.node(id)->set_snapshot_hooks(
+          [this, id] { return std::to_string(value[id]); },
+          [this, id](const std::string& data) { value[id] = std::stoll(data); });
+    }
+  }
+};
+
+TEST(RaftSnapshotTest, CompactionShrinksTheLog) {
+  Simulator sim(71);
+  RaftOptions options;
+  options.compaction_threshold = 10;
+  Counters2 state;
+  RaftCluster cluster(&sim, 3, options, state.Factory());
+  state.WireSnapshots(cluster);
+  ASSERT_GE(cluster.StartAndElect(), 0);
+  for (int i = 0; i < 40; ++i) {
+    cluster.SubmitToLeader("1", {});
+    sim.RunFor(Millis(30));
+  }
+  sim.RunFor(Seconds(1));
+  RaftNode* leader = cluster.leader();
+  ASSERT_NE(leader, nullptr);
+  // 40 entries committed, but the in-memory log holds < threshold + batch.
+  EXPECT_EQ(leader->log().last_index(), 40u);
+  EXPECT_LT(leader->log().size(), 15u);
+  EXPECT_GE(leader->log().snapshot_index(), 30u);
+  // State machines all agree on the sum.
+  for (NodeId id = 0; id < 3; ++id) {
+    EXPECT_EQ(state.value[id], 40) << "node " << id;
+  }
+}
+
+TEST(RaftSnapshotTest, RestartRestoresFromSnapshotPlusSuffix) {
+  Simulator sim(73);
+  RaftOptions options;
+  options.compaction_threshold = 8;
+  Counters2 state;
+  RaftCluster cluster(&sim, 3, options, state.Factory());
+  state.WireSnapshots(cluster);
+  const NodeId leader = cluster.StartAndElect();
+  ASSERT_GE(leader, 0);
+  for (int i = 0; i < 25; ++i) {
+    cluster.SubmitToLeader("2", {});
+    sim.RunFor(Millis(30));
+  }
+  sim.RunFor(Seconds(1));
+  const NodeId victim = (leader + 1) % 3;
+  ASSERT_GT(cluster.node(victim)->log().snapshot_index(), 0u);  // Compacted.
+  cluster.CrashNode(victim);
+  sim.RunFor(Millis(100));
+  cluster.RestartNode(victim);
+  sim.RunFor(Seconds(2));
+  // The restarted node rebuilt from its snapshot + replayed the suffix: the
+  // full sum is back even though early entries are gone from its log.
+  EXPECT_EQ(state.value[victim], 50);
+}
+
+TEST(RaftSnapshotTest, LaggardCatchesUpViaInstallSnapshot) {
+  Simulator sim(79);
+  RaftOptions options;
+  options.compaction_threshold = 6;
+  Counters2 state;
+  RaftCluster cluster(&sim, 3, options, state.Factory());
+  state.WireSnapshots(cluster);
+  const NodeId leader = cluster.StartAndElect();
+  ASSERT_GE(leader, 0);
+  const NodeId laggard = (leader + 1) % 3;
+  // Partition the laggard, commit far past the compaction threshold, heal.
+  cluster.mesh().Isolate(laggard, true);
+  for (int i = 0; i < 30; ++i) {
+    cluster.SubmitToLeader("3", {});
+    sim.RunFor(Millis(30));
+  }
+  sim.RunFor(Millis(500));
+  ASSERT_GT(cluster.node(leader)->log().snapshot_index(),
+            cluster.node(laggard)->log().last_index());
+  cluster.mesh().Isolate(laggard, false);
+  sim.RunFor(Seconds(3));
+  // The laggard cannot get the compacted entries; InstallSnapshot brings it
+  // to the leader's state, then normal replication resumes.
+  EXPECT_EQ(state.value[laggard], 90);
+  EXPECT_GE(cluster.node(laggard)->log().snapshot_index(), 6u);
+}
+
+TEST(LockStateMachineSnapshotTest, RoundTripPreservesLocksAndQueues) {
+  LockStateMachine sm;
+  sm.Apply(1, LockStateMachine::EncodeAcquire(10, LockMode::kWrite, "alpha"));
+  sm.Apply(2, LockStateMachine::EncodeAcquire(11, LockMode::kRead, "beta"));
+  sm.Apply(3, LockStateMachine::EncodeAcquire(12, LockMode::kRead, "beta"));
+  sm.Apply(4, LockStateMachine::EncodeAcquire(13, LockMode::kWrite, "beta"));  // Queued.
+  sm.Apply(5, LockStateMachine::EncodeAcquire(14, LockMode::kRead, "beta"));   // Behind writer.
+  const std::string snapshot = sm.EncodeSnapshot();
+
+  LockStateMachine restored;
+  restored.RestoreSnapshot(snapshot);
+  EXPECT_TRUE(restored.IsWriteHeldBy("alpha", 10));
+  EXPECT_TRUE(restored.IsReadHeldBy("beta", 11));
+  EXPECT_TRUE(restored.IsReadHeldBy("beta", 12));
+  EXPECT_EQ(restored.WaitingCount("beta"), 2u);
+  EXPECT_EQ(restored.last_applied(), 5u);
+  // Queue order and modes survive: releasing the readers grants the writer.
+  std::vector<ExecutionId> grants;
+  restored.set_grant_listener([&](ExecutionId exec, const Key&) { grants.push_back(exec); });
+  restored.Apply(6, LockStateMachine::EncodeRelease(11));
+  restored.Apply(7, LockStateMachine::EncodeRelease(12));
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0], 13u);
+  EXPECT_TRUE(restored.IsWriteHeldBy("beta", 13));
+}
+
+TEST(LockStateMachineSnapshotTest, GarbageSnapshotYieldsEmptyMachine) {
+  LockStateMachine sm;
+  sm.RestoreSnapshot("not a snapshot at all");
+  EXPECT_EQ(sm.HeldKeyCount(1), 0u);
+}
+
+// --- RaftLog unit tests ---------------------------------------------------------
+
+TEST(RaftLogTest, AppendAndTerms) {
+  RaftLog log;
+  EXPECT_EQ(log.last_index(), 0u);
+  EXPECT_EQ(log.TermAt(0), 0u);
+  log.Append({1, "a"});
+  log.Append({2, "b"});
+  EXPECT_EQ(log.last_index(), 2u);
+  EXPECT_EQ(log.last_term(), 2u);
+  EXPECT_EQ(log.TermAt(1), 1u);
+  EXPECT_EQ(log.At(2).command, "b");
+}
+
+TEST(RaftLogTest, TryAppendConsistencyCheck) {
+  RaftLog log;
+  log.Append({1, "a"});
+  EXPECT_FALSE(log.TryAppend(5, 1, {}));   // Gap.
+  EXPECT_FALSE(log.TryAppend(1, 2, {}));   // Term mismatch.
+  EXPECT_TRUE(log.TryAppend(1, 1, {{2, "b"}}));
+  EXPECT_EQ(log.last_index(), 2u);
+}
+
+TEST(RaftLogTest, ConflictTruncatesSuffix) {
+  RaftLog log;
+  log.Append({1, "a"});
+  log.Append({1, "b"});
+  log.Append({1, "c"});
+  // A new leader (term 2) overwrites from index 2.
+  EXPECT_TRUE(log.TryAppend(1, 1, {{2, "B"}}));
+  EXPECT_EQ(log.last_index(), 2u);
+  EXPECT_EQ(log.At(2).command, "B");
+  EXPECT_EQ(log.At(2).term, 2u);
+}
+
+TEST(RaftLogTest, DuplicateAppendIsIdempotent) {
+  RaftLog log;
+  log.Append({1, "a"});
+  log.Append({1, "b"});
+  EXPECT_TRUE(log.TryAppend(0, 0, {{1, "a"}, {1, "b"}}));
+  EXPECT_EQ(log.last_index(), 2u);
+}
+
+TEST(RaftLogTest, CompactToKeepsSuffixAndBase) {
+  RaftLog log;
+  for (int i = 1; i <= 6; ++i) {
+    log.Append({static_cast<Term>(i <= 3 ? 1 : 2), "c" + std::to_string(i)});
+  }
+  log.CompactTo(4);
+  EXPECT_EQ(log.snapshot_index(), 4u);
+  EXPECT_EQ(log.snapshot_term(), 2u);
+  EXPECT_EQ(log.last_index(), 6u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_FALSE(log.HasEntry(4));
+  EXPECT_TRUE(log.HasEntry(5));
+  EXPECT_EQ(log.At(5).command, "c5");
+  EXPECT_EQ(log.TermAt(4), 2u);   // Base term still known.
+  EXPECT_EQ(log.TermAt(3), 0u);   // Compacted away.
+}
+
+TEST(RaftLogTest, TryAppendAcrossSnapshotBaseSkipsCoveredPrefix) {
+  RaftLog log;
+  for (int i = 1; i <= 5; ++i) {
+    log.Append({1, "c" + std::to_string(i)});
+  }
+  log.CompactTo(4);
+  // A leader replays from index 2: entries 3-4 are covered, 5 matches, 6 new.
+  EXPECT_TRUE(log.TryAppend(2, 1, {{1, "c3"}, {1, "c4"}, {1, "c5"}, {1, "c6"}}));
+  EXPECT_EQ(log.last_index(), 6u);
+  EXPECT_EQ(log.At(6).command, "c6");
+}
+
+TEST(RaftLogTest, ResetToSnapshotDiscardsEverything) {
+  RaftLog log;
+  log.Append({1, "a"});
+  log.Append({1, "b"});
+  log.ResetToSnapshot(10, 3);
+  EXPECT_EQ(log.last_index(), 10u);
+  EXPECT_EQ(log.last_term(), 3u);
+  EXPECT_EQ(log.size(), 0u);
+  log.Append({4, "c"});
+  EXPECT_EQ(log.last_index(), 11u);
+  EXPECT_EQ(log.At(11).term, 4u);
+}
+
+TEST(RaftLogTest, EntriesAfterRespectsBatch) {
+  RaftLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.Append({1, std::to_string(i)});
+  }
+  EXPECT_EQ(log.EntriesAfter(0, 4).size(), 4u);
+  EXPECT_EQ(log.EntriesAfter(8).size(), 2u);
+  EXPECT_EQ(log.EntriesAfter(10).size(), 0u);
+}
+
+// --- LockStateMachine unit tests ---------------------------------------------------
+
+TEST(LockStateMachineTest, AcquireReleaseCycle) {
+  LockStateMachine sm;
+  std::vector<std::pair<ExecutionId, Key>> grants;
+  sm.set_grant_listener([&](ExecutionId exec, const Key& key) { grants.emplace_back(exec, key); });
+  sm.Apply(1, LockStateMachine::EncodeAcquire(10, LockMode::kWrite, "k"));
+  EXPECT_TRUE(sm.IsWriteHeldBy("k", 10));
+  ASSERT_EQ(grants.size(), 1u);
+  sm.Apply(2, LockStateMachine::EncodeAcquire(11, LockMode::kWrite, "k"));
+  EXPECT_EQ(grants.size(), 1u);  // Queued.
+  EXPECT_EQ(sm.WaitingCount("k"), 1u);
+  sm.Apply(3, LockStateMachine::EncodeRelease(10));
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[1].first, 11u);
+  EXPECT_TRUE(sm.IsWriteHeldBy("k", 11));
+}
+
+TEST(LockStateMachineTest, ReadersShareWritersQueue) {
+  LockStateMachine sm;
+  sm.Apply(1, LockStateMachine::EncodeAcquire(1, LockMode::kRead, "k"));
+  sm.Apply(2, LockStateMachine::EncodeAcquire(2, LockMode::kRead, "k"));
+  EXPECT_TRUE(sm.IsReadHeldBy("k", 1));
+  EXPECT_TRUE(sm.IsReadHeldBy("k", 2));
+  sm.Apply(3, LockStateMachine::EncodeAcquire(3, LockMode::kWrite, "k"));
+  EXPECT_EQ(sm.WaitingCount("k"), 1u);
+  sm.Apply(4, LockStateMachine::EncodeRelease(1));
+  EXPECT_EQ(sm.WaitingCount("k"), 1u);  // Still one reader left.
+  sm.Apply(5, LockStateMachine::EncodeRelease(2));
+  EXPECT_TRUE(sm.IsWriteHeldBy("k", 3));
+}
+
+TEST(LockStateMachineTest, DuplicateCommandsIdempotent) {
+  LockStateMachine sm;
+  int grants = 0;
+  sm.set_grant_listener([&](ExecutionId, const Key&) { ++grants; });
+  const std::string acquire = LockStateMachine::EncodeAcquire(1, LockMode::kWrite, "k");
+  sm.Apply(1, acquire);
+  sm.Apply(2, acquire);  // Replay: re-notifies, does not double-hold.
+  EXPECT_EQ(grants, 2);
+  EXPECT_EQ(sm.HeldKeyCount(1), 1u);
+  sm.Apply(3, LockStateMachine::EncodeRelease(1));
+  sm.Apply(4, LockStateMachine::EncodeRelease(1));  // Idempotent.
+  EXPECT_EQ(sm.HeldKeyCount(1), 0u);
+}
+
+TEST(LockStateMachineTest, UnknownCommandsIgnored) {
+  LockStateMachine sm;
+  sm.Apply(1, "garbage");
+  sm.Apply(2, "");
+  EXPECT_EQ(sm.last_applied(), 2u);
+}
+
+}  // namespace
+}  // namespace radical

@@ -1,0 +1,203 @@
+// Protocol edge cases at the runtime level: lock-release policy visibility,
+// same-region concurrency, counter invariants, and interactions between
+// configuration switches.
+
+#include <gtest/gtest.h>
+
+#include "src/func/builder.h"
+#include "src/radical/deployment.h"
+
+namespace radical {
+namespace {
+
+NetworkOptions NoJitter() {
+  NetworkOptions options;
+  options.jitter_stddev_frac = 0.0;
+  return options;
+}
+
+class RuntimeEdgeTest : public ::testing::Test {
+ protected:
+  RuntimeEdgeTest() : sim_(112233), net_(&sim_, LatencyMatrix::PaperDefault(), NoJitter()) {
+    radical_ = std::make_unique<RadicalDeployment>(&sim_, &net_, RadicalConfig{},
+                                                   DeploymentRegions());
+    radical_->RegisterFunction(Fn("slow_read", {"k"}, {
+        Read("v", In("k")),
+        Compute(Millis(250)),
+        Return(V("v")),
+    }));
+    radical_->RegisterFunction(Fn("fast_write", {"k", "v"}, {
+        Write(In("k"), In("v")),
+        Compute(Millis(15)),
+        Return(In("v")),
+    }));
+    radical_->RegisterFunction(Fn("read_modify_write", {"k"}, {
+        Read("n", In("k")),
+        Write(In("k"), Add(V("n"), C(static_cast<int64_t>(1)))),
+        Compute(Millis(25)),
+        Return(Add(V("n"), C(static_cast<int64_t>(1)))),
+    }));
+    radical_->Seed("k", Value("v0"));
+    radical_->Seed("ctr", Value(static_cast<int64_t>(0)));
+    radical_->WarmCaches();
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<RadicalDeployment> radical_;
+};
+
+TEST_F(RuntimeEdgeTest, ReadLocksReleaseEarlySoWritersAreNotBlockedByLongReads) {
+  // A 250 ms read-only execution releases its read lock at validation; a
+  // writer arriving mid-read must NOT wait the full execution, only until
+  // the read's validation completed (§3.6 read-only release policy).
+  radical_->Invoke(Region::kCA, "slow_read", {Value("k")}, [](Value) {});
+  SimDuration writer_latency = 0;
+  sim_.RunFor(Millis(30));  // Read's LVI request is now in flight.
+  const SimTime start = sim_.Now();
+  radical_->Invoke(Region::kDE, "fast_write", {Value("k"), Value("v1")},
+                   [&](Value) { writer_latency = sim_.Now() - start; });
+  sim_.Run();
+  // The writer pays roughly its own protocol latency (~115 ms from DE), not
+  // the reader's 250 ms execution on top.
+  EXPECT_LT(ToMillis(writer_latency), 140.0);
+  EXPECT_EQ(radical_->primary().Peek("k")->value, Value("v1"));
+}
+
+TEST_F(RuntimeEdgeTest, SameRegionBackToBackWritesChainThroughCacheVersions) {
+  // Two sequential writes from the same region: the second validates against
+  // the version the first installed locally — no failure, both land.
+  Value r1;
+  radical_->Invoke(Region::kIE, "fast_write", {Value("k"), Value("a")},
+                   [&](Value v) { r1 = std::move(v); });
+  sim_.Run();
+  Value r2;
+  radical_->Invoke(Region::kIE, "fast_write", {Value("k"), Value("b")},
+                   [&](Value v) { r2 = std::move(v); });
+  sim_.Run();
+  EXPECT_EQ(radical_->server().validations_succeeded(), 2u);
+  EXPECT_EQ(radical_->server().validations_failed(), 0u);
+  EXPECT_EQ(radical_->primary().VersionOf("k"), 3);
+  EXPECT_EQ(radical_->primary().Peek("k")->value, Value("b"));
+}
+
+TEST_F(RuntimeEdgeTest, SameRegionOverlappingWritesSecondTakesBackupPath) {
+  // Issued back-to-back without waiting: the second request's cached version
+  // predates the first's install, so it queues on the write lock and then
+  // fails validation — yet both writes land exactly once each.
+  int done = 0;
+  radical_->Invoke(Region::kIE, "read_modify_write", {Value("ctr")}, [&](Value) { ++done; });
+  radical_->Invoke(Region::kIE, "read_modify_write", {Value("ctr")}, [&](Value) { ++done; });
+  sim_.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(radical_->primary().Peek("ctr")->value, Value(static_cast<int64_t>(2)));
+  EXPECT_EQ(radical_->primary().VersionOf("ctr"), 3);  // Seed + two increments.
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+TEST_F(RuntimeEdgeTest, IncrementCounterLinearizesAcrossAllRegions) {
+  // The classic lost-update test: N concurrent increments from everywhere
+  // must sum exactly.
+  const int per_region = 3;
+  int done = 0;
+  for (int i = 0; i < per_region; ++i) {
+    for (const Region region : DeploymentRegions()) {
+      sim_.Schedule(Millis(i * 40), [this, region, &done] {
+        radical_->Invoke(region, "read_modify_write", {Value("ctr")},
+                         [&done](Value) { ++done; });
+      });
+    }
+  }
+  sim_.Run();
+  const int total = per_region * static_cast<int>(DeploymentRegions().size());
+  EXPECT_EQ(done, total);
+  EXPECT_EQ(radical_->primary().Peek("ctr")->value, Value(static_cast<int64_t>(total)));
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+TEST_F(RuntimeEdgeTest, CounterInvariantsHold) {
+  Rng rng(5);
+  int remaining = 60;
+  for (int i = 0; i < 60; ++i) {
+    const Region region = DeploymentRegions()[rng.NextBelow(DeploymentRegions().size())];
+    const SimDuration at = static_cast<SimDuration>(rng.NextBelow(Seconds(3)));
+    const bool write = rng.NextBool(0.3);
+    sim_.Schedule(at, [this, region, write, &remaining, &rng] {
+      if (write) {
+        radical_->Invoke(region, "fast_write",
+                         {Value("k"), Value("x" + std::to_string(rng.Next() % 1000))},
+                         [&remaining](Value) { --remaining; });
+      } else {
+        radical_->Invoke(region, "slow_read", {Value("k")}, [&remaining](Value) { --remaining; });
+      }
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(remaining, 0);
+  // Every LVI request resolved to exactly one of the two validation outcomes.
+  EXPECT_EQ(radical_->server().counters().Get("lvi_requests"),
+            radical_->server().validations_succeeded() +
+                radical_->server().validations_failed());
+  // Every speculation resolved to exactly one of committed or invalidated.
+  uint64_t speculations = 0;
+  uint64_t resolved = 0;
+  for (const Region region : DeploymentRegions()) {
+    const Counters& counters = radical_->runtime(region).counters();
+    speculations += counters.Get("speculations");
+    resolved += counters.Get("validated_speculative") +
+                counters.Get("invalidated_speculative");
+    // Requests in == replies out, per region.
+    EXPECT_EQ(counters.Get("requests"), counters.Get("replies")) << RegionName(region);
+  }
+  EXPECT_EQ(speculations, resolved);
+  // Every applied or replayed intent retired: server drained.
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+TEST_F(RuntimeEdgeTest, NoSpeculationStillCorrectOnMissAndFailure) {
+  RadicalConfig config;
+  config.speculation_enabled = false;
+  RadicalDeployment no_spec(&sim_, &net_, config, {Region::kCA});
+  no_spec.RegisterFunction(Fn("slow_read", {"k"}, {
+      Read("v", In("k")),
+      Compute(Millis(50)),
+      Return(V("v")),
+  }));
+  no_spec.Seed("k", Value("v"));
+  // No warm caches: first request misses, repairs, second validates and runs
+  // locally after the response.
+  Value r1;
+  no_spec.Invoke(Region::kCA, "slow_read", {Value("k")}, [&](Value v) { r1 = std::move(v); });
+  sim_.Run();
+  EXPECT_EQ(r1, Value("v"));
+  Value r2;
+  no_spec.Invoke(Region::kCA, "slow_read", {Value("k")}, [&](Value v) { r2 = std::move(v); });
+  sim_.Run();
+  EXPECT_EQ(r2, Value("v"));
+  EXPECT_EQ(no_spec.runtime(Region::kCA).counters().Get("validated_local_exec"), 1u);
+}
+
+TEST_F(RuntimeEdgeTest, WarmCachesMatchPrimaryExactly) {
+  radical_->primary().ForEachItem([&](const Key& key, const Item& item) {
+    for (const Region region : DeploymentRegions()) {
+      const auto cached = radical_->runtime(region).cache().Peek(key);
+      ASSERT_TRUE(cached.has_value()) << key;
+      EXPECT_EQ(cached->value, item.value) << key;
+      EXPECT_EQ(cached->version, item.version) << key;
+    }
+  });
+}
+
+TEST_F(RuntimeEdgeTest, EvictedSingleKeyOnlyAffectsThatKey) {
+  radical_->runtime(Region::kJP).cache().Evict("k");
+  // Reading "ctr" still speculates; reading "k" takes the miss path.
+  radical_->Invoke(Region::kJP, "read_modify_write", {Value("ctr")}, [](Value) {});
+  sim_.Run();
+  EXPECT_EQ(radical_->runtime(Region::kJP).counters().Get("validated_speculative"), 1u);
+  radical_->Invoke(Region::kJP, "slow_read", {Value("k")}, [](Value) {});
+  sim_.Run();
+  EXPECT_EQ(radical_->runtime(Region::kJP).counters().Get("spec_skipped_miss"), 1u);
+}
+
+}  // namespace
+}  // namespace radical

@@ -1,0 +1,271 @@
+// Unit tests for the discrete-event simulator and network model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+#include "src/sim/region.h"
+#include "src/sim/simulator.h"
+
+namespace radical {
+namespace {
+
+// --- EventQueue ---------------------------------------------------------------
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  SimTime when = 0;
+  while (!q.empty()) {
+    q.Pop(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Push(100, [&order, i] { order.push_back(i); });
+  }
+  SimTime when = 0;
+  while (!q.empty()) {
+    q.Pop(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.Push(10, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.Push(10, [] {});
+  SimTime when = 0;
+  q.Pop(&when);
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.Push(10, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.Push(10, [] {});
+  q.Push(20, [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), 20);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// --- Simulator -----------------------------------------------------------------
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.Schedule(Millis(5), [&] { seen.push_back(sim.Now()); });
+  sim.Schedule(Millis(1), [&] { seen.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{Millis(1), Millis(5)}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  SimTime inner_time = 0;
+  sim.Schedule(Millis(10), [&] {
+    sim.Schedule(Millis(10), [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, Millis(20));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Millis(1), [&] { ++fired; });
+  sim.Schedule(Millis(100), [&] { ++fired; });
+  sim.RunUntil(Millis(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Millis(50));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.RunFor(Millis(10));
+  sim.RunFor(Millis(10));
+  EXPECT_EQ(sim.Now(), Millis(20));
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.Schedule(Millis(5), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.RunFor(Millis(10));
+  SimTime when = -1;
+  sim.Schedule(-Millis(5), [&] { when = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(when, Millis(10));
+}
+
+TEST(SimulatorTest, DeterministicEventCount) {
+  auto run = [] {
+    Simulator sim(99);
+    for (int i = 0; i < 100; ++i) {
+      sim.Schedule(static_cast<SimDuration>(sim.rng().NextBelow(1000)), [] {});
+    }
+    sim.Run();
+    return sim.events_fired();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimulatorTest, NextIdMonotonic) {
+  Simulator sim;
+  const uint64_t a = sim.NextId();
+  const uint64_t b = sim.NextId();
+  EXPECT_LT(a, b);
+}
+
+// --- LatencyMatrix ---------------------------------------------------------------
+
+TEST(LatencyMatrixTest, PaperTable2ViaLviLink) {
+  const LatencyMatrix m = LatencyMatrix::PaperDefault();
+  // Table 2: lat_nu<->ns = WAN RTT + the LVI server hop.
+  EXPECT_EQ(LviLinkRtt(m, Region::kVA, Region::kVA), Millis(7));
+  EXPECT_EQ(LviLinkRtt(m, Region::kCA, Region::kVA), Millis(74));
+  EXPECT_EQ(LviLinkRtt(m, Region::kIE, Region::kVA), Millis(70));
+  EXPECT_EQ(LviLinkRtt(m, Region::kDE, Region::kVA), Millis(93));
+  EXPECT_EQ(LviLinkRtt(m, Region::kJP, Region::kVA), Millis(146));
+}
+
+TEST(LatencyMatrixTest, Symmetric) {
+  const LatencyMatrix m = LatencyMatrix::PaperDefault();
+  for (int a = 0; a < kNumRegions; ++a) {
+    for (int b = 0; b < kNumRegions; ++b) {
+      EXPECT_EQ(m.Rtt(static_cast<Region>(a), static_cast<Region>(b)),
+                m.Rtt(static_cast<Region>(b), static_cast<Region>(a)));
+    }
+  }
+}
+
+TEST(LatencyMatrixTest, OneWayIsHalfRtt) {
+  const LatencyMatrix m = LatencyMatrix::PaperDefault();
+  EXPECT_EQ(m.OneWay(Region::kJP, Region::kVA), m.Rtt(Region::kJP, Region::kVA) / 2);
+}
+
+// --- Network ----------------------------------------------------------------------
+
+TEST(NetworkTest, DeliversAfterOneWayDelay) {
+  Simulator sim;
+  NetworkOptions options;
+  options.jitter_stddev_frac = 0.0;
+  Network net(&sim, LatencyMatrix::PaperDefault(), options);
+  SimTime delivered_at = -1;
+  net.Send(Region::kCA, Region::kVA, [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, Millis(69) / 2);
+}
+
+TEST(NetworkTest, JitterPerturbsButKeepsMedian) {
+  Simulator sim;
+  NetworkOptions options;
+  options.jitter_stddev_frac = 0.05;
+  Network net(&sim, LatencyMatrix::PaperDefault(), options);
+  LatencySampler samples;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime sent = sim.Now();
+    net.Send(Region::kJP, Region::kVA, [&, sent] { samples.Add(sim.Now() - sent); });
+    sim.Run();
+  }
+  const double nominal_ms = ToMillis(Millis(141) / 2);
+  EXPECT_NEAR(samples.MedianMs(), nominal_ms, nominal_ms * 0.03);
+  EXPECT_GT(samples.PercentileMs(99), samples.PercentileMs(1));
+}
+
+TEST(NetworkTest, PartitionDropsMessages) {
+  Simulator sim;
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  net.SetPartitioned(Region::kCA, Region::kVA, true);
+  bool delivered = false;
+  net.Send(Region::kCA, Region::kVA, [&] { delivered = true; });
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  net.SetPartitioned(Region::kCA, Region::kVA, false);
+  net.Send(Region::kCA, Region::kVA, [&] { delivered = true; });
+  sim.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkTest, FilterDropsSelectively) {
+  Simulator sim;
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  int delivered = 0;
+  net.SetFilter([](Region from, Region to) {
+    return !(from == Region::kDE && to == Region::kVA);
+  });
+  net.Send(Region::kDE, Region::kVA, [&] { ++delivered; });
+  net.Send(Region::kVA, Region::kDE, [&] { ++delivered; });
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+  net.SetFilter(nullptr);
+  net.Send(Region::kDE, Region::kVA, [&] { ++delivered; });
+  sim.Run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(NetworkTest, DropProbabilityDropsRoughlyThatFraction) {
+  Simulator sim;
+  NetworkOptions options;
+  options.drop_probability = 0.3;
+  Network net(&sim, LatencyMatrix::PaperDefault(), options);
+  for (int i = 0; i < 2000; ++i) {
+    net.Send(Region::kCA, Region::kVA, [] {});
+  }
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(net.messages_dropped()) / 2000.0, 0.3, 0.05);
+}
+
+TEST(NetworkTest, BandwidthCounters) {
+  Simulator sim;
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  net.Send(Region::kCA, Region::kVA, [] {}, 1000);
+  net.Send(Region::kVA, Region::kVA, [] {}, 500);  // Intra-region.
+  sim.Run();
+  EXPECT_EQ(net.bytes_sent(), 1500u);
+  EXPECT_EQ(net.wan_bytes_sent(), 1000u);
+}
+
+TEST(RegionTest, NamesAndDeploymentSet) {
+  EXPECT_STREQ(RegionName(Region::kVA), "VA");
+  EXPECT_STREQ(RegionName(Region::kJP), "JP");
+  EXPECT_EQ(DeploymentRegions().size(), 5u);
+  EXPECT_EQ(DeploymentRegions().front(), kPrimaryRegion);
+}
+
+}  // namespace
+}  // namespace radical

@@ -1,0 +1,165 @@
+// Tests for request tracing (the §5.5 latency components) and the LVI
+// server's serving-capacity model (§5.3's singleton-bottleneck discussion).
+
+#include <gtest/gtest.h>
+
+#include "src/func/builder.h"
+#include "src/radical/deployment.h"
+#include "src/radical/trace.h"
+
+namespace radical {
+namespace {
+
+NetworkOptions NoJitter() {
+  NetworkOptions options;
+  options.jitter_stddev_frac = 0.0;
+  return options;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : sim_(6161), net_(&sim_, LatencyMatrix::PaperDefault(), NoJitter()) {
+    radical_ = std::make_unique<RadicalDeployment>(&sim_, &net_, RadicalConfig{},
+                                                   DeploymentRegions());
+    radical_->RegisterFunction(Fn("long_read", {"k"}, {
+        Read("v", In("k")),
+        Compute(Millis(200)),
+        Return(V("v")),
+    }));
+    radical_->RegisterFunction(Fn("short_read", {"k"}, {
+        Read("v", In("k")),
+        Compute(Millis(20)),
+        Return(V("v")),
+    }));
+    radical_->Seed("k", Value("v"));
+    radical_->WarmCaches();
+  }
+
+  RequestTrace InvokeTraced(Region region, const std::string& function) {
+    TraceCollector tracer;
+    radical_->runtime(region).set_tracer(&tracer);
+    radical_->Invoke(region, function, {Value("k")}, [](Value) {});
+    sim_.Run();
+    radical_->runtime(region).set_tracer(nullptr);
+    EXPECT_EQ(tracer.size(), 1u);
+    return tracer.traces().front();
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<RadicalDeployment> radical_;
+};
+
+TEST_F(TraceTest, ComponentsSumToTotal) {
+  const RequestTrace trace = InvokeTraced(Region::kCA, "long_read");
+  EXPECT_EQ(trace.Instantiation() + trace.FrwTime() + trace.OverlapWindow() +
+                trace.Completion(),
+            trace.Total());
+}
+
+TEST_F(TraceTest, InstantiationMatchesConfig) {
+  const RequestTrace trace = InvokeTraced(Region::kCA, "long_read");
+  const RadicalConfig& config = radical_->config();
+  EXPECT_EQ(trace.Instantiation(), config.lambda_invoke + config.blob_load);
+}
+
+TEST_F(TraceTest, LongFunctionHasNoLviStall) {
+  // 200 ms of execution from CA fully hides the 74 ms round trip.
+  const RequestTrace trace = InvokeTraced(Region::kCA, "long_read");
+  EXPECT_TRUE(trace.speculated);
+  EXPECT_TRUE(trace.validated);
+  EXPECT_EQ(trace.LviStall(), 0);
+  // The overlap window is execution-bound.
+  EXPECT_NEAR(ToMillis(trace.OverlapWindow()), 201.0, 2.0);
+}
+
+TEST_F(TraceTest, ShortFunctionFromJapanIsLviBound) {
+  // The §5.4 outlier isolated: 21 ms of execution cannot hide Tokyo's 146 ms
+  // round trip; the request stalls on the LVI response.
+  const RequestTrace trace = InvokeTraced(Region::kJP, "short_read");
+  EXPECT_TRUE(trace.validated);
+  EXPECT_GT(trace.LviStall(), Millis(100));
+  EXPECT_NEAR(ToMillis(trace.OverlapWindow()), 146.0 + 4.3, 3.0);
+}
+
+TEST_F(TraceTest, ValidationFailurePathTraced) {
+  radical_->runtime(Region::kDE).cache().Install("k", Value("stale"), 0);
+  const RequestTrace trace = InvokeTraced(Region::kDE, "long_read");
+  EXPECT_FALSE(trace.validated);
+  EXPECT_TRUE(trace.speculated);  // It did speculate — and was invalidated.
+  EXPECT_GT(trace.Total(), Millis(300));  // Paid the backup execution.
+}
+
+TEST_F(TraceTest, DirectPathTraced) {
+  radical_->RegisterFunction(Fn("opaque", {"k"}, {
+      Read("v", IntToStr(Host("expensive_digest", {In("k")}))),
+      Return(C(Value("done"))),
+  }));
+  const RequestTrace trace = InvokeTraced(Region::kCA, "opaque");
+  EXPECT_TRUE(trace.direct);
+  EXPECT_FALSE(trace.speculated);
+  EXPECT_GT(trace.Total(), Millis(80));
+}
+
+TEST_F(TraceTest, CollectorAggregates) {
+  TraceCollector tracer;
+  radical_->runtime(Region::kCA).set_tracer(&tracer);
+  for (int i = 0; i < 5; ++i) {
+    radical_->Invoke(Region::kCA, "long_read", {Value("k")}, [](Value) {});
+    sim_.Run();
+  }
+  radical_->Invoke(Region::kCA, "short_read", {Value("k")}, [](Value) {});
+  sim_.Run();
+  EXPECT_EQ(tracer.size(), 6u);
+  EXPECT_EQ(tracer.ForFunction("long_read").size(), 5u);
+  EXPECT_NEAR(tracer.MeanMs("long_read", &RequestTrace::Instantiation), 14.0, 0.1);
+  EXPECT_DOUBLE_EQ(tracer.LviBoundFraction("long_read"), 0.0);
+  EXPECT_DOUBLE_EQ(tracer.LviBoundFraction("short_read"), 1.0);
+}
+
+// --- Serving capacity (§5.3) -------------------------------------------------------
+
+TEST(ServerCapacityTest, UnlimitedByDefault) {
+  Simulator sim(7777);
+  Network net(&sim, LatencyMatrix::PaperDefault(), NoJitter());
+  RadicalDeployment radical(&sim, &net, RadicalConfig{}, {Region::kCA});
+  radical.RegisterFunction(Fn("r", {"k"}, {Read("v", In("k")), Return(V("v"))}));
+  radical.Seed("k", Value("v"));
+  radical.WarmCaches();
+  for (int i = 0; i < 50; ++i) {
+    radical.Invoke(Region::kCA, "r", {Value("k")}, [](Value) {});
+  }
+  sim.Run();
+  EXPECT_EQ(radical.server().counters().Get("queued_arrivals"), 0u);
+}
+
+TEST(ServerCapacityTest, BurstBeyondCapacityQueues) {
+  Simulator sim(8888);
+  Network net(&sim, LatencyMatrix::PaperDefault(), NoJitter());
+  RadicalConfig config;
+  config.server.serving_capacity_rps = 100;  // 10 ms service time.
+  RadicalDeployment radical(&sim, &net, config, {Region::kCA});
+  radical.RegisterFunction(Fn("r", {"k"}, {Read("v", In("k")), Compute(Millis(5)),
+                                           Return(V("v"))}));
+  radical.Seed("k", Value("v"));
+  radical.WarmCaches();
+  // A burst of 20 simultaneous requests: they serialize through the server
+  // at 10 ms each, so the last one waits ~190 ms longer than the first.
+  LatencySampler samples;
+  int done = 0;
+  for (int i = 0; i < 20; ++i) {
+    const SimTime start = sim.Now();
+    radical.Invoke(Region::kCA, "r", {Value("k")}, [&, start](Value) {
+      samples.Add(sim.Now() - start);
+      ++done;
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(done, 20);
+  EXPECT_GT(radical.server().counters().Get("queued_arrivals"), 10u);
+  // Spread between fastest and slowest ≈ 19 service times.
+  EXPECT_GT(samples.PercentileMs(100) - samples.PercentileMs(0), 150.0);
+}
+
+}  // namespace
+}  // namespace radical
