@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_regional.dir/fig5_regional.cc.o"
+  "CMakeFiles/fig5_regional.dir/fig5_regional.cc.o.d"
+  "fig5_regional"
+  "fig5_regional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_regional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

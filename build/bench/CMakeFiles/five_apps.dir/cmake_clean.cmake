@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/five_apps.dir/five_apps.cc.o"
+  "CMakeFiles/five_apps.dir/five_apps.cc.o.d"
+  "five_apps"
+  "five_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/five_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

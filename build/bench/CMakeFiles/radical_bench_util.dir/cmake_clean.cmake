@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/radical_bench_util.dir/bench_util.cc.o.d"
+  "libradical_bench_util.a"
+  "libradical_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_5_sensitivity.dir/sec5_5_sensitivity.cc.o"
+  "CMakeFiles/sec5_5_sensitivity.dir/sec5_5_sensitivity.cc.o.d"
+  "sec5_5_sensitivity"
+  "sec5_5_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_5_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

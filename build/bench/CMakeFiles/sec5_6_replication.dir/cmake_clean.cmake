@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_6_replication.dir/sec5_6_replication.cc.o"
+  "CMakeFiles/sec5_6_replication.dir/sec5_6_replication.cc.o.d"
+  "sec5_6_replication"
+  "sec5_6_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_6_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_7_cost.dir/sec5_7_cost.cc.o"
+  "CMakeFiles/sec5_7_cost.dir/sec5_7_cost.cc.o.d"
+  "sec5_7_cost"
+  "sec5_7_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_7_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

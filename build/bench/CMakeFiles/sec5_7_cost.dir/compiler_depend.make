@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec5_7_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_sweep.dir/skew_sweep.cc.o"
+  "CMakeFiles/skew_sweep.dir/skew_sweep.cc.o.d"
+  "skew_sweep"
+  "skew_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

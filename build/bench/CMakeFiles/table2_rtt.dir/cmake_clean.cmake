@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rtt.dir/table2_rtt.cc.o"
+  "CMakeFiles/table2_rtt.dir/table2_rtt.cc.o.d"
+  "table2_rtt"
+  "table2_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_server.dir/throughput_server.cc.o"
+  "CMakeFiles/throughput_server.dir/throughput_server.cc.o.d"
+  "throughput_server"
+  "throughput_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/analyzer_playground.cpp" "examples/CMakeFiles/analyzer_playground.dir/analyzer_playground.cpp.o" "gcc" "examples/CMakeFiles/analyzer_playground.dir/analyzer_playground.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/radical_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/radical/CMakeFiles/radical_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lvi/CMakeFiles/radical_lvi.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/radical_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/radical_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/radical_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/radical_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radical_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radical_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_playground.dir/analyzer_playground.cpp.o"
+  "CMakeFiles/analyzer_playground.dir/analyzer_playground.cpp.o.d"
+  "analyzer_playground"
+  "analyzer_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

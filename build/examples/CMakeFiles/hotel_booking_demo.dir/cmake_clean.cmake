@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_booking_demo.dir/hotel_booking_demo.cpp.o"
+  "CMakeFiles/hotel_booking_demo.dir/hotel_booking_demo.cpp.o.d"
+  "hotel_booking_demo"
+  "hotel_booking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_booking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_media_demo.dir/social_media_demo.cpp.o"
+  "CMakeFiles/social_media_demo.dir/social_media_demo.cpp.o.d"
+  "social_media_demo"
+  "social_media_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_media_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cc" "src/analysis/CMakeFiles/radical_analysis.dir/analyzer.cc.o" "gcc" "src/analysis/CMakeFiles/radical_analysis.dir/analyzer.cc.o.d"
+  "/root/repo/src/analysis/registry.cc" "src/analysis/CMakeFiles/radical_analysis.dir/registry.cc.o" "gcc" "src/analysis/CMakeFiles/radical_analysis.dir/registry.cc.o.d"
+  "/root/repo/src/analysis/rw_set.cc" "src/analysis/CMakeFiles/radical_analysis.dir/rw_set.cc.o" "gcc" "src/analysis/CMakeFiles/radical_analysis.dir/rw_set.cc.o.d"
+  "/root/repo/src/analysis/slicer.cc" "src/analysis/CMakeFiles/radical_analysis.dir/slicer.cc.o" "gcc" "src/analysis/CMakeFiles/radical_analysis.dir/slicer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/func/CMakeFiles/radical_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/radical_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radical_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radical_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

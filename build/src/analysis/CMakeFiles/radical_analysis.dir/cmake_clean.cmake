@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_analysis.dir/analyzer.cc.o"
+  "CMakeFiles/radical_analysis.dir/analyzer.cc.o.d"
+  "CMakeFiles/radical_analysis.dir/registry.cc.o"
+  "CMakeFiles/radical_analysis.dir/registry.cc.o.d"
+  "CMakeFiles/radical_analysis.dir/rw_set.cc.o"
+  "CMakeFiles/radical_analysis.dir/rw_set.cc.o.d"
+  "CMakeFiles/radical_analysis.dir/slicer.cc.o"
+  "CMakeFiles/radical_analysis.dir/slicer.cc.o.d"
+  "libradical_analysis.a"
+  "libradical_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_apps.dir/app_spec.cc.o"
+  "CMakeFiles/radical_apps.dir/app_spec.cc.o.d"
+  "CMakeFiles/radical_apps.dir/danbooru.cc.o"
+  "CMakeFiles/radical_apps.dir/danbooru.cc.o.d"
+  "CMakeFiles/radical_apps.dir/discourse.cc.o"
+  "CMakeFiles/radical_apps.dir/discourse.cc.o.d"
+  "CMakeFiles/radical_apps.dir/forum.cc.o"
+  "CMakeFiles/radical_apps.dir/forum.cc.o.d"
+  "CMakeFiles/radical_apps.dir/hotel.cc.o"
+  "CMakeFiles/radical_apps.dir/hotel.cc.o.d"
+  "CMakeFiles/radical_apps.dir/social.cc.o"
+  "CMakeFiles/radical_apps.dir/social.cc.o.d"
+  "libradical_apps.a"
+  "libradical_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

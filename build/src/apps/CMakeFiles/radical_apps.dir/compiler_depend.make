@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for radical_apps.
+# This may be replaced when dependencies are built.

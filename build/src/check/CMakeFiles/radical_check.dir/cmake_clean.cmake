@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_check.dir/history.cc.o"
+  "CMakeFiles/radical_check.dir/history.cc.o.d"
+  "CMakeFiles/radical_check.dir/linearizability.cc.o"
+  "CMakeFiles/radical_check.dir/linearizability.cc.o.d"
+  "libradical_check.a"
+  "libradical_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_common.dir/logging.cc.o"
+  "CMakeFiles/radical_common.dir/logging.cc.o.d"
+  "CMakeFiles/radical_common.dir/rng.cc.o"
+  "CMakeFiles/radical_common.dir/rng.cc.o.d"
+  "CMakeFiles/radical_common.dir/stats.cc.o"
+  "CMakeFiles/radical_common.dir/stats.cc.o.d"
+  "CMakeFiles/radical_common.dir/string_util.cc.o"
+  "CMakeFiles/radical_common.dir/string_util.cc.o.d"
+  "CMakeFiles/radical_common.dir/value.cc.o"
+  "CMakeFiles/radical_common.dir/value.cc.o.d"
+  "libradical_common.a"
+  "libradical_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

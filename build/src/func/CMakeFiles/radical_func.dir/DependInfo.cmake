@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/func/builder.cc" "src/func/CMakeFiles/radical_func.dir/builder.cc.o" "gcc" "src/func/CMakeFiles/radical_func.dir/builder.cc.o.d"
+  "/root/repo/src/func/expr.cc" "src/func/CMakeFiles/radical_func.dir/expr.cc.o" "gcc" "src/func/CMakeFiles/radical_func.dir/expr.cc.o.d"
+  "/root/repo/src/func/external.cc" "src/func/CMakeFiles/radical_func.dir/external.cc.o" "gcc" "src/func/CMakeFiles/radical_func.dir/external.cc.o.d"
+  "/root/repo/src/func/function.cc" "src/func/CMakeFiles/radical_func.dir/function.cc.o" "gcc" "src/func/CMakeFiles/radical_func.dir/function.cc.o.d"
+  "/root/repo/src/func/interpreter.cc" "src/func/CMakeFiles/radical_func.dir/interpreter.cc.o" "gcc" "src/func/CMakeFiles/radical_func.dir/interpreter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/radical_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/radical_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radical_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

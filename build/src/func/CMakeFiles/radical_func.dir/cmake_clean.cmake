@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_func.dir/builder.cc.o"
+  "CMakeFiles/radical_func.dir/builder.cc.o.d"
+  "CMakeFiles/radical_func.dir/expr.cc.o"
+  "CMakeFiles/radical_func.dir/expr.cc.o.d"
+  "CMakeFiles/radical_func.dir/external.cc.o"
+  "CMakeFiles/radical_func.dir/external.cc.o.d"
+  "CMakeFiles/radical_func.dir/function.cc.o"
+  "CMakeFiles/radical_func.dir/function.cc.o.d"
+  "CMakeFiles/radical_func.dir/interpreter.cc.o"
+  "CMakeFiles/radical_func.dir/interpreter.cc.o.d"
+  "libradical_func.a"
+  "libradical_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

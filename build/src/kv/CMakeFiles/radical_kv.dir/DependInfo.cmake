@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/cache_store.cc" "src/kv/CMakeFiles/radical_kv.dir/cache_store.cc.o" "gcc" "src/kv/CMakeFiles/radical_kv.dir/cache_store.cc.o.d"
+  "/root/repo/src/kv/intent_table.cc" "src/kv/CMakeFiles/radical_kv.dir/intent_table.cc.o" "gcc" "src/kv/CMakeFiles/radical_kv.dir/intent_table.cc.o.d"
+  "/root/repo/src/kv/quorum_store.cc" "src/kv/CMakeFiles/radical_kv.dir/quorum_store.cc.o" "gcc" "src/kv/CMakeFiles/radical_kv.dir/quorum_store.cc.o.d"
+  "/root/repo/src/kv/versioned_store.cc" "src/kv/CMakeFiles/radical_kv.dir/versioned_store.cc.o" "gcc" "src/kv/CMakeFiles/radical_kv.dir/versioned_store.cc.o.d"
+  "/root/repo/src/kv/write_buffer.cc" "src/kv/CMakeFiles/radical_kv.dir/write_buffer.cc.o" "gcc" "src/kv/CMakeFiles/radical_kv.dir/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/radical_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radical_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

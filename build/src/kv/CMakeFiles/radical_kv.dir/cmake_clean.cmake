@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_kv.dir/cache_store.cc.o"
+  "CMakeFiles/radical_kv.dir/cache_store.cc.o.d"
+  "CMakeFiles/radical_kv.dir/intent_table.cc.o"
+  "CMakeFiles/radical_kv.dir/intent_table.cc.o.d"
+  "CMakeFiles/radical_kv.dir/quorum_store.cc.o"
+  "CMakeFiles/radical_kv.dir/quorum_store.cc.o.d"
+  "CMakeFiles/radical_kv.dir/versioned_store.cc.o"
+  "CMakeFiles/radical_kv.dir/versioned_store.cc.o.d"
+  "CMakeFiles/radical_kv.dir/write_buffer.cc.o"
+  "CMakeFiles/radical_kv.dir/write_buffer.cc.o.d"
+  "libradical_kv.a"
+  "libradical_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

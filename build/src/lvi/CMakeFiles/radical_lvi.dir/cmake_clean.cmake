@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_lvi.dir/codec.cc.o"
+  "CMakeFiles/radical_lvi.dir/codec.cc.o.d"
+  "CMakeFiles/radical_lvi.dir/lock_service.cc.o"
+  "CMakeFiles/radical_lvi.dir/lock_service.cc.o.d"
+  "CMakeFiles/radical_lvi.dir/lock_table.cc.o"
+  "CMakeFiles/radical_lvi.dir/lock_table.cc.o.d"
+  "CMakeFiles/radical_lvi.dir/lvi_server.cc.o"
+  "CMakeFiles/radical_lvi.dir/lvi_server.cc.o.d"
+  "libradical_lvi.a"
+  "libradical_lvi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_lvi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

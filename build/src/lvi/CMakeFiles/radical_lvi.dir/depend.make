@@ -1,0 +1,2 @@
+# Empty dependencies file for radical_lvi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_runtime.dir/deployment.cc.o"
+  "CMakeFiles/radical_runtime.dir/deployment.cc.o.d"
+  "CMakeFiles/radical_runtime.dir/load_generator.cc.o"
+  "CMakeFiles/radical_runtime.dir/load_generator.cc.o.d"
+  "CMakeFiles/radical_runtime.dir/runtime.cc.o"
+  "CMakeFiles/radical_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/radical_runtime.dir/trace.cc.o"
+  "CMakeFiles/radical_runtime.dir/trace.cc.o.d"
+  "libradical_runtime.a"
+  "libradical_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raft/cluster.cc" "src/raft/CMakeFiles/radical_raft.dir/cluster.cc.o" "gcc" "src/raft/CMakeFiles/radical_raft.dir/cluster.cc.o.d"
+  "/root/repo/src/raft/lock_state_machine.cc" "src/raft/CMakeFiles/radical_raft.dir/lock_state_machine.cc.o" "gcc" "src/raft/CMakeFiles/radical_raft.dir/lock_state_machine.cc.o.d"
+  "/root/repo/src/raft/log.cc" "src/raft/CMakeFiles/radical_raft.dir/log.cc.o" "gcc" "src/raft/CMakeFiles/radical_raft.dir/log.cc.o.d"
+  "/root/repo/src/raft/node.cc" "src/raft/CMakeFiles/radical_raft.dir/node.cc.o" "gcc" "src/raft/CMakeFiles/radical_raft.dir/node.cc.o.d"
+  "/root/repo/src/raft/transport.cc" "src/raft/CMakeFiles/radical_raft.dir/transport.cc.o" "gcc" "src/raft/CMakeFiles/radical_raft.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/radical_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radical_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/radical_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/radical_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/radical_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

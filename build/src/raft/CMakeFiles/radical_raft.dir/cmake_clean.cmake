@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_raft.dir/cluster.cc.o"
+  "CMakeFiles/radical_raft.dir/cluster.cc.o.d"
+  "CMakeFiles/radical_raft.dir/lock_state_machine.cc.o"
+  "CMakeFiles/radical_raft.dir/lock_state_machine.cc.o.d"
+  "CMakeFiles/radical_raft.dir/log.cc.o"
+  "CMakeFiles/radical_raft.dir/log.cc.o.d"
+  "CMakeFiles/radical_raft.dir/node.cc.o"
+  "CMakeFiles/radical_raft.dir/node.cc.o.d"
+  "CMakeFiles/radical_raft.dir/transport.cc.o"
+  "CMakeFiles/radical_raft.dir/transport.cc.o.d"
+  "libradical_raft.a"
+  "libradical_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_sim.dir/event_queue.cc.o"
+  "CMakeFiles/radical_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/radical_sim.dir/network.cc.o"
+  "CMakeFiles/radical_sim.dir/network.cc.o.d"
+  "CMakeFiles/radical_sim.dir/region.cc.o"
+  "CMakeFiles/radical_sim.dir/region.cc.o.d"
+  "CMakeFiles/radical_sim.dir/simulator.cc.o"
+  "CMakeFiles/radical_sim.dir/simulator.cc.o.d"
+  "libradical_sim.a"
+  "libradical_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/five_apps_test.dir/five_apps_test.cc.o"
+  "CMakeFiles/five_apps_test.dir/five_apps_test.cc.o.d"
+  "five_apps_test"
+  "five_apps_test.pdb"
+  "five_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/five_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

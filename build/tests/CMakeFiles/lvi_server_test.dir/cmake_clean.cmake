@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvi_server_test.dir/lvi_server_test.cc.o"
+  "CMakeFiles/lvi_server_test.dir/lvi_server_test.cc.o.d"
+  "lvi_server_test"
+  "lvi_server_test.pdb"
+  "lvi_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvi_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_store_test.dir/quorum_store_test.cc.o"
+  "CMakeFiles/quorum_store_test.dir/quorum_store_test.cc.o.d"
+  "quorum_store_test"
+  "quorum_store_test.pdb"
+  "quorum_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

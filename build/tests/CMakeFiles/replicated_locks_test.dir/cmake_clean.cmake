@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_locks_test.dir/replicated_locks_test.cc.o"
+  "CMakeFiles/replicated_locks_test.dir/replicated_locks_test.cc.o.d"
+  "replicated_locks_test"
+  "replicated_locks_test.pdb"
+  "replicated_locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

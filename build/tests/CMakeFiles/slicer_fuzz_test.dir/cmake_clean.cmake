@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicer_fuzz_test.dir/slicer_fuzz_test.cc.o"
+  "CMakeFiles/slicer_fuzz_test.dir/slicer_fuzz_test.cc.o.d"
+  "slicer_fuzz_test"
+  "slicer_fuzz_test.pdb"
+  "slicer_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicer_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

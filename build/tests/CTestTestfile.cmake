@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/quorum_store_test[1]_include.cmake")
+include("/root/repo/build/tests/func_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_table_test[1]_include.cmake")
+include("/root/repo/build/tests/raft_test[1]_include.cmake")
+include("/root/repo/build/tests/replicated_locks_test[1]_include.cmake")
+include("/root/repo/build/tests/lvi_server_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/linearizability_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/slicer_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/five_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/latency_model_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radical_cli.dir/radical_cli.cc.o"
+  "CMakeFiles/radical_cli.dir/radical_cli.cc.o.d"
+  "radical_cli"
+  "radical_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radical_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
