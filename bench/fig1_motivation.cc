@@ -34,12 +34,15 @@ Summary RunCentralized(Region user) {
   LatencySampler samples;
   for (int i = 0; i < kRequests; ++i) {
     const SimTime start = sim.Now();
-    net.Send(user, Region::kVA, [&] {
+    net.endpoint(user).Send(net.endpoint(Region::kVA), net::MessageKind::kDirectRequest,
+                            net::kDefaultMessageBytes, [&] {
       sim.Schedule(kInvoke + kComputeTime, [&] {
         SimDuration read_cost = 0;
         store.Get("item", &read_cost);
         sim.Schedule(read_cost, [&] {
-          net.Send(Region::kVA, user, [&, start] { samples.Add(sim.Now() - start); });
+          net.endpoint(Region::kVA).Send(net.endpoint(user), net::MessageKind::kDirectResponse,
+                                         net::kDefaultMessageBytes,
+                                         [&, start] { samples.Add(sim.Now() - start); });
         });
       });
     });

@@ -37,7 +37,8 @@ void BM_VersionedStorePut(benchmark::State& state) {
   uint64_t i = 0;
   for (auto _ : state) {
     (void)_;
-    store.Put("key" + std::to_string(i++ % 1024), Value(static_cast<int64_t>(i)), nullptr);
+    ++i;
+    store.Put("key" + std::to_string(i % 1024), Value(static_cast<int64_t>(i)), nullptr);
   }
 }
 BENCHMARK(BM_VersionedStorePut);

@@ -41,7 +41,10 @@ int main() {
   std::printf("== Scenario 1: the write followup is lost ==\n");
   // Kill every followup leaving San Francisco (the location "crashes" right
   // after replying to its client).
-  radical.runtime(Region::kCA).set_followup_filter([](const WriteFollowup&) { return false; });
+  net::DropRule lost_followup;
+  lost_followup.kind = net::MessageKind::kWriteFollowup;
+  lost_followup.from = radical.runtime(Region::kCA).endpoint().id();
+  net.fabric().AddDropRule(lost_followup);
 
   const SimTime t0 = sim.Now();
   radical.Invoke(Region::kCA, "set_status", {Value("ada"), Value("shipping radical")},

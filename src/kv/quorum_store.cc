@@ -5,10 +5,27 @@
 
 namespace radical {
 
+namespace {
+
+// Approximate wire sizes of the coordination messages. The kv layer cannot
+// depend on the LVI codec (layering), so these are header estimates plus the
+// variable payload; close enough for the fabric's byte accounting.
+constexpr size_t kRequestHeaderBytes = 64;
+constexpr size_t kReplicateHeaderBytes = 48;
+constexpr size_t kAckBytes = 32;
+constexpr size_t kReplyHeaderBytes = 48;
+
+}  // namespace
+
 QuorumStore::QuorumStore(Network* network, std::vector<Region> replica_regions,
                          QuorumStoreOptions options)
     : network_(network), replica_regions_(std::move(replica_regions)), options_(options) {
   assert(!replica_regions_.empty());
+}
+
+void QuorumStore::SendBetween(Region from, Region to, net::MessageKind kind, size_t size_bytes,
+                              std::function<void()> deliver) {
+  network_->endpoint(from).Send(network_->endpoint(to), kind, size_bytes, std::move(deliver));
 }
 
 Region QuorumStore::NearestReplica(Region from) const {
@@ -69,7 +86,8 @@ void QuorumStore::Read(Region client, const Key& key, ReadCallback done) {
   op.key = key;
   op.read_done = std::move(done);
   // Client -> coordinator hop.
-  network_->Send(client, op.coordinator, [this, op_id] { CoordinateRead(op_id); });
+  SendBetween(client, op.coordinator, net::MessageKind::kQuorumRequest,
+              kRequestHeaderBytes + key.size(), [this, op_id] { CoordinateRead(op_id); });
   ArmTimeout(op_id);
 }
 
@@ -82,7 +100,9 @@ void QuorumStore::Write(Region client, const Key& key, const Value& value, Write
   op.key = key;
   op.value = value;
   op.write_done = std::move(done);
-  network_->Send(client, op.coordinator, [this, op_id] { CoordinateWrite(op_id); });
+  SendBetween(client, op.coordinator, net::MessageKind::kQuorumRequest,
+              kRequestHeaderBytes + key.size() + value.ApproxSizeBytes(),
+              [this, op_id] { CoordinateWrite(op_id); });
   ArmTimeout(op_id);
 }
 
@@ -113,8 +133,10 @@ void QuorumStore::CoordinateRead(uint64_t op_id) {
   });
   // Witness acknowledgements: peers confirm the home replica still leads
   // this key (and report their copies, which can only lag the home's).
+  const size_t witness_bytes = kRequestHeaderBytes + it->second.key.size();
   for (const Region peer : PeersByDistance(coord)) {
-    network_->Send(coord, peer, [this, op_id, peer, coord] {
+    SendBetween(coord, peer, net::MessageKind::kQuorumRequest, witness_bytes,
+                [this, op_id, peer, coord] {
       auto pit = pending_.find(op_id);
       if (pit == pending_.end() || pit->second.done) {
         return;
@@ -125,7 +147,9 @@ void QuorumStore::CoordinateRead(uint64_t op_id) {
       if (dit != data.end()) {
         copy = dit->second;
       }
-      network_->Send(peer, coord, [this, op_id, copy] {
+      SendBetween(peer, coord, net::MessageKind::kQuorumAck,
+                  kAckBytes + (copy.has_value() ? copy->value.ApproxSizeBytes() : 0),
+                  [this, op_id, copy] {
         auto pit2 = pending_.find(op_id);
         if (pit2 == pending_.end() || pit2->second.done) {
           return;
@@ -166,8 +190,10 @@ void QuorumStore::CoordinateWrite(uint64_t op_id) {
     ++p.acks;
     // Replicate to peers; each ack counts toward the quorum.
     const Item replicated = item;
+    const size_t replicate_bytes = kReplicateHeaderBytes + p.key.size() + replicated.value.ApproxSizeBytes();
     for (const Region peer : PeersByDistance(coord)) {
-      network_->Send(coord, peer, [this, op_id, peer, coord, replicated] {
+      SendBetween(coord, peer, net::MessageKind::kQuorumReplicate, replicate_bytes,
+                  [this, op_id, peer, coord, replicated] {
         auto pit2 = pending_.find(op_id);
         if (pit2 == pending_.end()) {
           return;
@@ -177,7 +203,7 @@ void QuorumStore::CoordinateWrite(uint64_t op_id) {
         if (replicated.version > copy.version) {
           copy = replicated;
         }
-        network_->Send(peer, coord, [this, op_id] {
+        SendBetween(peer, coord, net::MessageKind::kQuorumAck, kAckBytes, [this, op_id] {
           auto pit3 = pending_.find(op_id);
           if (pit3 == pending_.end() || pit3->second.done) {
             return;
@@ -206,7 +232,10 @@ void QuorumStore::OnQuorumReached(uint64_t op_id) {
   }
   // Coordinator -> client reply hop, then complete.
   const bool is_write = op.is_write;
-  network_->Send(op.coordinator, op.client, [this, op_id, is_write] {
+  const size_t reply_bytes =
+      kReplyHeaderBytes + (is_write ? sizeof(Version) : op.best.value.ApproxSizeBytes());
+  SendBetween(op.coordinator, op.client, net::MessageKind::kQuorumReply, reply_bytes,
+              [this, op_id, is_write] {
     auto fit = pending_.find(op_id);
     if (fit == pending_.end()) {
       return;
@@ -259,7 +288,10 @@ void QuorumStore::Retry(uint64_t op_id) {
   const Region from = op.client;
   const Region coord = op.coordinator;
   const bool is_write = op.is_write;
-  network_->Send(from, coord, [this, op_id, is_write] {
+  const size_t retry_bytes =
+      kRequestHeaderBytes + op.key.size() + (is_write ? op.value.ApproxSizeBytes() : 0);
+  SendBetween(from, coord, net::MessageKind::kQuorumRequest, retry_bytes,
+              [this, op_id, is_write] {
     if (is_write) {
       CoordinateWrite(op_id);
     } else {

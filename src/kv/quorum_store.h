@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "src/kv/item.h"
-#include "src/sim/network.h"
+#include "src/net/network.h"
 
 namespace radical {
 
@@ -109,6 +109,11 @@ class QuorumStore {
 
   // RTT-sorted list of replicas other than `self`.
   std::vector<Region> PeersByDistance(Region self) const;
+
+  // Typed send between the region-anchor endpoints of two replicas (or a
+  // client region and a replica).
+  void SendBetween(Region from, Region to, net::MessageKind kind, size_t size_bytes,
+                   std::function<void()> deliver);
 
   Network* network_;
   std::vector<Region> replica_regions_;

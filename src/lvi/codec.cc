@@ -163,6 +163,8 @@ constexpr uint8_t kMsgLviRequest = 1;
 constexpr uint8_t kMsgLviResponse = 2;
 constexpr uint8_t kMsgFollowup = 3;
 constexpr uint8_t kMsgFunction = 4;
+constexpr uint8_t kMsgDirectRequest = 5;
+constexpr uint8_t kMsgDirectResponse = 6;
 
 void WriteFreshItem(WireWriter& w, const FreshItem& item) {
   w.WriteString(item.key);
@@ -295,6 +297,74 @@ Result<WriteFollowup> DecodeWriteFollowup(const WireBuffer& buffer) {
     return Status::Error(r.ok() ? "trailing bytes in followup" : r.error());
   }
   return followup;
+}
+
+WireBuffer EncodeDirectRequest(const DirectRequest& request) {
+  WireBuffer out;
+  WireWriter w(&out);
+  w.WriteByte(kMsgDirectRequest);
+  w.WriteVarint(request.exec_id);
+  w.WriteVarint(static_cast<uint64_t>(request.origin));
+  w.WriteString(request.function);
+  w.WriteVarint(request.inputs.size());
+  for (const Value& input : request.inputs) {
+    w.WriteValue(input);
+  }
+  return out;
+}
+
+Result<DirectRequest> DecodeDirectRequest(const WireBuffer& buffer) {
+  WireReader r(buffer);
+  if (r.ReadByte() != kMsgDirectRequest) {
+    return Status::Error("not a direct request");
+  }
+  DirectRequest request;
+  request.exec_id = r.ReadVarint();
+  const uint64_t origin = r.ReadVarint();
+  if (origin >= static_cast<uint64_t>(kNumRegions)) {
+    return Status::Error("invalid origin region");
+  }
+  request.origin = static_cast<Region>(origin);
+  request.function = r.ReadString();
+  const uint64_t num_inputs = r.ReadVarint();
+  for (uint64_t i = 0; i < num_inputs && r.ok(); ++i) {
+    request.inputs.push_back(r.ReadValue());
+  }
+  if (!r.AtEnd()) {
+    return Status::Error(r.ok() ? "trailing bytes in direct request" : r.error());
+  }
+  return request;
+}
+
+WireBuffer EncodeDirectResponse(const DirectResponse& response) {
+  WireBuffer out;
+  WireWriter w(&out);
+  w.WriteByte(kMsgDirectResponse);
+  w.WriteVarint(response.exec_id);
+  w.WriteValue(response.result);
+  w.WriteVarint(response.fresh_items.size());
+  for (const FreshItem& item : response.fresh_items) {
+    WriteFreshItem(w, item);
+  }
+  return out;
+}
+
+Result<DirectResponse> DecodeDirectResponse(const WireBuffer& buffer) {
+  WireReader r(buffer);
+  if (r.ReadByte() != kMsgDirectResponse) {
+    return Status::Error("not a direct response");
+  }
+  DirectResponse response;
+  response.exec_id = r.ReadVarint();
+  response.result = r.ReadValue();
+  const uint64_t count = r.ReadVarint();
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    response.fresh_items.push_back(ReadFreshItem(r));
+  }
+  if (!r.AtEnd()) {
+    return Status::Error(r.ok() ? "trailing bytes in direct response" : r.error());
+  }
+  return response;
 }
 
 // --- Function images ----------------------------------------------------------------

@@ -87,6 +87,12 @@ Result<LviResponse> DecodeLviResponse(const WireBuffer& buffer);
 WireBuffer EncodeWriteFollowup(const WriteFollowup& followup);
 Result<WriteFollowup> DecodeWriteFollowup(const WireBuffer& buffer);
 
+WireBuffer EncodeDirectRequest(const DirectRequest& request);
+Result<DirectRequest> DecodeDirectRequest(const WireBuffer& buffer);
+
+WireBuffer EncodeDirectResponse(const DirectResponse& response);
+Result<DirectResponse> DecodeDirectResponse(const WireBuffer& buffer);
+
 // --- Function images (registration, §3.2) ---------------------------------------
 
 WireBuffer EncodeFunction(const FunctionDef& fn);

@@ -1,0 +1,191 @@
+#include "src/net/fabric.h"
+
+#include <utility>
+
+namespace radical {
+namespace net {
+
+EventId Endpoint::Send(const Endpoint& to, MessageKind kind, size_t size_bytes,
+                       std::function<void()> deliver) const {
+  return fabric_->Send(id_, to.id_, Envelope{kind, size_bytes, std::move(deliver)});
+}
+
+Region Endpoint::region() const { return fabric_->info(id_).region; }
+
+const std::string& Endpoint::name() const { return fabric_->info(id_).name; }
+
+Fabric::Fabric(Simulator* sim, LinkModelFn model_fn)
+    : sim_(sim),
+      model_fn_(std::move(model_fn)),
+      // Exactly one fork from the root stream — same root-rng advance as the
+      // component this fabric replaces, so other components' draws hold.
+      rng_(sim->rng().Fork()),
+      fault_rng_(rng_.Fork()) {}
+
+Endpoint Fabric::AddEndpoint(std::string name, Region region, SimDuration extra_hop_delay) {
+  EndpointId id = static_cast<EndpointId>(endpoints_.size());
+  endpoints_.push_back(EndpointInfo{std::move(name), region, extra_hop_delay});
+  return Endpoint(this, id);
+}
+
+Channel& Fabric::ChannelFor(EndpointId from, EndpointId to) {
+  const uint64_t key = PairKey(from, to);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    const EndpointInfo& fi = endpoints_[from];
+    const EndpointInfo& ti = endpoints_[to];
+    LinkModel model = model_fn_(fi, ti);
+    it = channels_
+             .emplace(key, std::make_unique<Channel>(sim_, from, to, model, rng_.Fork(),
+                                                     fi.region != ti.region))
+             .first;
+  }
+  return *it->second;
+}
+
+bool Fabric::ShouldDrop(const SendContext& ctx) {
+  if (region_partitioned_[static_cast<int>(ctx.from_region)][static_cast<int>(ctx.to_region)]) {
+    return true;
+  }
+  if (isolated_.count(ctx.from) > 0 || isolated_.count(ctx.to) > 0) {
+    return true;
+  }
+  if (endpoint_partitioned_.count(SymKey(ctx.from, ctx.to)) > 0) {
+    return true;
+  }
+  if (filter_ && !filter_(ctx)) {
+    return true;
+  }
+  for (auto& [id, armed] : drop_rules_) {
+    (void)id;
+    const DropRule& r = armed.rule;
+    if (!r.any_kind && r.kind != ctx.kind) continue;
+    if (r.from != kAnyEndpoint && r.from != ctx.from) continue;
+    if (r.to != kAnyEndpoint && r.to != ctx.to) continue;
+    if (r.max_drops > 0 && armed.drops >= r.max_drops) continue;
+    if (r.probability >= 1.0 || fault_rng_.NextBool(r.probability)) {
+      armed.drops++;
+      return true;
+    }
+  }
+  double p = drop_probability_;
+  auto link_it = link_drop_probability_.find(PairKey(ctx.from, ctx.to));
+  if (link_it != link_drop_probability_.end()) {
+    p = link_it->second;
+  }
+  if (p > 0.0 && fault_rng_.NextBool(p)) {
+    return true;
+  }
+  return false;
+}
+
+SimDuration Fabric::SpikeExtra(EndpointId from, EndpointId to) {
+  if (delay_spikes_.empty()) return 0;
+  auto it = delay_spikes_.find(SymKey(from, to));
+  if (it == delay_spikes_.end()) return 0;
+  if (sim_->Now() >= it->second.second) {
+    delay_spikes_.erase(it);
+    return 0;
+  }
+  return it->second.first;
+}
+
+EventId Fabric::Send(EndpointId from, EndpointId to, Envelope env) {
+  Channel& ch = ChannelFor(from, to);
+  // Offered traffic is charged before fault checks — a dropped message was
+  // still sent (and paid for) by the sender.
+  ch.RecordOffered(env);
+  messages_sent_++;
+  bytes_sent_ += env.size_bytes;
+  messages_by_kind_[static_cast<int>(env.kind)]++;
+  bytes_by_kind_[static_cast<int>(env.kind)] += env.size_bytes;
+  if (ch.wan()) {
+    wan_bytes_sent_ += env.size_bytes;
+  }
+
+  SendContext ctx{from,
+                  to,
+                  endpoints_[from].region,
+                  endpoints_[to].region,
+                  env.kind,
+                  env.size_bytes};
+  if (ShouldDrop(ctx)) {
+    ch.RecordDropped(env.kind);
+    messages_dropped_++;
+    drops_by_kind_[static_cast<int>(env.kind)]++;
+    return kInvalidEventId;
+  }
+  return ch.Deliver(std::move(env), SpikeExtra(from, to));
+}
+
+void Fabric::SetRegionPartitioned(Region a, Region b, bool partitioned) {
+  region_partitioned_[static_cast<int>(a)][static_cast<int>(b)] = partitioned;
+  region_partitioned_[static_cast<int>(b)][static_cast<int>(a)] = partitioned;
+}
+
+bool Fabric::IsRegionPartitioned(Region a, Region b) const {
+  return region_partitioned_[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+void Fabric::SetEndpointPartitioned(EndpointId a, EndpointId b, bool partitioned) {
+  if (partitioned) {
+    endpoint_partitioned_.insert(SymKey(a, b));
+  } else {
+    endpoint_partitioned_.erase(SymKey(a, b));
+  }
+}
+
+void Fabric::Isolate(EndpointId id, bool isolated) {
+  if (isolated) {
+    isolated_.insert(id);
+  } else {
+    isolated_.erase(id);
+  }
+}
+
+int Fabric::AddDropRule(DropRule rule) {
+  int id = next_rule_id_++;
+  drop_rules_.emplace(id, ArmedRule{rule, 0});
+  return id;
+}
+
+void Fabric::RemoveDropRule(int rule_id) { drop_rules_.erase(rule_id); }
+
+void Fabric::ClearDropRules() { drop_rules_.clear(); }
+
+uint64_t Fabric::RuleDrops(int rule_id) const {
+  auto it = drop_rules_.find(rule_id);
+  return it == drop_rules_.end() ? 0 : it->second.drops;
+}
+
+void Fabric::SetLinkDropProbability(EndpointId from, EndpointId to, double p) {
+  if (p < 0.0) {
+    link_drop_probability_.erase(PairKey(from, to));
+  } else {
+    link_drop_probability_[PairKey(from, to)] = p;
+  }
+}
+
+void Fabric::InjectDelaySpike(EndpointId a, EndpointId b, SimDuration extra,
+                              SimDuration duration) {
+  delay_spikes_[SymKey(a, b)] = {extra, sim_->Now() + duration};
+}
+
+LinkModel& Fabric::LinkModelFor(EndpointId from, EndpointId to) {
+  return ChannelFor(from, to).mutable_model();
+}
+
+const LinkStats* Fabric::StatsFor(EndpointId from, EndpointId to) const {
+  auto it = channels_.find(PairKey(from, to));
+  return it == channels_.end() ? nullptr : &it->second->stats();
+}
+
+void Fabric::ForEachChannel(const std::function<void(const Channel&)>& fn) const {
+  for (const auto& [key, ch] : channels_) {
+    (void)key;
+    fn(*ch);
+  }
+}
+
+}  // namespace net
+}  // namespace radical

@@ -1,0 +1,63 @@
+// Typed message envelopes for the unified transport layer.
+//
+// Every message crossing a link in the simulation — WAN protocol traffic,
+// intra-DC Raft RPCs, quorum-store coordination — travels as an Envelope: a
+// message kind tag, a wire size in bytes, and the closure to run at the
+// destination. The kind tag is what makes one fault-injection and metrics
+// surface possible: tests drop "write followups from CA" instead of wiring a
+// bespoke filter into each component, and the cost analysis reads per-kind
+// byte counters off the fabric instead of instrumenting call sites.
+
+#ifndef RADICAL_SRC_NET_MESSAGE_H_
+#define RADICAL_SRC_NET_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace radical {
+namespace net {
+
+// Wire size charged when a sender does not compute one. The LVI protocol
+// messages always carry exact codec-derived sizes; this default remains for
+// pings and control traffic whose size does not matter.
+inline constexpr size_t kDefaultMessageBytes = 128;
+
+// Every message category that crosses a simulated link.
+enum class MessageKind : uint8_t {
+  kGeneric = 0,
+  // LVI protocol (near-user <-> near-storage, src/lvi/messages.h).
+  kLviRequest,
+  kLviResponse,
+  kWriteFollowup,
+  kDirectRequest,
+  kDirectResponse,
+  // Raft RPCs (AZ mesh, src/raft).
+  kRaftVote,
+  kRaftVoteReply,
+  kRaftAppend,
+  kRaftAppendReply,
+  kRaftSnapshot,
+  // Quorum-store coordination (geo-replicated baseline, src/kv).
+  kQuorumRequest,
+  kQuorumReplicate,
+  kQuorumAck,
+  kQuorumReply,
+};
+
+inline constexpr int kNumMessageKinds = 15;
+
+const char* MessageKindName(MessageKind kind);
+
+// One message in flight: kind tag, wire size, and the delivery closure run
+// at the destination endpoint.
+struct Envelope {
+  MessageKind kind = MessageKind::kGeneric;
+  size_t size_bytes = kDefaultMessageBytes;
+  std::function<void()> deliver;
+};
+
+}  // namespace net
+}  // namespace radical
+
+#endif  // RADICAL_SRC_NET_MESSAGE_H_

@@ -1,0 +1,105 @@
+#include "src/net/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace radical {
+
+LatencyMatrix::LatencyMatrix() {
+  for (auto& row : rtt_) {
+    row.fill(kDefaultRtt);
+  }
+  // Intra-region RTT (through a load balancer hop).
+  for (int r = 0; r < kNumRegions; ++r) {
+    rtt_[r][r] = Millis(2);
+  }
+}
+
+LatencyMatrix LatencyMatrix::PaperDefault() {
+  LatencyMatrix m;
+  const auto set = [&m](Region a, Region b, int64_t ms) { m.SetRtt(a, b, Millis(ms)); };
+  // Table 2 reports lat_nu<->ns — the measured round trip of an LVI request,
+  // which crosses the WAN *and* hops through the LVI server's EC2 box next
+  // to the primary (kServerHopRtt = 5 ms; intra-VA that hop plus the 2 ms
+  // local RTT gives the paper's 7 ms). The raw WAN entries here are Table 2
+  // minus that server hop, so LviLinkRtt() reproduces Table 2 exactly.
+  set(Region::kVA, Region::kCA, 69);
+  set(Region::kVA, Region::kIE, 65);
+  set(Region::kVA, Region::kDE, 88);
+  set(Region::kVA, Region::kJP, 141);
+  // Global-table replica links (Figure 1 baseline; public AWS latencies).
+  set(Region::kVA, Region::kOH, 11);
+  set(Region::kVA, Region::kOR, 60);
+  set(Region::kOH, Region::kOR, 50);
+  // Remaining pairs (used by the geo-replicated baseline's nearest-replica
+  // routing and nothing else).
+  set(Region::kCA, Region::kOR, 22);
+  set(Region::kCA, Region::kOH, 50);
+  set(Region::kCA, Region::kIE, 140);
+  set(Region::kCA, Region::kDE, 150);
+  set(Region::kCA, Region::kJP, 110);
+  set(Region::kIE, Region::kDE, 25);
+  set(Region::kIE, Region::kOH, 82);
+  set(Region::kIE, Region::kOR, 130);
+  set(Region::kIE, Region::kJP, 210);
+  set(Region::kDE, Region::kOH, 100);
+  set(Region::kDE, Region::kOR, 145);
+  set(Region::kDE, Region::kJP, 230);
+  set(Region::kJP, Region::kOH, 135);
+  set(Region::kJP, Region::kOR, 90);
+  return m;
+}
+
+void LatencyMatrix::SetRtt(Region a, Region b, SimDuration rtt) {
+  assert(rtt >= 0);
+  rtt_[static_cast<int>(a)][static_cast<int>(b)] = rtt;
+  rtt_[static_cast<int>(b)][static_cast<int>(a)] = rtt;
+}
+
+SimDuration LatencyMatrix::Rtt(Region a, Region b) const {
+  return rtt_[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+Network::Network(Simulator* sim, LatencyMatrix latency, NetworkOptions options)
+    : latency_(latency),
+      options_(options),
+      fabric_(sim, [this](const net::EndpointInfo& from, const net::EndpointInfo& to) {
+        net::LinkModel model;
+        model.propagation_delay = latency_.OneWay(from.region, to.region) +
+                                  from.extra_hop_delay + to.extra_hop_delay;
+        model.jitter_stddev_frac = options_.jitter_stddev_frac;
+        model.min_delay_frac = options_.min_delay_frac;
+        if (from.region != to.region) {
+          model.bandwidth_bytes_per_sec = options_.wan_bandwidth_bytes_per_sec;
+        }
+        return model;
+      }) {
+  fabric_.set_drop_probability(options_.drop_probability);
+  for (int r = 0; r < kNumRegions; ++r) {
+    anchors_[r] = fabric_.AddEndpoint(std::string(RegionName(static_cast<Region>(r))),
+                                      static_cast<Region>(r));
+  }
+}
+
+net::Endpoint Network::AddEndpoint(std::string name, Region region,
+                                   SimDuration extra_hop_delay) {
+  return fabric_.AddEndpoint(std::move(name), region, extra_hop_delay);
+}
+
+EventId Network::Send(Region from, Region to, std::function<void()> deliver,
+                      size_t size_bytes) {
+  return fabric_.Send(endpoint(from).id(), endpoint(to).id(),
+                      net::Envelope{net::MessageKind::kGeneric, size_bytes, std::move(deliver)});
+}
+
+void Network::SetFilter(Filter filter) {
+  if (!filter) {
+    fabric_.SetFilter(nullptr);
+    return;
+  }
+  fabric_.SetFilter([f = std::move(filter)](const net::SendContext& ctx) {
+    return f(ctx.from_region, ctx.to_region);
+  });
+}
+
+}  // namespace radical

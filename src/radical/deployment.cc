@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/lvi/codec.h"
+
 namespace radical {
 
 namespace {
@@ -39,11 +41,15 @@ RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalCo
   server_ = std::make_unique<LviServer>(sim, &primary_, &registry_, &interpreter_, locks,
                                         ServerOptionsFor(config_),
                                         /*replicated=*/replicated_locks > 0, &externals_);
+  // One shared server address on the fabric; every runtime's LVI traffic
+  // converges on it, so per-link stats show the real fan-in.
+  server_endpoint_ =
+      network->AddEndpoint("lvi-server", kPrimaryRegion, kServerHopRtt / 2);
   for (const Region region : regions) {
     runtimes_.emplace(region,
                       std::make_unique<Runtime>(sim, network, region, kPrimaryRegion,
                                                 server_.get(), &registry_, &interpreter_,
-                                                config_, &externals_));
+                                                config_, &externals_, server_endpoint_));
   }
 }
 
@@ -101,17 +107,23 @@ void PrimaryBaselineDeployment::Invoke(Region origin, const std::string& functio
   request.origin = origin;
   request.function = function;
   request.inputs = std::move(inputs);
-  network_->Send(origin, kPrimaryRegion, [this, origin, request = std::move(request),
-                                          done = std::move(done)]() mutable {
-    server_->HandleDirect(std::move(request),
-                          [this, origin, done = std::move(done)](DirectResponse response) {
-                            network_->Send(kPrimaryRegion, origin,
-                                           [done = std::move(done),
-                                            result = std::move(response.result)]() mutable {
-                                             done(std::move(result));
-                                           });
-                          });
-  });
+  const size_t request_size = EncodeDirectRequest(request).size();
+  network_->endpoint(origin).Send(
+      network_->endpoint(kPrimaryRegion), net::MessageKind::kDirectRequest, request_size,
+      [this, origin, request = std::move(request), done = std::move(done)]() mutable {
+        server_->HandleDirect(
+            std::move(request),
+            [this, origin, done = std::move(done)](DirectResponse response) mutable {
+              const size_t response_size = EncodeDirectResponse(response).size();
+              network_->endpoint(kPrimaryRegion)
+                  .Send(network_->endpoint(origin), net::MessageKind::kDirectResponse,
+                        response_size,
+                        [done = std::move(done),
+                         result = std::move(response.result)]() mutable {
+                          done(std::move(result));
+                        });
+            });
+      });
 }
 
 const AnalyzedFunction& PrimaryBaselineDeployment::RegisterFunction(const FunctionDef& fn) {

@@ -61,6 +61,9 @@ class RadicalDeployment : public AppService {
 
   Runtime& runtime(Region region);
   LviServer& server() { return *server_; }
+  // The LVI server's fabric address, shared by every runtime; its
+  // extra_hop_delay models the intra-DC hop to the server's EC2 instance.
+  const net::Endpoint& server_endpoint() const { return server_endpoint_; }
   VersionedStore& primary() { return primary_; }
   FunctionRegistry& registry() { return registry_; }
   ExternalServiceRegistry& externals() override { return externals_; }
@@ -79,6 +82,7 @@ class RadicalDeployment : public AppService {
   std::unique_ptr<LocalLockService> local_locks_;
   std::unique_ptr<ReplicatedLockService> replicated_locks_;
   std::unique_ptr<LviServer> server_;
+  net::Endpoint server_endpoint_;
   std::map<Region, std::unique_ptr<Runtime>> runtimes_;
 };
 

@@ -11,7 +11,7 @@ namespace radical {
 Runtime::Runtime(Simulator* sim, Network* network, Region region, Region server_region,
                  LviServer* server, const FunctionRegistry* registry,
                  const Interpreter* interpreter, const RadicalConfig& config,
-                 ExternalServiceRegistry* externals)
+                 ExternalServiceRegistry* externals, net::Endpoint server_endpoint)
     : sim_(sim),
       network_(network),
       region_(region),
@@ -21,7 +21,18 @@ Runtime::Runtime(Simulator* sim, Network* network, Region region, Region server_
       interpreter_(interpreter),
       config_(config),
       cache_(config.cache),
-      externals_(externals) {}
+      externals_(externals) {
+  self_ = network->AddEndpoint(std::string("runtime@") + RegionName(region), region);
+  if (server_endpoint.valid()) {
+    server_endpoint_ = server_endpoint;
+  } else {
+    // Standalone runtime (tests): register a private server address carrying
+    // the intra-DC hop to the server's EC2 instance.
+    server_endpoint_ = network->AddEndpoint(
+        std::string("lvi-server@") + RegionName(server_region), server_region,
+        kServerHopRtt / 2);
+  }
+}
 
 void Runtime::Invoke(const std::string& function, std::vector<Value> inputs, DoneFn done) {
   counters_.Increment("requests");
@@ -97,18 +108,19 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
   // (2b) Send the LVI request to the near-storage location. Wire sizes are
   // the exact encoded lengths (src/lvi/codec.h).
   const size_t request_size = EncodeLviRequest(request).size();
-  SendToServer([this, request, state] {
+  SendToServer(net::MessageKind::kLviRequest, request_size, [this, request, state] {
     server_->HandleLviRequest(request, [this, state](LviResponse response) {
       const size_t size = EncodeLviResponse(response).size();
-      SendFromServer([this, state, response = std::move(response)] {
+      SendFromServer(net::MessageKind::kLviResponse, size,
+                     [this, state, response = std::move(response)] {
         state->response_received = true;
         state->trace.response_received = sim_->Now();
         state->trace.validated = response.validated;
         state->response = response;
         TryComplete(state);
-      }, size);
+      });
     });
-  }, request_size);
+  });
 
   // (2a) Speculatively execute f against the cache, writes buffered. Skipped
   // on a cache miss (validation is guaranteed to fail) and under the
@@ -214,23 +226,26 @@ void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Valu
         return;
       }
       const size_t followup_size = EncodeWriteFollowup(followup).size();
-      SendToServer([this, followup = std::move(followup)]() mutable {
+      SendToServer(net::MessageKind::kWriteFollowup, followup_size,
+                   [this, followup = std::move(followup)]() mutable {
         server_->HandleFollowup(std::move(followup));
-      }, followup_size);
+      });
       return;
     }
     // Two-round-trip ablation: wait for the server to apply the writes
     // before answering — what the LVI protocol exists to avoid.
     counters_.Increment("two_rtt_commits");
     const size_t followup_size = EncodeWriteFollowup(followup).size();
-    SendToServer([this, state, result = std::move(result),
+    SendToServer(net::MessageKind::kWriteFollowup, followup_size,
+                 [this, state, result = std::move(result),
                   followup = std::move(followup)]() mutable {
       server_->HandleFollowup(std::move(followup), [this, state, result = std::move(result)]() mutable {
-        SendFromServer([this, state, result = std::move(result)]() mutable {
+        SendFromServer(net::MessageKind::kGeneric, 64,
+                       [this, state, result = std::move(result)]() mutable {
           Reply(state, std::move(result));
-        }, 64);
+        });
       });
-    }, followup_size);
+    });
   });
 }
 
@@ -258,31 +273,30 @@ void Runtime::InvokeDirect(std::shared_ptr<RequestState> state) {
   request.function = state->function;
   request.inputs = state->inputs;
   state->trace.direct = true;
-  SendToServer([this, request = std::move(request), state]() mutable {
+  const size_t request_size = EncodeDirectRequest(request).size();
+  SendToServer(net::MessageKind::kDirectRequest, request_size,
+               [this, request = std::move(request), state]() mutable {
     server_->HandleDirect(std::move(request), [this, state](DirectResponse response) {
-      SendFromServer([this, state, response = std::move(response)] {
+      const size_t response_size = EncodeDirectResponse(response).size();
+      SendFromServer(net::MessageKind::kDirectResponse, response_size,
+                     [this, state, response = std::move(response)] {
         state->trace.response_received = sim_->Now();
         for (const FreshItem& item : response.fresh_items) {
           cache_.Install(item.key, item.value, item.version);
         }
         Reply(state, response.result);
-      }, 256);
+      });
     });
-  }, 128);
-}
-
-
-void Runtime::SendToServer(std::function<void()> deliver, size_t bytes) {
-  network_->Send(region_, server_region_, [this, deliver = std::move(deliver)]() mutable {
-    sim_->Schedule(kServerHopRtt / 2, std::move(deliver));
-  }, bytes);
-}
-
-void Runtime::SendFromServer(std::function<void()> deliver, size_t bytes) {
-  // The server-side hop back to the edge of the datacenter, then the WAN.
-  sim_->Schedule(kServerHopRtt / 2, [this, deliver = std::move(deliver), bytes]() mutable {
-    network_->Send(server_region_, region_, std::move(deliver), bytes);
   });
+}
+
+
+void Runtime::SendToServer(net::MessageKind kind, size_t bytes, std::function<void()> deliver) {
+  self_.Send(server_endpoint_, kind, bytes, std::move(deliver));
+}
+
+void Runtime::SendFromServer(net::MessageKind kind, size_t bytes, std::function<void()> deliver) {
+  server_endpoint_.Send(self_, kind, bytes, std::move(deliver));
 }
 
 void Runtime::Reply(const std::shared_ptr<RequestState>& state, Value result) {

@@ -27,9 +27,9 @@
 #include "src/common/stats.h"
 #include "src/kv/cache_store.h"
 #include "src/lvi/lvi_server.h"
+#include "src/net/network.h"
 #include "src/radical/config.h"
 #include "src/radical/trace.h"
-#include "src/sim/network.h"
 
 namespace radical {
 
@@ -38,10 +38,14 @@ class Runtime {
   using DoneFn = std::function<void(Value result)>;
 
   // `server` lives in `server_region` (the near-storage location); all
-  // pointers must outlive the runtime.
+  // pointers must outlive the runtime. `server_endpoint` is the server's
+  // fabric address (shared across runtimes by the deployment); when invalid
+  // (default), the runtime registers its own, carrying the intra-DC hop
+  // (kServerHopRtt / 2) as the endpoint's extra one-way delay.
   Runtime(Simulator* sim, Network* network, Region region, Region server_region,
           LviServer* server, const FunctionRegistry* registry, const Interpreter* interpreter,
-          const RadicalConfig& config, ExternalServiceRegistry* externals = nullptr);
+          const RadicalConfig& config, ExternalServiceRegistry* externals = nullptr,
+          net::Endpoint server_endpoint = net::Endpoint());
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -54,11 +58,17 @@ class Runtime {
   CacheStore& cache() { return cache_; }
   const Counters& counters() const { return counters_; }
 
-  // Failure-injection hook: return false to drop a write followup before it
-  // leaves this location (models near-user failure right after replying to
-  // the client — the case write intents + deterministic re-execution exist
-  // for, §3.4). Pass nullptr to clear.
+  // This runtime's fabric address; tests target it with per-kind drop rules
+  // (e.g. drop kWriteFollowup from this endpoint).
+  const net::Endpoint& endpoint() const { return self_; }
+  const net::Endpoint& server_endpoint() const { return server_endpoint_; }
+
+  // DEPRECATED failure-injection hook: return false to drop a write followup
+  // before it leaves this location. Prefer a fabric drop rule on
+  // MessageKind::kWriteFollowup from endpoint(), which also shows up in the
+  // fabric's per-kind drop counters. Pass nullptr to clear.
   using FollowupFilter = std::function<bool(const WriteFollowup&)>;
+  [[deprecated("add a fabric drop rule on MessageKind::kWriteFollowup instead")]]
   void set_followup_filter(FollowupFilter filter) { followup_filter_ = std::move(filter); }
 
   // Attaches a trace collector; every completed request records a
@@ -99,16 +109,19 @@ class Runtime {
   // Installs speculative writes into the cache and ships the followup.
   void CommitSpeculation(const std::shared_ptr<RequestState>& state, Value result);
   void Reply(const std::shared_ptr<RequestState>& state, Value result);
-  // Message legs to/from the LVI server: WAN path plus the intra-DC hop to
-  // the server's EC2 instance (kServerHopRtt; Table 2's lat_nu<->ns is the
-  // sum of both).
-  void SendToServer(std::function<void()> deliver, size_t bytes);
-  void SendFromServer(std::function<void()> deliver, size_t bytes);
+  // Message legs to/from the LVI server over the fabric: the WAN path plus
+  // the intra-DC hop to the server's EC2 instance, which rides as the server
+  // endpoint's extra_hop_delay (kServerHopRtt / 2 each way; Table 2's
+  // lat_nu<->ns is the sum of both).
+  void SendToServer(net::MessageKind kind, size_t bytes, std::function<void()> deliver);
+  void SendFromServer(net::MessageKind kind, size_t bytes, std::function<void()> deliver);
 
   Simulator* sim_;
   Network* network_;
   const Region region_;
   const Region server_region_;
+  net::Endpoint self_;
+  net::Endpoint server_endpoint_;
   LviServer* server_;
   const FunctionRegistry* registry_;
   const Interpreter* interpreter_;

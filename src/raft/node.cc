@@ -6,6 +6,27 @@
 #include "src/common/logging.h"
 
 namespace radical {
+namespace {
+
+// Approximate wire sizes of the Raft RPCs: fixed header fields (terms,
+// indices, ids) plus per-entry payload. Exact enough for the fabric's byte
+// accounting; Raft traffic never crosses the WAN so it does not affect the
+// §5.7 cost numbers.
+constexpr size_t kVoteWireSize = 40;
+constexpr size_t kVoteReplyWireSize = 32;
+constexpr size_t kAppendReplyWireSize = 40;
+
+size_t AppendWireSize(const AppendEntriesArgs& args) {
+  size_t size = 56;
+  for (const LogEntry& entry : args.entries) {
+    size += 16 + entry.command.size();
+  }
+  return size;
+}
+
+size_t SnapshotWireSize(const InstallSnapshotArgs& args) { return 56 + args.data.size(); }
+
+}  // namespace
 
 const char* RaftRoleName(RaftRole role) {
   switch (role) {
@@ -118,13 +139,15 @@ void RaftNode::BecomeCandidate() {
     if (peer == id_) {
       continue;
     }
-    mesh_->Send(id_, peer, [this, peer, args] {
+    mesh_->endpoint(id_).Send(mesh_->endpoint(peer), net::MessageKind::kRaftVote,
+                              kVoteWireSize, [this, peer, args] {
       RaftNode* node = peers_(peer);
       if (node == nullptr || !node->alive_) {
         return;
       }
       const RequestVoteReply reply = node->HandleRequestVote(args);
-      mesh_->Send(peer, id_, [this, reply] {
+      mesh_->endpoint(peer).Send(mesh_->endpoint(id_), net::MessageKind::kRaftVoteReply,
+                                 kVoteReplyWireSize, [this, reply] {
         if (alive_) {
           HandleVoteReply(reply);
         }
@@ -179,7 +202,8 @@ void RaftNode::ReplicateTo(NodeId peer) {
                          .prev_term = log_.TermAt(prev),
                          .entries = log_.EntriesAfter(prev, options_.max_entries_per_append),
                          .leader_commit = commit_index_};
-  mesh_->Send(id_, peer, [this, peer, args] {
+  mesh_->endpoint(id_).Send(mesh_->endpoint(peer), net::MessageKind::kRaftAppend,
+                            AppendWireSize(args), [this, peer, args] {
     RaftNode* node = peers_(peer);
     if (node == nullptr || !node->alive_) {
       return;
@@ -193,7 +217,8 @@ void RaftNode::ReplicateTo(NodeId peer) {
         return;
       }
       const AppendEntriesReply reply = target->HandleAppendEntries(args);
-      mesh_->Send(peer, id_, [this, reply] {
+      mesh_->endpoint(peer).Send(mesh_->endpoint(id_), net::MessageKind::kRaftAppendReply,
+                                 kAppendReplyWireSize, [this, reply] {
         if (alive_) {
           HandleAppendReply(reply);
         }
@@ -208,7 +233,8 @@ void RaftNode::SendSnapshotTo(NodeId peer) {
                            .last_included_index = log_.snapshot_index(),
                            .last_included_term = log_.snapshot_term(),
                            .data = snapshot_data_};
-  mesh_->Send(id_, peer, [this, peer, args] {
+  mesh_->endpoint(id_).Send(mesh_->endpoint(peer), net::MessageKind::kRaftSnapshot,
+                            SnapshotWireSize(args), [this, peer, args] {
     RaftNode* node = peers_(peer);
     if (node == nullptr || !node->alive_) {
       return;
@@ -221,7 +247,8 @@ void RaftNode::SendSnapshotTo(NodeId peer) {
         return;
       }
       const AppendEntriesReply reply = target->HandleInstallSnapshot(args);
-      mesh_->Send(peer, id_, [this, reply] {
+      mesh_->endpoint(peer).Send(mesh_->endpoint(id_), net::MessageKind::kRaftAppendReply,
+                                 kAppendReplyWireSize, [this, reply] {
         if (alive_) {
           HandleAppendReply(reply);
         }

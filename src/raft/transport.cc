@@ -1,40 +1,46 @@
 #include "src/raft/transport.h"
 
-#include <algorithm>
 #include <cassert>
+#include <string>
+#include <utility>
 
 namespace radical {
 
 LocalMesh::LocalMesh(Simulator* sim, int node_count, LocalMeshOptions options)
-    : sim_(sim), node_count_(node_count), options_(options), rng_(sim->rng().Fork()) {
+    : node_count_(node_count),
+      options_(options),
+      fabric_(sim, [opts = options](const net::EndpointInfo& from, const net::EndpointInfo& to) {
+        (void)from;
+        (void)to;
+        net::LinkModel model;
+        model.propagation_delay = opts.one_way_delay;
+        model.jitter_stddev_frac = opts.jitter_stddev_frac;
+        // The old mesh floored jittered delays at half the nominal value.
+        model.min_delay_frac = 0.5;
+        return model;
+      }) {
   assert(node_count > 0);
-  partitioned_.assign(static_cast<size_t>(node_count),
-                      std::vector<bool>(static_cast<size_t>(node_count), false));
+  fabric_.set_drop_probability(options_.drop_probability);
+  endpoints_.reserve(static_cast<size_t>(node_count));
+  for (NodeId n = 0; n < node_count; ++n) {
+    endpoints_.push_back(
+        fabric_.AddEndpoint("raft-" + std::to_string(n), options_.region));
+  }
 }
 
 void LocalMesh::Send(NodeId from, NodeId to, std::function<void()> deliver) {
   assert(from >= 0 && from < node_count_ && to >= 0 && to < node_count_);
-  ++messages_sent_;
-  if (IsPartitioned(from, to) ||
-      (options_.drop_probability > 0.0 && rng_.NextBool(options_.drop_probability))) {
-    ++messages_dropped_;
-    return;
-  }
-  SimDuration delay = options_.one_way_delay;
-  if (options_.jitter_stddev_frac > 0.0) {
-    const double factor = std::max(0.5, rng_.NextGaussian(1.0, options_.jitter_stddev_frac));
-    delay = static_cast<SimDuration>(static_cast<double>(delay) * factor);
-  }
-  sim_->Schedule(delay, std::move(deliver));
+  fabric_.Send(endpoint(from).id(), endpoint(to).id(),
+               net::Envelope{net::MessageKind::kGeneric, net::kDefaultMessageBytes,
+                             std::move(deliver)});
 }
 
 void LocalMesh::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
-  partitioned_[static_cast<size_t>(a)][static_cast<size_t>(b)] = partitioned;
-  partitioned_[static_cast<size_t>(b)][static_cast<size_t>(a)] = partitioned;
+  fabric_.SetEndpointPartitioned(endpoint(a).id(), endpoint(b).id(), partitioned);
 }
 
 bool LocalMesh::IsPartitioned(NodeId a, NodeId b) const {
-  return partitioned_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+  return fabric_.IsEndpointPartitioned(endpoint(a).id(), endpoint(b).id());
 }
 
 void LocalMesh::Isolate(NodeId node, bool isolated) {

@@ -3,8 +3,11 @@
 // The replicated LVI server (§5.6) stores its locks in a 3-node etcd cluster
 // spread across availability zones of one datacenter. The mesh models those
 // AZ-to-AZ links: a uniform low RTT with jitter, plus per-link drop and
-// partition injection for the fault-tolerance tests. Kept separate from the
-// WAN Network (src/sim/network.h) because Raft nodes live inside one region.
+// partition injection for the fault-tolerance tests.
+//
+// LocalMesh is a thin configuration of net::Fabric (src/net/fabric.h): every
+// node gets an endpoint in one region, every link uses the same uniform
+// model, and fault injection / per-kind metrics come from the fabric.
 
 #ifndef RADICAL_SRC_RAFT_TRANSPORT_H_
 #define RADICAL_SRC_RAFT_TRANSPORT_H_
@@ -13,7 +16,8 @@
 #include <functional>
 #include <vector>
 
-#include "src/common/rng.h"
+#include "src/net/fabric.h"
+#include "src/sim/region.h"
 #include "src/sim/simulator.h"
 
 namespace radical {
@@ -28,6 +32,9 @@ struct LocalMeshOptions {
   SimDuration one_way_delay = Micros(900);
   double jitter_stddev_frac = 0.05;
   double drop_probability = 0.0;
+  // Region all nodes live in (the mesh is intra-datacenter, so its traffic
+  // never counts as WAN bytes).
+  Region region = Region::kVA;
 };
 
 class LocalMesh {
@@ -37,8 +44,19 @@ class LocalMesh {
   LocalMesh(const LocalMesh&) = delete;
   LocalMesh& operator=(const LocalMesh&) = delete;
 
-  // Delivers `deliver` at `to` after one jittered one-way delay, unless the
-  // link is partitioned or the message is dropped.
+  // The underlying fabric (drop rules, per-kind counters, spikes, ...).
+  net::Fabric& fabric() { return fabric_; }
+  const net::Fabric& fabric() const { return fabric_; }
+
+  // The endpoint of one Raft node; nodes send typed RPCs through these.
+  const net::Endpoint& endpoint(NodeId node) const {
+    return endpoints_[static_cast<size_t>(node)];
+  }
+
+  // DEPRECATED: untyped send. Prefer endpoint(from).Send(endpoint(to), kind,
+  // size, deliver) so the message shows up in per-kind metrics and can be
+  // targeted by drop rules.
+  [[deprecated("send through net::Endpoint with a typed MessageKind instead")]]
   void Send(NodeId from, NodeId to, std::function<void()> deliver);
 
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
@@ -46,22 +64,19 @@ class LocalMesh {
   // Isolates a node from all peers (or reconnects it).
   void Isolate(NodeId node, bool isolated);
 
-  void set_drop_probability(double p) { options_.drop_probability = p; }
+  void set_drop_probability(double p) { fabric_.set_drop_probability(p); }
 
-  Simulator* simulator() { return sim_; }
+  Simulator* simulator() { return fabric_.simulator(); }
   int node_count() const { return node_count_; }
   SimDuration one_way_delay() const { return options_.one_way_delay; }
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_sent() const { return fabric_.messages_sent(); }
+  uint64_t messages_dropped() const { return fabric_.messages_dropped(); }
 
  private:
-  Simulator* sim_;
   int node_count_;
   LocalMeshOptions options_;
-  Rng rng_;
-  std::vector<std::vector<bool>> partitioned_;
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
+  net::Fabric fabric_;
+  std::vector<net::Endpoint> endpoints_;
 };
 
 }  // namespace radical

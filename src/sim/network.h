@@ -1,121 +1,10 @@
-// Wide-area network model: per-region-pair round-trip latencies with
-// deterministic jitter, message-drop injection, and partitions.
-//
-// The latency matrix reproduces Table 2 of the paper (round-trip times from
-// each deployment location to the primary in Virginia: 7/74/70/93/146 ms)
-// plus plausible public-internet latencies for the remaining pairs, which
-// only the Figure 1 geo-replication baseline and the Raft cluster exercise.
+// Forwarding header: the network model moved to src/net (PR: unified
+// transport layer). Include src/net/network.h directly in new code; this
+// shim keeps old include paths compiling for one PR.
 
 #ifndef RADICAL_SRC_SIM_NETWORK_H_
 #define RADICAL_SRC_SIM_NETWORK_H_
 
-#include <array>
-#include <cstdint>
-#include <functional>
-
-#include "src/common/rng.h"
-#include "src/common/types.h"
-#include "src/sim/region.h"
-#include "src/sim/simulator.h"
-
-namespace radical {
-
-// Symmetric RTT matrix between regions.
-class LatencyMatrix {
- public:
-  // All pairs default to kDefaultRtt until set.
-  LatencyMatrix();
-
-  // The paper's measured latencies (Table 2) plus inter-replica links.
-  static LatencyMatrix PaperDefault();
-
-  // Sets the RTT for a pair (stored symmetrically).
-  void SetRtt(Region a, Region b, SimDuration rtt);
-
-  SimDuration Rtt(Region a, Region b) const;
-  SimDuration OneWay(Region a, Region b) const { return Rtt(a, b) / 2; }
-
- private:
-  static constexpr SimDuration kDefaultRtt = Millis(100);
-  std::array<std::array<SimDuration, kNumRegions>, kNumRegions> rtt_;
-};
-
-// The LVI server runs on its own EC2 instance next to the primary store
-// (§4); reaching it from the application adds one intra-datacenter hop on
-// top of the WAN path. Table 2's lat_nu<->ns values equal
-// Rtt(region, primary) + kServerHopRtt.
-constexpr SimDuration kServerHopRtt = Millis(5);
-
-// Round-trip latency of an LVI request from `region` to the server in
-// `server_region` (== Table 2's lat_nu<->ns for the paper's matrix).
-inline SimDuration LviLinkRtt(const LatencyMatrix& m, Region region, Region server_region) {
-  return m.Rtt(region, server_region) + kServerHopRtt;
-}
-
-// Per-message delivery over the simulator. One Network instance is shared by
-// the whole deployment.
-// Options for Network message delivery.
-struct NetworkOptions {
-    // Multiplicative gaussian jitter applied to each one-way delay
-    // (fractional standard deviation). Zero disables jitter.
-    double jitter_stddev_frac = 0.02;
-    // Absolute jitter floor/ceiling guard: a delay never shrinks below this
-    // fraction of its nominal value.
-    double min_delay_frac = 0.5;
-  // Probability that any given message is silently dropped.
-  double drop_probability = 0.0;
-};
-
-class Network {
- public:
-  Network(Simulator* sim, LatencyMatrix latency, NetworkOptions options = {});
-
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
-
-  // Delivers `deliver` at the destination after one one-way delay (plus
-  // jitter), unless the message is dropped or the link is partitioned.
-  // `size_bytes` feeds the per-link bandwidth counters used by the cost
-  // analysis. Returns the scheduled event id, or kInvalidEventId if dropped.
-  EventId Send(Region from, Region to, std::function<void()> deliver, size_t size_bytes = 128);
-
-  // Cuts (or heals) the link between two regions; messages in flight are
-  // unaffected, new sends in either direction are dropped.
-  void SetPartitioned(Region a, Region b, bool partitioned);
-  bool IsPartitioned(Region a, Region b) const;
-
-  // Installs a per-message filter; return false to drop. Pass nullptr to
-  // clear. Used by failure-injection tests (e.g. "drop the next write
-  // followup").
-  using Filter = std::function<bool(Region from, Region to)>;
-  void SetFilter(Filter filter) { filter_ = std::move(filter); }
-
-  void set_drop_probability(double p) { options_.drop_probability = p; }
-
-  const LatencyMatrix& latency() const { return latency_; }
-  Simulator* simulator() { return sim_; }
-
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
-  // Bytes sent on WAN links (from != to); the §5.7 cost model charges these.
-  uint64_t wan_bytes_sent() const { return wan_bytes_sent_; }
-
- private:
-  SimDuration JitteredOneWay(Region from, Region to);
-
-  Simulator* sim_;
-  LatencyMatrix latency_;
-  NetworkOptions options_;
-  Rng rng_;
-  Filter filter_;
-  std::array<std::array<bool, kNumRegions>, kNumRegions> partitioned_{};
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t bytes_sent_ = 0;
-  uint64_t wan_bytes_sent_ = 0;
-};
-
-}  // namespace radical
+#include "src/net/network.h"  // IWYU pragma: export
 
 #endif  // RADICAL_SRC_SIM_NETWORK_H_

@@ -155,11 +155,42 @@ TEST(WireCodecTest, FollowupRoundTrip) {
   EXPECT_EQ(decoded->writes[1].value, Value(static_cast<int64_t>(2)));
 }
 
+TEST(WireCodecTest, DirectRequestRoundTrip) {
+  DirectRequest request;
+  request.exec_id = 424242;
+  request.origin = Region::kDE;
+  request.function = "fallback_fn";
+  request.inputs = {Value("k"), Value(static_cast<int64_t>(17))};
+  const Result<DirectRequest> decoded = DecodeDirectRequest(EncodeDirectRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_EQ(decoded->exec_id, request.exec_id);
+  EXPECT_EQ(decoded->origin, Region::kDE);
+  EXPECT_EQ(decoded->function, "fallback_fn");
+  ASSERT_EQ(decoded->inputs.size(), 2u);
+  EXPECT_EQ(decoded->inputs[1], Value(static_cast<int64_t>(17)));
+}
+
+TEST(WireCodecTest, DirectResponseRoundTrip) {
+  DirectResponse response;
+  response.exec_id = 99;
+  response.result = Value(ValueList{Value("ok"), Value("r")});
+  response.fresh_items = {{"post:1", Value("body"), 12}};
+  const Result<DirectResponse> decoded = DecodeDirectResponse(EncodeDirectResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_EQ(decoded->exec_id, 99u);
+  EXPECT_EQ(decoded->result, response.result);
+  ASSERT_EQ(decoded->fresh_items.size(), 1u);
+  EXPECT_EQ(decoded->fresh_items[0].key, "post:1");
+  EXPECT_EQ(decoded->fresh_items[0].version, 12);
+}
+
 TEST(WireCodecTest, MessageTypeConfusionRejected) {
   const WireBuffer request_bytes = EncodeLviRequest(SampleRequest());
   EXPECT_FALSE(DecodeLviResponse(request_bytes).ok());
   EXPECT_FALSE(DecodeWriteFollowup(request_bytes).ok());
   EXPECT_FALSE(DecodeFunction(request_bytes).ok());
+  EXPECT_FALSE(DecodeDirectRequest(request_bytes).ok());
+  EXPECT_FALSE(DecodeDirectResponse(request_bytes).ok());
 }
 
 TEST(WireCodecTest, RequestTruncationAlwaysFails) {

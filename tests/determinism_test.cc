@@ -83,7 +83,9 @@ TEST(DeterminismTest, NetworkJitterIsSeedDeterministic) {
     std::ostringstream out;
     for (int i = 0; i < 50; ++i) {
       const SimTime sent = sim.Now();
-      net.Send(Region::kJP, Region::kVA, [&, sent] { out << (sim.Now() - sent) << ","; });
+      net.endpoint(Region::kJP).Send(net.endpoint(Region::kVA), net::MessageKind::kGeneric,
+                                     net::kDefaultMessageBytes,
+                                     [&, sent] { out << (sim.Now() - sent) << ","; });
       sim.Run();
     }
     return out.str();

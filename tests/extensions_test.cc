@@ -158,7 +158,10 @@ TEST_F(ExternalServiceTest, EndToEndPaymentChargedOnceDespiteLostFollowup) {
       Return(V("receipt")),
   }));
   radical.WarmCaches();
-  radical.runtime(Region::kCA).set_followup_filter([](const WriteFollowup&) { return false; });
+  net::DropRule lost_followup;
+  lost_followup.kind = net::MessageKind::kWriteFollowup;
+  lost_followup.from = radical.runtime(Region::kCA).endpoint().id();
+  net.fabric().AddDropRule(lost_followup);
   Value receipt;
   radical.Invoke(Region::kCA, "charge_and_record", {Value("ada"), Value("$12")},
                  [&](Value v) { receipt = std::move(v); });

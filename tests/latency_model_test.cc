@@ -99,8 +99,8 @@ TEST_P(RegionLatencyTest, LongFunctionLatencyIsRegionIndependentShortIsNot) {
 
 INSTANTIATE_TEST_SUITE_P(AllRegions, RegionLatencyTest,
                          ::testing::ValuesIn(DeploymentRegions()),
-                         [](const ::testing::TestParamInfo<Region>& info) {
-                           return RegionName(info.param);
+                         [](const ::testing::TestParamInfo<Region>& param_info) {
+                           return RegionName(param_info.param);
                          });
 
 }  // namespace

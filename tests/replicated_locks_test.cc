@@ -4,6 +4,7 @@
 
 #include "src/common/stats.h"
 #include "src/lvi/lock_service.h"
+#include "src/raft/transport.h"
 
 namespace radical {
 namespace {
@@ -88,6 +89,43 @@ TEST_F(ReplicatedLocksTest, ReadersShareThroughRaft) {
   service_.AcquireAll(2, {"k"}, {LockMode::kRead}, [&] { ++granted; });
   sim_.RunFor(Millis(200));
   EXPECT_EQ(granted, 2);
+}
+
+TEST_F(ReplicatedLocksTest, AcquireSucceedsDespiteLossyMesh) {
+  ASSERT_TRUE(bootstrapped_);
+  // 20% of all intra-DC messages are lost; Raft's retries (heartbeat-driven
+  // re-replication) must still commit the acquire.
+  service_.cluster().mesh().fabric().set_drop_probability(0.2);
+  bool granted = false;
+  service_.AcquireAll(1, {"a"}, {LockMode::kWrite}, [&] { granted = true; });
+  sim_.RunFor(Seconds(2));
+  EXPECT_TRUE(granted);
+  EXPECT_GT(service_.cluster().mesh().fabric().messages_dropped(), 0u);
+}
+
+TEST_F(ReplicatedLocksTest, DroppingLeaderAppendsForcesReElection) {
+  ASSERT_TRUE(bootstrapped_);
+  sim_.RunFor(Millis(100));  // Settle heartbeats.
+  const NodeId old_leader = service_.cluster().LeaderId();
+  ASSERT_GE(old_leader, 0);
+  // Mute only the leader's AppendEntries (votes still flow): followers stop
+  // hearing heartbeats and must elect someone else.
+  LocalMesh& mesh = service_.cluster().mesh();
+  net::DropRule mute_leader;
+  mute_leader.kind = net::MessageKind::kRaftAppend;
+  mute_leader.from = mesh.endpoint(old_leader).id();
+  const int rule = mesh.fabric().AddDropRule(mute_leader);
+  sim_.RunFor(Seconds(3));
+  EXPECT_GT(mesh.fabric().RuleDrops(rule), 0u);
+  EXPECT_GT(mesh.fabric().drops_of(net::MessageKind::kRaftAppend), 0u);
+  const NodeId new_leader = service_.cluster().LeaderId();
+  ASSERT_GE(new_leader, 0);
+  EXPECT_NE(new_leader, old_leader);
+  // The cluster still commits through the new leader.
+  bool granted = false;
+  service_.AcquireAll(2, {"k"}, {LockMode::kWrite}, [&] { granted = true; });
+  sim_.RunFor(Millis(500));
+  EXPECT_TRUE(granted);
 }
 
 TEST_F(ReplicatedLocksTest, SurvivesLeaderFailover) {

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Configure, build, and run the full test suite — the one command a clean
+# checkout (or CI) needs. Usage: tools/check.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build}"
+SOURCE_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
