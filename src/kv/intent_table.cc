@@ -7,8 +7,16 @@ bool IntentTable::Create(ExecutionId id) {
   (void)it;
   if (inserted) {
     ++created_;
+  } else {
+    ++duplicate_creates_;
   }
   return inserted;
+}
+
+void IntentTable::ForEach(const std::function<void(ExecutionId, IntentStatus)>& fn) const {
+  for (const auto& [id, status] : intents_) {
+    fn(id, status);
+  }
 }
 
 bool IntentTable::TryComplete(ExecutionId id) {

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -33,7 +34,9 @@ enum class IntentStatus {
 class IntentTable {
  public:
   // Creates a pending intent. Returns false if one already exists for this
-  // execution (a protocol error the server treats as a duplicate request).
+  // execution — a duplicate request: the retried LVI request of an execution
+  // whose response was lost. The caller must treat the existing intent as
+  // authoritative rather than re-creating it.
   bool Create(ExecutionId id);
 
   // Atomically transitions kPending -> kDone. Returns true iff this call won
@@ -49,14 +52,21 @@ class IntentTable {
   // handled). Returns false if absent or still pending.
   bool Remove(ExecutionId id);
 
+  // Visits every intent (recovery scans the table for completed-but-not-yet
+  //-removed intents whose cleanup died with the crashed server).
+  void ForEach(const std::function<void(ExecutionId, IntentStatus)>& fn) const;
+
   size_t size() const { return intents_.size(); }
   uint64_t created() const { return created_; }
   uint64_t completed_by_followup_or_replay() const { return completed_; }
+  // Create calls that found an existing intent (idempotent retry hits).
+  uint64_t duplicate_creates() const { return duplicate_creates_; }
 
  private:
   std::unordered_map<ExecutionId, IntentStatus> intents_;
   uint64_t created_ = 0;
   uint64_t completed_ = 0;
+  uint64_t duplicate_creates_ = 0;
 };
 
 // At-most-once guard for near-storage executions of a given user request.

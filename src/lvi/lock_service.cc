@@ -65,7 +65,29 @@ void ReplicatedLockService::AcquireAll(ExecutionId exec, std::vector<Key> keys,
     sim_->Schedule(0, std::move(granted));
     return;
   }
+  const auto pit = pending_.find(exec);
+  if (pit != pending_.end()) {
+    // Retried acquisition while the original is still working through Raft:
+    // keep its progress, steer the grant to the retry's continuation.
+    pit->second.granted = std::move(granted);
+    return;
+  }
   PendingAcquire acq{std::move(keys), std::move(modes), 0, {}, std::move(granted)};
+  // Grants this exec already received (a retry after a crash re-acquires
+  // locks it still holds in the replicated table) count immediately.
+  for (const Key& key : acq.keys) {
+    if (seen_grants_.count({exec, key}) > 0) {
+      acq.granted_keys.insert(key);
+    }
+  }
+  if (acq.granted_keys.size() == acq.keys.size()) {
+    sim_->Schedule(0, std::move(acq.granted));
+    return;
+  }
+  while (!batched_ && acq.next < acq.keys.size() &&
+         acq.granted_keys.count(acq.keys[acq.next]) > 0) {
+    ++acq.next;
+  }
   const auto [it, inserted] = pending_.emplace(exec, std::move(acq));
   (void)inserted;
   if (batched_) {

@@ -11,7 +11,15 @@ void LockTable::AcquireAll(ExecutionId exec, std::vector<Key> keys, std::vector<
                            std::function<void()> granted) {
   assert(keys.size() == modes.size());
   assert(std::is_sorted(keys.begin(), keys.end()));
-  assert(pending_.count(exec) == 0 && "one acquisition at a time per execution");
+  const auto pit = pending_.find(exec);
+  if (pit != pending_.end()) {
+    // A retried acquisition while the original is still queued: keep the
+    // original's progress (its position in every wait queue), just steer the
+    // grant to the retry's continuation.
+    ++reacquire_merges_;
+    pit->second.granted = std::move(granted);
+    return;
+  }
   ++acquisitions_;
   Acquisition acq{std::move(keys), std::move(modes), 0, std::move(granted)};
   pending_.emplace(exec, std::move(acq));

@@ -36,6 +36,12 @@ class LockTable {
   // Acquires a lock on every key (sorted lexicographically; asserted) with
   // the matching mode; `granted` fires once all are held. Keys are taken
   // strictly in order — the acquisition blocks on the first contended key.
+  //
+  // Idempotent per execution: keys `exec` already holds are counted as
+  // granted, and a second AcquireAll while the first is still queued merges
+  // into it (the new `granted` replaces the old one). Both cases arise when
+  // a client retries an LVI request whose original attempt died with a
+  // server crash — the locks survived on disk, the continuation did not.
   void AcquireAll(ExecutionId exec, std::vector<Key> keys, std::vector<LockMode> modes,
                   std::function<void()> granted);
 
@@ -53,6 +59,8 @@ class LockTable {
   // --- Stats ---------------------------------------------------------------
   uint64_t acquisitions() const { return acquisitions_; }
   uint64_t waits() const { return waits_; }  // Acquisitions that queued.
+  // AcquireAll calls that merged into an already-queued acquisition.
+  uint64_t reacquire_merges() const { return reacquire_merges_; }
 
  private:
   struct Waiter {
@@ -87,6 +95,7 @@ class LockTable {
   std::map<ExecutionId, Acquisition> pending_;
   uint64_t acquisitions_ = 0;
   uint64_t waits_ = 0;
+  uint64_t reacquire_merges_ = 0;
 };
 
 }  // namespace radical

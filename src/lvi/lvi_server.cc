@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/analysis/analyzer.h"
 #include "src/common/logging.h"
 
 namespace radical {
@@ -56,8 +57,11 @@ LviServer::LviServer(Simulator* sim, VersionedStore* store, const FunctionRegist
 
 void LviServer::Crash() {
   alive_ = false;
+  ++epoch_;
   // Timers are in-memory: they die with the process. Locks (disk) and
-  // intents + execution records (primary store) survive in executions_.
+  // intents + execution records (primary store) survive in executions_, as
+  // do the reply caches (they live with the idempotency keys in the primary
+  // store). The in-flight respond slots are connections: they reset.
   for (auto& [exec_id, state] : executions_) {
     (void)exec_id;
     if (state.intent_timer != kInvalidEventId) {
@@ -65,12 +69,33 @@ void LviServer::Crash() {
       state.intent_timer = kInvalidEventId;
     }
   }
+  inflight_lvi_.clear();
+  inflight_direct_.clear();
 }
 
 void LviServer::Recover() {
   assert(!alive_);
   alive_ = true;
+  ++epoch_;
+  // The capacity model's busy period belongs to the previous life.
+  busy_until_ = 0;
   counters_.Increment("recoveries");
+  // Completed intents whose cleanup event died with the crash still hold
+  // locks: release them and retire the intents (the writes themselves were
+  // applied before the intent turned kDone, so nothing is lost).
+  std::vector<ExecutionId> done;
+  intents_.ForEach([&done](ExecutionId id, IntentStatus status) {
+    if (status == IntentStatus::kDone) {
+      done.push_back(id);
+    }
+  });
+  std::sort(done.begin(), done.end());  // Deterministic order.
+  for (const ExecutionId id : done) {
+    locks_->ReleaseAll(id);
+    intents_.Remove(id);
+    executions_.erase(id);
+    counters_.Increment("recover_cleanup");
+  }
   // Re-arm a timer for every intent still pending: their followups may have
   // been lost while the server was down, and deterministic re-execution is
   // how such writes reach the primary (§3.4).
@@ -100,34 +125,131 @@ SimDuration LviServer::AdmissionDelay() {
   return queueing + service_time + options_.process_delay;
 }
 
+void LviServer::CacheLviReply(ExecutionId exec_id, LviResponse response) {
+  const auto it = lvi_replies_.find(exec_id);
+  if (it != lvi_replies_.end()) {
+    it->second = std::move(response);
+    return;
+  }
+  lvi_replies_.emplace(exec_id, std::move(response));
+  lvi_reply_order_.push_back(exec_id);
+  if (lvi_reply_order_.size() > options_.reply_cache_capacity) {
+    lvi_replies_.erase(lvi_reply_order_.front());
+    lvi_reply_order_.pop_front();
+    counters_.Increment("reply_cache_evicted");
+  }
+}
+
+void LviServer::CacheDirectReply(ExecutionId exec_id, DirectResponse response) {
+  const auto it = direct_replies_.find(exec_id);
+  if (it != direct_replies_.end()) {
+    it->second = std::move(response);
+    return;
+  }
+  direct_replies_.emplace(exec_id, std::move(response));
+  direct_reply_order_.push_back(exec_id);
+  if (direct_reply_order_.size() > options_.reply_cache_capacity) {
+    direct_replies_.erase(direct_reply_order_.front());
+    direct_reply_order_.pop_front();
+    counters_.Increment("reply_cache_evicted");
+  }
+}
+
+void LviServer::RespondLvi(ExecutionId exec_id, LviResponse response) {
+  RespondFn respond;
+  const auto it = inflight_lvi_.find(exec_id);
+  if (it != inflight_lvi_.end()) {
+    respond = std::move(it->second);
+    inflight_lvi_.erase(it);
+  }
+  CacheLviReply(exec_id, response);
+  if (respond) {
+    respond(std::move(response));
+  }
+}
+
+void LviServer::RespondDirect(ExecutionId exec_id, DirectResponse response) {
+  DirectRespondFn respond;
+  const auto it = inflight_direct_.find(exec_id);
+  if (it != inflight_direct_.end()) {
+    respond = std::move(it->second);
+    inflight_direct_.erase(it);
+  }
+  CacheDirectReply(exec_id, response);
+  if (respond) {
+    respond(std::move(response));
+  }
+}
+
 void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
   if (!alive_) {
     counters_.Increment("dropped_while_down");
     return;
   }
+  const ExecutionId exec_id = request.exec_id;
+  // Duplicate of a request whose pipeline is still running (the response, or
+  // the original request's slow leg, is in flight): park the fresh respond
+  // callback; exactly one reply fires when the pipeline completes.
+  const auto inf = inflight_lvi_.find(exec_id);
+  if (inf != inflight_lvi_.end()) {
+    counters_.Increment("duplicate_in_flight");
+    inf->second = std::move(respond);
+    return;
+  }
+  // Duplicate of a request already answered (the response was lost): replay
+  // the cached reply. If no intent record exists, any locks the execution
+  // still holds belong to a pipeline that died in a crash — reclaim them.
+  const auto hit = lvi_replies_.find(exec_id);
+  if (hit != lvi_replies_.end()) {
+    counters_.Increment("duplicate_replayed");
+    if (!intents_.Exists(exec_id)) {
+      locks_->ReleaseAll(exec_id);
+    }
+    const uint64_t epoch = epoch_;
+    sim_->Schedule(AdmissionDelay(),
+                   [this, epoch, respond = std::move(respond), response = hit->second]() mutable {
+                     if (!StillAlive(epoch)) {
+                       counters_.Increment("stale_epoch_dropped");
+                       return;
+                     }
+                     respond(std::move(response));
+                   });
+    return;
+  }
   counters_.Increment("lvi_requests");
-  sim_->Schedule(AdmissionDelay(),
-                 [this, request = std::move(request), respond = std::move(respond)]() mutable {
-                   // (4) Acquire a read or write lock per item, in the
-                   // request's (lexicographic) key order.
-                   std::vector<Key> keys;
-                   std::vector<LockMode> modes;
-                   keys.reserve(request.items.size());
-                   modes.reserve(request.items.size());
-                   for (const LviItem& item : request.items) {
-                     keys.push_back(item.key);
-                     modes.push_back(item.mode);
-                   }
-                   const ExecutionId exec_id = request.exec_id;
-                   locks_->AcquireAll(exec_id, std::move(keys), std::move(modes),
-                                      [this, request = std::move(request),
-                                       respond = std::move(respond)]() mutable {
-                                        Validate(std::move(request), std::move(respond));
-                                      });
-                 });
+  inflight_lvi_[exec_id] = std::move(respond);
+  const uint64_t epoch = epoch_;
+  sim_->Schedule(AdmissionDelay(), [this, epoch, request = std::move(request)]() mutable {
+    if (!StillAlive(epoch)) {
+      counters_.Increment("stale_epoch_dropped");
+      return;
+    }
+    // (4) Acquire a read or write lock per item, in the request's
+    // (lexicographic) key order. A retried execution that already holds some
+    // or all of its locks (they survive crashes on disk, §4) is granted the
+    // held ones immediately; a duplicate acquisition still queued merges
+    // into the original.
+    std::vector<Key> keys;
+    std::vector<LockMode> modes;
+    keys.reserve(request.items.size());
+    modes.reserve(request.items.size());
+    for (const LviItem& item : request.items) {
+      keys.push_back(item.key);
+      modes.push_back(item.mode);
+    }
+    const ExecutionId id = request.exec_id;
+    locks_->AcquireAll(id, std::move(keys), std::move(modes),
+                       [this, epoch, request = std::move(request)]() mutable {
+                         if (!StillAlive(epoch)) {
+                           counters_.Increment("stale_epoch_dropped");
+                           return;
+                         }
+                         Validate(std::move(request));
+                       });
+  });
 }
 
-void LviServer::Validate(LviRequest request, RespondFn respond) {
+void LviServer::Validate(LviRequest request) {
   // (5) One batched read of the primary's versions for every item.
   std::vector<Key> keys;
   keys.reserve(request.items.size());
@@ -142,19 +264,23 @@ void LviServer::Validate(LviRequest request, RespondFn respond) {
       stale.push_back(i);
     }
   }
-  sim_->Schedule(read_latency, [this, request = std::move(request), respond = std::move(respond),
+  const uint64_t epoch = epoch_;
+  sim_->Schedule(read_latency, [this, epoch, request = std::move(request),
                                 primary_versions = std::move(primary_versions),
                                 stale = std::move(stale)]() mutable {
+    if (!StillAlive(epoch)) {
+      counters_.Increment("stale_epoch_dropped");
+      return;
+    }
     if (stale.empty()) {
-      OnValidationSuccess(std::move(request), std::move(respond), std::move(primary_versions));
+      OnValidationSuccess(std::move(request), std::move(primary_versions));
     } else {
-      OnValidationFailure(std::move(request), std::move(respond), stale);
+      OnValidationFailure(std::move(request), stale);
     }
   });
 }
 
-void LviServer::OnValidationSuccess(LviRequest request, RespondFn respond,
-                                    std::vector<Version> primary_versions) {
+void LviServer::OnValidationSuccess(LviRequest request, std::vector<Version> primary_versions) {
   counters_.Increment("validate_success");
   const ExecutionId exec_id = request.exec_id;
   std::vector<Key> write_keys;
@@ -172,7 +298,7 @@ void LviServer::OnValidationSuccess(LviRequest request, RespondFn respond,
     LviResponse response;
     response.exec_id = exec_id;
     response.validated = true;
-    respond(std::move(response));
+    RespondLvi(exec_id, std::move(response));
     return;
   }
   // (6a) Commit a write intent (one primary-store write; plus the
@@ -182,14 +308,26 @@ void LviServer::OnValidationSuccess(LviRequest request, RespondFn respond,
   if (replicated_) {
     intent_latency += options_.idempotency_write;
   }
-  sim_->Schedule(intent_latency, [this, request = std::move(request),
-                                  respond = std::move(respond),
+  const uint64_t epoch = epoch_;
+  sim_->Schedule(intent_latency, [this, epoch, request = std::move(request),
                                   write_keys = std::move(write_keys),
                                   validated_versions = std::move(validated_versions)]() mutable {
+    if (!StillAlive(epoch)) {
+      counters_.Increment("stale_epoch_dropped");
+      return;
+    }
     const ExecutionId exec_id2 = request.exec_id;
-    const bool created = intents_.Create(exec_id2);
-    assert(created && "duplicate execution id");
-    (void)created;
+    if (!intents_.Create(exec_id2)) {
+      // A retried request of an execution whose intent already exists (its
+      // cached reply was evicted): the existing intent — with its timer and
+      // execution record — is authoritative; just re-answer.
+      counters_.Increment("retry_intent_hit");
+      LviResponse response;
+      response.exec_id = exec_id2;
+      response.validated = true;
+      RespondLvi(exec_id2, std::move(response));
+      return;
+    }
     ExecState state;
     state.request = std::move(request);
     state.write_keys = std::move(write_keys);
@@ -200,12 +338,11 @@ void LviServer::OnValidationSuccess(LviRequest request, RespondFn respond,
     LviResponse response;
     response.exec_id = exec_id2;
     response.validated = true;
-    respond(std::move(response));
+    RespondLvi(exec_id2, std::move(response));
   });
 }
 
-void LviServer::OnValidationFailure(LviRequest request, RespondFn respond,
-                                    const std::vector<size_t>& stale_indices) {
+void LviServer::OnValidationFailure(LviRequest request, const std::vector<size_t>& stale_indices) {
   counters_.Increment("validate_fail");
   // (6b) Run the backup copy of the function against the primary, under the
   // locks already held.
@@ -215,9 +352,13 @@ void LviServer::OnValidationFailure(LviRequest request, RespondFn respond,
   for (const size_t i : stale_indices) {
     stale_keys.push_back(request.items[i].key);
   }
-  sim_->Schedule(options_.backup_invoke_overhead, [this, request = std::move(request),
-                                                   respond = std::move(respond), fn,
+  const uint64_t epoch = epoch_;
+  sim_->Schedule(options_.backup_invoke_overhead, [this, epoch, request = std::move(request), fn,
                                                    stale_keys = std::move(stale_keys)]() mutable {
+    if (!StillAlive(epoch)) {
+      counters_.Increment("stale_epoch_dropped");
+      return;
+    }
     const ExecEnv env{request.exec_id, externals_};
     const ExecResult exec = interpreter_->Execute(fn->original, request.inputs, store_,
                                                   options_.exec_limits, &env);
@@ -238,32 +379,56 @@ void LviServer::OnValidationFailure(LviRequest request, RespondFn respond,
       }
     }
     const ExecutionId exec_id = request.exec_id;
+    // The backup execution's writes are applied (and its reply recorded with
+    // the idempotency key): a retried request from here on replays the reply
+    // instead of re-executing, even if this server life ends before the
+    // response leaves.
+    CacheLviReply(exec_id, response);
     // (7b) The execution (and its elapsed virtual time) finishes, locks
     // release, and the response heads back with the repairs.
-    sim_->Schedule(exec.elapsed, [this, exec_id, respond = std::move(respond),
+    sim_->Schedule(exec.elapsed, [this, epoch, exec_id,
                                   response = std::move(response)]() mutable {
+      if (!StillAlive(epoch)) {
+        counters_.Increment("stale_epoch_dropped");
+        return;
+      }
       locks_->ReleaseAll(exec_id);
-      respond(std::move(response));
+      RespondLvi(exec_id, std::move(response));
     });
   });
 }
 
-void LviServer::HandleFollowup(WriteFollowup followup, std::function<void()> ack) {
+void LviServer::HandleFollowup(WriteFollowup followup, AckFn ack) {
   if (!alive_) {
+    // The followup went nowhere: nack deterministically so a two-RTT sender
+    // retransmits instead of hanging (the one-RTT sender passes no ack; the
+    // intent timer covers it).
     counters_.Increment("dropped_while_down");
+    counters_.Increment("followup_nack_down");
+    if (ack) {
+      sim_->Schedule(0, [ack = std::move(ack)] { ack(false); });
+    }
     return;
   }
   counters_.Increment("followups_received");
-  sim_->Schedule(AdmissionDelay(), [this, followup = std::move(followup),
-                                          ack = std::move(ack)]() mutable {
+  const uint64_t epoch = epoch_;
+  sim_->Schedule(AdmissionDelay(), [this, epoch, followup = std::move(followup),
+                                    ack = std::move(ack)]() mutable {
+    if (!StillAlive(epoch)) {
+      counters_.Increment("stale_epoch_dropped");
+      if (ack) {
+        ack(false);  // Connection reset mid-processing: tell the sender.
+      }
+      return;
+    }
     const ExecutionId exec_id = followup.exec_id;
     if (!intents_.TryComplete(exec_id)) {
       // The intent was already handled (re-execution beat us, or this is a
       // duplicate): discard (§3.6, "validation succeeds but the followup is
-      // late").
+      // late"). The writes are durable either way: ack success.
       counters_.Increment("followup_late");
       if (ack) {
-        ack();
+        ack(true);
       }
       return;
     }
@@ -280,7 +445,7 @@ void LviServer::HandleFollowup(WriteFollowup followup, std::function<void()> ack
 }
 
 void LviServer::ApplyAndFinish(ExecState state, const std::vector<BufferedWrite>& writes,
-                               std::function<void()> ack) {
+                               AckFn ack) {
   // (9) Apply the updates under the versions pinned at validation; the write
   // locks guarantee nothing moved underneath.
   SimDuration apply_latency = 0;
@@ -293,12 +458,23 @@ void LviServer::ApplyAndFinish(ExecState state, const std::vector<BufferedWrite>
                                 &apply_latency);
   }
   const ExecutionId exec_id = state.request.exec_id;
-  sim_->Schedule(apply_latency, [this, exec_id, ack = std::move(ack)] {
+  const uint64_t epoch = epoch_;
+  sim_->Schedule(apply_latency, [this, epoch, exec_id, ack = std::move(ack)] {
+    if (!StillAlive(epoch)) {
+      // The writes above are already durable (the intent is kDone; recovery
+      // releases the locks). Nack so a two-RTT sender retransmits and learns
+      // of the success from the late-followup path.
+      counters_.Increment("stale_epoch_dropped");
+      if (ack) {
+        ack(false);
+      }
+      return;
+    }
     // (10) Release the locks and retire the intent.
     locks_->ReleaseAll(exec_id);
     intents_.Remove(exec_id);
     if (ack) {
-      ack();
+      ack(true);
     }
   });
 }
@@ -307,6 +483,10 @@ void LviServer::FireIntentTimer(ExecutionId exec_id) {
   if (!alive_) {
     return;  // Fired while down (cancelled timers never fire; guard anyway).
   }
+  ResolveIntentByReExecution(exec_id, {});
+}
+
+void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn respond) {
   if (!intents_.TryComplete(exec_id)) {
     return;  // The followup won the race.
   }
@@ -314,10 +494,14 @@ void LviServer::FireIntentTimer(ExecutionId exec_id) {
   assert(it != executions_.end());
   ExecState state = std::move(it->second);
   executions_.erase(it);
+  if (state.intent_timer != kInvalidEventId) {
+    sim_->Cancel(state.intent_timer);  // Resolved by the direct path, not the timer.
+  }
   counters_.Increment("reexecute");
   if (replicated_ && !idempotency_.RecordOnce(exec_id)) {
     // At-most-once near storage: a previous near-storage run already
-    // happened for this request; just clean up.
+    // happened for this request; just clean up (its reply, if any, lives in
+    // the reply caches).
     locks_->ReleaseAll(exec_id);
     intents_.Remove(exec_id);
     return;
@@ -333,10 +517,39 @@ void LviServer::FireIntentTimer(ExecutionId exec_id) {
   const ExecResult exec = interpreter_->Execute(fn->original, state.request.inputs, store_,
                                                 options_.exec_limits, &env);
   assert(exec.ok() && "deterministic re-execution failed");
-  sim_->Schedule(options_.backup_invoke_overhead + exec.elapsed, [this, exec_id] {
-    locks_->ReleaseAll(exec_id);
-    intents_.Remove(exec_id);
-  });
+  // Record the result as a direct reply: a client that gave up on the LVI
+  // path and degraded to InvokeDirect replays this run instead of executing
+  // a second time.
+  DirectResponse dresp;
+  dresp.exec_id = exec_id;
+  dresp.result = exec.return_value;
+  std::vector<Key> written = exec.writes;
+  std::sort(written.begin(), written.end());
+  written.erase(std::unique(written.begin(), written.end()), written.end());
+  for (const Key& key : written) {
+    const std::optional<Item> item = store_->Peek(key);
+    if (item.has_value()) {
+      dresp.fresh_items.push_back(FreshItem{key, item->value, item->version});
+    }
+  }
+  CacheDirectReply(exec_id, dresp);
+  const bool answer_direct = static_cast<bool>(respond);
+  if (answer_direct) {
+    inflight_direct_[exec_id] = std::move(respond);
+  }
+  const uint64_t epoch = epoch_;
+  sim_->Schedule(options_.backup_invoke_overhead + exec.elapsed,
+                 [this, epoch, exec_id, answer_direct, dresp = std::move(dresp)]() mutable {
+                   if (!StillAlive(epoch)) {
+                     counters_.Increment("stale_epoch_dropped");
+                     return;  // Recovery's cleanup pass retires the intent.
+                   }
+                   locks_->ReleaseAll(exec_id);
+                   intents_.Remove(exec_id);
+                   if (answer_direct) {
+                     RespondDirect(exec_id, std::move(dresp));
+                   }
+                 });
 }
 
 void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
@@ -344,33 +557,181 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
     counters_.Increment("dropped_while_down");
     return;
   }
+  const ExecutionId exec_id = request.exec_id;
+  const auto inf = inflight_direct_.find(exec_id);
+  if (inf != inflight_direct_.end()) {
+    counters_.Increment("duplicate_in_flight");
+    inf->second = std::move(respond);
+    return;
+  }
+  const auto hit = direct_replies_.find(exec_id);
+  if (hit != direct_replies_.end()) {
+    counters_.Increment("duplicate_replayed");
+    const uint64_t epoch = epoch_;
+    sim_->Schedule(options_.process_delay,
+                   [this, epoch, respond = std::move(respond), response = hit->second]() mutable {
+                     if (!StillAlive(epoch)) {
+                       counters_.Increment("stale_epoch_dropped");
+                       return;
+                     }
+                     respond(std::move(response));
+                   });
+    return;
+  }
+  // Degraded-mode fallback of an execution whose LVI attempt got as far as a
+  // write intent: the intent is authoritative. Resolve it by deterministic
+  // re-execution now — never run the function a second time next to it.
+  if (intents_.IsPending(exec_id)) {
+    counters_.Increment("direct_resolved_intent");
+    const uint64_t epoch = epoch_;
+    inflight_direct_[exec_id] = std::move(respond);
+    sim_->Schedule(options_.process_delay, [this, epoch, exec_id] {
+      if (!StillAlive(epoch)) {
+        counters_.Increment("stale_epoch_dropped");
+        return;
+      }
+      if (intents_.IsPending(exec_id)) {
+        DirectRespondFn parked;
+        const auto slot = inflight_direct_.find(exec_id);
+        if (slot != inflight_direct_.end()) {
+          parked = std::move(slot->second);
+          inflight_direct_.erase(slot);
+        }
+        ResolveIntentByReExecution(exec_id, std::move(parked));
+        return;
+      }
+      // The intent timer resolved it between admission and now: its reply is
+      // in the direct cache.
+      const auto done = direct_replies_.find(exec_id);
+      if (done != direct_replies_.end()) {
+        RespondDirect(exec_id, done->second);
+        return;
+      }
+      // Unreachable in practice (the cache outlives the race window); drop
+      // the slot so a retry takes the fresh path.
+      counters_.Increment("direct_intent_race_dropped");
+      inflight_direct_.erase(exec_id);
+    });
+    return;
+  }
+  // Fallback of an execution whose LVI attempt is still in flight (the
+  // client timed out, the server did not): let the pipeline finish, then
+  // look again — by then the exec has a cached reply or a pending intent.
+  if (inflight_lvi_.count(exec_id) > 0) {
+    counters_.Increment("direct_deferred_inflight");
+    const uint64_t epoch = epoch_;
+    sim_->Schedule(options_.process_delay * 4,
+                   [this, epoch, request = std::move(request),
+                    respond = std::move(respond)]() mutable {
+                     if (!StillAlive(epoch)) {
+                       counters_.Increment("stale_epoch_dropped");
+                       return;
+                     }
+                     HandleDirect(std::move(request), std::move(respond));
+                   });
+    return;
+  }
+  // Fallback of an execution whose LVI attempt failed validation: the backup
+  // execution already ran; adapt its cached reply instead of re-executing.
+  const auto lvi_hit = lvi_replies_.find(exec_id);
+  if (lvi_hit != lvi_replies_.end() && !lvi_hit->second.validated) {
+    counters_.Increment("direct_from_lvi_cache");
+    DirectResponse response;
+    response.exec_id = exec_id;
+    response.result = lvi_hit->second.backup_result;
+    response.fresh_items = lvi_hit->second.fresh_items;
+    const uint64_t epoch = epoch_;
+    sim_->Schedule(options_.process_delay,
+                   [this, epoch, respond = std::move(respond),
+                    response = std::move(response)]() mutable {
+                     if (!StillAlive(epoch)) {
+                       counters_.Increment("stale_epoch_dropped");
+                       return;
+                     }
+                     respond(std::move(response));
+                   });
+    return;
+  }
   counters_.Increment("direct_requests");
   const AnalyzedFunction* fn = registry_->Find(request.function);
   assert(fn != nullptr && "function not registered at the near-storage location");
+  inflight_direct_[exec_id] = std::move(respond);
+  const uint64_t epoch = epoch_;
   sim_->Schedule(
       options_.process_delay + options_.backup_invoke_overhead,
-      [this, request = std::move(request), respond = std::move(respond), fn]() mutable {
-        const ExecEnv env{request.exec_id, externals_};
-        const ExecResult exec = interpreter_->Execute(fn->original, request.inputs, store_,
-                                                      options_.exec_limits, &env);
-        assert(exec.ok() && "direct execution failed");
-        DirectResponse response;
-        response.exec_id = request.exec_id;
-        response.result = exec.return_value;
-        std::vector<Key> written = exec.writes;
-        std::sort(written.begin(), written.end());
-        written.erase(std::unique(written.begin(), written.end()), written.end());
-        for (const Key& key : written) {
-          const std::optional<Item> item = store_->Peek(key);
-          if (item.has_value()) {
-            response.fresh_items.push_back(FreshItem{key, item->value, item->version});
-          }
+      [this, epoch, request = std::move(request), fn]() mutable {
+        if (!StillAlive(epoch)) {
+          counters_.Increment("stale_epoch_dropped");
+          return;
         }
-        sim_->Schedule(exec.elapsed, [respond = std::move(respond),
-                                      response = std::move(response)]() mutable {
-          respond(std::move(response));
-        });
+        // Analyzable functions predict their read/write set against the
+        // primary and take the locks first, so a direct execution serializes
+        // against other executions' pending write intents instead of writing
+        // underneath them. The locks are held only for the execution's
+        // synchronous apply (no extra virtual time; the prediction cost is
+        // folded into process_delay). Unanalyzable functions keep the
+        // historical lock-free path — they never coexist with an intent of
+        // their own, and the baseline deployment has no intents at all.
+        if (fn->analyzable) {
+          RwPrediction prediction = PredictRwSet(*fn, request.inputs, store_, *interpreter_);
+          if (prediction.ok()) {
+            std::vector<Key> keys = prediction.rw.AllKeysSorted();
+            std::vector<LockMode> modes;
+            modes.reserve(keys.size());
+            for (const Key& key : keys) {
+              modes.push_back(prediction.rw.ModeFor(key));
+            }
+            const ExecutionId id = request.exec_id;
+            locks_->AcquireAll(id, std::move(keys), std::move(modes),
+                               [this, epoch, request = std::move(request), fn]() mutable {
+                                 if (!StillAlive(epoch)) {
+                                   counters_.Increment("stale_epoch_dropped");
+                                   return;
+                                 }
+                                 ExecuteDirect(std::move(request), fn, /*release_locks=*/true);
+                               });
+            return;
+          }
+          counters_.Increment("direct_predict_failed");
+        }
+        ExecuteDirect(std::move(request), fn, /*release_locks=*/false);
       });
+}
+
+void LviServer::ExecuteDirect(DirectRequest request, const AnalyzedFunction* fn,
+                              bool release_locks) {
+  const ExecutionId exec_id = request.exec_id;
+  const ExecEnv env{exec_id, externals_};
+  const ExecResult exec = interpreter_->Execute(fn->original, request.inputs, store_,
+                                                options_.exec_limits, &env);
+  assert(exec.ok() && "direct execution failed");
+  if (release_locks) {
+    locks_->ReleaseAll(exec_id);
+  }
+  DirectResponse response;
+  response.exec_id = exec_id;
+  response.result = exec.return_value;
+  std::vector<Key> written = exec.writes;
+  std::sort(written.begin(), written.end());
+  written.erase(std::unique(written.begin(), written.end()), written.end());
+  for (const Key& key : written) {
+    const std::optional<Item> item = store_->Peek(key);
+    if (item.has_value()) {
+      response.fresh_items.push_back(FreshItem{key, item->value, item->version});
+    }
+  }
+  // The writes (and the reply, with its idempotency key) are durable from
+  // here: a retry replays instead of re-executing.
+  CacheDirectReply(exec_id, response);
+  const uint64_t epoch = epoch_;
+  sim_->Schedule(exec.elapsed, [this, epoch, exec_id,
+                                response = std::move(response)]() mutable {
+    if (!StillAlive(epoch)) {
+      counters_.Increment("stale_epoch_dropped");
+      return;
+    }
+    RespondDirect(exec_id, std::move(response));
+  });
 }
 
 }  // namespace radical

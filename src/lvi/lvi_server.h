@@ -16,6 +16,7 @@
 #ifndef RADICAL_SRC_LVI_LVI_SERVER_H_
 #define RADICAL_SRC_LVI_LVI_SERVER_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -49,6 +50,10 @@ struct LviServerOptions {
   // (§5.3): with a finite capacity, arrivals queue M/D/1-style and response
   // times blow up near saturation (bench/throughput_server).
   uint64_t serving_capacity_rps = 0;
+  // Bound on the per-kind reply caches that make retried requests
+  // idempotent; oldest entries are evicted FIFO. Modeled as durable (they
+  // live with the idempotency keys in the primary store, §3.4/§5.6).
+  size_t reply_cache_capacity = 1 << 16;
   ExecLimits exec_limits;
 };
 
@@ -56,6 +61,12 @@ class LviServer {
  public:
   using RespondFn = std::function<void(LviResponse)>;
   using DirectRespondFn = std::function<void(DirectResponse)>;
+  // Followup acknowledgement (two-RTT ablation): `applied` is true when the
+  // followup's writes are durable at the primary (directly, or already via
+  // re-execution when the followup lost the intent race), false when the
+  // server was down and the followup went nowhere — the deterministic
+  // failure signal that lets the sender retransmit instead of hanging.
+  using AckFn = std::function<void(bool applied)>;
 
   // All pointers must outlive the server. `locks` is either a
   // LocalLockService (singleton server, §4) or a ReplicatedLockService
@@ -72,14 +83,19 @@ class LviServer {
   LviServer& operator=(const LviServer&) = delete;
 
   // Handles one LVI request; `respond` fires (as a simulator event) when the
-  // response is ready to be sent back.
+  // response is ready to be sent back. Idempotent per exec_id: a retried
+  // request replays the cached response, re-attaches to the in-flight
+  // pipeline, or (after a crash) restarts admission against the surviving
+  // durable state — it never double-locks or double-executes.
   void HandleLviRequest(LviRequest request, RespondFn respond);
 
   // Handles a write followup. Normally no response is sent (the client was
   // already answered before the followup left the near-user location); the
   // optional `ack` exists for the two-round-trip ablation, firing once the
-  // writes are applied (or the followup is discarded as late).
-  void HandleFollowup(WriteFollowup followup, std::function<void()> ack = {});
+  // writes are applied (or the followup is discarded as late: ack(true),
+  // the intent already made the writes durable). A followup arriving while
+  // the server is down acks false so the sender can retransmit.
+  void HandleFollowup(WriteFollowup followup, AckFn ack = {});
 
   // Executes a function directly in the near-storage location: the fallback
   // for unanalyzable functions, and the primary-datacenter baseline's path.
@@ -100,6 +116,11 @@ class LviServer {
   void Recover();
 
   bool alive() const { return alive_; }
+  // Crash epoch: bumped by both Crash() and Recover(). Continuations
+  // scheduled before a crash capture the epoch they were born in and drop
+  // themselves (stale_epoch_dropped) when they fire into a later one, so no
+  // in-flight pipeline step mutates post-crash state.
+  uint64_t epoch() const { return epoch_; }
 
   // --- Statistics -----------------------------------------------------------
   const Counters& counters() const { return counters_; }
@@ -121,16 +142,36 @@ class LviServer {
     EventId intent_timer = kInvalidEventId;
   };
 
-  void Validate(LviRequest request, RespondFn respond);
-  void OnValidationSuccess(LviRequest request, RespondFn respond,
-                           std::vector<Version> primary_versions);
-  void OnValidationFailure(LviRequest request, RespondFn respond,
-                           const std::vector<size_t>& stale_indices);
+  // True when the server is up and still in the epoch a continuation was
+  // scheduled in; continuations from before a crash (or from the previous
+  // life, after a recover) bail out through this check.
+  bool StillAlive(uint64_t epoch) const { return alive_ && epoch == epoch_; }
+
+  void Validate(LviRequest request);
+  void OnValidationSuccess(LviRequest request, std::vector<Version> primary_versions);
+  void OnValidationFailure(LviRequest request, const std::vector<size_t>& stale_indices);
   void FireIntentTimer(ExecutionId exec_id);
+  // Shared by the intent timer and the direct path: deterministically
+  // re-executes a pending intent from its stored request, applies the writes,
+  // caches a DirectResponse for future duplicate requests, and cleans up.
+  // `respond` (optional) additionally answers a direct request with the
+  // result once the re-execution's simulated latency has elapsed.
+  void ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn respond);
   // Applies `writes` under the validated versions in `state` and finishes
   // the execution (release locks, complete + remove intent).
-  void ApplyAndFinish(ExecState state, const std::vector<BufferedWrite>& writes,
-                      std::function<void()> ack);
+  void ApplyAndFinish(ExecState state, const std::vector<BufferedWrite>& writes, AckFn ack);
+  // Runs a direct request's function against the primary (synchronously),
+  // caches the reply, and responds after the execution's elapsed time.
+  // `release_locks` is set on the lock-protected path for analyzable
+  // functions.
+  void ExecuteDirect(DirectRequest request, const AnalyzedFunction* fn, bool release_locks);
+
+  // Completion funnel: caches the reply (idempotency) and answers the
+  // freshest in-flight respond slot for the exec, if any.
+  void RespondLvi(ExecutionId exec_id, LviResponse response);
+  void RespondDirect(ExecutionId exec_id, DirectResponse response);
+  void CacheLviReply(ExecutionId exec_id, LviResponse response);
+  void CacheDirectReply(ExecutionId exec_id, DirectResponse response);
 
   Simulator* sim_;
   VersionedStore* store_;
@@ -141,9 +182,21 @@ class LviServer {
   bool replicated_;
   ExternalServiceRegistry* externals_;
   bool alive_ = true;
+  uint64_t epoch_ = 0;
   IntentTable intents_;
   IdempotencyTable idempotency_;
   std::unordered_map<ExecutionId, ExecState> executions_;
+  // In-flight respond slots: a retried request lands here while the original
+  // attempt's pipeline is still running, so exactly one reply fires (through
+  // the freshest callback) when it completes. Volatile — cleared on Crash().
+  std::unordered_map<ExecutionId, RespondFn> inflight_lvi_;
+  std::unordered_map<ExecutionId, DirectRespondFn> inflight_direct_;
+  // Durable reply caches (bounded, FIFO eviction): modeled as stored next to
+  // the idempotency keys in the primary store, so they survive Crash().
+  std::unordered_map<ExecutionId, LviResponse> lvi_replies_;
+  std::deque<ExecutionId> lvi_reply_order_;
+  std::unordered_map<ExecutionId, DirectResponse> direct_replies_;
+  std::deque<ExecutionId> direct_reply_order_;
   Counters counters_;
   // Capacity model: the instant the server frees up (>= now when busy).
   SimTime busy_until_ = 0;

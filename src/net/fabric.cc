@@ -10,6 +10,10 @@ EventId Endpoint::Send(const Endpoint& to, MessageKind kind, size_t size_bytes,
   return fabric_->Send(id_, to.id_, Envelope{kind, size_bytes, std::move(deliver)});
 }
 
+bool Endpoint::CanReach(const Endpoint& to) const {
+  return fabric_ != nullptr && to.fabric_ == fabric_ && !fabric_->Unreachable(id_, to.id_);
+}
+
 Region Endpoint::region() const { return fabric_->info(id_).region; }
 
 const std::string& Endpoint::name() const { return fabric_->info(id_).name; }
@@ -133,6 +137,18 @@ void Fabric::SetEndpointPartitioned(EndpointId a, EndpointId b, bool partitioned
   } else {
     endpoint_partitioned_.erase(SymKey(a, b));
   }
+}
+
+bool Fabric::Unreachable(EndpointId from, EndpointId to) const {
+  const Region fr = endpoints_[from].region;
+  const Region tr = endpoints_[to].region;
+  if (region_partitioned_[static_cast<int>(fr)][static_cast<int>(tr)]) {
+    return true;
+  }
+  if (isolated_.count(from) > 0 || isolated_.count(to) > 0) {
+    return true;
+  }
+  return endpoint_partitioned_.count(SymKey(from, to)) > 0;
 }
 
 void Fabric::Isolate(EndpointId id, bool isolated) {

@@ -67,6 +67,12 @@ class Endpoint {
   EventId Send(const Endpoint& to, MessageKind kind, size_t size_bytes,
                std::function<void()> deliver) const;
 
+  // True when a send to `to` would be dropped by a deterministic fault
+  // (region/endpoint partition or isolation). A sender may use this to fail
+  // fast instead of waiting out a full timeout; probabilistic loss and
+  // filters stay invisible, as on a real network.
+  bool CanReach(const Endpoint& to) const;
+
   bool valid() const { return fabric_ != nullptr; }
   EndpointId id() const { return id_; }
   Region region() const;
@@ -151,6 +157,12 @@ class Fabric {
   // Cuts (or heals) every link to and from one endpoint.
   void Isolate(EndpointId id, bool isolated);
   bool IsIsolated(EndpointId id) const { return isolated_.count(id) > 0; }
+
+  // Delivery-failure signal: true when the deterministic fault state
+  // (partitions, isolation) would drop every message from -> to right now.
+  // Exposed so senders can fail fast on partitions rather than burn a
+  // timeout per attempt; random loss is deliberately not reported.
+  bool Unreachable(EndpointId from, EndpointId to) const;
 
   void SetFilter(Filter filter) { filter_ = std::move(filter); }
 

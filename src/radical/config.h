@@ -16,6 +16,33 @@
 
 namespace radical {
 
+// Client-side request-lifecycle policy: per-attempt timeouts, exponential
+// backoff, and a bounded retry budget for LVI and direct requests. Retries
+// are safe because exec_ids make the server side idempotent — a retried
+// request replays the cached response, re-attaches to the in-flight
+// pipeline, or hits the existing intent/idempotency tables; it never
+// re-locks or re-executes (see DESIGN.md, "Failure handling & retries").
+struct RetryPolicy {
+  bool enabled = true;
+  // Initial per-attempt timeout. Covers the worst WAN round trip in the
+  // paper's matrix (~151 ms) plus server-side queueing with a wide margin,
+  // so the loss-free benchmarks never retry spuriously.
+  SimDuration request_timeout = Millis(1200);
+  // Timeout multiplier per retry, capped at max_backoff.
+  double backoff = 2.0;
+  SimDuration max_backoff = Seconds(5);
+  // Attempts on the LVI path (1 = no retry). Exhausting the budget degrades
+  // the request to InvokeDirect, which keeps retrying with capped backoff
+  // until the server answers — every Invoke eventually calls done once the
+  // near-storage location is reachable again.
+  int max_lvi_attempts = 4;
+  // Two-RTT ablation only: followup retransmission budget. Exhausting it
+  // answers the client immediately — the write intent already guarantees
+  // the writes reach the primary via deterministic re-execution.
+  SimDuration followup_ack_timeout = Millis(1200);
+  int max_followup_attempts = 4;
+};
+
 struct RadicalConfig {
   // §5.5 latency components (1) and (2): function instantiation and loading
   // the WebAssembly blob from disk.
@@ -30,6 +57,7 @@ struct RadicalConfig {
   CacheStoreOptions cache;
   LviServerOptions server;
   ExecLimits exec_limits;
+  RetryPolicy retry;
 
   // --- Ablation switches (bench/ablation_design) ----------------------------
   // Off: the function runs only after the LVI response validates, i.e. no

@@ -106,21 +106,13 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
     }
   }
   // (2b) Send the LVI request to the near-storage location. Wire sizes are
-  // the exact encoded lengths (src/lvi/codec.h).
-  const size_t request_size = EncodeLviRequest(request).size();
-  SendToServer(net::MessageKind::kLviRequest, request_size, [this, request, state] {
-    server_->HandleLviRequest(request, [this, state](LviResponse response) {
-      const size_t size = EncodeLviResponse(response).size();
-      SendFromServer(net::MessageKind::kLviResponse, size,
-                     [this, state, response = std::move(response)] {
-        state->response_received = true;
-        state->trace.response_received = sim_->Now();
-        state->trace.validated = response.validated;
-        state->response = response;
-        TryComplete(state);
-      });
-    });
-  });
+  // the exact encoded lengths (src/lvi/codec.h). The request is kept on the
+  // state for retransmission: exec_ids make the server side idempotent, so a
+  // retry replays the cached reply or re-attaches to the running pipeline
+  // rather than re-locking or re-executing.
+  state->lvi_request = std::move(request);
+  state->lvi_request_size = EncodeLviRequest(state->lvi_request).size();
+  SendLviAttempt(state);
 
   // (2a) Speculatively execute f against the cache, writes buffered. Skipped
   // on a cache miss (validation is guaranteed to fail) and under the
@@ -147,6 +139,152 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
     state->spec_result = result;
     TryComplete(state);
   });
+}
+
+SimDuration Runtime::AttemptTimeout(int attempt) const {
+  double timeout = static_cast<double>(config_.retry.request_timeout);
+  for (int i = 1; i < attempt; ++i) {
+    timeout *= config_.retry.backoff;
+  }
+  return static_cast<SimDuration>(
+      std::min(timeout, static_cast<double>(config_.retry.max_backoff)));
+}
+
+void Runtime::CancelTimeout(const std::shared_ptr<RequestState>& state) {
+  if (state->timeout_event != kInvalidEventId) {
+    sim_->Cancel(state->timeout_event);
+    state->timeout_event = kInvalidEventId;
+  }
+}
+
+void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
+  if (state->completed || state->response_received) {
+    return;
+  }
+  ++state->lvi_attempts;
+  if (state->lvi_attempts > 1) {
+    counters_.Increment("retries");
+    ++state->trace.retries;
+  }
+  // Fail fast when the deterministic fault state (partition, isolation)
+  // guarantees the send would be dropped: skip the wire, keep the backoff
+  // schedule running at a quarter of the timeout so recovery is noticed
+  // quickly. Probabilistic loss is invisible, as on a real network.
+  const bool reachable = self_.CanReach(server_endpoint_);
+  if (reachable) {
+    SendToServer(net::MessageKind::kLviRequest, state->lvi_request_size, [this, state] {
+      server_->HandleLviRequest(state->lvi_request, [this, state](LviResponse response) {
+        const size_t size = EncodeLviResponse(response).size();
+        SendFromServer(net::MessageKind::kLviResponse, size,
+                       [this, state, response = std::move(response)]() mutable {
+                         OnLviResponse(state, std::move(response));
+                       });
+      });
+    });
+  } else {
+    counters_.Increment("fast_fail");
+  }
+  if (!config_.retry.enabled) {
+    return;
+  }
+  const SimDuration timeout = AttemptTimeout(state->lvi_attempts);
+  state->timeout_event = sim_->Schedule(reachable ? timeout : timeout / 4, [this, state] {
+    state->timeout_event = kInvalidEventId;
+    OnLviTimeout(state);
+  });
+}
+
+void Runtime::OnLviResponse(const std::shared_ptr<RequestState>& state, LviResponse response) {
+  if (state->completed || state->response_received || state->lvi_abandoned) {
+    // A slow or duplicate response raced a retry (or the direct fallback
+    // already owns the request): the first one in wins.
+    counters_.Increment("late_response_ignored");
+    return;
+  }
+  CancelTimeout(state);
+  state->response_received = true;
+  state->trace.response_received = sim_->Now();
+  state->trace.validated = response.validated;
+  state->response = std::move(response);
+  TryComplete(state);
+}
+
+void Runtime::OnLviTimeout(const std::shared_ptr<RequestState>& state) {
+  if (state->completed || state->response_received) {
+    return;
+  }
+  counters_.Increment("timeouts");
+  if (state->lvi_attempts >= config_.retry.max_lvi_attempts) {
+    // Budget exhausted: degrade to the direct path, which retries without
+    // bound. Discard the speculation — the direct response is authoritative
+    // and never commits through a followup.
+    counters_.Increment("fallback_direct");
+    state->lvi_abandoned = true;
+    state->trace.fallback_direct = true;
+    if (state->buffer != nullptr) {
+      state->buffer->Discard();
+      state->buffer.reset();
+    }
+    InvokeDirect(state);
+    return;
+  }
+  SendLviAttempt(state);
+}
+
+void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
+  if (state->completed) {
+    return;
+  }
+  ++state->direct_attempts;
+  if (state->direct_attempts > 1) {
+    counters_.Increment("retries");
+    ++state->trace.retries;
+  }
+  const bool reachable = self_.CanReach(server_endpoint_);
+  if (reachable) {
+    SendToServer(net::MessageKind::kDirectRequest, state->direct_request_size, [this, state] {
+      server_->HandleDirect(state->direct_request, [this, state](DirectResponse response) {
+        const size_t response_size = EncodeDirectResponse(response).size();
+        SendFromServer(net::MessageKind::kDirectResponse, response_size,
+                       [this, state, response = std::move(response)]() mutable {
+                         OnDirectResponse(state, std::move(response));
+                       });
+      });
+    });
+  } else {
+    counters_.Increment("fast_fail");
+  }
+  if (!config_.retry.enabled) {
+    return;
+  }
+  const SimDuration timeout = AttemptTimeout(state->direct_attempts);
+  state->timeout_event = sim_->Schedule(reachable ? timeout : timeout / 4, [this, state] {
+    state->timeout_event = kInvalidEventId;
+    OnDirectTimeout(state);
+  });
+}
+
+void Runtime::OnDirectResponse(const std::shared_ptr<RequestState>& state,
+                               DirectResponse response) {
+  if (state->completed) {
+    counters_.Increment("late_response_ignored");
+    return;
+  }
+  CancelTimeout(state);
+  state->completed = true;
+  state->trace.response_received = sim_->Now();
+  for (const FreshItem& item : response.fresh_items) {
+    cache_.Install(item.key, item.value, item.version);
+  }
+  Reply(state, response.result);
+}
+
+void Runtime::OnDirectTimeout(const std::shared_ptr<RequestState>& state) {
+  if (state->completed) {
+    return;
+  }
+  counters_.Increment("timeouts");
+  SendDirectAttempt(state);
 }
 
 void Runtime::TryComplete(const std::shared_ptr<RequestState>& state) {
@@ -233,20 +371,98 @@ void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Valu
       return;
     }
     // Two-round-trip ablation: wait for the server to apply the writes
-    // before answering — what the LVI protocol exists to avoid.
+    // before answering — what the LVI protocol exists to avoid. The followup
+    // is kept for retransmission: a lost followup (or ack) no longer hangs
+    // the client, and a nack from a down server retransmits immediately on
+    // the backoff schedule.
     counters_.Increment("two_rtt_commits");
-    const size_t followup_size = EncodeWriteFollowup(followup).size();
-    SendToServer(net::MessageKind::kWriteFollowup, followup_size,
-                 [this, state, result = std::move(result),
-                  followup = std::move(followup)]() mutable {
-      server_->HandleFollowup(std::move(followup), [this, state, result = std::move(result)]() mutable {
+    state->followup = std::move(followup);
+    state->followup_size = EncodeWriteFollowup(state->followup).size();
+    state->pending_result = std::move(result);
+    SendFollowupAttempt(state);
+  });
+}
+
+void Runtime::SendFollowupAttempt(const std::shared_ptr<RequestState>& state) {
+  if (state->followup_done) {
+    return;
+  }
+  ++state->followup_attempts;
+  if (state->followup_attempts > 1) {
+    counters_.Increment("retries");
+    counters_.Increment("followup_retransmits");
+    ++state->trace.retries;
+  }
+  const bool reachable = self_.CanReach(server_endpoint_);
+  if (reachable) {
+    SendToServer(net::MessageKind::kWriteFollowup, state->followup_size, [this, state] {
+      server_->HandleFollowup(state->followup, [this, state](bool applied) {
         SendFromServer(net::MessageKind::kGeneric, 64,
-                       [this, state, result = std::move(result)]() mutable {
-          Reply(state, std::move(result));
-        });
+                       [this, state, applied] { OnFollowupAck(state, applied); });
       });
     });
-  });
+  } else {
+    counters_.Increment("fast_fail");
+  }
+  if (!config_.retry.enabled) {
+    return;
+  }
+  double timeout = static_cast<double>(config_.retry.followup_ack_timeout);
+  for (int i = 1; i < state->followup_attempts; ++i) {
+    timeout *= config_.retry.backoff;
+  }
+  timeout = std::min(timeout, static_cast<double>(config_.retry.max_backoff));
+  state->followup_timer =
+      sim_->Schedule(static_cast<SimDuration>(reachable ? timeout : timeout / 4),
+                     [this, state] {
+                       state->followup_timer = kInvalidEventId;
+                       OnFollowupTimeout(state);
+                     });
+}
+
+void Runtime::OnFollowupAck(const std::shared_ptr<RequestState>& state, bool applied) {
+  if (state->followup_done) {
+    return;
+  }
+  if (state->followup_timer != kInvalidEventId) {
+    sim_->Cancel(state->followup_timer);
+    state->followup_timer = kInvalidEventId;
+  }
+  if (!applied) {
+    // Deterministic failure (the server was down): retransmit now instead
+    // of waiting out the timer, unless the budget is spent.
+    counters_.Increment("followup_nacks");
+    if (state->followup_attempts >= config_.retry.max_followup_attempts ||
+        !config_.retry.enabled) {
+      GiveUpFollowup(state);
+      return;
+    }
+    SendFollowupAttempt(state);
+    return;
+  }
+  state->followup_done = true;
+  Reply(state, std::move(state->pending_result));
+}
+
+void Runtime::OnFollowupTimeout(const std::shared_ptr<RequestState>& state) {
+  if (state->followup_done) {
+    return;
+  }
+  if (state->followup_attempts >= config_.retry.max_followup_attempts) {
+    GiveUpFollowup(state);
+    return;
+  }
+  SendFollowupAttempt(state);
+}
+
+void Runtime::GiveUpFollowup(const std::shared_ptr<RequestState>& state) {
+  // Retransmission budget spent. The write intent already guarantees the
+  // writes reach the primary (deterministic re-execution, §3.4), so answer
+  // the client rather than hang — the ablation's second round trip degrades
+  // to the one-RTT guarantee under failure.
+  counters_.Increment("followup_give_up");
+  state->followup_done = true;
+  Reply(state, std::move(state->pending_result));
 }
 
 void Runtime::CompleteFailed(const std::shared_ptr<RequestState>& state) {
@@ -267,27 +483,13 @@ void Runtime::CompleteFailed(const std::shared_ptr<RequestState>& state) {
 }
 
 void Runtime::InvokeDirect(std::shared_ptr<RequestState> state) {
-  DirectRequest request;
-  request.exec_id = state->exec_id;
-  request.origin = region_;
-  request.function = state->function;
-  request.inputs = state->inputs;
+  state->direct_request.exec_id = state->exec_id;
+  state->direct_request.origin = region_;
+  state->direct_request.function = state->function;
+  state->direct_request.inputs = state->inputs;
   state->trace.direct = true;
-  const size_t request_size = EncodeDirectRequest(request).size();
-  SendToServer(net::MessageKind::kDirectRequest, request_size,
-               [this, request = std::move(request), state]() mutable {
-    server_->HandleDirect(std::move(request), [this, state](DirectResponse response) {
-      const size_t response_size = EncodeDirectResponse(response).size();
-      SendFromServer(net::MessageKind::kDirectResponse, response_size,
-                     [this, state, response = std::move(response)] {
-        state->trace.response_received = sim_->Now();
-        for (const FreshItem& item : response.fresh_items) {
-          cache_.Install(item.key, item.value, item.version);
-        }
-        Reply(state, response.result);
-      });
-    });
-  });
+  state->direct_request_size = EncodeDirectRequest(state->direct_request).size();
+  SendDirectAttempt(state);
 }
 
 
@@ -300,15 +502,20 @@ void Runtime::SendFromServer(net::MessageKind kind, size_t bytes, std::function<
 }
 
 void Runtime::Reply(const std::shared_ptr<RequestState>& state, Value result) {
-  counters_.Increment("replies");
-  if (state->done) {
-    state->trace.replied = sim_->Now();
-    if (tracer_ != nullptr) {
-      tracer_->Record(state->trace);
-    }
-    DoneFn done = std::move(state->done);
-    done(std::move(result));
+  if (!state->done) {
+    // A duplicate completion (a late response racing a retry, or a second
+    // ack) must not inflate the reply count: the client was answered once.
+    counters_.Increment("duplicate_replies");
+    return;
   }
+  state->completed = true;
+  counters_.Increment("replies");
+  state->trace.replied = sim_->Now();
+  if (tracer_ != nullptr) {
+    tracer_->Record(state->trace);
+  }
+  DoneFn done = std::move(state->done);
+  done(std::move(result));
 }
 
 }  // namespace radical

@@ -94,13 +94,52 @@ class Runtime {
     bool completed = false;  // Client answered (or completion in progress).
     LviResponse response;
     RequestTrace trace;
+    // --- Retry machinery (RetryPolicy) ------------------------------------
+    // The request and its wire size are kept so a retry retransmits the
+    // exact same bytes (same exec_id: the server side is idempotent).
+    LviRequest lvi_request;
+    size_t lvi_request_size = 0;
+    DirectRequest direct_request;
+    size_t direct_request_size = 0;
+    int lvi_attempts = 0;
+    int direct_attempts = 0;
+    EventId timeout_event = kInvalidEventId;  // Current attempt's timeout.
+    bool lvi_abandoned = false;  // LVI budget exhausted; degraded to direct.
+    // Two-RTT ablation: the followup kept for retransmission, the result
+    // held back until its ack, and the ack timer.
+    WriteFollowup followup;
+    size_t followup_size = 0;
+    Value pending_result;
+    int followup_attempts = 0;
+    EventId followup_timer = kInvalidEventId;
+    bool followup_done = false;
   };
 
   // Runs the LVI path once f^rw produced a read/write set.
   void StartLvi(std::shared_ptr<RequestState> state, RwSet rw);
-  // Fallback: execute in the near-storage location (unanalyzable functions
-  // or f^rw failure).
+  // Fallback: execute in the near-storage location (unanalyzable functions,
+  // f^rw failure, or an exhausted LVI retry budget).
   void InvokeDirect(std::shared_ptr<RequestState> state);
+
+  // --- Request-lifecycle timeouts and retries (RetryPolicy) ---------------
+  // One LVI attempt: transmit (unless the server is deterministically
+  // unreachable — fail fast) and arm the attempt's timeout.
+  void SendLviAttempt(const std::shared_ptr<RequestState>& state);
+  void OnLviResponse(const std::shared_ptr<RequestState>& state, LviResponse response);
+  void OnLviTimeout(const std::shared_ptr<RequestState>& state);
+  // One direct attempt; retries are unbounded (capped backoff) — direct is
+  // the terminal fallback, so every Invoke answers once the server is back.
+  void SendDirectAttempt(const std::shared_ptr<RequestState>& state);
+  void OnDirectResponse(const std::shared_ptr<RequestState>& state, DirectResponse response);
+  void OnDirectTimeout(const std::shared_ptr<RequestState>& state);
+  // Two-RTT ablation: followup transmission with ack tracking.
+  void SendFollowupAttempt(const std::shared_ptr<RequestState>& state);
+  void OnFollowupAck(const std::shared_ptr<RequestState>& state, bool applied);
+  void OnFollowupTimeout(const std::shared_ptr<RequestState>& state);
+  void GiveUpFollowup(const std::shared_ptr<RequestState>& state);
+  // Exponential backoff: request_timeout * backoff^(attempt-1), capped.
+  SimDuration AttemptTimeout(int attempt) const;
+  void CancelTimeout(const std::shared_ptr<RequestState>& state);
   // Called when either the speculative execution or the LVI response is
   // ready; completes the request when both are.
   void TryComplete(const std::shared_ptr<RequestState>& state);

@@ -40,6 +40,11 @@ struct RequestTrace {
   bool speculated = false;
   bool validated = false;
   bool direct = false;  // Unanalyzable/f^rw-failure fallback path.
+  // Retry machinery (RetryPolicy): attempts beyond the first, across the
+  // LVI and direct paths, plus whether the request exhausted its LVI budget
+  // and degraded to InvokeDirect.
+  int retries = 0;
+  bool fallback_direct = false;
 
   // --- §5.5 component durations ------------------------------------------
   // (1)+(2) Instantiation and blob load.

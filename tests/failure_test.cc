@@ -288,5 +288,75 @@ TEST_F(FailureTest, LocksSurviveServerCrash) {
   EXPECT_TRUE(radical_->server().idle());
 }
 
+TEST_F(FailureTest, RecoverReArmsAllPendingIntentTimers) {
+  // Regression: intent timers are volatile and die with a crash; Recover()
+  // must give *every* still-pending intent a fresh timer, not just the first
+  // it happens to see.
+  radical_->Seed("a", Value("a0"));
+  radical_->Seed("b", Value("b0"));
+  radical_->WarmCaches();
+  DropFollowupsFrom(Region::kCA);
+  DropFollowupsFrom(Region::kDE);
+  int replied = 0;
+  radical_->Invoke(Region::kCA, "reg_write", {Value("a"), Value("a1")},
+                   [&](Value) { ++replied; });
+  radical_->Invoke(Region::kDE, "reg_write", {Value("b"), Value("b1")},
+                   [&](Value) { ++replied; });
+  while (replied < 2 && sim_.Step()) {
+  }
+  ASSERT_EQ(replied, 2);  // Both validated; both followups lost in flight.
+  radical_->server().Crash();  // Before the 500 ms intent timers fire.
+  sim_.RunFor(Seconds(2));     // Well past the timeout: nothing may resolve.
+  EXPECT_EQ(radical_->server().reexecutions(), 0u);
+  EXPECT_EQ(radical_->primary().VersionOf("a"), 1);
+  EXPECT_EQ(radical_->primary().VersionOf("b"), 1);
+  radical_->server().Recover();  // Re-arms both pending intents.
+  sim_.Run();
+  EXPECT_EQ(radical_->server().reexecutions(), 2u);
+  EXPECT_EQ(radical_->primary().Peek("a")->value, Value("a1"));
+  EXPECT_EQ(radical_->primary().Peek("b")->value, Value("b1"));
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+TEST_F(FailureTest, TwoRttFollowupNackedWhileDownInsteadOfHanging) {
+  // Regression: in two-RTT mode a followup that reached a crashed server was
+  // silently swallowed — no ack ever came and the client hung forever. The
+  // server now nacks deterministically; the client retransmits until its
+  // budget is spent, then answers anyway (the durable intent guarantees the
+  // writes land via re-execution).
+  RadicalConfig config;
+  config.single_request_commit = false;
+  config.server.intent_timeout = Millis(500);
+  RadicalDeployment two_rtt(&sim_, &net_, config, {Region::kCA});
+  two_rtt.RegisterFunction(
+      Fn("reg_write", {"k", "v"}, {Write(In("k"), In("v")), Compute(Millis(25)),
+                                   Return(In("v"))}));
+  two_rtt.Seed("k", Value("v0"));
+  two_rtt.WarmCaches();
+  bool replied = false;
+  two_rtt.Invoke(Region::kCA, "reg_write", {Value("k"), Value("v1")},
+                 [&](Value) { replied = true; });
+  // Crash once the first followup is in flight: it and every retransmission
+  // land on a dead server.
+  while (two_rtt.runtime(Region::kCA).counters().Get("two_rtt_commits") == 0 &&
+         sim_.Step()) {
+  }
+  two_rtt.server().Crash();
+  sim_.RunFor(Seconds(10));
+  const Counters& runtime_counters = two_rtt.runtime(Region::kCA).counters();
+  EXPECT_TRUE(replied);  // Answered despite the dead server.
+  EXPECT_EQ(runtime_counters.Get("followup_nacks"), 4u);        // Every attempt nacked.
+  EXPECT_EQ(runtime_counters.Get("followup_retransmits"), 3u);  // Attempts 2..4.
+  EXPECT_EQ(runtime_counters.Get("followup_give_up"), 1u);
+  EXPECT_GE(two_rtt.server().counters().Get("followup_nack_down"), 4u);
+  EXPECT_EQ(two_rtt.primary().VersionOf("k"), 1);  // Not yet applied.
+  two_rtt.server().Recover();
+  sim_.Run();  // The re-armed intent re-executes: the acknowledged write lands.
+  EXPECT_EQ(two_rtt.server().reexecutions(), 1u);
+  EXPECT_EQ(two_rtt.primary().Peek("k")->value, Value("v1"));
+  EXPECT_EQ(two_rtt.primary().VersionOf("k"), 2);
+  EXPECT_TRUE(two_rtt.server().idle());
+}
+
 }  // namespace
 }  // namespace radical

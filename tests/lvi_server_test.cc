@@ -159,7 +159,7 @@ TEST_F(LviServerTest, LateFollowupIsDiscarded) {
   followup.exec_id = exec_id;
   followup.writes = {{"k", Value("v")}};
   bool acked = false;
-  server_->HandleFollowup(std::move(followup), [&] { acked = true; });
+  server_->HandleFollowup(std::move(followup), [&](bool applied) { acked = applied; });
   sim_.Run();
   EXPECT_TRUE(acked);
   EXPECT_EQ(server_->late_followups_discarded(), 1u);
@@ -237,6 +237,144 @@ TEST_F(LviServerTest, ValidationSuccessRateCounter) {
       MakeRequest("reg_get", {Value("k")}, {{"k", 99, LockMode::kRead}}), [](LviResponse) {});
   sim_.Run();
   EXPECT_DOUBLE_EQ(server_->ValidationSuccessRate(), 0.5);
+}
+
+TEST_F(LviServerTest, CrashMidAdmissionDropsContinuationsWithoutMutation) {
+  // Regression: continuations scheduled before Crash() used to run after it
+  // against post-crash state. Crash between admission and validation — the
+  // in-flight pipeline step must drop on the epoch check, mutating nothing.
+  store_.Seed("k", Value("v0"));  // Version 1.
+  LviRequest request = MakeRequest("reg_set", {Value("k"), Value("v1")},
+                                   {{"k", 1, LockMode::kWrite}});
+  const LviRequest retry = request;
+  bool responded = false;
+  server_->HandleLviRequest(std::move(request), [&](LviResponse) { responded = true; });
+  // Past admission (process_delay = 300 us) and the lock grant; the
+  // validation-read continuation is still in flight.
+  sim_.RunFor(Micros(350));
+  server_->Crash();
+  sim_.RunFor(Seconds(2));
+  EXPECT_FALSE(responded);
+  EXPECT_GE(server_->counters().Get("stale_epoch_dropped"), 1u);
+  EXPECT_EQ(server_->validations_succeeded(), 0u);
+  EXPECT_EQ(store_.VersionOf("k"), 1);  // No intent, no write.
+  EXPECT_TRUE(server_->idle());
+
+  // The retried request (same exec_id) restarts against the surviving
+  // durable state and completes exactly once.
+  server_->Recover();
+  std::optional<LviResponse> response;
+  server_->HandleLviRequest(retry, [&](LviResponse r) { response = std::move(r); });
+  sim_.Run();  // Validates; no followup ever comes; the intent re-executes.
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->validated);
+  EXPECT_EQ(server_->reexecutions(), 1u);
+  EXPECT_EQ(store_.Peek("k")->value, Value("v1"));
+  EXPECT_EQ(store_.VersionOf("k"), 2);  // Applied exactly once.
+  EXPECT_TRUE(server_->idle());
+}
+
+TEST_F(LviServerTest, DuplicateLviRequestReplaysCachedReply) {
+  store_.Seed("k", Value("v0"));
+  LviRequest request = MakeRequest("reg_set", {Value("k"), Value("v1")},
+                                   {{"k", 1, LockMode::kWrite}});
+  const LviRequest retry = request;
+  server_->HandleLviRequest(std::move(request), [](LviResponse) {});
+  sim_.Run();  // Validates; the intent timer re-executes (no followup sent).
+  ASSERT_EQ(server_->reexecutions(), 1u);
+  ASSERT_EQ(store_.VersionOf("k"), 2);
+  // A duplicate (the response was lost on the wire) replays the cached
+  // reply: no second validation, no second execution.
+  std::optional<LviResponse> response;
+  server_->HandleLviRequest(retry, [&](LviResponse r) { response = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->validated);
+  EXPECT_EQ(server_->counters().Get("duplicate_replayed"), 1u);
+  EXPECT_EQ(server_->validations_succeeded(), 1u);
+  EXPECT_EQ(server_->reexecutions(), 1u);
+  EXPECT_EQ(store_.VersionOf("k"), 2);
+}
+
+TEST_F(LviServerTest, FollowupWhileDownIsNackedDeterministically) {
+  // Regression: a followup arriving while the server was down was silently
+  // dropped without invoking the ack, hanging two-RTT clients forever.
+  server_->Crash();
+  WriteFollowup followup;
+  followup.exec_id = sim_.NextId();
+  followup.writes = {{"k", Value("v")}};
+  bool acked = false;
+  bool applied = true;
+  server_->HandleFollowup(std::move(followup), [&](bool ok) {
+    acked = true;
+    applied = ok;
+  });
+  sim_.Run();
+  EXPECT_TRUE(acked);
+  EXPECT_FALSE(applied);
+  EXPECT_EQ(server_->counters().Get("followup_nack_down"), 1u);
+  EXPECT_EQ(server_->counters().Get("dropped_while_down"), 1u);
+}
+
+TEST_F(LviServerTest, RecoverResetsCapacityBusyPeriod) {
+  // Regression: busy_until_ survived Crash()/Recover(), so the first
+  // arrivals after recovery queued behind a busy period of a server life
+  // that no longer exists.
+  LviServerOptions options;
+  options.serving_capacity_rps = 10;  // 100 ms service time.
+  LocalLockService locks(&sim_);
+  VersionedStore store;
+  store.Seed("k", Value("v"));
+  LviServer server(&sim_, &store, &registry_, &interp_, &locks, options);
+  // Five arrivals at t=0 push busy_until_ to 500 ms.
+  for (int i = 0; i < 5; ++i) {
+    server.HandleLviRequest(MakeRequest("reg_get", {Value("k")},
+                                        {{"k", 1, LockMode::kRead}}),
+                            [](LviResponse) {});
+  }
+  sim_.RunFor(Millis(1));
+  server.Crash();
+  server.Recover();
+  SimTime responded_at = 0;
+  server.HandleLviRequest(MakeRequest("reg_get", {Value("k")},
+                                      {{"k", 1, LockMode::kRead}}),
+                          [&](LviResponse) { responded_at = sim_.Now(); });
+  sim_.Run();
+  // One service time (plus processing and the validation read), not the
+  // pre-crash backlog's ~500 ms.
+  EXPECT_GT(responded_at, 0);
+  EXPECT_LT(responded_at, Millis(250));
+  // The pre-crash pipelines died on the epoch check.
+  EXPECT_GE(server.counters().Get("stale_epoch_dropped"), 5u);
+}
+
+TEST_F(LviServerTest, DirectRequestResolvesOwnPendingIntent) {
+  // Degraded-mode fallback: the client validated a write but lost the
+  // response, exhausted its LVI budget, and fell back to the direct path.
+  // The server must resolve the existing intent by deterministic
+  // re-execution — never run the function a second time next to it.
+  store_.Seed("k", Value("v0"));
+  LviRequest request = MakeRequest("reg_set", {Value("k"), Value("v1")},
+                                   {{"k", 1, LockMode::kWrite}});
+  const ExecutionId exec_id = request.exec_id;
+  server_->HandleLviRequest(std::move(request), [](LviResponse) {});
+  sim_.RunFor(Millis(50));  // Validated; the intent is pending, timer armed.
+  ASSERT_FALSE(server_->idle());
+  DirectRequest direct;
+  direct.exec_id = exec_id;
+  direct.origin = Region::kCA;
+  direct.function = "reg_set";
+  direct.inputs = {Value("k"), Value("v1")};
+  std::optional<DirectResponse> response;
+  server_->HandleDirect(std::move(direct), [&](DirectResponse r) { response = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->result, Value("v1"));
+  EXPECT_EQ(server_->counters().Get("direct_resolved_intent"), 1u);
+  EXPECT_EQ(server_->reexecutions(), 1u);
+  EXPECT_EQ(store_.Peek("k")->value, Value("v1"));
+  EXPECT_EQ(store_.VersionOf("k"), 2);  // Applied exactly once.
+  EXPECT_TRUE(server_->idle());
 }
 
 }  // namespace

@@ -1,11 +1,24 @@
 #!/usr/bin/env sh
 # Configure, build, and run the full test suite — the one command a clean
 # checkout (or CI) needs. Usage: tools/check.sh [build-dir]
+#
+# CHECK_SANITIZE=1 tools/check.sh  builds with AddressSanitizer +
+# UndefinedBehaviorSanitizer (in its own build directory, default
+# build-asan) and runs the same suite under them; any finding aborts the
+# offending test.
 set -eu
 
-BUILD_DIR="${1:-build}"
 SOURCE_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
-cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
+  BUILD_DIR="${1:-build-asan}"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+else
+  BUILD_DIR="${1:-build}"
+  cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
