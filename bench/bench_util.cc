@@ -1,9 +1,13 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "src/common/string_util.h"
+#include "src/obs/json.h"
 
 namespace radical {
 
@@ -19,7 +23,19 @@ const char* DeployKindName(DeployKind kind) {
   return "?";
 }
 
-ExperimentResult RunApp(const AppSpec& app, DeployKind kind, const RunOptions& options) {
+bool BenchSmokeMode() {
+  const char* smoke = std::getenv("RADICAL_BENCH_SMOKE");
+  return smoke != nullptr && smoke[0] == '1';
+}
+
+ExperimentResult RunApp(const AppSpec& app, DeployKind kind, const RunOptions& raw_options) {
+  RunOptions options = raw_options;
+  if (BenchSmokeMode()) {
+    // Shrink the load so every bench finishes in well under a second while
+    // exercising the same code paths end to end.
+    options.clients_per_region = std::min(options.clients_per_region, 2);
+    options.requests_per_client = std::min<uint64_t>(options.requests_per_client, 5);
+  }
   Simulator sim(options.seed);
   Network net(&sim, LatencyMatrix::PaperDefault());
 
@@ -53,9 +69,14 @@ ExperimentResult RunApp(const AppSpec& app, DeployKind kind, const RunOptions& o
   load_options.think_time = options.think_time;
   LoadGenerator generator(&sim, service, options.regions, app.make_workload(), load_options);
   generator.Start();
+  const auto wall_start = std::chrono::steady_clock::now();
   sim.Run();
+  const auto wall_end = std::chrono::steady_clock::now();
 
   ExperimentResult result;
+  result.sim_seconds = static_cast<double>(sim.Now()) / 1e6;
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start).count();
   result.overall = generator.Overall().Summarize();
   result.total_requests = generator.total_requests();
   for (const Region region : options.regions) {
@@ -82,7 +103,115 @@ ExperimentResult RunApp(const AppSpec& app, DeployKind kind, const RunOptions& o
     result.speculations = speculations;
     result.wan_bytes = net.wan_bytes_sent();
   }
+  if (result.wall_seconds > 0.0) {
+    result.requests_per_wall_second =
+        static_cast<double>(result.total_requests) / result.wall_seconds;
+  }
   return result;
+}
+
+namespace {
+
+void WriteSummary(obs::JsonWriter* w, const Summary& s) {
+  w->BeginObject();
+  w->Key("count");
+  w->Uint(s.count);
+  w->Key("mean");
+  w->Double(s.mean_ms);
+  w->Key("min");
+  w->Double(s.min_ms);
+  w->Key("p50");
+  w->Double(s.p50_ms);
+  w->Key("p90");
+  w->Double(s.p90_ms);
+  w->Key("p99");
+  w->Double(s.p99_ms);
+  w->Key("max");
+  w->Double(s.max_ms);
+  w->EndObject();
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+void BenchReport::Add(const std::string& experiment_name, const ExperimentResult& result) {
+  entries_.emplace_back(experiment_name, result);
+}
+
+std::string BenchReport::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String(bench_name_);
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("latency_unit");
+  w.String("ms");
+  w.Key("smoke");
+  w.Bool(BenchSmokeMode());
+  w.Key("experiments");
+  w.BeginArray();
+  for (const auto& [name, result] : entries_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.Key("requests");
+    w.Uint(result.total_requests);
+    w.Key("latency_ms");
+    WriteSummary(&w, result.overall);
+    w.Key("per_region_ms");
+    w.BeginObject();
+    for (const auto& [region, summary] : result.per_region) {
+      w.Key(RegionName(region));
+      WriteSummary(&w, summary);
+    }
+    w.EndObject();
+    w.Key("protocol");
+    w.BeginObject();
+    w.Key("validation_success_rate");
+    w.Double(result.validation_success_rate, 6);
+    w.Key("reexecutions");
+    w.Uint(result.reexecutions);
+    w.Key("lock_waits");
+    w.Uint(result.lock_waits);
+    w.Key("speculations");
+    w.Uint(result.speculations);
+    w.Key("wan_bytes");
+    w.Uint(result.wan_bytes);
+    w.Key("lvi_requests");
+    w.Uint(result.lvi_requests);
+    w.EndObject();
+    w.Key("simulator");
+    w.BeginObject();
+    w.Key("sim_seconds");
+    w.Double(result.sim_seconds);
+    w.Key("wall_seconds");
+    w.Double(result.wall_seconds, 6);
+    w.Key("requests_per_wall_second");
+    w.Double(result.requests_per_wall_second, 1);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string BenchReport::Write() const {
+  const char* env = std::getenv("RADICAL_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_radical.json";
+  if (path.empty()) {
+    return "";
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return "";
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size() ? path : "";
 }
 
 void PrintTableHeader(const std::vector<std::string>& cols, const std::vector<int>& widths) {

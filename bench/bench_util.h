@@ -40,6 +40,12 @@ struct ExperimentResult {
   uint64_t speculations = 0;
   uint64_t wan_bytes = 0;
   uint64_t lvi_requests = 0;
+  // Simulator performance: virtual seconds covered by the run, host
+  // wall-clock seconds spent inside sim.Run(), and simulated requests
+  // completed per host second (throughput of the simulator itself).
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double requests_per_wall_second = 0.0;
 };
 
 struct RunOptions {
@@ -55,8 +61,40 @@ struct RunOptions {
   RadicalConfig config;
 };
 
-// Runs one application's workload against one deployment kind.
+// Runs one application's workload against one deployment kind. When
+// RADICAL_BENCH_SMOKE=1 is set in the environment the load is shrunk to a
+// few requests per client so tools/check.sh can smoke every bench quickly;
+// results are then meaningless as measurements but still structurally valid.
 ExperimentResult RunApp(const AppSpec& app, DeployKind kind, const RunOptions& options = {});
+
+// True when RADICAL_BENCH_SMOKE=1: benches may print a marker and skip
+// expensive sweeps beyond what RunApp already shrinks.
+bool BenchSmokeMode();
+
+// --- BENCH_radical.json ------------------------------------------------------
+
+// Machine-readable benchmark record. Each bench constructs one report, Add()s
+// an entry per (app, deployment) experiment it ran, and calls Write() at the
+// end. The file destination is the RADICAL_BENCH_JSON environment variable
+// when set, otherwise "BENCH_radical.json" in the working directory; setting
+// RADICAL_BENCH_JSON to the empty string disables the export.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  void Add(const std::string& experiment_name, const ExperimentResult& result);
+
+  // Serializes the report (schema documented in docs/observability.md).
+  std::string ToJson() const;
+
+  // Writes ToJson() to the destination described above. Returns the path
+  // written, or an empty string when disabled or on I/O failure.
+  std::string Write() const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, ExperimentResult>> entries_;
+};
 
 // --- Table printing ----------------------------------------------------------
 

@@ -105,7 +105,7 @@ SweepPoint Measure(double loss, bool crash) {
   point.crash = crash;
   point.latency = latency.Summarize();
   for (const Region region : DeploymentRegions()) {
-    const Counters& counters = radical.runtime(region).counters();
+    const obs::MetricsScope counters = radical.runtime(region).counters();
     point.requests += counters.Get("requests");
     point.replies += counters.Get("replies");
     point.retries += counters.Get("retries");

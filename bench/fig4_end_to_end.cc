@@ -19,6 +19,7 @@ namespace {
 void Run() {
   std::printf("Figure 4: end-to-end latency per application, all five regions aggregated\n");
   std::printf("(10 clients/region x 200 requests; workload mixes of Table 1)\n\n");
+  BenchReport report("fig4_end_to_end");
   const std::vector<int> widths = {14, 10, 10, 10, 10, 10, 10, 9, 9, 9};
   PrintTableHeader({"app", "base p50", "base p99", "rad p50", "rad p99", "ideal p50",
                     "ideal p99", "improve%", "of-max%", "val-ok%"},
@@ -29,6 +30,9 @@ void Run() {
     const ExperimentResult baseline = RunApp(app, DeployKind::kBaseline, options);
     const ExperimentResult radical = RunApp(app, DeployKind::kRadical, options);
     const ExperimentResult ideal = RunApp(app, DeployKind::kIdeal, options);
+    report.Add(app.name + "/baseline", baseline);
+    report.Add(app.name + "/radical", radical);
+    report.Add(app.name + "/ideal", ideal);
     const double improvement =
         100.0 * (baseline.overall.p50_ms - radical.overall.p50_ms) / baseline.overall.p50_ms;
     const double of_max = 100.0 * (baseline.overall.p50_ms - radical.overall.p50_ms) /
@@ -44,6 +48,10 @@ void Run() {
   std::printf(
       "\nPaper: improvement 28-35%%, 84-89%% of the maximum possible, ~95%% validation\n"
       "success for all applications.\n");
+  const std::string json_path = report.Write();
+  if (!json_path.empty()) {
+    std::printf("Wrote machine-readable results to %s\n", json_path.c_str());
+  }
 }
 
 }  // namespace

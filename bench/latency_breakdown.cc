@@ -13,13 +13,19 @@
 // large exactly where the paper calls it out (short functions, far regions).
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_util.h"
 #include "src/common/string_util.h"
+#include "src/obs/span.h"
 #include "src/radical/trace.h"
 
 namespace radical {
 namespace {
+
+// Accumulates protocol-leg spans across all RunApp calls; dumped as one
+// Chrome trace-event file when RADICAL_TRACE_JSON names a destination.
+obs::SpanCollector* g_spans = nullptr;
 
 void RunApp(const AppSpec& app, Region region) {
   Simulator sim(4242);
@@ -30,11 +36,16 @@ void RunApp(const AppSpec& app, Region region) {
   radical.WarmCaches();
   TraceCollector tracer;
   radical.runtime(region).set_tracer(&tracer);
+  radical.AttachSpans(g_spans);
 
   LoadGeneratorOptions load;
   load.clients_per_region = 8;
   load.requests_per_client = 250;
   load.think_time = Seconds(2);
+  if (BenchSmokeMode()) {
+    load.clients_per_region = 2;
+    load.requests_per_client = 5;
+  }
   WorkloadFn workload = app.make_workload();
   LoadGenerator generator(&sim, &radical, {region}, workload, load);
   generator.Start();
@@ -67,6 +78,11 @@ void RunApp(const AppSpec& app, Region region) {
 
 void Run() {
   std::printf("Latency breakdown: the five components of §5.5, measured per function\n\n");
+  const char* trace_path = std::getenv("RADICAL_TRACE_JSON");
+  obs::SpanCollector spans;
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    g_spans = &spans;
+  }
   // CA: moderate round trip — long functions fully hide it.
   RunApp(MakeSocialApp(), Region::kCA);
   // JP: the paper's outlier case — lat_nu<->ns (146 ms) exceeds several
@@ -78,6 +94,14 @@ void Run() {
       "window equals max(execution, lat_nu<->ns); the LVI stall is zero in CA for\n"
       ">100 ms functions and large in JP for functions shorter than 146 ms —\n"
       "exactly the social-media-in-Japan effect of §5.4.\n");
+  if (g_spans != nullptr) {
+    if (spans.WriteChromeTrace(trace_path)) {
+      std::printf("Wrote %zu spans to %s (open with https://ui.perfetto.dev)\n",
+                  spans.spans().size(), trace_path);
+    } else {
+      std::printf("Failed to write trace to %s\n", trace_path);
+    }
+  }
 }
 
 }  // namespace

@@ -39,8 +39,13 @@ void LatencySampler::EnsureSorted() const {
 }
 
 double LatencySampler::PercentileMs(double pct) const {
-  assert(!samples_.empty());
   assert(pct >= 0.0 && pct <= 100.0);
+  // An empty sampler has no order statistics; return 0.0 like MeanMs. (The
+  // old assert was a no-op under NDEBUG and the fall-through read
+  // samples_[0] of an empty vector — undefined behavior in release builds.)
+  if (samples_.empty()) {
+    return 0.0;
+  }
   EnsureSorted();
   if (samples_.size() == 1) {
     return ToMillis(samples_[0]);

@@ -42,7 +42,7 @@ class LatencySampler {
   bool empty() const { return samples_.empty(); }
 
   // Percentile in [0, 100]; interpolates between adjacent order statistics.
-  // Requires a non-empty sampler.
+  // Returns 0.0 on an empty sampler (like MeanMs).
   double PercentileMs(double pct) const;
   double MedianMs() const { return PercentileMs(50.0); }
   double MeanMs() const;

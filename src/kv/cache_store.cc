@@ -54,4 +54,13 @@ size_t CacheStore::CrashRestart() {
 
 void CacheStore::Clear() { items_.clear(); }
 
+void CacheStore::RegisterMetrics(obs::MetricsRegistry* registry, const std::string& prefix) const {
+  registry->AddCallbackGauge(prefix + ".hits",
+                             [this] { return static_cast<int64_t>(hits_); });
+  registry->AddCallbackGauge(prefix + ".misses",
+                             [this] { return static_cast<int64_t>(misses_); });
+  registry->AddCallbackGauge(prefix + ".items",
+                             [this] { return static_cast<int64_t>(items_.size()); });
+}
+
 }  // namespace radical

@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 
 #include "src/kv/storage.h"
+#include "src/obs/metrics.h"
 
 namespace radical {
 
@@ -72,6 +74,11 @@ class CacheStore : public Storage {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   const CacheStoreOptions& options() const { return options_; }
+
+  // Publishes this cache's statistics as callback gauges under
+  // "<prefix>.hits/misses/items" — read at snapshot time, so the store's hot
+  // path is untouched. The store must outlive the registry's snapshots.
+  void RegisterMetrics(obs::MetricsRegistry* registry, const std::string& prefix) const;
 
  private:
   CacheStoreOptions options_;

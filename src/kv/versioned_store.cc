@@ -95,4 +95,14 @@ void VersionedStore::Seed(const Key& key, const Value& value) {
   ++item.version;
 }
 
+void VersionedStore::RegisterMetrics(obs::MetricsRegistry* registry,
+                                     const std::string& prefix) const {
+  registry->AddCallbackGauge(prefix + ".reads",
+                             [this] { return static_cast<int64_t>(reads_); });
+  registry->AddCallbackGauge(prefix + ".writes",
+                             [this] { return static_cast<int64_t>(writes_); });
+  registry->AddCallbackGauge(prefix + ".items",
+                             [this] { return static_cast<int64_t>(items_.size()); });
+}
+
 }  // namespace radical

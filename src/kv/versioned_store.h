@@ -18,9 +18,11 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/kv/storage.h"
+#include "src/obs/metrics.h"
 
 namespace radical {
 
@@ -76,6 +78,11 @@ class VersionedStore : public Storage {
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
   const VersionedStoreOptions& options() const { return options_; }
+
+  // Publishes this store's statistics as callback gauges under
+  // "<prefix>.reads/writes/items" — read at snapshot time, so the store's
+  // hot path is untouched. The store must outlive the registry's snapshots.
+  void RegisterMetrics(obs::MetricsRegistry* registry, const std::string& prefix) const;
 
  private:
   void Account(SimDuration* latency, SimDuration amount) const;

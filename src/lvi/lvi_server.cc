@@ -53,7 +53,16 @@ LviServer::LviServer(Simulator* sim, VersionedStore* store, const FunctionRegist
       locks_(locks),
       options_(options),
       replicated_(replicated),
-      externals_(externals) {}
+      externals_(externals),
+      metrics_(&sim->metrics(), sim->metrics().UniqueScopeName("lvi_server")) {}
+
+void LviServer::EmitSpan(const char* name, ExecutionId exec_id, SimTime start) {
+  if (spans_ == nullptr) {
+    return;
+  }
+  spans_->Add(obs::Span{name, "lvi_server", obs::SpanTrack::kServer, exec_id, start,
+                        sim_->Now() - start, {}});
+}
 
 void LviServer::Crash() {
   alive_ = false;
@@ -79,7 +88,7 @@ void LviServer::Recover() {
   ++epoch_;
   // The capacity model's busy period belongs to the previous life.
   busy_until_ = 0;
-  counters_.Increment("recoveries");
+  metrics_.Increment("recoveries");
   // Completed intents whose cleanup event died with the crash still hold
   // locks: release them and retire the intents (the writes themselves were
   // applied before the intent turned kDone, so nothing is lost).
@@ -94,7 +103,7 @@ void LviServer::Recover() {
     locks_->ReleaseAll(id);
     intents_.Remove(id);
     executions_.erase(id);
-    counters_.Increment("recover_cleanup");
+    metrics_.Increment("recover_cleanup");
   }
   // Re-arm a timer for every intent still pending: their followups may have
   // been lost while the server was down, and deterministic re-execution is
@@ -120,7 +129,7 @@ SimDuration LviServer::AdmissionDelay() {
   busy_until_ = start + service_time;
   const SimDuration queueing = start - sim_->Now();
   if (queueing > 0) {
-    counters_.Increment("queued_arrivals");
+    metrics_.Increment("queued_arrivals");
   }
   return queueing + service_time + options_.process_delay;
 }
@@ -136,7 +145,7 @@ void LviServer::CacheLviReply(ExecutionId exec_id, LviResponse response) {
   if (lvi_reply_order_.size() > options_.reply_cache_capacity) {
     lvi_replies_.erase(lvi_reply_order_.front());
     lvi_reply_order_.pop_front();
-    counters_.Increment("reply_cache_evicted");
+    metrics_.Increment("reply_cache_evicted");
   }
 }
 
@@ -151,7 +160,7 @@ void LviServer::CacheDirectReply(ExecutionId exec_id, DirectResponse response) {
   if (direct_reply_order_.size() > options_.reply_cache_capacity) {
     direct_replies_.erase(direct_reply_order_.front());
     direct_reply_order_.pop_front();
-    counters_.Increment("reply_cache_evicted");
+    metrics_.Increment("reply_cache_evicted");
   }
 }
 
@@ -183,7 +192,7 @@ void LviServer::RespondDirect(ExecutionId exec_id, DirectResponse response) {
 
 void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
   if (!alive_) {
-    counters_.Increment("dropped_while_down");
+    metrics_.Increment("dropped_while_down");
     return;
   }
   const ExecutionId exec_id = request.exec_id;
@@ -192,7 +201,7 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
   // callback; exactly one reply fires when the pipeline completes.
   const auto inf = inflight_lvi_.find(exec_id);
   if (inf != inflight_lvi_.end()) {
-    counters_.Increment("duplicate_in_flight");
+    metrics_.Increment("duplicate_in_flight");
     inf->second = std::move(respond);
     return;
   }
@@ -201,7 +210,7 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
   // still holds belong to a pipeline that died in a crash — reclaim them.
   const auto hit = lvi_replies_.find(exec_id);
   if (hit != lvi_replies_.end()) {
-    counters_.Increment("duplicate_replayed");
+    metrics_.Increment("duplicate_replayed");
     if (!intents_.Exists(exec_id)) {
       locks_->ReleaseAll(exec_id);
     }
@@ -209,21 +218,25 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
     sim_->Schedule(AdmissionDelay(),
                    [this, epoch, respond = std::move(respond), response = hit->second]() mutable {
                      if (!StillAlive(epoch)) {
-                       counters_.Increment("stale_epoch_dropped");
+                       metrics_.Increment("stale_epoch_dropped");
                        return;
                      }
                      respond(std::move(response));
                    });
     return;
   }
-  counters_.Increment("lvi_requests");
+  metrics_.Increment("lvi_requests");
   inflight_lvi_[exec_id] = std::move(respond);
   const uint64_t epoch = epoch_;
-  sim_->Schedule(AdmissionDelay(), [this, epoch, request = std::move(request)]() mutable {
+  const SimTime arrival = sim_->Now();
+  sim_->Schedule(AdmissionDelay(), [this, epoch, arrival,
+                                    request = std::move(request)]() mutable {
     if (!StillAlive(epoch)) {
-      counters_.Increment("stale_epoch_dropped");
+      metrics_.Increment("stale_epoch_dropped");
       return;
     }
+    EmitSpan("server.admission", request.exec_id, arrival);
+    const SimTime lock_start = sim_->Now();
     // (4) Acquire a read or write lock per item, in the request's
     // (lexicographic) key order. A retried execution that already holds some
     // or all of its locks (they survive crashes on disk, §4) is granted the
@@ -239,11 +252,12 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
     }
     const ExecutionId id = request.exec_id;
     locks_->AcquireAll(id, std::move(keys), std::move(modes),
-                       [this, epoch, request = std::move(request)]() mutable {
+                       [this, epoch, lock_start, request = std::move(request)]() mutable {
                          if (!StillAlive(epoch)) {
-                           counters_.Increment("stale_epoch_dropped");
+                           metrics_.Increment("stale_epoch_dropped");
                            return;
                          }
+                         EmitSpan("server.lock_wait", request.exec_id, lock_start);
                          Validate(std::move(request));
                        });
   });
@@ -265,13 +279,15 @@ void LviServer::Validate(LviRequest request) {
     }
   }
   const uint64_t epoch = epoch_;
-  sim_->Schedule(read_latency, [this, epoch, request = std::move(request),
+  const SimTime validate_start = sim_->Now();
+  sim_->Schedule(read_latency, [this, epoch, validate_start, request = std::move(request),
                                 primary_versions = std::move(primary_versions),
                                 stale = std::move(stale)]() mutable {
     if (!StillAlive(epoch)) {
-      counters_.Increment("stale_epoch_dropped");
+      metrics_.Increment("stale_epoch_dropped");
       return;
     }
+    EmitSpan("server.validate", request.exec_id, validate_start);
     if (stale.empty()) {
       OnValidationSuccess(std::move(request), std::move(primary_versions));
     } else {
@@ -281,7 +297,7 @@ void LviServer::Validate(LviRequest request) {
 }
 
 void LviServer::OnValidationSuccess(LviRequest request, std::vector<Version> primary_versions) {
-  counters_.Increment("validate_success");
+  metrics_.Increment("validate_success");
   const ExecutionId exec_id = request.exec_id;
   std::vector<Key> write_keys;
   std::vector<Version> validated_versions;
@@ -309,19 +325,21 @@ void LviServer::OnValidationSuccess(LviRequest request, std::vector<Version> pri
     intent_latency += options_.idempotency_write;
   }
   const uint64_t epoch = epoch_;
-  sim_->Schedule(intent_latency, [this, epoch, request = std::move(request),
+  const SimTime intent_start = sim_->Now();
+  sim_->Schedule(intent_latency, [this, epoch, intent_start, request = std::move(request),
                                   write_keys = std::move(write_keys),
                                   validated_versions = std::move(validated_versions)]() mutable {
     if (!StillAlive(epoch)) {
-      counters_.Increment("stale_epoch_dropped");
+      metrics_.Increment("stale_epoch_dropped");
       return;
     }
     const ExecutionId exec_id2 = request.exec_id;
+    EmitSpan("server.intent_write", exec_id2, intent_start);
     if (!intents_.Create(exec_id2)) {
       // A retried request of an execution whose intent already exists (its
       // cached reply was evicted): the existing intent — with its timer and
       // execution record — is authoritative; just re-answer.
-      counters_.Increment("retry_intent_hit");
+      metrics_.Increment("retry_intent_hit");
       LviResponse response;
       response.exec_id = exec_id2;
       response.validated = true;
@@ -343,7 +361,7 @@ void LviServer::OnValidationSuccess(LviRequest request, std::vector<Version> pri
 }
 
 void LviServer::OnValidationFailure(LviRequest request, const std::vector<size_t>& stale_indices) {
-  counters_.Increment("validate_fail");
+  metrics_.Increment("validate_fail");
   // (6b) Run the backup copy of the function against the primary, under the
   // locks already held.
   const AnalyzedFunction* fn = registry_->Find(request.function);
@@ -353,10 +371,12 @@ void LviServer::OnValidationFailure(LviRequest request, const std::vector<size_t
     stale_keys.push_back(request.items[i].key);
   }
   const uint64_t epoch = epoch_;
-  sim_->Schedule(options_.backup_invoke_overhead, [this, epoch, request = std::move(request), fn,
+  const SimTime backup_start = sim_->Now();
+  sim_->Schedule(options_.backup_invoke_overhead, [this, epoch, backup_start,
+                                                   request = std::move(request), fn,
                                                    stale_keys = std::move(stale_keys)]() mutable {
     if (!StillAlive(epoch)) {
-      counters_.Increment("stale_epoch_dropped");
+      metrics_.Increment("stale_epoch_dropped");
       return;
     }
     const ExecEnv env{request.exec_id, externals_};
@@ -386,12 +406,13 @@ void LviServer::OnValidationFailure(LviRequest request, const std::vector<size_t
     CacheLviReply(exec_id, response);
     // (7b) The execution (and its elapsed virtual time) finishes, locks
     // release, and the response heads back with the repairs.
-    sim_->Schedule(exec.elapsed, [this, epoch, exec_id,
+    sim_->Schedule(exec.elapsed, [this, epoch, backup_start, exec_id,
                                   response = std::move(response)]() mutable {
       if (!StillAlive(epoch)) {
-        counters_.Increment("stale_epoch_dropped");
+        metrics_.Increment("stale_epoch_dropped");
         return;
       }
+      EmitSpan("server.backup_exec", exec_id, backup_start);
       locks_->ReleaseAll(exec_id);
       RespondLvi(exec_id, std::move(response));
     });
@@ -403,19 +424,19 @@ void LviServer::HandleFollowup(WriteFollowup followup, AckFn ack) {
     // The followup went nowhere: nack deterministically so a two-RTT sender
     // retransmits instead of hanging (the one-RTT sender passes no ack; the
     // intent timer covers it).
-    counters_.Increment("dropped_while_down");
-    counters_.Increment("followup_nack_down");
+    metrics_.Increment("dropped_while_down");
+    metrics_.Increment("followup_nack_down");
     if (ack) {
       sim_->Schedule(0, [ack = std::move(ack)] { ack(false); });
     }
     return;
   }
-  counters_.Increment("followups_received");
+  metrics_.Increment("followups_received");
   const uint64_t epoch = epoch_;
   sim_->Schedule(AdmissionDelay(), [this, epoch, followup = std::move(followup),
                                     ack = std::move(ack)]() mutable {
     if (!StillAlive(epoch)) {
-      counters_.Increment("stale_epoch_dropped");
+      metrics_.Increment("stale_epoch_dropped");
       if (ack) {
         ack(false);  // Connection reset mid-processing: tell the sender.
       }
@@ -426,7 +447,7 @@ void LviServer::HandleFollowup(WriteFollowup followup, AckFn ack) {
       // The intent was already handled (re-execution beat us, or this is a
       // duplicate): discard (§3.6, "validation succeeds but the followup is
       // late"). The writes are durable either way: ack success.
-      counters_.Increment("followup_late");
+      metrics_.Increment("followup_late");
       if (ack) {
         ack(true);
       }
@@ -439,7 +460,7 @@ void LviServer::HandleFollowup(WriteFollowup followup, AckFn ack) {
     if (state.intent_timer != kInvalidEventId) {
       sim_->Cancel(state.intent_timer);
     }
-    counters_.Increment("followup_applied");
+    metrics_.Increment("followup_applied");
     ApplyAndFinish(std::move(state), followup.writes, std::move(ack));
   });
 }
@@ -464,7 +485,7 @@ void LviServer::ApplyAndFinish(ExecState state, const std::vector<BufferedWrite>
       // The writes above are already durable (the intent is kDone; recovery
       // releases the locks). Nack so a two-RTT sender retransmits and learns
       // of the success from the late-followup path.
-      counters_.Increment("stale_epoch_dropped");
+      metrics_.Increment("stale_epoch_dropped");
       if (ack) {
         ack(false);
       }
@@ -497,7 +518,7 @@ void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn 
   if (state.intent_timer != kInvalidEventId) {
     sim_->Cancel(state.intent_timer);  // Resolved by the direct path, not the timer.
   }
-  counters_.Increment("reexecute");
+  metrics_.Increment("reexecute");
   if (replicated_ && !idempotency_.RecordOnce(exec_id)) {
     // At-most-once near storage: a previous near-storage run already
     // happened for this request; just clean up (its reply, if any, lives in
@@ -541,7 +562,7 @@ void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn 
   sim_->Schedule(options_.backup_invoke_overhead + exec.elapsed,
                  [this, epoch, exec_id, answer_direct, dresp = std::move(dresp)]() mutable {
                    if (!StillAlive(epoch)) {
-                     counters_.Increment("stale_epoch_dropped");
+                     metrics_.Increment("stale_epoch_dropped");
                      return;  // Recovery's cleanup pass retires the intent.
                    }
                    locks_->ReleaseAll(exec_id);
@@ -554,24 +575,24 @@ void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn 
 
 void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
   if (!alive_) {
-    counters_.Increment("dropped_while_down");
+    metrics_.Increment("dropped_while_down");
     return;
   }
   const ExecutionId exec_id = request.exec_id;
   const auto inf = inflight_direct_.find(exec_id);
   if (inf != inflight_direct_.end()) {
-    counters_.Increment("duplicate_in_flight");
+    metrics_.Increment("duplicate_in_flight");
     inf->second = std::move(respond);
     return;
   }
   const auto hit = direct_replies_.find(exec_id);
   if (hit != direct_replies_.end()) {
-    counters_.Increment("duplicate_replayed");
+    metrics_.Increment("duplicate_replayed");
     const uint64_t epoch = epoch_;
     sim_->Schedule(options_.process_delay,
                    [this, epoch, respond = std::move(respond), response = hit->second]() mutable {
                      if (!StillAlive(epoch)) {
-                       counters_.Increment("stale_epoch_dropped");
+                       metrics_.Increment("stale_epoch_dropped");
                        return;
                      }
                      respond(std::move(response));
@@ -582,12 +603,12 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
   // write intent: the intent is authoritative. Resolve it by deterministic
   // re-execution now — never run the function a second time next to it.
   if (intents_.IsPending(exec_id)) {
-    counters_.Increment("direct_resolved_intent");
+    metrics_.Increment("direct_resolved_intent");
     const uint64_t epoch = epoch_;
     inflight_direct_[exec_id] = std::move(respond);
     sim_->Schedule(options_.process_delay, [this, epoch, exec_id] {
       if (!StillAlive(epoch)) {
-        counters_.Increment("stale_epoch_dropped");
+        metrics_.Increment("stale_epoch_dropped");
         return;
       }
       if (intents_.IsPending(exec_id)) {
@@ -609,7 +630,7 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
       }
       // Unreachable in practice (the cache outlives the race window); drop
       // the slot so a retry takes the fresh path.
-      counters_.Increment("direct_intent_race_dropped");
+      metrics_.Increment("direct_intent_race_dropped");
       inflight_direct_.erase(exec_id);
     });
     return;
@@ -618,13 +639,13 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
   // client timed out, the server did not): let the pipeline finish, then
   // look again — by then the exec has a cached reply or a pending intent.
   if (inflight_lvi_.count(exec_id) > 0) {
-    counters_.Increment("direct_deferred_inflight");
+    metrics_.Increment("direct_deferred_inflight");
     const uint64_t epoch = epoch_;
     sim_->Schedule(options_.process_delay * 4,
                    [this, epoch, request = std::move(request),
                     respond = std::move(respond)]() mutable {
                      if (!StillAlive(epoch)) {
-                       counters_.Increment("stale_epoch_dropped");
+                       metrics_.Increment("stale_epoch_dropped");
                        return;
                      }
                      HandleDirect(std::move(request), std::move(respond));
@@ -635,7 +656,7 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
   // execution already ran; adapt its cached reply instead of re-executing.
   const auto lvi_hit = lvi_replies_.find(exec_id);
   if (lvi_hit != lvi_replies_.end() && !lvi_hit->second.validated) {
-    counters_.Increment("direct_from_lvi_cache");
+    metrics_.Increment("direct_from_lvi_cache");
     DirectResponse response;
     response.exec_id = exec_id;
     response.result = lvi_hit->second.backup_result;
@@ -645,14 +666,14 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
                    [this, epoch, respond = std::move(respond),
                     response = std::move(response)]() mutable {
                      if (!StillAlive(epoch)) {
-                       counters_.Increment("stale_epoch_dropped");
+                       metrics_.Increment("stale_epoch_dropped");
                        return;
                      }
                      respond(std::move(response));
                    });
     return;
   }
-  counters_.Increment("direct_requests");
+  metrics_.Increment("direct_requests");
   const AnalyzedFunction* fn = registry_->Find(request.function);
   assert(fn != nullptr && "function not registered at the near-storage location");
   inflight_direct_[exec_id] = std::move(respond);
@@ -661,7 +682,7 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
       options_.process_delay + options_.backup_invoke_overhead,
       [this, epoch, request = std::move(request), fn]() mutable {
         if (!StillAlive(epoch)) {
-          counters_.Increment("stale_epoch_dropped");
+          metrics_.Increment("stale_epoch_dropped");
           return;
         }
         // Analyzable functions predict their read/write set against the
@@ -685,14 +706,14 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
             locks_->AcquireAll(id, std::move(keys), std::move(modes),
                                [this, epoch, request = std::move(request), fn]() mutable {
                                  if (!StillAlive(epoch)) {
-                                   counters_.Increment("stale_epoch_dropped");
+                                   metrics_.Increment("stale_epoch_dropped");
                                    return;
                                  }
                                  ExecuteDirect(std::move(request), fn, /*release_locks=*/true);
                                });
             return;
           }
-          counters_.Increment("direct_predict_failed");
+          metrics_.Increment("direct_predict_failed");
         }
         ExecuteDirect(std::move(request), fn, /*release_locks=*/false);
       });
@@ -727,7 +748,7 @@ void LviServer::ExecuteDirect(DirectRequest request, const AnalyzedFunction* fn,
   sim_->Schedule(exec.elapsed, [this, epoch, exec_id,
                                 response = std::move(response)]() mutable {
     if (!StillAlive(epoch)) {
-      counters_.Increment("stale_epoch_dropped");
+      metrics_.Increment("stale_epoch_dropped");
       return;
     }
     RespondDirect(exec_id, std::move(response));

@@ -29,6 +29,8 @@
 #include "src/kv/versioned_store.h"
 #include "src/lvi/lock_service.h"
 #include "src/lvi/messages.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sim/simulator.h"
 
 namespace radical {
@@ -123,14 +125,22 @@ class LviServer {
   uint64_t epoch() const { return epoch_; }
 
   // --- Statistics -----------------------------------------------------------
-  const Counters& counters() const { return counters_; }
-  uint64_t validations_succeeded() const { return counters_.Get("validate_success"); }
-  uint64_t validations_failed() const { return counters_.Get("validate_fail"); }
-  uint64_t reexecutions() const { return counters_.Get("reexecute"); }
-  uint64_t late_followups_discarded() const { return counters_.Get("followup_late"); }
+  // The server's counters live in the simulator's MetricsRegistry under
+  // "lvi_server." (unique per instance); this is the server's registry
+  // slice. Returned by value — MetricsScope is a copyable view.
+  obs::MetricsScope counters() const { return metrics_; }
+  uint64_t validations_succeeded() const { return metrics_.Get("validate_success"); }
+  uint64_t validations_failed() const { return metrics_.Get("validate_fail"); }
+  uint64_t reexecutions() const { return metrics_.Get("reexecute"); }
+  uint64_t late_followups_discarded() const { return metrics_.Get("followup_late"); }
   double ValidationSuccessRate() const {
-    return counters_.RatioOf("validate_success", "validate_fail");
+    return metrics_.RatioOf("validate_success", "validate_fail");
   }
+
+  // Optional span sink: when set, each pipeline substep (admission, lock
+  // wait, validation, intent write, backup execution) is recorded as a
+  // server-track span keyed by execution id. Must outlive the server.
+  void set_span_collector(obs::SpanCollector* spans) { spans_ = spans; }
   // True if no execution state is pending (tests: nothing leaked).
   bool idle() const { return executions_.empty(); }
 
@@ -173,6 +183,9 @@ class LviServer {
   void CacheLviReply(ExecutionId exec_id, LviResponse response);
   void CacheDirectReply(ExecutionId exec_id, DirectResponse response);
 
+  // Records one server-track span ending now (no-op without a collector).
+  void EmitSpan(const char* name, ExecutionId exec_id, SimTime start);
+
   Simulator* sim_;
   VersionedStore* store_;
   const FunctionRegistry* registry_;
@@ -197,7 +210,8 @@ class LviServer {
   std::deque<ExecutionId> lvi_reply_order_;
   std::unordered_map<ExecutionId, DirectResponse> direct_replies_;
   std::deque<ExecutionId> direct_reply_order_;
-  Counters counters_;
+  obs::MetricsScope metrics_;
+  obs::SpanCollector* spans_ = nullptr;
   // Capacity model: the instant the server frees up (>= now when busy).
   SimTime busy_until_ = 0;
   // Admission: returns the queueing + processing delay for one arriving

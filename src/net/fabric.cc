@@ -18,13 +18,32 @@ Region Endpoint::region() const { return fabric_->info(id_).region; }
 
 const std::string& Endpoint::name() const { return fabric_->info(id_).name; }
 
-Fabric::Fabric(Simulator* sim, LinkModelFn model_fn)
+Fabric::Fabric(Simulator* sim, LinkModelFn model_fn, std::string instance)
     : sim_(sim),
       model_fn_(std::move(model_fn)),
       // Exactly one fork from the root stream — same root-rng advance as the
       // component this fabric replaces, so other components' draws hold.
       rng_(sim->rng().Fork()),
-      fault_rng_(rng_.Fork()) {}
+      fault_rng_(rng_.Fork()),
+      prefix_(sim->metrics().UniqueScopeName("fabric." + std::move(instance))) {
+  obs::MetricsRegistry& reg = sim_->metrics();
+  messages_sent_ = reg.GetCounter(prefix_ + ".messages_sent");
+  messages_dropped_ = reg.GetCounter(prefix_ + ".messages_dropped");
+  bytes_sent_ = reg.GetCounter(prefix_ + ".bytes_sent");
+  wan_bytes_sent_ = reg.GetCounter(prefix_ + ".wan_bytes_sent");
+}
+
+Fabric::KindCounters& Fabric::KindFor(MessageKind kind) {
+  KindCounters& k = kind_counters_[static_cast<int>(kind)];
+  if (k.sent == nullptr) {
+    obs::MetricsRegistry& reg = sim_->metrics();
+    const std::string base = prefix_ + ".kind." + MessageKindName(kind);
+    k.sent = reg.GetCounter(base + ".sent");
+    k.bytes = reg.GetCounter(base + ".bytes");
+    k.dropped = reg.GetCounter(base + ".dropped");
+  }
+  return k;
+}
 
 Endpoint Fabric::AddEndpoint(std::string name, Region region, SimDuration extra_hop_delay) {
   EndpointId id = static_cast<EndpointId>(endpoints_.size());
@@ -99,12 +118,13 @@ EventId Fabric::Send(EndpointId from, EndpointId to, Envelope env) {
   // Offered traffic is charged before fault checks — a dropped message was
   // still sent (and paid for) by the sender.
   ch.RecordOffered(env);
-  messages_sent_++;
-  bytes_sent_ += env.size_bytes;
-  messages_by_kind_[static_cast<int>(env.kind)]++;
-  bytes_by_kind_[static_cast<int>(env.kind)] += env.size_bytes;
+  messages_sent_->Increment();
+  bytes_sent_->Increment(env.size_bytes);
+  KindCounters& kc = KindFor(env.kind);
+  kc.sent->Increment();
+  kc.bytes->Increment(env.size_bytes);
   if (ch.wan()) {
-    wan_bytes_sent_ += env.size_bytes;
+    wan_bytes_sent_->Increment(env.size_bytes);
   }
 
   SendContext ctx{from,
@@ -115,8 +135,8 @@ EventId Fabric::Send(EndpointId from, EndpointId to, Envelope env) {
                   env.size_bytes};
   if (ShouldDrop(ctx)) {
     ch.RecordDropped(env.kind);
-    messages_dropped_++;
-    drops_by_kind_[static_cast<int>(env.kind)]++;
+    messages_dropped_->Increment();
+    kc.dropped->Increment();
     return kInvalidEventId;
   }
   return ch.Deliver(std::move(env), SpikeExtra(from, to));

@@ -37,6 +37,7 @@
 #include "src/common/rng.h"
 #include "src/net/channel.h"
 #include "src/net/message.h"
+#include "src/obs/metrics.h"
 #include "src/sim/region.h"
 #include "src/sim/simulator.h"
 
@@ -122,7 +123,10 @@ class Fabric {
   // code; the filter exists for arbitrary predicates.
   using Filter = std::function<bool(const SendContext&)>;
 
-  Fabric(Simulator* sim, LinkModelFn model_fn);
+  // `instance` names this fabric's slice of the simulator's metrics
+  // registry: counters live under "fabric.<instance>." (made unique with a
+  // #N suffix if two fabrics pick the same instance name).
+  Fabric(Simulator* sim, LinkModelFn model_fn, std::string instance = "fabric");
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -190,17 +194,33 @@ class Fabric {
 
   // --- Observability ----------------------------------------------------
 
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
-  // Bytes offered on inter-region links; the §5.7 cost model charges these.
-  uint64_t wan_bytes_sent() const { return wan_bytes_sent_; }
+  // All counters live in the simulator's MetricsRegistry under
+  // "fabric.<instance>." — the accessors below read the registry-backed
+  // instruments (resolved once at construction, so the hot path is still a
+  // plain integer bump). `metrics()` is this fabric's registry slice.
+  obs::MetricsScope metrics() const { return obs::MetricsScope(&sim_->metrics(), prefix_); }
+  const std::string& metrics_prefix() const { return prefix_; }
 
+  uint64_t messages_sent() const { return messages_sent_->value(); }
+  uint64_t messages_dropped() const { return messages_dropped_->value(); }
+  uint64_t bytes_sent() const { return bytes_sent_->value(); }
+  // Bytes offered on inter-region links; the §5.7 cost model charges these.
+  uint64_t wan_bytes_sent() const { return wan_bytes_sent_->value(); }
+
+  // Per-kind instruments are created on first use, so a fabric's metrics
+  // snapshot only lists kinds that actually crossed it.
   uint64_t messages_of(MessageKind kind) const {
-    return messages_by_kind_[static_cast<int>(kind)];
+    const KindCounters& k = kind_counters_[static_cast<int>(kind)];
+    return k.sent == nullptr ? 0 : k.sent->value();
   }
-  uint64_t bytes_of(MessageKind kind) const { return bytes_by_kind_[static_cast<int>(kind)]; }
-  uint64_t drops_of(MessageKind kind) const { return drops_by_kind_[static_cast<int>(kind)]; }
+  uint64_t bytes_of(MessageKind kind) const {
+    const KindCounters& k = kind_counters_[static_cast<int>(kind)];
+    return k.bytes == nullptr ? 0 : k.bytes->value();
+  }
+  uint64_t drops_of(MessageKind kind) const {
+    const KindCounters& k = kind_counters_[static_cast<int>(kind)];
+    return k.dropped == nullptr ? 0 : k.dropped->value();
+  }
 
   // Stats of the directed channel from -> to; nullptr if no message has ever
   // been offered on it.
@@ -211,9 +231,16 @@ class Fabric {
   void ForEachChannel(const std::function<void(const Channel&)>& fn) const;
 
  private:
+  struct KindCounters {
+    obs::Counter* sent = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* dropped = nullptr;
+  };
+
   Channel& ChannelFor(EndpointId from, EndpointId to);
   bool ShouldDrop(const SendContext& ctx);
   SimDuration SpikeExtra(EndpointId from, EndpointId to);
+  KindCounters& KindFor(MessageKind kind);
 
   static uint64_t PairKey(EndpointId from, EndpointId to) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
@@ -247,13 +274,12 @@ class Fabric {
   // Symmetric pair -> (extra delay, expiry time).
   std::map<uint64_t, std::pair<SimDuration, SimTime>> delay_spikes_;
 
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t bytes_sent_ = 0;
-  uint64_t wan_bytes_sent_ = 0;
-  std::array<uint64_t, kNumMessageKinds> messages_by_kind_{};
-  std::array<uint64_t, kNumMessageKinds> bytes_by_kind_{};
-  std::array<uint64_t, kNumMessageKinds> drops_by_kind_{};
+  std::string prefix_;  // "fabric.<instance>" in the simulator's registry.
+  obs::Counter* messages_sent_;
+  obs::Counter* messages_dropped_;
+  obs::Counter* bytes_sent_;
+  obs::Counter* wan_bytes_sent_;
+  std::array<KindCounters, kNumMessageKinds> kind_counters_{};
 };
 
 }  // namespace net

@@ -73,7 +73,7 @@ Network::Network(Simulator* sim, LatencyMatrix latency, NetworkOptions options)
           model.bandwidth_bytes_per_sec = options_.wan_bandwidth_bytes_per_sec;
         }
         return model;
-      }) {
+      }, "wan") {
   fabric_.set_drop_probability(options_.drop_probability);
   for (int r = 0; r < kNumRegions; ++r) {
     anchors_[r] = fabric_.AddEndpoint(std::string(RegionName(static_cast<Region>(r))),

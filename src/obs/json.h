@@ -1,0 +1,69 @@
+// Minimal JSON emission helpers for the observability layer.
+//
+// Everything the simulator exports as machine-readable output — metrics
+// snapshots, Chrome trace-event files, BENCH_*.json perf records — goes
+// through this writer so escaping and number formatting are uniform and the
+// output is byte-deterministic for a given call sequence (no locale, no
+// pointer-keyed iteration).
+
+#ifndef RADICAL_SRC_OBS_JSON_H_
+#define RADICAL_SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace radical {
+namespace obs {
+
+// Escapes a string for inclusion inside JSON double quotes.
+std::string JsonEscape(const std::string& s);
+
+// Renders a double with fixed precision and no locale dependence ("12.500").
+// NaN and infinities (invalid JSON) render as 0.
+std::string JsonNumber(double value, int digits = 3);
+
+// Streaming JSON writer with automatic comma placement. Usage:
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("name"); w.String("radical");
+//   w.Key("runs"); w.BeginArray(); ... w.EndArray();
+//   w.EndObject();
+//   std::string out = w.str();
+//
+// The writer does not validate nesting beyond a debug assert; callers are
+// expected to emit well-formed sequences.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& key);
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value, int digits = 3);
+  void Bool(bool value);
+  void Null();
+  // Emits a pre-rendered JSON fragment verbatim (must itself be valid).
+  void Raw(const std::string& fragment);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  // Called before any value or container opener; inserts a separating comma
+  // when the current context already holds a value.
+  void BeforeValue();
+
+  std::string out_;
+  // One flag per open container: true once a value was written in it.
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace radical
+
+#endif  // RADICAL_SRC_OBS_JSON_H_

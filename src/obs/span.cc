@@ -1,0 +1,99 @@
+#include "src/obs/span.h"
+
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace radical {
+namespace obs {
+
+namespace {
+
+const char* TrackName(SpanTrack track) {
+  switch (track) {
+    case SpanTrack::kClient:
+      return "radical client (near-user runtime)";
+    case SpanTrack::kServer:
+      return "radical server (near-storage)";
+    case SpanTrack::kNetwork:
+      return "network fabric";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SpanCollector::ToChromeTraceJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  // Process-name metadata rows so Perfetto labels the tracks.
+  for (const SpanTrack track :
+       {SpanTrack::kClient, SpanTrack::kServer, SpanTrack::kNetwork}) {
+    w.BeginObject();
+    w.Key("name");
+    w.String("process_name");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.Int(static_cast<int>(track));
+    w.Key("tid");
+    w.Int(0);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(TrackName(track));
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const Span& span : spans_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(span.name);
+    w.Key("cat");
+    w.String(span.category);
+    w.Key("ph");
+    w.String("X");
+    w.Key("ts");
+    w.Int(span.start);
+    w.Key("dur");
+    w.Int(span.duration);
+    w.Key("pid");
+    w.Int(static_cast<int>(span.track));
+    w.Key("tid");
+    w.Uint(span.lane);
+    if (!span.args.empty()) {
+      w.Key("args");
+      w.BeginObject();
+      for (const auto& [key, value] : span.args) {
+        w.Key(key);
+        w.String(value);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool SpanCollector::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written != json.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace radical

@@ -1,0 +1,71 @@
+// Per-request span traces, exportable as Chrome trace-event JSON.
+//
+// Each protocol leg of a request — instantiation, f^rw, speculation, every
+// LVI/direct/followup attempt, the server's lock/validate/intent/backup
+// substeps — is recorded as one complete Span. A SpanCollector accumulates
+// spans and serializes them in the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// which Perfetto (https://ui.perfetto.dev) and chrome://tracing open
+// directly. Virtual time is microseconds, which is exactly the trace-event
+// `ts`/`dur` unit — no conversion.
+//
+// Track mapping: `pid` is a small integer per component ("process") and
+// `tid` is the execution id, so Perfetto shows one row per request with its
+// legs laid end to end, client-side and server-side legs on separate
+// processes.
+
+#ifndef RADICAL_SRC_OBS_SPAN_H_
+#define RADICAL_SRC_OBS_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace radical {
+namespace obs {
+
+// Component ("process") a span belongs to; becomes the trace-event pid and
+// its metadata process_name.
+enum class SpanTrack : int {
+  kClient = 1,   // Near-user runtime legs.
+  kServer = 2,   // Near-storage (LVI server) legs.
+  kNetwork = 3,  // Fabric-level legs (reserved).
+};
+
+struct Span {
+  std::string name;      // e.g. "lvi.attempt#2"
+  std::string category;  // e.g. "runtime", "lvi_server"
+  SpanTrack track = SpanTrack::kClient;
+  uint64_t lane = 0;  // tid: execution id (one row per request).
+  SimTime start = 0;
+  SimDuration duration = 0;
+  // Key/value annotations, serialized as the event's args in given order.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class SpanCollector {
+ public:
+  void Add(Span span) { spans_.push_back(std::move(span)); }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  size_t size() const { return spans_.size(); }
+  void Clear() { spans_.clear(); }
+
+  // Complete ("ph":"X") events in insertion order, preceded by process-name
+  // metadata, wrapped in {"traceEvents": [...]}.
+  std::string ToChromeTraceJson() const;
+
+  // Writes ToChromeTraceJson() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace obs
+}  // namespace radical
+
+#endif  // RADICAL_SRC_OBS_SPAN_H_

@@ -51,6 +51,22 @@ RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalCo
                                                 server_.get(), &registry_, &interpreter_,
                                                 config_, &externals_, server_endpoint_));
   }
+  // Store statistics surface as callback gauges: read at snapshot time, so
+  // the kv hot paths carry no instrumentation cost.
+  obs::MetricsRegistry& reg = sim->metrics();
+  primary_.RegisterMetrics(&reg, reg.UniqueScopeName("store.primary"));
+  for (const auto& [region, runtime] : runtimes_) {
+    runtime->cache().RegisterMetrics(
+        &reg, reg.UniqueScopeName(std::string("cache.") + RegionName(region)));
+  }
+}
+
+void RadicalDeployment::AttachSpans(obs::SpanCollector* spans) {
+  server_->set_span_collector(spans);
+  for (auto& [region, runtime] : runtimes_) {
+    (void)region;
+    runtime->set_span_collector(spans);
+  }
 }
 
 RadicalDeployment::~RadicalDeployment() = default;
@@ -94,6 +110,8 @@ PrimaryBaselineDeployment::PrimaryBaselineDeployment(Simulator* sim, Network* ne
   server_ = std::make_unique<LviServer>(sim, &primary_, &registry_, &interpreter_, locks_.get(),
                                         ServerOptionsFor(config_), /*replicated=*/false,
                                         &externals_);
+  obs::MetricsRegistry& reg = sim->metrics();
+  primary_.RegisterMetrics(&reg, reg.UniqueScopeName("store.primary"));
 }
 
 void PrimaryBaselineDeployment::Invoke(Region origin, const std::string& function,
@@ -148,6 +166,11 @@ LocalIdealDeployment::LocalIdealDeployment(Simulator* sim, RadicalConfig config,
     options.read_latency = config_.cache.read_latency;
     options.write_latency = config_.cache.write_latency;
     stores_.emplace(region, std::make_unique<VersionedStore>(options));
+  }
+  obs::MetricsRegistry& reg = sim->metrics();
+  for (const auto& [region, store] : stores_) {
+    store->RegisterMetrics(
+        &reg, reg.UniqueScopeName(std::string("store.") + RegionName(region)));
   }
 }
 

@@ -59,6 +59,11 @@ class RadicalDeployment : public AppService {
   // steady state after the gradual bootstrap of §3.2.
   void WarmCaches();
 
+  // Routes every runtime's and the server's protocol-leg spans into
+  // `spans` (nullptr detaches). The collector must outlive the deployment's
+  // remaining requests.
+  void AttachSpans(obs::SpanCollector* spans);
+
   Runtime& runtime(Region region);
   LviServer& server() { return *server_; }
   // The LVI server's fabric address, shared by every runtime; its

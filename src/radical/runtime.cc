@@ -21,7 +21,10 @@ Runtime::Runtime(Simulator* sim, Network* network, Region region, Region server_
       interpreter_(interpreter),
       config_(config),
       cache_(config.cache),
+      metrics_(&sim->metrics(),
+               sim->metrics().UniqueScopeName(std::string("runtime.") + RegionName(region))),
       externals_(externals) {
+  latency_hist_ = metrics_.histogram("e2e_latency");
   self_ = network->AddEndpoint(std::string("runtime@") + RegionName(region), region);
   if (server_endpoint.valid()) {
     server_endpoint_ = server_endpoint;
@@ -35,7 +38,7 @@ Runtime::Runtime(Simulator* sim, Network* network, Region region, Region server_
 }
 
 void Runtime::Invoke(const std::string& function, std::vector<Value> inputs, DoneFn done) {
-  counters_.Increment("requests");
+  metrics_.Increment("requests");
   const SimTime invoked_at = sim_->Now();
   // §5.5 components (1) and (2): instantiate the function, load the blob.
   sim_->Schedule(config_.lambda_invoke + config_.blob_load,
@@ -55,14 +58,14 @@ void Runtime::Invoke(const std::string& function, std::vector<Value> inputs, Don
     assert(fn != nullptr && "function not registered");
     if (!fn->analyzable) {
       // §3.3 failure case: always run in the near-storage location.
-      counters_.Increment("direct_unanalyzable");
+      metrics_.Increment("direct_unanalyzable");
       InvokeDirect(std::move(state));
       return;
     }
     // (1) Run f^rw on the same inputs to get this execution's read/write set.
     RwPrediction prediction = PredictRwSet(*fn, state->inputs, &cache_, *interpreter_);
     if (!prediction.ok()) {
-      counters_.Increment("frw_failed");
+      metrics_.Increment("frw_failed");
       InvokeDirect(std::move(state));
       return;
     }
@@ -78,7 +81,7 @@ void Runtime::Invoke(const std::string& function, std::vector<Value> inputs, Don
 }
 
 void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
-  state->trace.lvi_sent = sim_->Now();
+  RequestTrace::StampOnce(&state->trace.lvi_sent, sim_->Now());
   const AnalyzedFunction* fn = registry_->Find(state->function);
   // Assemble the LVI request: every item with its cached version and lock
   // mode; misses carry version -1 so validation is guaranteed to fail and
@@ -118,11 +121,11 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
   // on a cache miss (validation is guaranteed to fail) and under the
   // no-speculation ablation.
   if (read_missing) {
-    counters_.Increment("spec_skipped_miss");
+    metrics_.Increment("spec_skipped_miss");
     return;
   }
   if (!config_.speculation_enabled) {
-    counters_.Increment("spec_disabled");
+    metrics_.Increment("spec_disabled");
     return;
   }
   state->buffer = std::make_unique<WriteBuffer>(&cache_);
@@ -132,10 +135,10 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
   assert(exec.ok() && "speculative execution failed");
   state->speculated = true;
   state->trace.speculated = true;
-  counters_.Increment("speculations");
+  metrics_.Increment("speculations");
   sim_->Schedule(exec.elapsed, [this, state, result = exec.return_value] {
     state->spec_finished = true;
-    state->trace.spec_finished = sim_->Now();
+    RequestTrace::StampOnce(&state->trace.spec_finished, sim_->Now());
     state->spec_result = result;
     TryComplete(state);
   });
@@ -157,13 +160,30 @@ void Runtime::CancelTimeout(const std::shared_ptr<RequestState>& state) {
   }
 }
 
+void Runtime::RecordAttempt(const std::shared_ptr<RequestState>& state, AttemptPath path,
+                            int number) {
+  state->trace.attempts.push_back(RequestAttempt{path, number, sim_->Now(), 0, {}});
+}
+
+void Runtime::ResolveAttempt(const std::shared_ptr<RequestState>& state, AttemptPath path,
+                             const char* outcome) {
+  auto& attempts = state->trace.attempts;
+  for (auto it = attempts.rbegin(); it != attempts.rend(); ++it) {
+    if (it->path == path && it->outcome.empty()) {
+      it->resolved = sim_->Now();
+      it->outcome = outcome;
+      return;
+    }
+  }
+}
+
 void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
   if (state->completed || state->response_received) {
     return;
   }
   ++state->lvi_attempts;
   if (state->lvi_attempts > 1) {
-    counters_.Increment("retries");
+    metrics_.Increment("retries");
     ++state->trace.retries;
   }
   // Fail fast when the deterministic fault state (partition, isolation)
@@ -171,6 +191,7 @@ void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
   // schedule running at a quarter of the timeout so recovery is noticed
   // quickly. Probabilistic loss is invisible, as on a real network.
   const bool reachable = self_.CanReach(server_endpoint_);
+  RecordAttempt(state, AttemptPath::kLvi, state->lvi_attempts);
   if (reachable) {
     SendToServer(net::MessageKind::kLviRequest, state->lvi_request_size, [this, state] {
       server_->HandleLviRequest(state->lvi_request, [this, state](LviResponse response) {
@@ -182,7 +203,8 @@ void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
       });
     });
   } else {
-    counters_.Increment("fast_fail");
+    metrics_.Increment("fast_fail");
+    ResolveAttempt(state, AttemptPath::kLvi, "fast_fail");
   }
   if (!config_.retry.enabled) {
     return;
@@ -198,12 +220,13 @@ void Runtime::OnLviResponse(const std::shared_ptr<RequestState>& state, LviRespo
   if (state->completed || state->response_received || state->lvi_abandoned) {
     // A slow or duplicate response raced a retry (or the direct fallback
     // already owns the request): the first one in wins.
-    counters_.Increment("late_response_ignored");
+    metrics_.Increment("late_response_ignored");
     return;
   }
   CancelTimeout(state);
   state->response_received = true;
-  state->trace.response_received = sim_->Now();
+  ResolveAttempt(state, AttemptPath::kLvi, "response");
+  RequestTrace::StampOnce(&state->trace.response_received, sim_->Now());
   state->trace.validated = response.validated;
   state->response = std::move(response);
   TryComplete(state);
@@ -213,12 +236,13 @@ void Runtime::OnLviTimeout(const std::shared_ptr<RequestState>& state) {
   if (state->completed || state->response_received) {
     return;
   }
-  counters_.Increment("timeouts");
+  metrics_.Increment("timeouts");
+  ResolveAttempt(state, AttemptPath::kLvi, "timeout");
   if (state->lvi_attempts >= config_.retry.max_lvi_attempts) {
     // Budget exhausted: degrade to the direct path, which retries without
     // bound. Discard the speculation — the direct response is authoritative
     // and never commits through a followup.
-    counters_.Increment("fallback_direct");
+    metrics_.Increment("fallback_direct");
     state->lvi_abandoned = true;
     state->trace.fallback_direct = true;
     if (state->buffer != nullptr) {
@@ -237,10 +261,11 @@ void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
   }
   ++state->direct_attempts;
   if (state->direct_attempts > 1) {
-    counters_.Increment("retries");
+    metrics_.Increment("retries");
     ++state->trace.retries;
   }
   const bool reachable = self_.CanReach(server_endpoint_);
+  RecordAttempt(state, AttemptPath::kDirect, state->direct_attempts);
   if (reachable) {
     SendToServer(net::MessageKind::kDirectRequest, state->direct_request_size, [this, state] {
       server_->HandleDirect(state->direct_request, [this, state](DirectResponse response) {
@@ -252,7 +277,8 @@ void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
       });
     });
   } else {
-    counters_.Increment("fast_fail");
+    metrics_.Increment("fast_fail");
+    ResolveAttempt(state, AttemptPath::kDirect, "fast_fail");
   }
   if (!config_.retry.enabled) {
     return;
@@ -267,12 +293,13 @@ void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
 void Runtime::OnDirectResponse(const std::shared_ptr<RequestState>& state,
                                DirectResponse response) {
   if (state->completed) {
-    counters_.Increment("late_response_ignored");
+    metrics_.Increment("late_response_ignored");
     return;
   }
   CancelTimeout(state);
   state->completed = true;
-  state->trace.response_received = sim_->Now();
+  ResolveAttempt(state, AttemptPath::kDirect, "response");
+  RequestTrace::StampOnce(&state->trace.response_received, sim_->Now());
   for (const FreshItem& item : response.fresh_items) {
     cache_.Install(item.key, item.value, item.version);
   }
@@ -283,7 +310,8 @@ void Runtime::OnDirectTimeout(const std::shared_ptr<RequestState>& state) {
   if (state->completed) {
     return;
   }
-  counters_.Increment("timeouts");
+  metrics_.Increment("timeouts");
+  ResolveAttempt(state, AttemptPath::kDirect, "timeout");
   SendDirectAttempt(state);
 }
 
@@ -309,7 +337,7 @@ void Runtime::TryComplete(const std::shared_ptr<RequestState>& state) {
 
 void Runtime::CompleteValidated(const std::shared_ptr<RequestState>& state) {
   if (state->speculated) {
-    counters_.Increment("validated_speculative");
+    metrics_.Increment("validated_speculative");
     CommitSpeculation(state, state->spec_result);
     return;
   }
@@ -317,7 +345,7 @@ void Runtime::CompleteValidated(const std::shared_ptr<RequestState>& state) {
   // absent at the primary too, or the no-speculation ablation): execute now
   // against the cache — validation pinned every item to the primary's state,
   // so the local run is equivalent to a near-storage run.
-  counters_.Increment("validated_local_exec");
+  metrics_.Increment("validated_local_exec");
   const AnalyzedFunction* fn = registry_->Find(state->function);
   state->buffer = std::make_unique<WriteBuffer>(&cache_);
   const ExecEnv env{state->exec_id, externals_};
@@ -360,7 +388,7 @@ void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Valu
       if (followup_filter_ && !followup_filter_(followup)) {
         // Injected near-user failure: the followup never leaves; the write
         // intent's timer will re-execute near storage.
-        counters_.Increment("followups_dropped");
+        metrics_.Increment("followups_dropped");
         return;
       }
       const size_t followup_size = EncodeWriteFollowup(followup).size();
@@ -375,7 +403,7 @@ void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Valu
     // is kept for retransmission: a lost followup (or ack) no longer hangs
     // the client, and a nack from a down server retransmits immediately on
     // the backoff schedule.
-    counters_.Increment("two_rtt_commits");
+    metrics_.Increment("two_rtt_commits");
     state->followup = std::move(followup);
     state->followup_size = EncodeWriteFollowup(state->followup).size();
     state->pending_result = std::move(result);
@@ -389,11 +417,12 @@ void Runtime::SendFollowupAttempt(const std::shared_ptr<RequestState>& state) {
   }
   ++state->followup_attempts;
   if (state->followup_attempts > 1) {
-    counters_.Increment("retries");
-    counters_.Increment("followup_retransmits");
+    metrics_.Increment("retries");
+    metrics_.Increment("followup_retransmits");
     ++state->trace.retries;
   }
   const bool reachable = self_.CanReach(server_endpoint_);
+  RecordAttempt(state, AttemptPath::kFollowup, state->followup_attempts);
   if (reachable) {
     SendToServer(net::MessageKind::kWriteFollowup, state->followup_size, [this, state] {
       server_->HandleFollowup(state->followup, [this, state](bool applied) {
@@ -402,7 +431,8 @@ void Runtime::SendFollowupAttempt(const std::shared_ptr<RequestState>& state) {
       });
     });
   } else {
-    counters_.Increment("fast_fail");
+    metrics_.Increment("fast_fail");
+    ResolveAttempt(state, AttemptPath::kFollowup, "fast_fail");
   }
   if (!config_.retry.enabled) {
     return;
@@ -431,7 +461,8 @@ void Runtime::OnFollowupAck(const std::shared_ptr<RequestState>& state, bool app
   if (!applied) {
     // Deterministic failure (the server was down): retransmit now instead
     // of waiting out the timer, unless the budget is spent.
-    counters_.Increment("followup_nacks");
+    metrics_.Increment("followup_nacks");
+    ResolveAttempt(state, AttemptPath::kFollowup, "nack");
     if (state->followup_attempts >= config_.retry.max_followup_attempts ||
         !config_.retry.enabled) {
       GiveUpFollowup(state);
@@ -441,6 +472,7 @@ void Runtime::OnFollowupAck(const std::shared_ptr<RequestState>& state, bool app
     return;
   }
   state->followup_done = true;
+  ResolveAttempt(state, AttemptPath::kFollowup, "ack");
   Reply(state, std::move(state->pending_result));
 }
 
@@ -448,6 +480,7 @@ void Runtime::OnFollowupTimeout(const std::shared_ptr<RequestState>& state) {
   if (state->followup_done) {
     return;
   }
+  ResolveAttempt(state, AttemptPath::kFollowup, "timeout");
   if (state->followup_attempts >= config_.retry.max_followup_attempts) {
     GiveUpFollowup(state);
     return;
@@ -460,13 +493,14 @@ void Runtime::GiveUpFollowup(const std::shared_ptr<RequestState>& state) {
   // writes reach the primary (deterministic re-execution, §3.4), so answer
   // the client rather than hang — the ablation's second round trip degrades
   // to the one-RTT guarantee under failure.
-  counters_.Increment("followup_give_up");
+  metrics_.Increment("followup_give_up");
   state->followup_done = true;
+  ResolveAttempt(state, AttemptPath::kFollowup, "gave_up");
   Reply(state, std::move(state->pending_result));
 }
 
 void Runtime::CompleteFailed(const std::shared_ptr<RequestState>& state) {
-  counters_.Increment("invalidated_speculative");
+  metrics_.Increment("invalidated_speculative");
   // (8b) Repair the cache with the fresh items from the backup execution,
   // then (9b) return the backup result to the client.
   if (state->buffer != nullptr) {
@@ -505,15 +539,17 @@ void Runtime::Reply(const std::shared_ptr<RequestState>& state, Value result) {
   if (!state->done) {
     // A duplicate completion (a late response racing a retry, or a second
     // ack) must not inflate the reply count: the client was answered once.
-    counters_.Increment("duplicate_replies");
+    metrics_.Increment("duplicate_replies");
     return;
   }
   state->completed = true;
-  counters_.Increment("replies");
-  state->trace.replied = sim_->Now();
+  metrics_.Increment("replies");
+  RequestTrace::StampOnce(&state->trace.replied, sim_->Now());
+  latency_hist_->Record(state->trace.Total());
   if (tracer_ != nullptr) {
     tracer_->Record(state->trace);
   }
+  AppendSpans(state->trace, spans_);
   DoneFn done = std::move(state->done);
   done(std::move(result));
 }

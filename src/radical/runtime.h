@@ -28,6 +28,8 @@
 #include "src/kv/cache_store.h"
 #include "src/lvi/lvi_server.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/radical/config.h"
 #include "src/radical/trace.h"
 
@@ -56,7 +58,10 @@ class Runtime {
 
   Region region() const { return region_; }
   CacheStore& cache() { return cache_; }
-  const Counters& counters() const { return counters_; }
+  // The runtime's counters live in the simulator's MetricsRegistry under
+  // "runtime.<region>."; this is its registry slice (copyable view, returned
+  // by value).
+  obs::MetricsScope counters() const { return metrics_; }
 
   // This runtime's fabric address; tests target it with per-kind drop rules
   // (e.g. drop kWriteFollowup from this endpoint).
@@ -74,6 +79,11 @@ class Runtime {
   // Attaches a trace collector; every completed request records a
   // RequestTrace with its §5.5 phase boundaries. Pass nullptr to detach.
   void set_tracer(TraceCollector* tracer) { tracer_ = tracer; }
+
+  // Attaches a span sink: every completed request appends its client-track
+  // spans (§5.5 components plus one span per attempt; see AppendSpans).
+  // Pass nullptr to detach. Must outlive the runtime while attached.
+  void set_span_collector(obs::SpanCollector* spans) { spans_ = spans; }
 
  private:
   struct RequestState {
@@ -140,6 +150,11 @@ class Runtime {
   // Exponential backoff: request_timeout * backoff^(attempt-1), capped.
   SimDuration AttemptTimeout(int attempt) const;
   void CancelTimeout(const std::shared_ptr<RequestState>& state);
+  // Attempt bookkeeping for the trace: opens one RequestAttempt per
+  // transmission; Resolve closes the newest open attempt on `path`.
+  void RecordAttempt(const std::shared_ptr<RequestState>& state, AttemptPath path, int number);
+  void ResolveAttempt(const std::shared_ptr<RequestState>& state, AttemptPath path,
+                      const char* outcome);
   // Called when either the speculative execution or the LVI response is
   // ready; completes the request when both are.
   void TryComplete(const std::shared_ptr<RequestState>& state);
@@ -166,10 +181,13 @@ class Runtime {
   const Interpreter* interpreter_;
   const RadicalConfig& config_;
   CacheStore cache_;
-  Counters counters_;
+  obs::MetricsScope metrics_;
+  // Resolved once: end-to-end latency histogram, bumped on every Reply.
+  obs::LatencyHistogram* latency_hist_ = nullptr;
   FollowupFilter followup_filter_;
   ExternalServiceRegistry* externals_;
   TraceCollector* tracer_ = nullptr;
+  obs::SpanCollector* spans_ = nullptr;
 };
 
 }  // namespace radical

@@ -1,6 +1,72 @@
 #include "src/radical/trace.h"
 
+#include <string>
+
 namespace radical {
+
+const char* AttemptPathName(AttemptPath path) {
+  switch (path) {
+    case AttemptPath::kLvi:
+      return "lvi";
+    case AttemptPath::kDirect:
+      return "direct";
+    case AttemptPath::kFollowup:
+      return "followup";
+  }
+  return "?";
+}
+
+namespace {
+
+void AddClientSpan(obs::SpanCollector* spans, const RequestTrace& trace, const char* name,
+                   SimTime start, SimTime end,
+                   std::vector<std::pair<std::string, std::string>> args = {}) {
+  if (end < start) {
+    return;  // Phase never happened on this path.
+  }
+  spans->Add(obs::Span{name, "runtime", obs::SpanTrack::kClient, trace.exec_id, start,
+                       end - start, std::move(args)});
+}
+
+}  // namespace
+
+void AppendSpans(const RequestTrace& trace, obs::SpanCollector* spans) {
+  if (spans == nullptr) {
+    return;
+  }
+  // The whole request, annotated with its outcome.
+  AddClientSpan(spans, trace, "request", trace.invoked, trace.replied,
+                {{"function", trace.function},
+                 {"region", RegionName(trace.region)},
+                 {"speculated", trace.speculated ? "true" : "false"},
+                 {"validated", trace.validated ? "true" : "false"},
+                 {"direct", trace.direct ? "true" : "false"},
+                 {"fallback_direct", trace.fallback_direct ? "true" : "false"},
+                 {"retries", std::to_string(trace.retries)}});
+  // The §5.5 components, laid end to end under the request span.
+  AddClientSpan(spans, trace, "instantiation", trace.invoked, trace.FrwStartAnchor());
+  if (trace.lvi_sent != 0) {
+    AddClientSpan(spans, trace, "frw", trace.FrwStartAnchor(), trace.lvi_sent);
+  }
+  AddClientSpan(spans, trace, "overlap_window", trace.DepartAnchor(), trace.ResponseAnchor());
+  if (trace.speculated && trace.spec_finished != 0) {
+    AddClientSpan(spans, trace, "speculation", trace.lvi_sent, trace.spec_finished);
+  }
+  if (trace.LviStall() > 0) {
+    AddClientSpan(spans, trace, "lvi_stall", trace.spec_finished, trace.response_received);
+  }
+  AddClientSpan(spans, trace, "completion", trace.ResponseAnchor(), trace.replied);
+  // One span per transmission, retries included.
+  for (const RequestAttempt& attempt : trace.attempts) {
+    const SimTime end = attempt.resolved != 0 ? attempt.resolved : attempt.sent;
+    AddClientSpan(spans, trace,
+                  (std::string(AttemptPathName(attempt.path)) + ".attempt#" +
+                   std::to_string(attempt.number))
+                      .c_str(),
+                  attempt.sent, end,
+                  {{"outcome", attempt.outcome.empty() ? "open" : attempt.outcome}});
+  }
+}
 
 std::vector<const RequestTrace*> TraceCollector::ForFunction(const std::string& function) const {
   std::vector<const RequestTrace*> out;

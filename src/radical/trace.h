@@ -7,6 +7,11 @@
 // phase boundary into a RequestTrace; the TraceCollector aggregates them so
 // benches (bench/latency_breakdown) and tests can attribute where time goes
 // — the same analysis Figure 6's discussion performs.
+//
+// Each network attempt (every LVI try, direct try, and followup
+// transmission, including retries) is additionally recorded as a
+// RequestAttempt, and AppendSpans() turns a completed trace into
+// client-track spans for the Chrome trace-event export (src/obs/span.h).
 
 #ifndef RADICAL_SRC_RADICAL_TRACE_H_
 #define RADICAL_SRC_RADICAL_TRACE_H_
@@ -18,16 +23,36 @@
 
 #include "src/common/stats.h"
 #include "src/common/types.h"
+#include "src/obs/span.h"
 #include "src/sim/region.h"
 
 namespace radical {
+
+// Which protocol leg a network attempt belongs to.
+enum class AttemptPath { kLvi, kDirect, kFollowup };
+
+const char* AttemptPathName(AttemptPath path);
+
+// One transmission on the wire: the original send or any retry, on any path.
+struct RequestAttempt {
+  AttemptPath path = AttemptPath::kLvi;
+  int number = 1;         // 1-based attempt number within its path.
+  SimTime sent = 0;       // When the attempt left the runtime.
+  SimTime resolved = 0;   // When it came back (response/ack/timeout); 0 =
+                          // superseded without an own resolution event.
+  std::string outcome;    // "response", "timeout", "ack", "nack", "gave_up",
+                          // "fast_fail", ... (empty while open).
+};
 
 struct RequestTrace {
   ExecutionId exec_id = 0;
   std::string function;
   Region region = Region::kVA;
 
-  // Phase boundaries (virtual time). Zero means "did not happen".
+  // Phase boundaries (virtual time). Zero means "did not happen". Phases are
+  // first-wins: a retry must never move a boundary that is already stamped
+  // (stamp through StampOnce), so the timeline stays monotonic — retries get
+  // their own RequestAttempt entries instead.
   SimTime invoked = 0;        // Client called Invoke.
   SimTime frw_started = 0;    // Instantiation + blob load done; f^rw begins.
   SimTime lvi_sent = 0;       // f^rw done; LVI request leaves (speculation
@@ -35,6 +60,14 @@ struct RequestTrace {
   SimTime spec_finished = 0;  // Speculative execution completed.
   SimTime response_received = 0;  // LVI response (or direct response) back.
   SimTime replied = 0;        // Client answered.
+
+  // Stamps `now` into `*slot` only if the slot is still zero; retries reuse
+  // this so the first occurrence of a phase wins.
+  static void StampOnce(SimTime* slot, SimTime now) {
+    if (*slot == 0) {
+      *slot = now;
+    }
+  }
 
   // Outcome flags.
   bool speculated = false;
@@ -46,17 +79,60 @@ struct RequestTrace {
   int retries = 0;
   bool fallback_direct = false;
 
+  // Every transmission, in send order (first LVI try, its retries, a direct
+  // fallback, followup (re)transmissions, ...).
+  std::vector<RequestAttempt> attempts;
+
+  // True when every nonzero phase boundary is in timeline order. Traces
+  // recorded by the runtime must satisfy this even across retries (the
+  // regression tests assert it).
+  bool PhasesMonotonic() const {
+    SimTime last = 0;
+    for (const SimTime t : {invoked, frw_started, lvi_sent}) {
+      if (t == 0) {
+        continue;
+      }
+      if (t < last) {
+        return false;
+      }
+      last = t;
+    }
+    // Speculation and the response overlap — each only has to be after the
+    // send, not ordered against the other.
+    if (spec_finished != 0 && spec_finished < last) {
+      return false;
+    }
+    if (response_received != 0 && response_received < last) {
+      return false;
+    }
+    const SimTime end = std::max({last, spec_finished, response_received});
+    return replied == 0 || replied >= end;
+  }
+
   // --- §5.5 component durations ------------------------------------------
+  // Each component runs from the previous phase boundary to the next, with
+  // unstamped boundaries collapsing onto the previous anchor (a direct-path
+  // request has no lvi_sent, for example). This keeps every component
+  // non-negative on every path and makes them sum exactly to Total().
+
+  // Start of f^rw; == invoked when f^rw never started (pure direct path).
+  SimTime FrwStartAnchor() const { return frw_started != 0 ? frw_started : invoked; }
+  // When the request left the runtime; == the f^rw anchor on direct paths
+  // (the direct send shows up in `attempts`, not as a phase).
+  SimTime DepartAnchor() const { return lvi_sent != 0 ? lvi_sent : FrwStartAnchor(); }
+  // When both the execution and the response were in.
+  SimTime ResponseAnchor() const {
+    const SimTime end = std::max(spec_finished, response_received);
+    return end != 0 ? end : DepartAnchor();
+  }
+
   // (1)+(2) Instantiation and blob load.
-  SimDuration Instantiation() const { return frw_started - invoked; }
-  // (3) f^rw execution (plus version gathering).
-  SimDuration FrwTime() const { return lvi_sent - frw_started; }
+  SimDuration Instantiation() const { return FrwStartAnchor() - invoked; }
+  // (3) f^rw execution (plus version gathering); 0 on direct paths.
+  SimDuration FrwTime() const { return DepartAnchor() - FrwStartAnchor(); }
   // (4) The overlap window: from LVI send until both the execution and the
   // response are in.
-  SimDuration OverlapWindow() const {
-    const SimTime end = std::max(spec_finished, response_received);
-    return end - lvi_sent;
-  }
+  SimDuration OverlapWindow() const { return ResponseAnchor() - DepartAnchor(); }
   // Time spent waiting on the LVI response *after* the speculative execution
   // finished (nonzero when the round trip, not execution, is the
   // bottleneck — the social-media-in-JP effect, §5.4).
@@ -68,9 +144,14 @@ struct RequestTrace {
   }
   // (5) Everything after the response (local completion, cache installs; on
   // the failure path this is just the reply since the backup already ran).
-  SimDuration Completion() const { return replied - std::max(response_received, spec_finished); }
+  SimDuration Completion() const { return replied - ResponseAnchor(); }
   SimDuration Total() const { return replied - invoked; }
 };
+
+// Appends one client-track span per phase of a completed trace — the §5.5
+// components end to end, plus one span per RequestAttempt — to `spans`
+// (lane = exec_id). No-op when `spans` is null.
+void AppendSpans(const RequestTrace& trace, obs::SpanCollector* spans);
 
 // Collects completed traces; aggregation helpers slice per function.
 class TraceCollector {

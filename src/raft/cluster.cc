@@ -1,5 +1,9 @@
 #include "src/raft/cluster.h"
 
+#include <string>
+
+#include "src/obs/metrics.h"
+
 namespace radical {
 
 RaftCluster::RaftCluster(Simulator* sim, int node_count, RaftOptions options,
@@ -13,6 +17,18 @@ RaftCluster::RaftCluster(Simulator* sim, int node_count, RaftOptions options,
   }
   for (auto& node : nodes_) {
     node->SetPeerResolver([this](NodeId id) { return nodes_[static_cast<size_t>(id)].get(); });
+  }
+  // Per-node health gauges, read off the node at snapshot time.
+  obs::MetricsRegistry& reg = sim->metrics();
+  const std::string prefix = reg.UniqueScopeName("raft");
+  for (NodeId id = 0; id < node_count; ++id) {
+    const RaftNode* n = nodes_[static_cast<size_t>(id)].get();
+    const std::string base = prefix + ".node" + std::to_string(id);
+    reg.AddCallbackGauge(base + ".term", [n] { return static_cast<int64_t>(n->term()); });
+    reg.AddCallbackGauge(base + ".commit_index",
+                         [n] { return static_cast<int64_t>(n->commit_index()); });
+    reg.AddCallbackGauge(base + ".is_leader", [n] { return n->is_leader() ? 1 : 0; });
+    reg.AddCallbackGauge(base + ".alive", [n] { return n->alive() ? 1 : 0; });
   }
 }
 

@@ -18,7 +18,7 @@ LocalMesh::LocalMesh(Simulator* sim, int node_count, LocalMeshOptions options)
         // The old mesh floored jittered delays at half the nominal value.
         model.min_delay_frac = 0.5;
         return model;
-      }) {
+      }, "mesh") {
   assert(node_count > 0);
   fabric_.set_drop_probability(options_.drop_probability);
   endpoints_.reserve(static_cast<size_t>(node_count));

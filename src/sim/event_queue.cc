@@ -1,21 +1,50 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace radical {
 
+namespace {
+// Don't bother compacting tiny heaps; rebuilds below this size cost more in
+// constant factors than the stale entries cost in memory.
+constexpr size_t kMinCompactHeapSize = 64;
+}  // namespace
+
 EventId EventQueue::Push(SimTime when, std::function<void()> fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::make_shared<std::function<void()>>(std::move(fn))});
+  heap_.push_back(Entry{when, id, std::make_shared<std::function<void()>>(std::move(fn))});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
   pending_.insert(id);
   return id;
 }
 
-bool EventQueue::Cancel(EventId id) { return pending_.erase(id) > 0; }
+bool EventQueue::Cancel(EventId id) {
+  if (pending_.erase(id) == 0) {
+    return false;
+  }
+  MaybeCompact();
+  return true;
+}
+
+void EventQueue::MaybeCompact() {
+  // Stale entries (cancelled or fired, still occupying heap slots) are
+  // heap_.size() - pending_.size(). Rebuild once they outnumber live ones:
+  // amortized O(1) per cancellation, and heap memory stays <= 2x live count.
+  if (heap_.size() < kMinCompactHeapSize || heap_.size() - pending_.size() <= pending_.size()) {
+    return;
+  }
+  auto live_end = std::remove_if(heap_.begin(), heap_.end(), [this](const Entry& e) {
+    return pending_.count(e.id) == 0;
+  });
+  heap_.erase(live_end, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+}
 
 void EventQueue::SkipCancelled() const {
-  while (!heap_.empty() && pending_.count(heap_.top().id) == 0) {
-    heap_.pop();
+  while (!heap_.empty() && pending_.count(heap_.front().id) == 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+    heap_.pop_back();
   }
 }
 
@@ -23,15 +52,16 @@ SimTime EventQueue::NextTime() const {
   assert(!empty());
   SkipCancelled();
   assert(!heap_.empty());
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 std::function<void()> EventQueue::Pop(SimTime* when, EventId* id) {
   assert(!empty());
   SkipCancelled();
   assert(!heap_.empty());
-  Entry top = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+  Entry top = std::move(heap_.back());
+  heap_.pop_back();
   pending_.erase(top.id);
   *when = top.when;
   if (id != nullptr) {

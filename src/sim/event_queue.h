@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -35,8 +34,11 @@ class EventQueue {
   EventId Push(SimTime when, std::function<void()> fn);
 
   // Cancels a pending event; returns false if it already fired or was
-  // cancelled. Cancellation is lazy: the entry stays in the heap and is
-  // skipped on pop.
+  // cancelled. Cancellation is lazy — the entry stays in the heap and is
+  // skipped on pop — but the heap is compacted whenever stale entries
+  // outnumber live ones, so memory stays proportional to live events even
+  // under schedule/cancel churn (e.g. per-request retry timers that almost
+  // always get cancelled).
   bool Cancel(EventId id);
 
   // True if `id` is scheduled and not yet fired or cancelled.
@@ -44,6 +46,9 @@ class EventQueue {
 
   bool empty() const { return pending_.empty(); }
   size_t size() const { return pending_.size(); }
+  // Heap entries including cancelled-but-not-yet-removed ones; the
+  // compaction regression test bounds this against size().
+  size_t heap_size() const { return heap_.size(); }
 
   // Time of the earliest live event. Requires !empty().
   SimTime NextTime() const;
@@ -59,6 +64,7 @@ class EventQueue {
     // Heap entries are copied during sifting; store the callback indirectly.
     std::shared_ptr<std::function<void()>> fn;
 
+    // Min-heap via std::*_heap with a greater-than comparison.
     bool operator>(const Entry& other) const {
       if (when != other.when) {
         return when > other.when;
@@ -71,7 +77,13 @@ class EventQueue {
   // state, so it is safe to call from const accessors (members are mutable).
   void SkipCancelled() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Rebuilds the heap from live entries only, when stale entries dominate.
+  void MaybeCompact();
+
+  // Binary min-heap managed with std::push_heap/pop_heap over a plain
+  // vector (std::priority_queue hides its container, which would make
+  // compaction impossible without popping everything).
+  mutable std::vector<Entry> heap_;
   // Ids scheduled and not yet fired/cancelled.
   mutable std::unordered_set<EventId> pending_;
   EventId next_id_ = 1;

@@ -14,6 +14,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_queue.h"
 
 namespace radical {
@@ -64,12 +65,19 @@ class Simulator {
   // Monotonic id source for executions, requests, etc.
   uint64_t NextId() { return next_id_++; }
 
+  // Central metrics registry for everything running on this simulator.
+  // Components resolve their instruments here (see src/obs/metrics.h); one
+  // registry per simulation keeps naming and export in one place.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t events_fired_ = 0;
   uint64_t next_id_ = 1;
   Rng rng_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace radical

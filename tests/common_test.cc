@@ -228,6 +228,36 @@ TEST(StatsTest, SingleSample) {
   EXPECT_DOUBLE_EQ(s.PercentileMs(99), 42.0);
 }
 
+// Regression: PercentileMs on an empty sampler used to read samples_[0] —
+// undefined behavior in release builds where the assert compiled away. It
+// now returns 0.0 like MeanMs.
+TEST(StatsTest, EmptySamplerPercentileIsZero) {
+  const LatencySampler s;
+  EXPECT_DOUBLE_EQ(s.PercentileMs(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.PercentileMs(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.PercentileMs(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.MeanMs(), 0.0);
+  EXPECT_EQ(s.Summarize().count, 0u);
+}
+
+TEST(StatsTest, SingleSampleIsEveryPercentile) {
+  LatencySampler s;
+  s.Add(Millis(7));
+  for (const double pct : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.PercentileMs(pct), 7.0) << "pct=" << pct;
+  }
+}
+
+TEST(StatsTest, TwoSampleInterpolation) {
+  LatencySampler s;
+  s.Add(Millis(20));
+  s.Add(Millis(10));  // Unsorted insertion order on purpose.
+  EXPECT_DOUBLE_EQ(s.PercentileMs(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.PercentileMs(25.0), 12.5);
+  EXPECT_DOUBLE_EQ(s.PercentileMs(50.0), 15.0);
+  EXPECT_DOUBLE_EQ(s.PercentileMs(100.0), 20.0);
+}
+
 TEST(StatsTest, MergeCombinesSamples) {
   LatencySampler a;
   LatencySampler b;

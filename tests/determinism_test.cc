@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
 #include "src/apps/apps.h"
 #include "src/lvi/lock_service.h"
+#include "src/obs/span.h"
 
 namespace radical {
 namespace {
@@ -92,6 +94,42 @@ TEST(DeterminismTest, NetworkJitterIsSeedDeterministic) {
   };
   EXPECT_EQ(sample(5), sample(5));
   EXPECT_NE(sample(5), sample(6));
+}
+
+// Export determinism: the observability layer's machine-readable outputs —
+// the full metrics snapshot (with histogram reservoirs) and the Chrome
+// trace-event span dump — must be byte-identical across same-seed runs.
+TEST(DeterminismTest, MetricsSnapshotAndTraceExportAreByteIdentical) {
+  auto exports = [](uint64_t seed) {
+    Simulator sim(seed);
+    Network net(&sim, LatencyMatrix::PaperDefault());
+    RadicalDeployment radical(&sim, &net, RadicalConfig{}, DeploymentRegions());
+    const AppSpec app = MakeSocialApp();
+    app.RegisterAll(&radical);
+    app.seed(&radical);
+    radical.WarmCaches();
+    obs::SpanCollector spans;
+    radical.AttachSpans(&spans);
+    WorkloadFn workload = app.make_workload();
+    Rng rng(seed * 7 + 3);
+    for (int i = 0; i < 60; ++i) {
+      const Region region = DeploymentRegions()[rng.NextBelow(DeploymentRegions().size())];
+      RequestSpec spec = workload(rng);
+      const SimDuration at = static_cast<SimDuration>(rng.NextBelow(Seconds(2)));
+      sim.Schedule(at, [&radical, region, spec = std::move(spec)]() mutable {
+        radical.Invoke(region, spec.function, std::move(spec.inputs), [](Value) {});
+      });
+    }
+    sim.Run();
+    return std::make_pair(sim.metrics().SnapshotJson(), spans.ToChromeTraceJson());
+  };
+  const auto a = exports(3131);
+  const auto b = exports(3131);
+  EXPECT_EQ(a.first, b.first);    // metrics snapshot
+  EXPECT_EQ(a.second, b.second);  // trace-event JSON
+  EXPECT_GT(a.second.size(), 1000u);  // Spans actually accumulated.
+  const auto c = exports(3132);
+  EXPECT_NE(a.first, c.first);  // Different seed really diverges.
 }
 
 }  // namespace

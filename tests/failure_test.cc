@@ -343,7 +343,7 @@ TEST_F(FailureTest, TwoRttFollowupNackedWhileDownInsteadOfHanging) {
   }
   two_rtt.server().Crash();
   sim_.RunFor(Seconds(10));
-  const Counters& runtime_counters = two_rtt.runtime(Region::kCA).counters();
+  const obs::MetricsScope runtime_counters = two_rtt.runtime(Region::kCA).counters();
   EXPECT_TRUE(replied);  // Answered despite the dead server.
   EXPECT_EQ(runtime_counters.Get("followup_nacks"), 4u);        // Every attempt nacked.
   EXPECT_EQ(runtime_counters.Get("followup_retransmits"), 3u);  // Attempts 2..4.

@@ -97,7 +97,7 @@ TEST_F(FaultSweepTest, EveryInvokeRepliesAndStaysLinearizable) {
   uint64_t fallback_direct = 0;
   uint64_t duplicate_replies = 0;
   for (const Region region : DeploymentRegions()) {
-    const Counters& counters = radical_->runtime(region).counters();
+    const obs::MetricsScope counters = radical_->runtime(region).counters();
     EXPECT_EQ(counters.Get("requests"), counters.Get("replies"))
         << "region " << RegionName(region);
     requests += counters.Get("requests");

@@ -142,7 +142,7 @@ TEST_F(RuntimeEdgeTest, CounterInvariantsHold) {
   uint64_t speculations = 0;
   uint64_t resolved = 0;
   for (const Region region : DeploymentRegions()) {
-    const Counters& counters = radical_->runtime(region).counters();
+    const obs::MetricsScope counters = radical_->runtime(region).counters();
     speculations += counters.Get("speculations");
     resolved += counters.Get("validated_speculative") +
                 counters.Get("invalidated_speculative");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -72,6 +73,66 @@ TEST(EventQueueTest, NextTimeSkipsCancelled) {
   q.Cancel(early);
   EXPECT_EQ(q.NextTime(), 20);
   EXPECT_EQ(q.size(), 1u);
+}
+
+// Regression: lazy cancellation used to leave every cancelled entry in the
+// heap until its virtual deadline. A workload that schedules and cancels
+// many timers (every network timeout that is answered in time does exactly
+// that) accumulated millions of stale entries. The heap must stay bounded
+// by a small multiple of the number of LIVE events instead.
+TEST(EventQueueTest, CancelledEntriesAreCompacted) {
+  EventQueue q;
+  constexpr int kTimers = 1'000'000;
+  constexpr int kKeepEvery = 1000;  // 1000 live timers survive.
+  std::vector<EventId> cancel;
+  cancel.reserve(kTimers);
+  int fired = 0;
+  for (int i = 0; i < kTimers; ++i) {
+    const EventId id = q.Push(1000 + i, [&fired] { ++fired; });
+    if (i % kKeepEvery != 0) {
+      cancel.push_back(id);
+    }
+  }
+  for (const EventId id : cancel) {
+    ASSERT_TRUE(q.Cancel(id));
+  }
+  const size_t live = q.size();
+  EXPECT_EQ(live, static_cast<size_t>(kTimers / kKeepEvery));
+  // Before the fix heap_size() stayed at kTimers here.
+  EXPECT_LE(q.heap_size(), 2 * live + 64);
+  // Every survivor still fires, in order.
+  SimTime when = 0;
+  SimTime last = 0;
+  while (!q.empty()) {
+    q.Pop(&when)();
+    EXPECT_GE(when, last);
+    last = when;
+  }
+  EXPECT_EQ(fired, kTimers / kKeepEvery);
+}
+
+TEST(EventQueueTest, CompactionPreservesFifoAmongSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> cancel;
+  // Interleave keepers and victims at one timestamp, plus enough victims to
+  // cross the compaction threshold.
+  for (int i = 0; i < 400; ++i) {
+    const bool keep = i % 4 == 0;
+    const EventId id = q.Push(50, [&order, i] { order.push_back(i); });
+    if (!keep) {
+      cancel.push_back(id);
+    }
+  }
+  for (const EventId id : cancel) {
+    ASSERT_TRUE(q.Cancel(id));
+  }
+  SimTime when = 0;
+  while (!q.empty()) {
+    q.Pop(&when)();
+  }
+  ASSERT_EQ(order.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
 }
 
 // --- Simulator -----------------------------------------------------------------

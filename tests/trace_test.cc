@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/func/builder.h"
 #include "src/radical/deployment.h"
 #include "src/radical/trace.h"
@@ -99,6 +101,85 @@ TEST_F(TraceTest, DirectPathTraced) {
   EXPECT_TRUE(trace.direct);
   EXPECT_FALSE(trace.speculated);
   EXPECT_GT(trace.Total(), Millis(80));
+}
+
+// Regression: direct-path traces never stamp lvi_sent, which used to make
+// the f^rw component negative (lvi_sent - frw_started with lvi_sent == 0)
+// and the overlap window nonsense. Components must be non-negative and sum
+// to the total on every path.
+TEST_F(TraceTest, DirectPathComponentsNonNegativeAndSumToTotal) {
+  radical_->RegisterFunction(Fn("opaque", {"k"}, {
+      Read("v", IntToStr(Host("expensive_digest", {In("k")}))),
+      Return(C(Value("done"))),
+  }));
+  const RequestTrace trace = InvokeTraced(Region::kCA, "opaque");
+  ASSERT_TRUE(trace.direct);
+  EXPECT_TRUE(trace.PhasesMonotonic());
+  EXPECT_GE(trace.Instantiation(), 0);
+  EXPECT_GE(trace.FrwTime(), 0);
+  EXPECT_GE(trace.OverlapWindow(), 0);
+  EXPECT_GE(trace.Completion(), 0);
+  EXPECT_EQ(trace.Instantiation() + trace.FrwTime() + trace.OverlapWindow() +
+                trace.Completion(),
+            trace.Total());
+  // The direct send is an attempt record, not a phase boundary.
+  ASSERT_EQ(trace.attempts.size(), 1u);
+  EXPECT_EQ(trace.attempts[0].path, AttemptPath::kDirect);
+  EXPECT_EQ(trace.attempts[0].outcome, "response");
+}
+
+// Regression: a retried LVI attempt must not move the already-stamped phase
+// boundaries (first-wins); the retry shows up as its own RequestAttempt.
+TEST_F(TraceTest, RetryKeepsPhaseStampsAndRecordsAttempts) {
+  net::DropRule rule;
+  rule.kind = net::MessageKind::kLviRequest;
+  rule.max_drops = 1;  // Lose exactly the first LVI request.
+  net_.fabric().AddDropRule(rule);
+
+  const RequestTrace trace = InvokeTraced(Region::kCA, "short_read");
+  EXPECT_TRUE(trace.PhasesMonotonic());
+  EXPECT_EQ(trace.retries, 1);
+  ASSERT_EQ(trace.attempts.size(), 2u);
+  EXPECT_EQ(trace.attempts[0].path, AttemptPath::kLvi);
+  EXPECT_EQ(trace.attempts[0].number, 1);
+  EXPECT_EQ(trace.attempts[0].outcome, "timeout");
+  EXPECT_EQ(trace.attempts[1].path, AttemptPath::kLvi);
+  EXPECT_EQ(trace.attempts[1].number, 2);
+  EXPECT_EQ(trace.attempts[1].outcome, "response");
+  // lvi_sent stayed on the FIRST transmission even though the second one
+  // produced the response.
+  EXPECT_EQ(trace.lvi_sent, trace.attempts[0].sent);
+  EXPECT_GT(trace.attempts[1].sent, trace.attempts[0].sent);
+  EXPECT_GE(trace.response_received, trace.attempts[1].sent);
+  // Components still well formed across the retry.
+  EXPECT_GE(trace.FrwTime(), 0);
+  EXPECT_EQ(trace.Instantiation() + trace.FrwTime() + trace.OverlapWindow() +
+                trace.Completion(),
+            trace.Total());
+}
+
+TEST_F(TraceTest, AppendSpansEmitsPhaseAndAttemptSpans) {
+  net::DropRule rule;
+  rule.kind = net::MessageKind::kLviRequest;
+  rule.max_drops = 1;
+  net_.fabric().AddDropRule(rule);
+
+  const RequestTrace trace = InvokeTraced(Region::kCA, "short_read");
+  obs::SpanCollector spans;
+  AppendSpans(trace, &spans);
+  std::map<std::string, int> by_name;
+  for (const obs::Span& span : spans.spans()) {
+    ++by_name[span.name];
+    EXPECT_GE(span.duration, 0);
+    EXPECT_EQ(span.lane, trace.exec_id);
+    EXPECT_EQ(span.track, obs::SpanTrack::kClient);
+  }
+  EXPECT_EQ(by_name["request"], 1);
+  EXPECT_EQ(by_name["instantiation"], 1);
+  EXPECT_EQ(by_name["lvi.attempt#1"], 1);
+  EXPECT_EQ(by_name["lvi.attempt#2"], 1);
+  // A null collector is a no-op, not a crash.
+  AppendSpans(trace, nullptr);
 }
 
 TEST_F(TraceTest, CollectorAggregates) {

@@ -6,19 +6,45 @@
 # UndefinedBehaviorSanitizer (in its own build directory, default
 # build-asan) and runs the same suite under them; any finding aborts the
 # offending test.
+#
+# CHECK_WERROR=1 tools/check.sh  builds with -Werror (own build directory,
+# default build-werror) so any warning fails the build.
+#
+# CHECK_BENCH_SMOKE=1 tools/check.sh  additionally runs the benches briefly
+# (RADICAL_BENCH_SMOKE=1 shrinks the load inside bench_util) and validates
+# the machine-readable BENCH_radical.json and Chrome trace-event exports
+# against their schemas with tools/bench_json_check.
 set -eu
 
 SOURCE_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
 
 if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
   BUILD_DIR="${1:-build-asan}"
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="$SAN_FLAGS" -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+elif [ "${CHECK_WERROR:-0}" = "1" ]; then
+  BUILD_DIR="${1:-build-werror}"
+  cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRADICAL_WERROR=ON
 else
   BUILD_DIR="${1:-build}"
   cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 
-cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [ "${CHECK_BENCH_SMOKE:-0}" = "1" ]; then
+  SMOKE_DIR="$BUILD_DIR/bench-smoke"
+  mkdir -p "$SMOKE_DIR"
+  echo "== bench smoke: fig4_end_to_end (BENCH report schema) =="
+  RADICAL_BENCH_SMOKE=1 RADICAL_BENCH_JSON="$SMOKE_DIR/BENCH_radical.json" \
+    "$BUILD_DIR/bench/fig4_end_to_end" > "$SMOKE_DIR/fig4_end_to_end.out"
+  "$BUILD_DIR/tools/bench_json_check" "$SMOKE_DIR/BENCH_radical.json"
+  echo "== bench smoke: latency_breakdown (trace-event schema) =="
+  RADICAL_BENCH_SMOKE=1 RADICAL_TRACE_JSON="$SMOKE_DIR/trace.json" \
+    "$BUILD_DIR/bench/latency_breakdown" > "$SMOKE_DIR/latency_breakdown.out"
+  "$BUILD_DIR/tools/bench_json_check" --trace "$SMOKE_DIR/trace.json"
+fi
