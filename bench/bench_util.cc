@@ -94,6 +94,8 @@ ExperimentResult RunApp(const AppSpec& app, DeployKind kind, const RunOptions& r
     result.reexecutions = radical->server().reexecutions();
     if (radical->local_locks() != nullptr) {
       result.lock_waits = radical->local_locks()->table().waits();
+    } else if (radical->sharded_locks() != nullptr) {
+      result.lock_waits = radical->sharded_locks()->total_waits();
     }
     result.lvi_requests = radical->server().counters().Get("lvi_requests");
     uint64_t speculations = 0;
@@ -139,13 +141,15 @@ void BenchReport::Add(const std::string& experiment_name, const ExperimentResult
   entries_.emplace_back(experiment_name, result);
 }
 
+void BenchReport::AddCurve(ThroughputCurve curve) { curves_.push_back(std::move(curve)); }
+
 std::string BenchReport::ToJson() const {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("bench");
   w.String(bench_name_);
   w.Key("schema_version");
-  w.Int(1);
+  w.Int(2);
   w.Key("latency_unit");
   w.String("ms");
   w.Key("smoke");
@@ -191,6 +195,38 @@ std::string BenchReport::ToJson() const {
     w.Key("requests_per_wall_second");
     w.Double(result.requests_per_wall_second, 1);
     w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("curves");
+  w.BeginArray();
+  for (const ThroughputCurve& curve : curves_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(curve.name);
+    w.Key("points");
+    w.BeginArray();
+    for (const ThroughputPoint& p : curve.points) {
+      w.BeginObject();
+      w.Key("shards");
+      w.Int(p.shards);
+      w.Key("batch_window_us");
+      w.Int(p.batch_window_us);
+      w.Key("clients");
+      w.Int(p.clients);
+      w.Key("offered_rps");
+      w.Double(p.offered_rps, 1);
+      w.Key("throughput_rps");
+      w.Double(p.throughput_rps, 1);
+      w.Key("p50_ms");
+      w.Double(p.p50_ms);
+      w.Key("p90_ms");
+      w.Double(p.p90_ms);
+      w.Key("p99_ms");
+      w.Double(p.p99_ms);
+      w.EndObject();
+    }
+    w.EndArray();
     w.EndObject();
   }
   w.EndArray();

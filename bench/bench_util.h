@@ -73,6 +73,26 @@ bool BenchSmokeMode();
 
 // --- BENCH_radical.json ------------------------------------------------------
 
+// One measured point of a throughput curve (bench/throughput_server.cc): the
+// server configuration it was taken at, the load offered, and what came back.
+struct ThroughputPoint {
+  int shards = 1;
+  int64_t batch_window_us = 0;
+  int clients = 0;            // Total logical clients (closed loop) or 0.
+  double offered_rps = 0.0;   // Arrival rate presented to the server.
+  double throughput_rps = 0.0;  // Completions per second over the run.
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// A named throughput-vs-configuration curve, exported under "curves" in the
+// report (schema_version 2; tools/bench_json_check validates the shape).
+struct ThroughputCurve {
+  std::string name;
+  std::vector<ThroughputPoint> points;
+};
+
 // Machine-readable benchmark record. Each bench constructs one report, Add()s
 // an entry per (app, deployment) experiment it ran, and calls Write() at the
 // end. The file destination is the RADICAL_BENCH_JSON environment variable
@@ -83,6 +103,7 @@ class BenchReport {
   explicit BenchReport(std::string bench_name);
 
   void Add(const std::string& experiment_name, const ExperimentResult& result);
+  void AddCurve(ThroughputCurve curve);
 
   // Serializes the report (schema documented in docs/observability.md).
   std::string ToJson() const;
@@ -94,6 +115,7 @@ class BenchReport {
  private:
   std::string bench_name_;
   std::vector<std::pair<std::string, ExperimentResult>> entries_;
+  std::vector<ThroughputCurve> curves_;
 };
 
 // --- Table printing ----------------------------------------------------------

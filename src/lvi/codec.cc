@@ -166,6 +166,29 @@ constexpr uint8_t kMsgFunction = 4;
 constexpr uint8_t kMsgDirectRequest = 5;
 constexpr uint8_t kMsgDirectResponse = 6;
 
+// Envelope prologue: the version byte precedes every message tag.
+void WriteEnvelope(WireWriter& w, uint8_t msg_tag) {
+  w.WriteByte(kWireFormatVersion);
+  w.WriteByte(msg_tag);
+}
+
+Status VersionMismatch(uint8_t got) {
+  return Status::Error("wire format version mismatch: got " + std::to_string(got) +
+                       ", expected " + std::to_string(kWireFormatVersion));
+}
+
+// Reads the envelope prologue; empty status on success.
+Status ReadEnvelope(WireReader& r, uint8_t expected_tag, const char* tag_error) {
+  const uint8_t version = r.ReadByte();
+  if (r.ok() && version != kWireFormatVersion) {
+    return VersionMismatch(version);
+  }
+  if (r.ReadByte() != expected_tag) {
+    return Status::Error(tag_error);
+  }
+  return Status::Ok();
+}
+
 void WriteFreshItem(WireWriter& w, const FreshItem& item) {
   w.WriteString(item.key);
   w.WriteValue(item.value);
@@ -185,7 +208,7 @@ FreshItem ReadFreshItem(WireReader& r) {
 WireBuffer EncodeLviRequest(const LviRequest& request) {
   WireBuffer out;
   WireWriter w(&out);
-  w.WriteByte(kMsgLviRequest);
+  WriteEnvelope(w, kMsgLviRequest);
   w.WriteVarint(request.exec_id);
   w.WriteVarint(static_cast<uint64_t>(request.origin));
   w.WriteString(request.function);
@@ -204,8 +227,8 @@ WireBuffer EncodeLviRequest(const LviRequest& request) {
 
 Result<LviRequest> DecodeLviRequest(const WireBuffer& buffer) {
   WireReader r(buffer);
-  if (r.ReadByte() != kMsgLviRequest) {
-    return Status::Error("not an LVI request");
+  if (Status envelope = ReadEnvelope(r, kMsgLviRequest, "not an LVI request"); !envelope.ok()) {
+    return envelope;
   }
   LviRequest request;
   request.exec_id = r.ReadVarint();
@@ -236,7 +259,7 @@ Result<LviRequest> DecodeLviRequest(const WireBuffer& buffer) {
 WireBuffer EncodeLviResponse(const LviResponse& response) {
   WireBuffer out;
   WireWriter w(&out);
-  w.WriteByte(kMsgLviResponse);
+  WriteEnvelope(w, kMsgLviResponse);
   w.WriteVarint(response.exec_id);
   w.WriteByte(response.validated ? 1 : 0);
   w.WriteValue(response.backup_result);
@@ -249,8 +272,8 @@ WireBuffer EncodeLviResponse(const LviResponse& response) {
 
 Result<LviResponse> DecodeLviResponse(const WireBuffer& buffer) {
   WireReader r(buffer);
-  if (r.ReadByte() != kMsgLviResponse) {
-    return Status::Error("not an LVI response");
+  if (Status envelope = ReadEnvelope(r, kMsgLviResponse, "not an LVI response"); !envelope.ok()) {
+    return envelope;
   }
   LviResponse response;
   response.exec_id = r.ReadVarint();
@@ -269,7 +292,7 @@ Result<LviResponse> DecodeLviResponse(const WireBuffer& buffer) {
 WireBuffer EncodeWriteFollowup(const WriteFollowup& followup) {
   WireBuffer out;
   WireWriter w(&out);
-  w.WriteByte(kMsgFollowup);
+  WriteEnvelope(w, kMsgFollowup);
   w.WriteVarint(followup.exec_id);
   w.WriteVarint(followup.writes.size());
   for (const BufferedWrite& write : followup.writes) {
@@ -281,8 +304,8 @@ WireBuffer EncodeWriteFollowup(const WriteFollowup& followup) {
 
 Result<WriteFollowup> DecodeWriteFollowup(const WireBuffer& buffer) {
   WireReader r(buffer);
-  if (r.ReadByte() != kMsgFollowup) {
-    return Status::Error("not a write followup");
+  if (Status envelope = ReadEnvelope(r, kMsgFollowup, "not a write followup"); !envelope.ok()) {
+    return envelope;
   }
   WriteFollowup followup;
   followup.exec_id = r.ReadVarint();
@@ -302,7 +325,7 @@ Result<WriteFollowup> DecodeWriteFollowup(const WireBuffer& buffer) {
 WireBuffer EncodeDirectRequest(const DirectRequest& request) {
   WireBuffer out;
   WireWriter w(&out);
-  w.WriteByte(kMsgDirectRequest);
+  WriteEnvelope(w, kMsgDirectRequest);
   w.WriteVarint(request.exec_id);
   w.WriteVarint(static_cast<uint64_t>(request.origin));
   w.WriteString(request.function);
@@ -315,8 +338,8 @@ WireBuffer EncodeDirectRequest(const DirectRequest& request) {
 
 Result<DirectRequest> DecodeDirectRequest(const WireBuffer& buffer) {
   WireReader r(buffer);
-  if (r.ReadByte() != kMsgDirectRequest) {
-    return Status::Error("not a direct request");
+  if (Status envelope = ReadEnvelope(r, kMsgDirectRequest, "not a direct request"); !envelope.ok()) {
+    return envelope;
   }
   DirectRequest request;
   request.exec_id = r.ReadVarint();
@@ -339,7 +362,7 @@ Result<DirectRequest> DecodeDirectRequest(const WireBuffer& buffer) {
 WireBuffer EncodeDirectResponse(const DirectResponse& response) {
   WireBuffer out;
   WireWriter w(&out);
-  w.WriteByte(kMsgDirectResponse);
+  WriteEnvelope(w, kMsgDirectResponse);
   w.WriteVarint(response.exec_id);
   w.WriteValue(response.result);
   w.WriteVarint(response.fresh_items.size());
@@ -351,8 +374,8 @@ WireBuffer EncodeDirectResponse(const DirectResponse& response) {
 
 Result<DirectResponse> DecodeDirectResponse(const WireBuffer& buffer) {
   WireReader r(buffer);
-  if (r.ReadByte() != kMsgDirectResponse) {
-    return Status::Error("not a direct response");
+  if (Status envelope = ReadEnvelope(r, kMsgDirectResponse, "not a direct response"); !envelope.ok()) {
+    return envelope;
   }
   DirectResponse response;
   response.exec_id = r.ReadVarint();
@@ -483,7 +506,7 @@ StmtList ReadStmtList(WireReader& r, int depth) {
 WireBuffer EncodeFunction(const FunctionDef& fn) {
   WireBuffer out;
   WireWriter w(&out);
-  w.WriteByte(kMsgFunction);
+  WriteEnvelope(w, kMsgFunction);
   w.WriteString(fn.name);
   w.WriteVarint(fn.params.size());
   for (const std::string& param : fn.params) {
@@ -495,8 +518,8 @@ WireBuffer EncodeFunction(const FunctionDef& fn) {
 
 Result<FunctionDef> DecodeFunction(const WireBuffer& buffer) {
   WireReader r(buffer);
-  if (r.ReadByte() != kMsgFunction) {
-    return Status::Error("not a function image");
+  if (Status envelope = ReadEnvelope(r, kMsgFunction, "not a function image"); !envelope.ok()) {
+    return envelope;
   }
   FunctionDef fn;
   fn.name = r.ReadString();

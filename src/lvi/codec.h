@@ -28,6 +28,12 @@ namespace radical {
 
 using WireBuffer = std::vector<uint8_t>;
 
+// Wire-format version. Every envelope (message or function image) starts
+// with this byte, before the message tag; decoders reject a mismatched
+// version with an explicit error instead of misparsing the payload. Bump on
+// any incompatible layout change.
+inline constexpr uint8_t kWireFormatVersion = 1;
+
 // --- Primitive layer ---------------------------------------------------------
 
 // Append-only writer over a WireBuffer.

@@ -14,6 +14,79 @@ void LocalLockService::AcquireAll(ExecutionId exec, std::vector<Key> keys,
 
 void LocalLockService::ReleaseAll(ExecutionId exec) { table_.ReleaseAll(exec); }
 
+ShardedLockService::ShardedLockService(Simulator* sim, int shards) : router_(shards) {
+  assert(shards >= 1);
+  tables_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    tables_.push_back(std::make_unique<LockTable>(sim));
+  }
+}
+
+void ShardedLockService::AcquireAll(ExecutionId exec, std::vector<Key> keys,
+                                    std::vector<LockMode> modes, std::function<void()> granted) {
+  assert(std::is_sorted(keys.begin(), keys.end()) && "keys must be sorted");
+  // Partition the sorted key set into per-shard groups, preserving key order
+  // within each group: the acquisition order is (shard, key) — one total
+  // order followed by every acquirer, hence deadlock-free.
+  std::vector<ShardGroup> by_shard(static_cast<size_t>(router_.shards()));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ShardGroup& group = by_shard[static_cast<size_t>(router_.ShardOf(keys[i]))];
+    group.keys.push_back(std::move(keys[i]));
+    group.modes.push_back(modes[i]);
+  }
+  auto groups = std::make_shared<std::vector<ShardGroup>>();
+  for (int s = 0; s < router_.shards(); ++s) {
+    if (!by_shard[static_cast<size_t>(s)].keys.empty()) {
+      by_shard[static_cast<size_t>(s)].shard = s;
+      groups->push_back(std::move(by_shard[static_cast<size_t>(s)]));
+    }
+  }
+  AcquireGroup(exec, std::move(groups), 0,
+               std::make_shared<std::function<void()>>(std::move(granted)));
+}
+
+void ShardedLockService::AcquireGroup(ExecutionId exec,
+                                      std::shared_ptr<std::vector<ShardGroup>> groups,
+                                      size_t index,
+                                      std::shared_ptr<std::function<void()>> granted) {
+  if (index >= groups->size()) {
+    (*granted)();
+    return;
+  }
+  ShardGroup& group = (*groups)[index];
+  // A retried acquisition merges into the original inside the shard's table
+  // (the new continuation replaces the queued one), exactly as with the
+  // single table — the chain then resumes from wherever the retry reaches.
+  table(group.shard).AcquireAll(exec, group.keys, group.modes,
+                                [this, exec, groups = std::move(groups), index,
+                                 granted = std::move(granted)]() mutable {
+                                  AcquireGroup(exec, std::move(groups), index + 1,
+                                               std::move(granted));
+                                });
+}
+
+void ShardedLockService::ReleaseAll(ExecutionId exec) {
+  for (auto& table : tables_) {
+    table->ReleaseAll(exec);
+  }
+}
+
+uint64_t ShardedLockService::total_acquisitions() const {
+  uint64_t n = 0;
+  for (const auto& table : tables_) {
+    n += table->acquisitions();
+  }
+  return n;
+}
+
+uint64_t ShardedLockService::total_waits() const {
+  uint64_t n = 0;
+  for (const auto& table : tables_) {
+    n += table->waits();
+  }
+  return n;
+}
+
 ReplicatedLockService::ReplicatedLockService(Simulator* sim, int node_count,
                                              RaftOptions raft_options,
                                              LocalMeshOptions mesh_options, bool batched)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 
 #include "src/analysis/analyzer.h"
 #include "src/common/logging.h"
@@ -54,7 +55,58 @@ LviServer::LviServer(Simulator* sim, VersionedStore* store, const FunctionRegist
       options_(options),
       replicated_(replicated),
       externals_(externals),
-      metrics_(&sim->metrics(), sim->metrics().UniqueScopeName("lvi_server")) {}
+      router_(options.shards),
+      intent_tables_(static_cast<size_t>(options.shards)),
+      batches_(static_cast<size_t>(options.shards)),
+      metrics_(&sim->metrics(), sim->metrics().UniqueScopeName("lvi_server")),
+      busy_until_(static_cast<size_t>(options.shards), 0) {
+  if (options_.shards > 1) {
+    // Per-shard scopes exist only in sharded configurations, so the default
+    // server registers exactly the instruments it always did.
+    shard_metrics_.reserve(static_cast<size_t>(options_.shards));
+    for (int i = 0; i < options_.shards; ++i) {
+      shard_metrics_.emplace_back(&sim->metrics(), metrics_.prefix() + ".shard" + std::to_string(i));
+    }
+  }
+}
+
+int LviServer::HomeShard(const LviRequest& request) const {
+  if (options_.shards == 1 || request.items.empty()) {
+    return 0;
+  }
+  return router_.ShardOf(request.items.front().key);
+}
+
+int LviServer::ShardForExec(ExecutionId exec_id) const {
+  if (options_.shards == 1) {
+    return 0;
+  }
+  const auto it = exec_shard_.find(exec_id);
+  // Unknown executions resolve to shard 0, where the intent lookups miss and
+  // the callers' late/duplicate handling takes over.
+  return it == exec_shard_.end() ? 0 : it->second;
+}
+
+void LviServer::BumpShard(int shard, const std::string& name) {
+  if (!shard_metrics_.empty()) {
+    shard_metrics_[static_cast<size_t>(shard)].Increment(name);
+  }
+}
+
+Key LviServer::IntentMarkerKey(ExecutionId exec_id) {
+  return "~intent/" + std::to_string(exec_id);
+}
+
+void LviServer::RetireIntent(ExecutionId exec_id) {
+  IntentsFor(exec_id).Remove(exec_id);
+  if (options_.batch_window > 0) {
+    // Marker cleanup piggybacks on whichever round retired the intent.
+    store_->Erase(IntentMarkerKey(exec_id), nullptr);
+  }
+  if (options_.shards > 1) {
+    exec_shard_.erase(exec_id);
+  }
+}
 
 void LviServer::EmitSpan(const char* name, ExecutionId exec_id, SimTime start) {
   if (spans_ == nullptr) {
@@ -80,28 +132,37 @@ void LviServer::Crash() {
   }
   inflight_lvi_.clear();
   inflight_direct_.clear();
+  // Batch members not yet validated are in-memory only: their connections
+  // reset with the crash. Their locks survive on disk, so a retried request
+  // is granted them immediately and re-enqueues.
+  for (PendingBatch& batch : batches_) {
+    batch.members.clear();
+    batch.flush_armed = false;
+  }
 }
 
 void LviServer::Recover() {
   assert(!alive_);
   alive_ = true;
   ++epoch_;
-  // The capacity model's busy period belongs to the previous life.
-  busy_until_ = 0;
+  // The capacity model's busy periods belong to the previous life.
+  std::fill(busy_until_.begin(), busy_until_.end(), 0);
   metrics_.Increment("recoveries");
   // Completed intents whose cleanup event died with the crash still hold
   // locks: release them and retire the intents (the writes themselves were
   // applied before the intent turned kDone, so nothing is lost).
   std::vector<ExecutionId> done;
-  intents_.ForEach([&done](ExecutionId id, IntentStatus status) {
-    if (status == IntentStatus::kDone) {
-      done.push_back(id);
-    }
-  });
+  for (const IntentTable& table : intent_tables_) {
+    table.ForEach([&done](ExecutionId id, IntentStatus status) {
+      if (status == IntentStatus::kDone) {
+        done.push_back(id);
+      }
+    });
+  }
   std::sort(done.begin(), done.end());  // Deterministic order.
   for (const ExecutionId id : done) {
     locks_->ReleaseAll(id);
-    intents_.Remove(id);
+    RetireIntent(id);
     executions_.erase(id);
     metrics_.Increment("recover_cleanup");
   }
@@ -109,7 +170,7 @@ void LviServer::Recover() {
   // been lost while the server was down, and deterministic re-execution is
   // how such writes reach the primary (§3.4).
   for (auto& [exec_id, state] : executions_) {
-    if (intents_.IsPending(exec_id)) {
+    if (IntentsFor(exec_id).IsPending(exec_id)) {
       const ExecutionId id = exec_id;
       state.intent_timer =
           sim_->Schedule(options_.intent_timeout, [this, id] { FireIntentTimer(id); });
@@ -117,19 +178,22 @@ void LviServer::Recover() {
   }
 }
 
-SimDuration LviServer::AdmissionDelay() {
+SimDuration LviServer::AdmissionDelay(int shard) {
   if (options_.serving_capacity_rps == 0) {
     return options_.process_delay;
   }
-  // Deterministic service time 1/capacity; arrivals queue behind the busy
-  // period (M/D/1 with the workload's arrival process).
+  // Deterministic service time 1/capacity; arrivals queue behind their home
+  // shard's busy period (M/D/1 with the workload's arrival process). Each
+  // shard serves at the full capacity, so N shards are an N-fold scale-out.
   const SimDuration service_time =
       Seconds(1) / static_cast<SimDuration>(options_.serving_capacity_rps);
-  const SimTime start = std::max(sim_->Now(), busy_until_);
-  busy_until_ = start + service_time;
+  SimTime& busy_until = busy_until_[static_cast<size_t>(shard)];
+  const SimTime start = std::max(sim_->Now(), busy_until);
+  busy_until = start + service_time;
   const SimDuration queueing = start - sim_->Now();
   if (queueing > 0) {
     metrics_.Increment("queued_arrivals");
+    BumpShard(shard, "queued_arrivals");
   }
   return queueing + service_time + options_.process_delay;
 }
@@ -211,11 +275,11 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
   const auto hit = lvi_replies_.find(exec_id);
   if (hit != lvi_replies_.end()) {
     metrics_.Increment("duplicate_replayed");
-    if (!intents_.Exists(exec_id)) {
+    if (!IntentsFor(exec_id).Exists(exec_id)) {
       locks_->ReleaseAll(exec_id);
     }
     const uint64_t epoch = epoch_;
-    sim_->Schedule(AdmissionDelay(),
+    sim_->Schedule(AdmissionDelay(HomeShard(request)),
                    [this, epoch, respond = std::move(respond), response = hit->second]() mutable {
                      if (!StillAlive(epoch)) {
                        metrics_.Increment("stale_epoch_dropped");
@@ -226,11 +290,13 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
     return;
   }
   metrics_.Increment("lvi_requests");
+  const int home = HomeShard(request);
+  BumpShard(home, "lvi_requests");
   inflight_lvi_[exec_id] = std::move(respond);
   const uint64_t epoch = epoch_;
   const SimTime arrival = sim_->Now();
-  sim_->Schedule(AdmissionDelay(), [this, epoch, arrival,
-                                    request = std::move(request)]() mutable {
+  sim_->Schedule(AdmissionDelay(home), [this, epoch, arrival,
+                                        request = std::move(request)]() mutable {
     if (!StillAlive(epoch)) {
       metrics_.Increment("stale_epoch_dropped");
       return;
@@ -258,7 +324,11 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
                            return;
                          }
                          EmitSpan("server.lock_wait", request.exec_id, lock_start);
-                         Validate(std::move(request));
+                         if (options_.batch_window > 0) {
+                           EnqueueForValidation(std::move(request));
+                         } else {
+                           Validate(std::move(request));
+                         }
                        });
   });
 }
@@ -298,6 +368,7 @@ void LviServer::Validate(LviRequest request) {
 
 void LviServer::OnValidationSuccess(LviRequest request, std::vector<Version> primary_versions) {
   metrics_.Increment("validate_success");
+  BumpShard(HomeShard(request), "validate_success");
   const ExecutionId exec_id = request.exec_id;
   std::vector<Key> write_keys;
   std::vector<Version> validated_versions;
@@ -333,35 +404,193 @@ void LviServer::OnValidationSuccess(LviRequest request, std::vector<Version> pri
       metrics_.Increment("stale_epoch_dropped");
       return;
     }
-    const ExecutionId exec_id2 = request.exec_id;
-    EmitSpan("server.intent_write", exec_id2, intent_start);
-    if (!intents_.Create(exec_id2)) {
-      // A retried request of an execution whose intent already exists (its
-      // cached reply was evicted): the existing intent — with its timer and
-      // execution record — is authoritative; just re-answer.
-      metrics_.Increment("retry_intent_hit");
-      LviResponse response;
-      response.exec_id = exec_id2;
-      response.validated = true;
-      RespondLvi(exec_id2, std::move(response));
+    CommitIntent(std::move(request), std::move(write_keys), std::move(validated_versions),
+                 intent_start);
+  });
+}
+
+void LviServer::CommitIntent(LviRequest request, std::vector<Key> write_keys,
+                             std::vector<Version> validated_versions, SimTime intent_start) {
+  const ExecutionId exec_id = request.exec_id;
+  EmitSpan("server.intent_write", exec_id, intent_start);
+  const int home = HomeShard(request);
+  if (options_.shards > 1) {
+    // Durable with the intent record: the marker/record key carries the
+    // shard, so this map is reconstructible and survives Crash().
+    exec_shard_[exec_id] = home;
+  }
+  if (!intent_tables_[static_cast<size_t>(home)].Create(exec_id)) {
+    // A retried request of an execution whose intent already exists (its
+    // cached reply was evicted): the existing intent — with its timer and
+    // execution record — is authoritative; just re-answer.
+    metrics_.Increment("retry_intent_hit");
+    LviResponse response;
+    response.exec_id = exec_id;
+    response.validated = true;
+    RespondLvi(exec_id, std::move(response));
+    return;
+  }
+  BumpShard(home, "intents_created");
+  ExecState state;
+  state.request = std::move(request);
+  state.write_keys = std::move(write_keys);
+  state.validated_versions = std::move(validated_versions);
+  state.intent_timer =
+      sim_->Schedule(options_.intent_timeout, [this, exec_id] { FireIntentTimer(exec_id); });
+  executions_.emplace(exec_id, std::move(state));
+  LviResponse response;
+  response.exec_id = exec_id;
+  response.validated = true;
+  RespondLvi(exec_id, std::move(response));
+}
+
+void LviServer::EnqueueForValidation(LviRequest request) {
+  const int shard = HomeShard(request);
+  PendingBatch& batch = batches_[static_cast<size_t>(shard)];
+  batch.members.push_back(std::move(request));
+  if (batch.flush_armed) {
+    return;
+  }
+  batch.flush_armed = true;
+  const uint64_t epoch = epoch_;
+  sim_->Schedule(options_.batch_window, [this, epoch, shard] {
+    if (!StillAlive(epoch)) {
+      metrics_.Increment("stale_epoch_dropped");
       return;
     }
-    ExecState state;
-    state.request = std::move(request);
-    state.write_keys = std::move(write_keys);
-    state.validated_versions = std::move(validated_versions);
-    state.intent_timer = sim_->Schedule(options_.intent_timeout,
-                                        [this, exec_id2] { FireIntentTimer(exec_id2); });
-    executions_.emplace(exec_id2, std::move(state));
-    LviResponse response;
-    response.exec_id = exec_id2;
-    response.validated = true;
-    RespondLvi(exec_id2, std::move(response));
+    FlushBatch(shard);
+  });
+}
+
+void LviServer::FlushBatch(int shard) {
+  PendingBatch& slot = batches_[static_cast<size_t>(shard)];
+  std::vector<LviRequest> members = std::move(slot.members);
+  slot.members.clear();
+  slot.flush_armed = false;
+  if (members.empty()) {
+    return;
+  }
+  metrics_.Increment("batches");
+  metrics_.Increment("batch_members", members.size());
+  BumpShard(shard, "batches");
+  // (5) One batched read covers the union of every member's items.
+  std::vector<Key> keys;
+  for (const LviRequest& member : members) {
+    for (const LviItem& item : member.items) {
+      keys.push_back(item.key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  SimDuration read_latency = 0;
+  const std::vector<Version> versions = store_->BatchVersions(keys, &read_latency);
+  std::map<Key, Version> version_of;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    version_of.emplace(keys[i], versions[i]);
+  }
+  const uint64_t epoch = epoch_;
+  const SimTime validate_start = sim_->Now();
+  sim_->Schedule(read_latency, [this, epoch, shard, validate_start, members = std::move(members),
+                                version_of = std::move(version_of)]() mutable {
+    if (!StillAlive(epoch)) {
+      metrics_.Increment("stale_epoch_dropped");
+      return;
+    }
+    // Per-member verdicts against the shared version snapshot. Aborts are
+    // isolated by construction: a stale member peels off through the normal
+    // backup-execution path and the rest of the batch never notices.
+    struct Writer {
+      LviRequest request;
+      std::vector<Key> write_keys;
+      std::vector<Version> validated_versions;
+    };
+    std::vector<Writer> writers;
+    for (LviRequest& member : members) {
+      EmitSpan("server.validate", member.exec_id, validate_start);
+      std::vector<size_t> stale;
+      for (size_t i = 0; i < member.items.size(); ++i) {
+        if (member.items[i].cached_version != version_of.at(member.items[i].key)) {
+          stale.push_back(i);
+        }
+      }
+      if (!stale.empty()) {
+        metrics_.Increment("batch_aborts");
+        OnValidationFailure(std::move(member), stale);
+        continue;
+      }
+      metrics_.Increment("validate_success");
+      BumpShard(shard, "validate_success");
+      std::vector<Key> write_keys;
+      std::vector<Version> validated_versions;
+      for (const LviItem& item : member.items) {
+        if (item.mode == LockMode::kWrite) {
+          write_keys.push_back(item.key);
+          validated_versions.push_back(version_of.at(item.key));
+        }
+      }
+      if (write_keys.empty()) {
+        // Read-only member: validation is its linearization point.
+        const ExecutionId exec_id = member.exec_id;
+        locks_->ReleaseAll(exec_id);
+        LviResponse response;
+        response.exec_id = exec_id;
+        response.validated = true;
+        RespondLvi(exec_id, std::move(response));
+        continue;
+      }
+      writers.push_back(
+          Writer{std::move(member), std::move(write_keys), std::move(validated_versions)});
+    }
+    if (writers.empty()) {
+      return;
+    }
+    // (6a) One conditional multi-write round commits every writer's intent
+    // marker (condition: absent — a marker that already exists fails only
+    // its own entry, the idempotent-retry case). The round runs when its
+    // latency elapses, so a crash mid-round leaves no durable trace — same
+    // window as the request-at-a-time intent write.
+    SimDuration intent_latency = store_->options().write_latency;
+    if (replicated_) {
+      intent_latency += options_.idempotency_write;
+    }
+    const SimTime intent_start = sim_->Now();
+    sim_->Schedule(intent_latency, [this, epoch, intent_start,
+                                    writers = std::move(writers)]() mutable {
+      if (!StillAlive(epoch)) {
+        metrics_.Increment("stale_epoch_dropped");
+        return;
+      }
+      std::vector<VersionedStore::ConditionalWrite> entries;
+      entries.reserve(writers.size());
+      for (const Writer& writer : writers) {
+        entries.push_back(VersionedStore::ConditionalWrite{
+            IntentMarkerKey(writer.request.exec_id),
+            Value(static_cast<int64_t>(writer.request.exec_id)), kMissingVersion});
+      }
+      const std::vector<bool> committed = store_->ConditionalMultiPut(entries, nullptr);
+      metrics_.Increment("intent_multiwrites");
+      for (size_t i = 0; i < writers.size(); ++i) {
+        Writer& writer = writers[i];
+        if (!committed[i]) {
+          // The marker (hence the intent) already exists: the original, with
+          // its timer and execution record, is authoritative; just re-answer.
+          metrics_.Increment("retry_intent_hit");
+          LviResponse response;
+          response.exec_id = writer.request.exec_id;
+          response.validated = true;
+          RespondLvi(writer.request.exec_id, std::move(response));
+          continue;
+        }
+        CommitIntent(std::move(writer.request), std::move(writer.write_keys),
+                     std::move(writer.validated_versions), intent_start);
+      }
+    });
   });
 }
 
 void LviServer::OnValidationFailure(LviRequest request, const std::vector<size_t>& stale_indices) {
   metrics_.Increment("validate_fail");
+  BumpShard(HomeShard(request), "validate_fail");
   // (6b) Run the backup copy of the function against the primary, under the
   // locks already held.
   const AnalyzedFunction* fn = registry_->Find(request.function);
@@ -433,8 +662,8 @@ void LviServer::HandleFollowup(WriteFollowup followup, AckFn ack) {
   }
   metrics_.Increment("followups_received");
   const uint64_t epoch = epoch_;
-  sim_->Schedule(AdmissionDelay(), [this, epoch, followup = std::move(followup),
-                                    ack = std::move(ack)]() mutable {
+  sim_->Schedule(AdmissionDelay(ShardForExec(followup.exec_id)),
+                 [this, epoch, followup = std::move(followup), ack = std::move(ack)]() mutable {
     if (!StillAlive(epoch)) {
       metrics_.Increment("stale_epoch_dropped");
       if (ack) {
@@ -443,7 +672,7 @@ void LviServer::HandleFollowup(WriteFollowup followup, AckFn ack) {
       return;
     }
     const ExecutionId exec_id = followup.exec_id;
-    if (!intents_.TryComplete(exec_id)) {
+    if (!IntentsFor(exec_id).TryComplete(exec_id)) {
       // The intent was already handled (re-execution beat us, or this is a
       // duplicate): discard (§3.6, "validation succeeds but the followup is
       // late"). The writes are durable either way: ack success.
@@ -461,6 +690,7 @@ void LviServer::HandleFollowup(WriteFollowup followup, AckFn ack) {
       sim_->Cancel(state.intent_timer);
     }
     metrics_.Increment("followup_applied");
+    BumpShard(ShardForExec(exec_id), "followup_applied");
     ApplyAndFinish(std::move(state), followup.writes, std::move(ack));
   });
 }
@@ -493,7 +723,7 @@ void LviServer::ApplyAndFinish(ExecState state, const std::vector<BufferedWrite>
     }
     // (10) Release the locks and retire the intent.
     locks_->ReleaseAll(exec_id);
-    intents_.Remove(exec_id);
+    RetireIntent(exec_id);
     if (ack) {
       ack(true);
     }
@@ -508,7 +738,7 @@ void LviServer::FireIntentTimer(ExecutionId exec_id) {
 }
 
 void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn respond) {
-  if (!intents_.TryComplete(exec_id)) {
+  if (!IntentsFor(exec_id).TryComplete(exec_id)) {
     return;  // The followup won the race.
   }
   const auto it = executions_.find(exec_id);
@@ -524,7 +754,7 @@ void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn 
     // happened for this request; just clean up (its reply, if any, lives in
     // the reply caches).
     locks_->ReleaseAll(exec_id);
-    intents_.Remove(exec_id);
+    RetireIntent(exec_id);
     return;
   }
   // Deterministic re-execution (§3.4): same inputs, and the read locks held
@@ -566,7 +796,7 @@ void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn 
                      return;  // Recovery's cleanup pass retires the intent.
                    }
                    locks_->ReleaseAll(exec_id);
-                   intents_.Remove(exec_id);
+                   RetireIntent(exec_id);
                    if (answer_direct) {
                      RespondDirect(exec_id, std::move(dresp));
                    }
@@ -602,7 +832,7 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
   // Degraded-mode fallback of an execution whose LVI attempt got as far as a
   // write intent: the intent is authoritative. Resolve it by deterministic
   // re-execution now — never run the function a second time next to it.
-  if (intents_.IsPending(exec_id)) {
+  if (IntentsFor(exec_id).IsPending(exec_id)) {
     metrics_.Increment("direct_resolved_intent");
     const uint64_t epoch = epoch_;
     inflight_direct_[exec_id] = std::move(respond);
@@ -611,7 +841,7 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
         metrics_.Increment("stale_epoch_dropped");
         return;
       }
-      if (intents_.IsPending(exec_id)) {
+      if (IntentsFor(exec_id).IsPending(exec_id)) {
         DirectRespondFn parked;
         const auto slot = inflight_direct_.find(exec_id);
         if (slot != inflight_direct_.end()) {

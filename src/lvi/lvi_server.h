@@ -10,6 +10,21 @@
 // intent timer triggers deterministic re-execution (§3.4). Late followups
 // lose the intent race and are discarded (§3.6, case 3).
 //
+// Scaling (beyond the paper's singleton t3.2xlarge): the hot path shards.
+// With `shards = N`, the lock table, intent table, serving capacity and
+// metrics split into N independent key-range shards (ShardRouter hash-range
+// partitions; the deployment pairs the server with a ShardedLockService built
+// on the same router). Each request has a home shard — the shard of its first
+// item — which owns its admission slot, its intent record, and its per-shard
+// counters. With `batch_window > 0`, an admission-window batcher additionally
+// coalesces concurrent LVI requests on the same shard: members that cleared
+// their locks within one window validate through a single BatchVersions round
+// over the union of their keys, and the valid writers commit their intent
+// records through one conditional multi-write instead of one write each.
+// Verdicts stay per-member — a stale member aborts through the normal backup
+// execution path without poisoning its batchmates. The defaults (shards = 1,
+// batch_window = 0) take exactly the historical code paths.
+//
 // The server is transport-agnostic: callers hand it a request plus a respond
 // callback, and the Radical runtime wraps both sides with network sends.
 
@@ -29,6 +44,7 @@
 #include "src/kv/versioned_store.h"
 #include "src/lvi/lock_service.h"
 #include "src/lvi/messages.h"
+#include "src/lvi/shard_router.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/sim/simulator.h"
@@ -56,6 +72,16 @@ struct LviServerOptions {
   // idempotent; oldest entries are evicted FIFO. Modeled as durable (they
   // live with the idempotency keys in the primary store, §3.4/§5.6).
   size_t reply_cache_capacity = 1 << 16;
+  // Hot-path shard count: lock/intent tables, admission slots and metrics
+  // split into this many key-range shards (1 = the paper's singleton). Each
+  // shard gets the full serving_capacity_rps — the model for "one server
+  // process per shard".
+  int shards = 1;
+  // Admission-window batching: LVI requests on the same home shard that
+  // clear their locks within this window validate and write their intents as
+  // one group (one BatchVersions + one conditional multi-write round). 0
+  // disables batching (the historical request-at-a-time pipeline).
+  SimDuration batch_window = 0;
   ExecLimits exec_limits;
 };
 
@@ -160,6 +186,16 @@ class LviServer {
   void Validate(LviRequest request);
   void OnValidationSuccess(LviRequest request, std::vector<Version> primary_versions);
   void OnValidationFailure(LviRequest request, const std::vector<size_t>& stale_indices);
+  // Tail of the success path, shared by the request-at-a-time pipeline and
+  // the batcher: create the intent record (idempotently), stash the
+  // execution state, arm the timer, reply. Runs after the intent write's
+  // latency has elapsed; `intent_start` is when that write began (span).
+  void CommitIntent(LviRequest request, std::vector<Key> write_keys,
+                    std::vector<Version> validated_versions, SimTime intent_start);
+  // Batching (batch_window > 0): lock-granted requests park on their home
+  // shard's pending list; the first member arms a flush.
+  void EnqueueForValidation(LviRequest request);
+  void FlushBatch(int shard);
   void FireIntentTimer(ExecutionId exec_id);
   // Shared by the intent timer and the direct path: deterministically
   // re-executes a pending intent from its stored request, applies the writes,
@@ -196,7 +232,29 @@ class LviServer {
   ExternalServiceRegistry* externals_;
   bool alive_ = true;
   uint64_t epoch_ = 0;
-  IntentTable intents_;
+  // --- Sharding ---------------------------------------------------------------
+  // Key-range router shared with the deployment's ShardedLockService. At
+  // shards = 1 everything below collapses to the historical singleton state
+  // (one intent table, one busy slot, no per-shard scopes, no exec map).
+  ShardRouter router_;
+  // One intent table per shard (index = shard).
+  std::vector<IntentTable> intent_tables_;
+  // Home shard of every execution with a live intent. Modeled durable: the
+  // record is derivable from the intent record itself (its key carries the
+  // shard), so it survives Crash(). Only populated when shards > 1; absent
+  // ids resolve to shard 0, where TryComplete/IsPending correctly miss.
+  std::unordered_map<ExecutionId, int> exec_shard_;
+  // Per-shard metric scopes "<scope>.shard<i>"; empty when shards == 1 so
+  // the default configuration creates no extra instruments.
+  std::vector<obs::MetricsScope> shard_metrics_;
+  // Admission-window batcher state, one slot per shard. Volatile (cleared by
+  // Crash) — members not yet validated are just requests whose connections
+  // reset; their locks survive and their retries re-attach.
+  struct PendingBatch {
+    std::vector<LviRequest> members;
+    bool flush_armed = false;
+  };
+  std::vector<PendingBatch> batches_;
   IdempotencyTable idempotency_;
   std::unordered_map<ExecutionId, ExecState> executions_;
   // In-flight respond slots: a retried request lands here while the original
@@ -212,11 +270,30 @@ class LviServer {
   std::deque<ExecutionId> direct_reply_order_;
   obs::MetricsScope metrics_;
   obs::SpanCollector* spans_ = nullptr;
-  // Capacity model: the instant the server frees up (>= now when busy).
-  SimTime busy_until_ = 0;
-  // Admission: returns the queueing + processing delay for one arriving
-  // message under the capacity model.
-  SimDuration AdmissionDelay();
+  // Capacity model, per shard: the instant shard i frees up (>= now when
+  // busy). Each shard has the full serving capacity.
+  std::vector<SimTime> busy_until_;
+  // Admission: returns the queueing + processing delay for one message
+  // arriving at `shard` under its capacity model.
+  SimDuration AdmissionDelay(int shard);
+
+  // --- Shard helpers ----------------------------------------------------------
+  // Home shard of a request: the shard of its first item (0 when item-less).
+  int HomeShard(const LviRequest& request) const;
+  // Home shard of an execution with (or recently with) a live intent.
+  int ShardForExec(ExecutionId exec_id) const;
+  IntentTable& IntentsFor(ExecutionId exec_id) {
+    return intent_tables_[static_cast<size_t>(ShardForExec(exec_id))];
+  }
+  // Bumps `name` on `shard`'s scope; no-op at shards == 1 (the global scope
+  // is always bumped separately at the call sites).
+  void BumpShard(int shard, const std::string& name);
+  // Retires an intent: removes the record (from its home shard's table), the
+  // exec->shard entry, and — in batched mode — the durable intent marker
+  // item the conditional multi-write placed in the primary store.
+  void RetireIntent(ExecutionId exec_id);
+  // Primary-store key of the batched mode's intent marker item.
+  static Key IntentMarkerKey(ExecutionId exec_id);
 };
 
 }  // namespace radical

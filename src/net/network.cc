@@ -86,20 +86,4 @@ net::Endpoint Network::AddEndpoint(std::string name, Region region,
   return fabric_.AddEndpoint(std::move(name), region, extra_hop_delay);
 }
 
-EventId Network::Send(Region from, Region to, std::function<void()> deliver,
-                      size_t size_bytes) {
-  return fabric_.Send(endpoint(from).id(), endpoint(to).id(),
-                      net::Envelope{net::MessageKind::kGeneric, size_bytes, std::move(deliver)});
-}
-
-void Network::SetFilter(Filter filter) {
-  if (!filter) {
-    fabric_.SetFilter(nullptr);
-    return;
-  }
-  fabric_.SetFilter([f = std::move(filter)](const net::SendContext& ctx) {
-    return f(ctx.from_region, ctx.to_region);
-  });
-}
-
 }  // namespace radical

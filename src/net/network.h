@@ -10,8 +10,8 @@
 // plus each endpoint's extra hop, gaussian jitter from NetworkOptions, and an
 // optional WAN bandwidth cap for queueing experiments. Components that need
 // their own address (the LVI server with its intra-DC hop, per-region
-// runtimes) register additional endpoints via AddEndpoint; legacy callers of
-// the region-to-region Send shim ride on the anchors.
+// runtimes) register additional endpoints via AddEndpoint; everything else
+// sends between the per-region anchor endpoints.
 
 #ifndef RADICAL_SRC_NET_NETWORK_H_
 #define RADICAL_SRC_NET_NETWORK_H_
@@ -98,24 +98,12 @@ class Network {
   // kServerHopRtt / 2 for its intra-DC hop).
   net::Endpoint AddEndpoint(std::string name, Region region, SimDuration extra_hop_delay = 0);
 
-  // DEPRECATED: untyped region-to-region send via the anchor endpoints.
-  // Prefer endpoint(r).Send(...) or a dedicated AddEndpoint address with a
-  // typed MessageKind.
-  [[deprecated("send through net::Endpoint with a typed MessageKind instead")]]
-  EventId Send(Region from, Region to, std::function<void()> deliver, size_t size_bytes = 128);
-
   // Cuts (or heals) the link between two regions; messages in flight are
   // unaffected, new sends in either direction are dropped.
   void SetPartitioned(Region a, Region b, bool partitioned) {
     fabric_.SetRegionPartitioned(a, b, partitioned);
   }
   bool IsPartitioned(Region a, Region b) const { return fabric_.IsRegionPartitioned(a, b); }
-
-  // DEPRECATED: region-pair message filter; return false to drop. Prefer
-  // Fabric::AddDropRule / Fabric::SetFilter, which see the message kind.
-  using Filter = std::function<bool(Region from, Region to)>;
-  [[deprecated("use fabric().AddDropRule or fabric().SetFilter instead")]]
-  void SetFilter(Filter filter);
 
   void set_drop_probability(double p) { fabric_.set_drop_probability(p); }
 

@@ -1,0 +1,15 @@
+#include "src/radical/client.h"
+
+#include "src/radical/runtime.h"
+
+namespace radical {
+
+void Client::Submit(Request request, DoneFn done) {
+  Submit(std::move(request), RequestOptions(), std::move(done));
+}
+
+void Client::Submit(Request request, RequestOptions options, DoneFn done) {
+  runtime_->Submit(std::move(request), std::move(options), std::move(done));
+}
+
+}  // namespace radical

@@ -1,0 +1,93 @@
+// radical::Client — the single public entry point for submitting application
+// requests to a Radical deployment.
+//
+// Historically callers reached into Runtime::Invoke directly, and anything
+// per-request (retry budget, tracing, direct execution) required a separate
+// Runtime configured differently. Client collapses all of that into one call:
+//
+//   client.Submit({"reg_write", {Value("k"), Value("v")}}, options, done);
+//
+// where RequestOptions carries every per-request knob — retry-policy
+// override, consistency mode (full LVI protocol vs. near-storage direct
+// execution), trace opt-in/out, and a shard channel hint for sharded
+// servers. Runtime::Invoke survives for one PR as a deprecated thin wrapper
+// (docs/api.md has the migration table).
+
+#ifndef RADICAL_SRC_RADICAL_CLIENT_H_
+#define RADICAL_SRC_RADICAL_CLIENT_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/radical/config.h"
+
+namespace radical {
+
+class Runtime;
+
+// How a submitted request is allowed to execute.
+enum class ConsistencyMode {
+  // The default: the full LVI protocol — near-user speculation with
+  // near-storage lock/validate/intent — falling back to direct execution
+  // only when the LVI retry budget is exhausted. Linearizable.
+  kLinearizable,
+  // Skip the near-user protocol entirely and execute at the near-storage
+  // location. Still linearizable (the primary serializes it), but pays the
+  // full WAN round trip — the explicit escape hatch for requests known to be
+  // cache-hostile, matching what the server forces for unanalyzable
+  // functions (§3.3).
+  kDirect,
+};
+
+// One application request: a registered function and its inputs.
+struct Request {
+  std::string function;
+  std::vector<Value> inputs;
+};
+
+// Per-request knobs. The zero-argument default reproduces the deployment's
+// configured behaviour exactly.
+struct RequestOptions {
+  // Overrides the deployment's RetryPolicy for this request only (e.g. a
+  // latency-critical request with a tighter timeout, or retries disabled
+  // for an idempotency-sensitive probe). Unset = use RadicalConfig::retry.
+  std::optional<RetryPolicy> retry;
+  ConsistencyMode consistency = ConsistencyMode::kLinearizable;
+  // Record a RequestTrace and client-track spans for this request (when a
+  // collector is attached). On by default; high-volume callers opt out
+  // per request instead of detaching the collector globally.
+  bool trace = true;
+  // Sharded servers: pin the request's server channel to this shard instead
+  // of routing by the first item's key. Only selects the network channel —
+  // the server always recomputes the authoritative shard from the key set,
+  // so a wrong hint costs locality, never correctness. -1 = route
+  // automatically.
+  int shard_hint = -1;
+};
+
+// Thin facade over a Runtime. Copyable and cheap; the Runtime must outlive
+// every Client referring to it.
+class Client {
+ public:
+  using DoneFn = std::function<void(Value result)>;
+
+  explicit Client(Runtime* runtime) : runtime_(runtime) {}
+
+  // Submits `request`; `done` fires (as a simulator event) when the result
+  // is released to the client.
+  void Submit(Request request, DoneFn done);
+  void Submit(Request request, RequestOptions options, DoneFn done);
+
+  Runtime* runtime() const { return runtime_; }
+
+ private:
+  Runtime* runtime_ = nullptr;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_RADICAL_CLIENT_H_

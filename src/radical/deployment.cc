@@ -1,6 +1,8 @@
 #include "src/radical/deployment.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "src/lvi/codec.h"
 
@@ -27,6 +29,25 @@ RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalCo
       interpreter_(&HostRegistry::Standard()),
       registry_(&analyzer_),
       primary_(config_.primary_store) {
+  // CHECK_SHARD_MATRIX support: the environment can force the server's shard
+  // count and batch window when the config leaves them at the defaults, so
+  // the whole tier-1 suite exercises the sharded hot path unchanged
+  // (tools/check.sh). Replicated locks keep a single shard — the Raft group
+  // serializes every lock round anyway, so sharding the tables under it
+  // would claim a scale-out the deployment cannot deliver.
+  if (config_.server.shards <= 1) {
+    if (const char* env = std::getenv("RADICAL_SHARDS")) {
+      config_.server.shards = std::max(1, std::atoi(env));
+    }
+  }
+  if (config_.server.batch_window <= 0) {
+    if (const char* env = std::getenv("RADICAL_BATCH_WINDOW_US")) {
+      config_.server.batch_window = Micros(std::max(0, std::atoi(env)));
+    }
+  }
+  if (replicated_locks > 0) {
+    config_.server.shards = 1;
+  }
   LockService* locks = nullptr;
   if (replicated_locks > 0) {
     replicated_locks_ = std::make_unique<ReplicatedLockService>(sim, replicated_locks);
@@ -34,6 +55,9 @@ RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalCo
     assert(elected && "replicated lock service failed to elect a leader");
     (void)elected;
     locks = replicated_locks_.get();
+  } else if (config_.server.shards > 1) {
+    sharded_locks_ = std::make_unique<ShardedLockService>(sim, config_.server.shards);
+    locks = sharded_locks_.get();
   } else {
     local_locks_ = std::make_unique<LocalLockService>(sim);
     locks = local_locks_.get();
@@ -42,14 +66,26 @@ RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalCo
                                         ServerOptionsFor(config_),
                                         /*replicated=*/replicated_locks > 0, &externals_);
   // One shared server address on the fabric; every runtime's LVI traffic
-  // converges on it, so per-link stats show the real fan-in.
+  // converges on it, so per-link stats show the real fan-in. A sharded
+  // server gets one channel per shard — runtimes route each request onto
+  // its home shard's channel (the admission queues really are independent).
   server_endpoint_ =
       network->AddEndpoint("lvi-server", kPrimaryRegion, kServerHopRtt / 2);
+  if (config_.server.shards > 1) {
+    for (int shard = 0; shard < config_.server.shards; ++shard) {
+      shard_endpoints_.push_back(
+          network->AddEndpoint("lvi-server.shard" + std::to_string(shard), kPrimaryRegion,
+                               kServerHopRtt / 2));
+    }
+  }
   for (const Region region : regions) {
-    runtimes_.emplace(region,
-                      std::make_unique<Runtime>(sim, network, region, kPrimaryRegion,
-                                                server_.get(), &registry_, &interpreter_,
-                                                config_, &externals_, server_endpoint_));
+    auto runtime = std::make_unique<Runtime>(sim, network, region, kPrimaryRegion,
+                                             server_.get(), &registry_, &interpreter_,
+                                             config_, &externals_, server_endpoint_);
+    if (!shard_endpoints_.empty()) {
+      runtime->set_shard_endpoints(shard_endpoints_);
+    }
+    runtimes_.emplace(region, std::move(runtime));
   }
   // Store statistics surface as callback gauges: read at snapshot time, so
   // the kv hot paths carry no instrumentation cost.
@@ -73,7 +109,7 @@ RadicalDeployment::~RadicalDeployment() = default;
 
 void RadicalDeployment::Invoke(Region origin, const std::string& function,
                                std::vector<Value> inputs, std::function<void(Value)> done) {
-  runtime(origin).Invoke(function, std::move(inputs), std::move(done));
+  client(origin).Submit(Request{function, std::move(inputs)}, std::move(done));
 }
 
 const AnalyzedFunction& RadicalDeployment::RegisterFunction(const FunctionDef& fn) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/radical/client.h"
 #include "src/radical/runtime.h"
 
 namespace radical {
@@ -45,7 +46,14 @@ class AppService {
 class RadicalDeployment : public AppService {
  public:
   // `replicated_locks > 0` switches the LVI server to the §5.6 configuration
-  // with that many Raft nodes holding the locks.
+  // with that many Raft nodes holding the locks (which forces a single
+  // shard: the Raft group serializes all lock traffic anyway).
+  //
+  // Environment overrides RADICAL_SHARDS / RADICAL_BATCH_WINDOW_US set the
+  // server's shard count and admission batch window when the config leaves
+  // them at their defaults — tools/check.sh (CHECK_SHARD_MATRIX=1) uses this
+  // to run the whole test suite against a sharded server without touching
+  // any call site.
   RadicalDeployment(Simulator* sim, Network* network, RadicalConfig config,
                     std::vector<Region> regions, int replicated_locks = 0);
   ~RadicalDeployment() override;
@@ -65,6 +73,9 @@ class RadicalDeployment : public AppService {
   void AttachSpans(obs::SpanCollector* spans);
 
   Runtime& runtime(Region region);
+  // The submission facade for clients colocated with `region` — the
+  // preferred entry point (cheap, copyable; see src/radical/client.h).
+  Client client(Region region) { return Client(&runtime(region)); }
   LviServer& server() { return *server_; }
   // The LVI server's fabric address, shared by every runtime; its
   // extra_hop_delay models the intra-DC hop to the server's EC2 instance.
@@ -74,6 +85,7 @@ class RadicalDeployment : public AppService {
   ExternalServiceRegistry& externals() override { return externals_; }
   const RadicalConfig& config() const { return config_; }
   LocalLockService* local_locks() { return local_locks_.get(); }
+  ShardedLockService* sharded_locks() { return sharded_locks_.get(); }
   ReplicatedLockService* replicated_locks() { return replicated_locks_.get(); }
 
  private:
@@ -85,9 +97,12 @@ class RadicalDeployment : public AppService {
   ExternalServiceRegistry externals_;
   VersionedStore primary_;
   std::unique_ptr<LocalLockService> local_locks_;
+  std::unique_ptr<ShardedLockService> sharded_locks_;
   std::unique_ptr<ReplicatedLockService> replicated_locks_;
   std::unique_ptr<LviServer> server_;
   net::Endpoint server_endpoint_;
+  // Sharded server: one fabric channel per shard (empty otherwise).
+  std::vector<net::Endpoint> shard_endpoints_;
   std::map<Region, std::unique_ptr<Runtime>> runtimes_;
 };
 

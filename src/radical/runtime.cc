@@ -38,24 +38,59 @@ Runtime::Runtime(Simulator* sim, Network* network, Region region, Region server_
 }
 
 void Runtime::Invoke(const std::string& function, std::vector<Value> inputs, DoneFn done) {
+  Submit(Request{function, std::move(inputs)}, RequestOptions(), std::move(done));
+}
+
+void Runtime::set_shard_endpoints(std::vector<net::Endpoint> endpoints) {
+  shard_endpoints_ = std::move(endpoints);
+  shard_router_ = ShardRouter(
+      shard_endpoints_.empty() ? 1 : static_cast<int>(shard_endpoints_.size()));
+}
+
+void Runtime::RouteToServer(RequestState* state, const Key* first_key) const {
+  if (shard_endpoints_.empty()) {
+    state->server_ep = server_endpoint_;
+    return;
+  }
+  int shard = 0;
+  if (state->shard_hint >= 0 && state->shard_hint < static_cast<int>(shard_endpoints_.size())) {
+    shard = state->shard_hint;
+  } else if (first_key != nullptr) {
+    shard = shard_router_.ShardOf(*first_key);
+  }
+  state->server_ep = shard_endpoints_[static_cast<size_t>(shard)];
+}
+
+void Runtime::Submit(Request request, RequestOptions options, DoneFn done) {
   metrics_.Increment("requests");
   const SimTime invoked_at = sim_->Now();
   // §5.5 components (1) and (2): instantiate the function, load the blob.
   sim_->Schedule(config_.lambda_invoke + config_.blob_load,
-                 [this, function, inputs = std::move(inputs), done = std::move(done),
-                  invoked_at]() mutable {
+                 [this, request = std::move(request), options = std::move(options),
+                  done = std::move(done), invoked_at]() mutable {
     auto state = std::make_shared<RequestState>();
     state->exec_id = sim_->NextId();
-    state->function = function;
-    state->inputs = std::move(inputs);
+    state->function = std::move(request.function);
+    state->inputs = std::move(request.inputs);
     state->done = std::move(done);
+    state->retry = options.retry.has_value() ? *options.retry : config_.retry;
+    state->trace_enabled = options.trace;
+    state->shard_hint = options.shard_hint;
+    RouteToServer(state.get(), nullptr);
     state->trace.exec_id = state->exec_id;
-    state->trace.function = function;
+    state->trace.function = state->function;
     state->trace.region = region_;
     state->trace.invoked = invoked_at;
     state->trace.frw_started = sim_->Now();
-    const AnalyzedFunction* fn = registry_->Find(function);
+    const AnalyzedFunction* fn = registry_->Find(state->function);
     assert(fn != nullptr && "function not registered");
+    if (options.consistency == ConsistencyMode::kDirect) {
+      // The caller opted out of the near-user protocol: execute at the
+      // near-storage location, same as the unanalyzable path.
+      metrics_.Increment("direct_requested");
+      InvokeDirect(std::move(state));
+      return;
+    }
     if (!fn->analyzable) {
       // §3.3 failure case: always run in the near-storage location.
       metrics_.Increment("direct_unanalyzable");
@@ -115,6 +150,11 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
   // rather than re-locking or re-executing.
   state->lvi_request = std::move(request);
   state->lvi_request_size = EncodeLviRequest(state->lvi_request).size();
+  if (!state->lvi_request.items.empty()) {
+    // Sharded server: now that the key set is known, re-route the request
+    // onto its home shard's channel (a hint, if given, still wins).
+    RouteToServer(state.get(), &state->lvi_request.items.front().key);
+  }
   SendLviAttempt(state);
 
   // (2a) Speculatively execute f against the cache, writes buffered. Skipped
@@ -144,13 +184,13 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
   });
 }
 
-SimDuration Runtime::AttemptTimeout(int attempt) const {
-  double timeout = static_cast<double>(config_.retry.request_timeout);
+SimDuration Runtime::AttemptTimeout(const RetryPolicy& retry, int attempt) {
+  double timeout = static_cast<double>(retry.request_timeout);
   for (int i = 1; i < attempt; ++i) {
-    timeout *= config_.retry.backoff;
+    timeout *= retry.backoff;
   }
   return static_cast<SimDuration>(
-      std::min(timeout, static_cast<double>(config_.retry.max_backoff)));
+      std::min(timeout, static_cast<double>(retry.max_backoff)));
 }
 
 void Runtime::CancelTimeout(const std::shared_ptr<RequestState>& state) {
@@ -190,13 +230,14 @@ void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
   // guarantees the send would be dropped: skip the wire, keep the backoff
   // schedule running at a quarter of the timeout so recovery is noticed
   // quickly. Probabilistic loss is invisible, as on a real network.
-  const bool reachable = self_.CanReach(server_endpoint_);
+  const bool reachable = self_.CanReach(state->server_ep);
   RecordAttempt(state, AttemptPath::kLvi, state->lvi_attempts);
   if (reachable) {
-    SendToServer(net::MessageKind::kLviRequest, state->lvi_request_size, [this, state] {
+    SendToServer(state->server_ep, net::MessageKind::kLviRequest, state->lvi_request_size,
+                 [this, state] {
       server_->HandleLviRequest(state->lvi_request, [this, state](LviResponse response) {
         const size_t size = EncodeLviResponse(response).size();
-        SendFromServer(net::MessageKind::kLviResponse, size,
+        SendFromServer(state->server_ep, net::MessageKind::kLviResponse, size,
                        [this, state, response = std::move(response)]() mutable {
                          OnLviResponse(state, std::move(response));
                        });
@@ -206,10 +247,10 @@ void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
     metrics_.Increment("fast_fail");
     ResolveAttempt(state, AttemptPath::kLvi, "fast_fail");
   }
-  if (!config_.retry.enabled) {
+  if (!state->retry.enabled) {
     return;
   }
-  const SimDuration timeout = AttemptTimeout(state->lvi_attempts);
+  const SimDuration timeout = AttemptTimeout(state->retry, state->lvi_attempts);
   state->timeout_event = sim_->Schedule(reachable ? timeout : timeout / 4, [this, state] {
     state->timeout_event = kInvalidEventId;
     OnLviTimeout(state);
@@ -238,7 +279,7 @@ void Runtime::OnLviTimeout(const std::shared_ptr<RequestState>& state) {
   }
   metrics_.Increment("timeouts");
   ResolveAttempt(state, AttemptPath::kLvi, "timeout");
-  if (state->lvi_attempts >= config_.retry.max_lvi_attempts) {
+  if (state->lvi_attempts >= state->retry.max_lvi_attempts) {
     // Budget exhausted: degrade to the direct path, which retries without
     // bound. Discard the speculation — the direct response is authoritative
     // and never commits through a followup.
@@ -264,13 +305,14 @@ void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
     metrics_.Increment("retries");
     ++state->trace.retries;
   }
-  const bool reachable = self_.CanReach(server_endpoint_);
+  const bool reachable = self_.CanReach(state->server_ep);
   RecordAttempt(state, AttemptPath::kDirect, state->direct_attempts);
   if (reachable) {
-    SendToServer(net::MessageKind::kDirectRequest, state->direct_request_size, [this, state] {
+    SendToServer(state->server_ep, net::MessageKind::kDirectRequest, state->direct_request_size,
+                 [this, state] {
       server_->HandleDirect(state->direct_request, [this, state](DirectResponse response) {
         const size_t response_size = EncodeDirectResponse(response).size();
-        SendFromServer(net::MessageKind::kDirectResponse, response_size,
+        SendFromServer(state->server_ep, net::MessageKind::kDirectResponse, response_size,
                        [this, state, response = std::move(response)]() mutable {
                          OnDirectResponse(state, std::move(response));
                        });
@@ -280,10 +322,10 @@ void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
     metrics_.Increment("fast_fail");
     ResolveAttempt(state, AttemptPath::kDirect, "fast_fail");
   }
-  if (!config_.retry.enabled) {
+  if (!state->retry.enabled) {
     return;
   }
-  const SimDuration timeout = AttemptTimeout(state->direct_attempts);
+  const SimDuration timeout = AttemptTimeout(state->retry, state->direct_attempts);
   state->timeout_event = sim_->Schedule(reachable ? timeout : timeout / 4, [this, state] {
     state->timeout_event = kInvalidEventId;
     OnDirectTimeout(state);
@@ -385,14 +427,8 @@ void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Valu
       // client — the write intent guarantees the updates reach the primary
       // even if this message is lost.
       Reply(state, std::move(result));
-      if (followup_filter_ && !followup_filter_(followup)) {
-        // Injected near-user failure: the followup never leaves; the write
-        // intent's timer will re-execute near storage.
-        metrics_.Increment("followups_dropped");
-        return;
-      }
       const size_t followup_size = EncodeWriteFollowup(followup).size();
-      SendToServer(net::MessageKind::kWriteFollowup, followup_size,
+      SendToServer(state->server_ep, net::MessageKind::kWriteFollowup, followup_size,
                    [this, followup = std::move(followup)]() mutable {
         server_->HandleFollowup(std::move(followup));
       });
@@ -421,12 +457,13 @@ void Runtime::SendFollowupAttempt(const std::shared_ptr<RequestState>& state) {
     metrics_.Increment("followup_retransmits");
     ++state->trace.retries;
   }
-  const bool reachable = self_.CanReach(server_endpoint_);
+  const bool reachable = self_.CanReach(state->server_ep);
   RecordAttempt(state, AttemptPath::kFollowup, state->followup_attempts);
   if (reachable) {
-    SendToServer(net::MessageKind::kWriteFollowup, state->followup_size, [this, state] {
+    SendToServer(state->server_ep, net::MessageKind::kWriteFollowup, state->followup_size,
+                 [this, state] {
       server_->HandleFollowup(state->followup, [this, state](bool applied) {
-        SendFromServer(net::MessageKind::kGeneric, 64,
+        SendFromServer(state->server_ep, net::MessageKind::kGeneric, 64,
                        [this, state, applied] { OnFollowupAck(state, applied); });
       });
     });
@@ -434,14 +471,14 @@ void Runtime::SendFollowupAttempt(const std::shared_ptr<RequestState>& state) {
     metrics_.Increment("fast_fail");
     ResolveAttempt(state, AttemptPath::kFollowup, "fast_fail");
   }
-  if (!config_.retry.enabled) {
+  if (!state->retry.enabled) {
     return;
   }
-  double timeout = static_cast<double>(config_.retry.followup_ack_timeout);
+  double timeout = static_cast<double>(state->retry.followup_ack_timeout);
   for (int i = 1; i < state->followup_attempts; ++i) {
-    timeout *= config_.retry.backoff;
+    timeout *= state->retry.backoff;
   }
-  timeout = std::min(timeout, static_cast<double>(config_.retry.max_backoff));
+  timeout = std::min(timeout, static_cast<double>(state->retry.max_backoff));
   state->followup_timer =
       sim_->Schedule(static_cast<SimDuration>(reachable ? timeout : timeout / 4),
                      [this, state] {
@@ -463,8 +500,8 @@ void Runtime::OnFollowupAck(const std::shared_ptr<RequestState>& state, bool app
     // of waiting out the timer, unless the budget is spent.
     metrics_.Increment("followup_nacks");
     ResolveAttempt(state, AttemptPath::kFollowup, "nack");
-    if (state->followup_attempts >= config_.retry.max_followup_attempts ||
-        !config_.retry.enabled) {
+    if (state->followup_attempts >= state->retry.max_followup_attempts ||
+        !state->retry.enabled) {
       GiveUpFollowup(state);
       return;
     }
@@ -481,7 +518,7 @@ void Runtime::OnFollowupTimeout(const std::shared_ptr<RequestState>& state) {
     return;
   }
   ResolveAttempt(state, AttemptPath::kFollowup, "timeout");
-  if (state->followup_attempts >= config_.retry.max_followup_attempts) {
+  if (state->followup_attempts >= state->retry.max_followup_attempts) {
     GiveUpFollowup(state);
     return;
   }
@@ -527,12 +564,14 @@ void Runtime::InvokeDirect(std::shared_ptr<RequestState> state) {
 }
 
 
-void Runtime::SendToServer(net::MessageKind kind, size_t bytes, std::function<void()> deliver) {
-  self_.Send(server_endpoint_, kind, bytes, std::move(deliver));
+void Runtime::SendToServer(const net::Endpoint& server, net::MessageKind kind, size_t bytes,
+                           std::function<void()> deliver) {
+  self_.Send(server, kind, bytes, std::move(deliver));
 }
 
-void Runtime::SendFromServer(net::MessageKind kind, size_t bytes, std::function<void()> deliver) {
-  server_endpoint_.Send(self_, kind, bytes, std::move(deliver));
+void Runtime::SendFromServer(const net::Endpoint& server, net::MessageKind kind, size_t bytes,
+                             std::function<void()> deliver) {
+  server.Send(self_, kind, bytes, std::move(deliver));
 }
 
 void Runtime::Reply(const std::shared_ptr<RequestState>& state, Value result) {
@@ -546,10 +585,12 @@ void Runtime::Reply(const std::shared_ptr<RequestState>& state, Value result) {
   metrics_.Increment("replies");
   RequestTrace::StampOnce(&state->trace.replied, sim_->Now());
   latency_hist_->Record(state->trace.Total());
-  if (tracer_ != nullptr) {
-    tracer_->Record(state->trace);
+  if (state->trace_enabled) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(state->trace);
+    }
+    AppendSpans(state->trace, spans_);
   }
-  AppendSpans(state->trace, spans_);
   DoneFn done = std::move(state->done);
   done(std::move(result));
 }

@@ -30,6 +30,7 @@
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/radical/client.h"
 #include "src/radical/config.h"
 #include "src/radical/trace.h"
 
@@ -52,8 +53,16 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  // Invokes a registered function on behalf of a colocated client. `done`
-  // fires (as a simulator event) when the result is released to the client.
+  // Submits a request on behalf of a colocated client with per-request
+  // options (retry override, consistency mode, trace opt-out, shard hint —
+  // see RequestOptions in client.h). `done` fires (as a simulator event)
+  // when the result is released to the client. Prefer the radical::Client
+  // facade over calling this directly.
+  void Submit(Request request, RequestOptions options, DoneFn done);
+
+  // DEPRECATED: thin wrapper over Submit with default RequestOptions; kept
+  // for one PR. Migrate to radical::Client::Submit (docs/api.md).
+  [[deprecated("use radical::Client::Submit")]]
   void Invoke(const std::string& function, std::vector<Value> inputs, DoneFn done);
 
   Region region() const { return region_; }
@@ -68,13 +77,13 @@ class Runtime {
   const net::Endpoint& endpoint() const { return self_; }
   const net::Endpoint& server_endpoint() const { return server_endpoint_; }
 
-  // DEPRECATED failure-injection hook: return false to drop a write followup
-  // before it leaves this location. Prefer a fabric drop rule on
-  // MessageKind::kWriteFollowup from endpoint(), which also shows up in the
-  // fabric's per-kind drop counters. Pass nullptr to clear.
-  using FollowupFilter = std::function<bool(const WriteFollowup&)>;
-  [[deprecated("add a fabric drop rule on MessageKind::kWriteFollowup instead")]]
-  void set_followup_filter(FollowupFilter filter) { followup_filter_ = std::move(filter); }
+  // Sharded server: one fabric channel per shard ("lvi-server.shard<i>").
+  // When set, each request is sent on its home shard's channel — chosen by
+  // ShardRouter over the first item's key, or by RequestOptions::shard_hint.
+  // Channel choice is a locality optimization only: the server recomputes
+  // the authoritative shard on arrival, so a stale or wrong route still
+  // executes correctly. Empty (the default) = the single server_endpoint.
+  void set_shard_endpoints(std::vector<net::Endpoint> endpoints);
 
   // Attaches a trace collector; every completed request records a
   // RequestTrace with its §5.5 phase boundaries. Pass nullptr to detach.
@@ -91,6 +100,11 @@ class Runtime {
     std::string function;
     std::vector<Value> inputs;
     DoneFn done;
+    // Per-request knobs, resolved from RequestOptions at Submit time.
+    RetryPolicy retry;           // options.retry or the deployment default.
+    bool trace_enabled = true;   // Record trace/spans on completion.
+    int shard_hint = -1;         // Channel pin; -1 = route by key.
+    net::Endpoint server_ep;     // The server channel this request uses.
     // Cached version per write key (sorted), for post-success installs.
     std::vector<Key> write_keys;
     std::vector<Version> write_base_versions;
@@ -147,8 +161,9 @@ class Runtime {
   void OnFollowupAck(const std::shared_ptr<RequestState>& state, bool applied);
   void OnFollowupTimeout(const std::shared_ptr<RequestState>& state);
   void GiveUpFollowup(const std::shared_ptr<RequestState>& state);
-  // Exponential backoff: request_timeout * backoff^(attempt-1), capped.
-  SimDuration AttemptTimeout(int attempt) const;
+  // Exponential backoff: retry.request_timeout * backoff^(attempt-1),
+  // capped at retry.max_backoff.
+  static SimDuration AttemptTimeout(const RetryPolicy& retry, int attempt);
   void CancelTimeout(const std::shared_ptr<RequestState>& state);
   // Attempt bookkeeping for the trace: opens one RequestAttempt per
   // transmission; Resolve closes the newest open attempt on `path`.
@@ -167,8 +182,15 @@ class Runtime {
   // the intra-DC hop to the server's EC2 instance, which rides as the server
   // endpoint's extra_hop_delay (kServerHopRtt / 2 each way; Table 2's
   // lat_nu<->ns is the sum of both).
-  void SendToServer(net::MessageKind kind, size_t bytes, std::function<void()> deliver);
-  void SendFromServer(net::MessageKind kind, size_t bytes, std::function<void()> deliver);
+  // `server` is the request's channel (RequestState::server_ep) — the shared
+  // server endpoint, or a per-shard channel under set_shard_endpoints.
+  void SendToServer(const net::Endpoint& server, net::MessageKind kind, size_t bytes,
+                    std::function<void()> deliver);
+  void SendFromServer(const net::Endpoint& server, net::MessageKind kind, size_t bytes,
+                      std::function<void()> deliver);
+  // Picks the server channel for `state`: shard_hint if set, else the shard
+  // owning `first_key` (nullptr = shard 0), else the single endpoint.
+  void RouteToServer(RequestState* state, const Key* first_key) const;
 
   Simulator* sim_;
   Network* network_;
@@ -176,6 +198,10 @@ class Runtime {
   const Region server_region_;
   net::Endpoint self_;
   net::Endpoint server_endpoint_;
+  // Per-shard server channels (empty for unsharded deployments) and the
+  // router mapping keys onto them; see set_shard_endpoints.
+  std::vector<net::Endpoint> shard_endpoints_;
+  ShardRouter shard_router_{1};
   LviServer* server_;
   const FunctionRegistry* registry_;
   const Interpreter* interpreter_;
@@ -184,7 +210,6 @@ class Runtime {
   obs::MetricsScope metrics_;
   // Resolved once: end-to-end latency histogram, bumped on every Reply.
   obs::LatencyHistogram* latency_hist_ = nullptr;
-  FollowupFilter followup_filter_;
   ExternalServiceRegistry* externals_;
   TraceCollector* tracer_ = nullptr;
   obs::SpanCollector* spans_ = nullptr;

@@ -28,13 +28,6 @@ LocalMesh::LocalMesh(Simulator* sim, int node_count, LocalMeshOptions options)
   }
 }
 
-void LocalMesh::Send(NodeId from, NodeId to, std::function<void()> deliver) {
-  assert(from >= 0 && from < node_count_ && to >= 0 && to < node_count_);
-  fabric_.Send(endpoint(from).id(), endpoint(to).id(),
-               net::Envelope{net::MessageKind::kGeneric, net::kDefaultMessageBytes,
-                             std::move(deliver)});
-}
-
 void LocalMesh::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
   fabric_.SetEndpointPartitioned(endpoint(a).id(), endpoint(b).id(), partitioned);
 }

@@ -48,16 +48,11 @@ class LocalMesh {
   net::Fabric& fabric() { return fabric_; }
   const net::Fabric& fabric() const { return fabric_; }
 
-  // The endpoint of one Raft node; nodes send typed RPCs through these.
+  // The endpoint of one Raft node; nodes send typed RPCs through these —
+  // messages show up in per-kind metrics and can be targeted by drop rules.
   const net::Endpoint& endpoint(NodeId node) const {
     return endpoints_[static_cast<size_t>(node)];
   }
-
-  // DEPRECATED: untyped send. Prefer endpoint(from).Send(endpoint(to), kind,
-  // size, deliver) so the message shows up in per-kind metrics and can be
-  // targeted by drop rules.
-  [[deprecated("send through net::Endpoint with a typed MessageKind instead")]]
-  void Send(NodeId from, NodeId to, std::function<void()> deliver);
 
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
   bool IsPartitioned(NodeId a, NodeId b) const;

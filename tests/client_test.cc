@@ -1,0 +1,202 @@
+// radical::Client — the redesigned request API. Submit(Request,
+// RequestOptions) carries the per-request policy that used to be global
+// config: retry behavior, consistency mode, trace opt-in, and a shard
+// placement hint. These tests pin each option's observable effect and the
+// parity of the deprecated Invoke wrapper.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/func/builder.h"
+#include "src/radical/client.h"
+#include "src/radical/deployment.h"
+
+namespace radical {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : net_(&sim_, LatencyMatrix::PaperDefault()) {
+    radical_ = std::make_unique<RadicalDeployment>(&sim_, &net_, config_, DeploymentRegions());
+    radical_->RegisterFunction(Fn("reg_read", {"k"}, {
+        Read("v", In("k")),
+        Return(V("v")),
+    }));
+    radical_->RegisterFunction(Fn("reg_write", {"k", "v"}, {
+        Write(In("k"), In("v")),
+        Return(In("v")),
+    }));
+    radical_->Seed("k", Value("v0"));
+    radical_->WarmCaches();
+  }
+
+  obs::MetricsScope Counters(Region region) { return radical_->runtime(region).counters(); }
+
+  Simulator sim_;
+  Network net_;
+  RadicalConfig config_;
+  std::unique_ptr<RadicalDeployment> radical_;
+};
+
+TEST_F(ClientTest, SubmitWithDefaultsAnswersLikeInvoke) {
+  Client client = radical_->client(Region::kCA);
+  std::optional<Value> submitted;
+  client.Submit(Request{"reg_read", {Value("k")}},
+                [&](Value result) { submitted = std::move(result); });
+  std::optional<Value> invoked;
+  radical_->Invoke(Region::kCA, "reg_read", {Value("k")},
+                   [&](Value result) { invoked = std::move(result); });
+  sim_.Run();
+  ASSERT_TRUE(submitted.has_value());
+  ASSERT_TRUE(invoked.has_value());
+  EXPECT_EQ(*submitted, Value("v0"));
+  EXPECT_EQ(*invoked, *submitted);
+  EXPECT_EQ(Counters(Region::kCA).Get("replies"), 2u);
+}
+
+TEST_F(ClientTest, DeprecatedRuntimeInvokeStillAnswers) {
+  std::optional<Value> result;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  radical_->runtime(Region::kCA).Invoke("reg_read", {Value("k")},
+                                        [&](Value v) { result = std::move(v); });
+#pragma GCC diagnostic pop
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, Value("v0"));
+}
+
+TEST_F(ClientTest, DirectConsistencySkipsSpeculation) {
+  Client client = radical_->client(Region::kCA);
+  RequestOptions options;
+  options.consistency = ConsistencyMode::kDirect;
+  std::optional<Value> result;
+  client.Submit(Request{"reg_write", {Value("k"), Value("v1")}}, options,
+                [&](Value v) { result = std::move(v); });
+  sim_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, Value("v1"));
+  EXPECT_EQ(Counters(Region::kCA).Get("direct_requested"), 1u);
+  EXPECT_EQ(Counters(Region::kCA).Get("speculations"), 0u);
+  // The write is authoritative: a linearizable read sees it.
+  std::optional<Value> read_back;
+  client.Submit(Request{"reg_read", {Value("k")}},
+                [&](Value v) { read_back = std::move(v); });
+  sim_.Run();
+  ASSERT_TRUE(read_back.has_value());
+  EXPECT_EQ(*read_back, Value("v1"));
+}
+
+TEST_F(ClientTest, PerRequestRetryPolicyOverridesConfig) {
+  Client client = radical_->client(Region::kCA);
+
+  // Drop exactly the first LVI request on the wire. The config-default
+  // policy (enabled) recovers through a timeout + retry.
+  net::DropRule drop_one;
+  drop_one.kind = net::MessageKind::kLviRequest;
+  drop_one.max_drops = 1;
+  net_.fabric().AddDropRule(drop_one);
+  std::optional<Value> retried;
+  RequestOptions fast_retry;
+  fast_retry.retry = RetryPolicy{};
+  fast_retry.retry->request_timeout = Millis(300);
+  client.Submit(Request{"reg_read", {Value("k")}}, fast_retry,
+                [&](Value v) { retried = std::move(v); });
+  sim_.Run();
+  ASSERT_TRUE(retried.has_value());
+  EXPECT_EQ(*retried, Value("v0"));
+  const uint64_t timeouts_after_first = Counters(Region::kCA).Get("timeouts");
+  EXPECT_GT(timeouts_after_first, 0u);
+  EXPECT_GT(Counters(Region::kCA).Get("retries"), 0u);
+
+  // Same loss, but this request opts out of retries entirely: no timeout is
+  // ever armed, so the drop leaves it pending forever instead of retrying.
+  net::DropRule drop_again;
+  drop_again.kind = net::MessageKind::kLviRequest;
+  drop_again.max_drops = 1;
+  net_.fabric().AddDropRule(drop_again);
+  RequestOptions no_retry;
+  no_retry.retry = RetryPolicy{};
+  no_retry.retry->enabled = false;
+  bool answered = false;
+  client.Submit(Request{"reg_read", {Value("k")}}, no_retry, [&](Value) { answered = true; });
+  sim_.Run();
+  EXPECT_FALSE(answered);
+  EXPECT_EQ(Counters(Region::kCA).Get("timeouts"), timeouts_after_first);
+  EXPECT_EQ(Counters(Region::kCA).Get("requests"), 2u);
+  EXPECT_EQ(Counters(Region::kCA).Get("replies"), 1u);
+}
+
+TEST_F(ClientTest, TraceOptOutRecordsNothing) {
+  TraceCollector collector;
+  radical_->runtime(Region::kCA).set_tracer(&collector);
+  Client client = radical_->client(Region::kCA);
+
+  RequestOptions untraced;
+  untraced.trace = false;
+  std::optional<Value> first;
+  client.Submit(Request{"reg_read", {Value("k")}}, untraced,
+                [&](Value v) { first = std::move(v); });
+  sim_.Run();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(collector.size(), 0u);
+
+  // Opt-in (the default) still records.
+  std::optional<Value> second;
+  client.Submit(Request{"reg_read", {Value("k")}},
+                [&](Value v) { second = std::move(v); });
+  sim_.Run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(collector.size(), 1u);
+  EXPECT_TRUE(collector.traces().front().PhasesMonotonic());
+}
+
+class ShardedClientTest : public ::testing::Test {
+ protected:
+  ShardedClientTest() : net_(&sim_, LatencyMatrix::PaperDefault()) {
+    config_.server.shards = 4;
+    radical_ = std::make_unique<RadicalDeployment>(&sim_, &net_, config_, DeploymentRegions());
+    radical_->RegisterFunction(Fn("reg_write", {"k", "v"}, {
+        Write(In("k"), In("v")),
+        Return(In("v")),
+    }));
+    radical_->RegisterFunction(Fn("reg_read", {"k"}, {
+        Read("v", In("k")),
+        Return(V("v")),
+    }));
+    radical_->Seed("k", Value("v0"));
+    radical_->WarmCaches();
+  }
+
+  Simulator sim_;
+  Network net_;
+  RadicalConfig config_;
+  std::unique_ptr<RadicalDeployment> radical_;
+};
+
+TEST_F(ShardedClientTest, ShardHintIsLocalityOnlyNeverCorrectness) {
+  // Pin requests to every possible channel, including ones that do not own
+  // the key: the server recomputes the authoritative shard, so results are
+  // identical regardless of the hint.
+  Client client = radical_->client(Region::kCA);
+  for (int hint = 0; hint < config_.server.shards; ++hint) {
+    RequestOptions options;
+    options.shard_hint = hint;
+    std::optional<Value> written;
+    client.Submit(Request{"reg_write", {Value("k"), Value("h" + std::to_string(hint))}},
+                  options, [&](Value v) { written = std::move(v); });
+    sim_.Run();
+    ASSERT_TRUE(written.has_value()) << "hint " << hint;
+    std::optional<Value> read_back;
+    client.Submit(Request{"reg_read", {Value("k")}}, options,
+                  [&](Value v) { read_back = std::move(v); });
+    sim_.Run();
+    ASSERT_TRUE(read_back.has_value()) << "hint " << hint;
+    EXPECT_EQ(*read_back, Value("h" + std::to_string(hint))) << "hint " << hint;
+  }
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+}  // namespace
+}  // namespace radical

@@ -184,6 +184,26 @@ TEST(WireCodecTest, DirectResponseRoundTrip) {
   EXPECT_EQ(decoded->fresh_items[0].version, 12);
 }
 
+TEST(WireCodecTest, EnvelopeCarriesWireFormatVersion) {
+  const WireBuffer buffer = EncodeLviRequest(SampleRequest());
+  ASSERT_FALSE(buffer.empty());
+  EXPECT_EQ(buffer[0], kWireFormatVersion);
+  EXPECT_EQ(EncodeLviResponse(LviResponse{})[0], kWireFormatVersion);
+  EXPECT_EQ(EncodeWriteFollowup(WriteFollowup{})[0], kWireFormatVersion);
+  EXPECT_EQ(EncodeDirectRequest(DirectRequest{})[0], kWireFormatVersion);
+  EXPECT_EQ(EncodeDirectResponse(DirectResponse{})[0], kWireFormatVersion);
+}
+
+TEST(WireCodecTest, VersionMismatchRejectedAtDecode) {
+  WireBuffer buffer = EncodeLviRequest(SampleRequest());
+  ASSERT_FALSE(buffer.empty());
+  buffer[0] = kWireFormatVersion + 1;  // A future (or corrupted) version.
+  const Result<LviRequest> decoded = DecodeLviRequest(buffer);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.message().find("wire format version mismatch"), std::string::npos)
+      << decoded.message();
+}
+
 TEST(WireCodecTest, MessageTypeConfusionRejected) {
   const WireBuffer request_bytes = EncodeLviRequest(SampleRequest());
   EXPECT_FALSE(DecodeLviResponse(request_bytes).ok());

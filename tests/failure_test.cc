@@ -184,22 +184,23 @@ TEST_F(FailureTest, LinearizableUnderRandomFollowupLoss) {
   EXPECT_GT(radical_->server().reexecutions(), 0u);
 }
 
-// The deprecated per-runtime followup filter stays for one PR; pin the shim's
-// behavior until every external caller has moved to fabric drop rules.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(FailureTest, LegacyFollowupFilterShimStillDrops) {
-  radical_->runtime(Region::kCA).set_followup_filter([](const WriteFollowup&) { return false; });
+// The per-runtime followup filter shim is gone; a fabric drop rule on
+// kWriteFollowup from one runtime's endpoint covers the same failure mode —
+// and the drop shows up in the fabric's per-kind counters.
+TEST_F(FailureTest, FabricDropRuleDropsFollowupAndIntentTimerRepairs) {
+  net::DropRule lost_followup;
+  lost_followup.kind = net::MessageKind::kWriteFollowup;
+  lost_followup.from = radical_->runtime(Region::kCA).endpoint().id();
+  net_.fabric().AddDropRule(lost_followup);
   Value result;
   radical_->Invoke(Region::kCA, "reg_write", {Value("k"), Value("v1")},
                    [&](Value v) { result = std::move(v); });
   sim_.Run();
   EXPECT_EQ(result, Value("v1"));
-  EXPECT_EQ(radical_->runtime(Region::kCA).counters().Get("followups_dropped"), 1u);
+  EXPECT_EQ(net_.fabric().drops_of(net::MessageKind::kWriteFollowup), 1u);
   EXPECT_EQ(radical_->server().reexecutions(), 1u);
   EXPECT_EQ(radical_->primary().Peek("k")->value, Value("v1"));
 }
-#pragma GCC diagnostic pop
 
 TEST_F(FailureTest, ServerStateDrainsCleanAfterMixedTraffic) {
   Rng rng(1357);

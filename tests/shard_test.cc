@@ -1,0 +1,415 @@
+// Sharding tests: the ShardRouter key-range map, deadlock-free cross-shard
+// lock acquisition, admission-window batching (including abort isolation —
+// one member's validation failure must not poison its batchmates), a
+// fault-sweep linearizability check of the batched path, and the guarantee
+// that the defaults (shards = 1, batch_window = 0) create no shard-scoped
+// instruments.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/registry.h"
+#include "src/check/linearizability.h"
+#include "src/common/rng.h"
+#include "src/func/builder.h"
+#include "src/lvi/lvi_server.h"
+#include "src/lvi/shard_router.h"
+#include "src/radical/deployment.h"
+
+namespace radical {
+namespace {
+
+std::vector<Key> TestKeys() {
+  std::vector<Key> keys;
+  for (int i = 0; i < 512; ++i) {
+    keys.push_back("post/" + std::to_string(i));
+    keys.push_back("user/" + std::to_string(i) + "/timeline");
+  }
+  keys.push_back("");
+  keys.push_back("k");
+  return keys;
+}
+
+TEST(ShardRouterTest, EveryKeyRoutesToExactlyOneShardInsideItsRange) {
+  for (const int shards : {1, 2, 4, 8}) {
+    const ShardRouter router(shards);
+    for (const Key& key : TestKeys()) {
+      const int shard = router.ShardOf(key);
+      ASSERT_GE(shard, 0);
+      ASSERT_LT(shard, shards);
+      // Routing is a pure function of the key's point.
+      EXPECT_EQ(shard, router.ShardOfPoint(ShardRouter::Point(key)));
+      // The point falls inside the shard's half-open range; the last shard's
+      // limit is 0, meaning the range wraps to 2^64.
+      const uint64_t point = ShardRouter::Point(key);
+      EXPECT_GE(point, router.RangeStart(shard));
+      if (router.RangeLimit(shard) != 0) {
+        EXPECT_LT(point, router.RangeLimit(shard));
+      }
+    }
+  }
+}
+
+TEST(ShardRouterTest, RangesTileThePointSpace) {
+  for (const int shards : {1, 2, 4, 8, 16}) {
+    const ShardRouter router(shards);
+    EXPECT_EQ(router.RangeStart(0), 0u);
+    for (int s = 0; s + 1 < shards; ++s) {
+      EXPECT_EQ(router.RangeLimit(s), router.RangeStart(s + 1)) << "shards=" << shards;
+    }
+    EXPECT_EQ(router.RangeLimit(shards - 1), 0u) << "shards=" << shards;
+  }
+}
+
+TEST(ShardRouterTest, RebalancingRefinesOwnership) {
+  // Growing N shards to k*N splits each shard into exactly k children: the
+  // child index divided by k is the parent index, for every key. This is the
+  // invariant that makes hash-range rebalancing local (no key ever moves
+  // between unrelated shards).
+  for (const int n : {1, 2, 4}) {
+    for (const int k : {2, 4}) {
+      const ShardRouter coarse(n);
+      const ShardRouter fine(n * k);
+      for (const Key& key : TestKeys()) {
+        EXPECT_EQ(fine.ShardOf(key) / k, coarse.ShardOf(key))
+            << "key=" << key << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(ShardRouterTest, PointIsFnv1aWithPinnedVectors) {
+  // Published FNV-1a 64-bit test vectors. Shard placement everywhere in the
+  // system derives from this function; these pins catch accidental changes.
+  EXPECT_EQ(ShardRouter::Point(""), 14695981039346656037ull);
+  EXPECT_EQ(ShardRouter::Point("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(ShardRouter::Point("foobar"), 0x85944171f73967e8ull);
+}
+
+// --- ShardedLockService ------------------------------------------------------
+
+TEST(ShardedLockServiceTest, CrossShardAcquireGrantsAndConflictWaits) {
+  Simulator sim;
+  ShardedLockService locks(&sim, 4);
+
+  // A sorted key set spanning several shards.
+  std::vector<Key> keys = TestKeys();
+  keys.resize(16);
+  std::sort(keys.begin(), keys.end());
+  std::vector<LockMode> modes(keys.size(), LockMode::kWrite);
+
+  std::set<int> shards_touched;
+  for (const Key& key : keys) {
+    shards_touched.insert(locks.router().ShardOf(key));
+  }
+  ASSERT_GT(shards_touched.size(), 1u) << "key set must span shards for this test";
+
+  bool first_granted = false;
+  locks.AcquireAll(1, keys, modes, [&] { first_granted = true; });
+  sim.Run();
+  ASSERT_TRUE(first_granted);
+  // One acquisition per per-shard group (the table counts grouped acquires).
+  EXPECT_EQ(locks.total_acquisitions(), shards_touched.size());
+  EXPECT_EQ(locks.total_waits(), 0u);
+
+  // A conflicting acquirer queues until the holder releases.
+  bool second_granted = false;
+  locks.AcquireAll(2, {keys.front(), keys.back()},
+                   {LockMode::kWrite, LockMode::kWrite}, [&] { second_granted = true; });
+  sim.Run();
+  EXPECT_FALSE(second_granted);
+  EXPECT_GT(locks.total_waits(), 0u);
+
+  locks.ReleaseAll(1);
+  sim.Run();
+  EXPECT_TRUE(second_granted);
+  locks.ReleaseAll(2);
+}
+
+TEST(ShardedLockServiceTest, OppositeKeyOrdersDoNotDeadlock) {
+  // Two acquirers whose key sets overlap on every shard, issued in the same
+  // event tick. The (shard, key) total order means one of them wins every
+  // common lock and the other queues behind it — never a cycle.
+  Simulator sim;
+  ShardedLockService locks(&sim, 4);
+  std::vector<Key> keys = TestKeys();
+  keys.resize(8);
+  std::sort(keys.begin(), keys.end());
+  std::vector<LockMode> modes(keys.size(), LockMode::kWrite);
+
+  int granted = 0;
+  locks.AcquireAll(7, keys, modes, [&] {
+    ++granted;
+    locks.ReleaseAll(7);
+  });
+  locks.AcquireAll(8, keys, modes, [&] {
+    ++granted;
+    locks.ReleaseAll(8);
+  });
+  sim.Run();
+  EXPECT_EQ(granted, 2);
+}
+
+// --- Admission-window batching ----------------------------------------------
+
+class BatchServerTest : public ::testing::Test {
+ protected:
+  BatchServerTest()
+      : analyzer_(&HostRegistry::Standard()),
+        interp_(&HostRegistry::Standard()),
+        registry_(&analyzer_),
+        locks_(&sim_, 2) {
+    options_.intent_timeout = Millis(500);
+    options_.shards = 2;
+    options_.batch_window = Millis(1);
+    server_ = std::make_unique<LviServer>(&sim_, &store_, &registry_, &interp_, &locks_,
+                                          options_);
+    registry_.Register(Fn("reg_set", {"k", "v"}, {
+        Write(In("k"), In("v")),
+        Return(In("v")),
+    }));
+  }
+
+  LviRequest MakeRequest(const std::string& function, std::vector<Value> inputs,
+                         std::vector<LviItem> items) {
+    LviRequest request;
+    request.exec_id = sim_.NextId();
+    request.origin = Region::kCA;
+    request.function = function;
+    request.inputs = std::move(inputs);
+    request.items = std::move(items);
+    return request;
+  }
+
+  // Two distinct keys on the same shard, so concurrent requests coalesce
+  // into one batch without serializing on a lock.
+  std::pair<Key, Key> SameShardKeyPair() const {
+    const ShardRouter router(options_.shards);
+    std::vector<std::vector<Key>> by_shard(static_cast<size_t>(options_.shards));
+    for (int i = 0;; ++i) {
+      const Key key = "batch/" + std::to_string(i);
+      auto& bucket = by_shard[static_cast<size_t>(router.ShardOf(key))];
+      bucket.push_back(key);
+      if (bucket.size() == 2) {
+        return {bucket[0], bucket[1]};
+      }
+    }
+  }
+
+  Simulator sim_;
+  VersionedStore store_;
+  Analyzer analyzer_;
+  Interpreter interp_;
+  FunctionRegistry registry_;
+  ShardedLockService locks_;
+  LviServerOptions options_;
+  std::unique_ptr<LviServer> server_;
+};
+
+TEST_F(BatchServerTest, AbortedMemberDoesNotPoisonBatchmates) {
+  const auto [fresh_key, stale_key] = SameShardKeyPair();
+  store_.Seed(fresh_key, Value("old"));  // Version 1; cache agrees.
+  store_.Seed(stale_key, Value("old"));  // Version 1; cache will claim 0.
+
+  std::optional<LviResponse> fresh_response;
+  std::optional<LviResponse> stale_response;
+  server_->HandleLviRequest(MakeRequest("reg_set", {Value(fresh_key), Value("fresh-new")},
+                                        {{fresh_key, 1, LockMode::kWrite}}),
+                            [&](LviResponse r) { fresh_response = std::move(r); });
+  server_->HandleLviRequest(MakeRequest("reg_set", {Value(stale_key), Value("stale-new")},
+                                        {{stale_key, 0, LockMode::kWrite}}),
+                            [&](LviResponse r) { stale_response = std::move(r); });
+  sim_.Run();
+
+  // Both requests rode one flush; only the stale member aborted.
+  EXPECT_EQ(server_->counters().Get("batches"), 1u);
+  EXPECT_EQ(server_->counters().Get("batch_members"), 2u);
+  EXPECT_EQ(server_->counters().Get("batch_aborts"), 1u);
+  EXPECT_EQ(server_->counters().Get("intent_multiwrites"), 1u);
+
+  ASSERT_TRUE(fresh_response.has_value());
+  EXPECT_TRUE(fresh_response->validated);
+  ASSERT_TRUE(stale_response.has_value());
+  EXPECT_FALSE(stale_response->validated);
+  // The abort ran the backup: its write committed at the primary, and the
+  // repaired version came back for the cache.
+  EXPECT_EQ(stale_response->backup_result, Value("stale-new"));
+  EXPECT_EQ(store_.Peek(stale_key)->value, Value("stale-new"));
+
+  // The validated member's followup never arrives (no runtime here), so the
+  // intent timer re-executes it deterministically — the write still lands.
+  EXPECT_EQ(store_.Peek(fresh_key)->value, Value("fresh-new"));
+  EXPECT_EQ(server_->reexecutions(), 1u);
+  EXPECT_TRUE(server_->idle());
+}
+
+TEST_F(BatchServerTest, RequestsOutsideTheWindowFormSeparateBatches) {
+  const auto [key_a, key_b] = SameShardKeyPair();
+  store_.Seed(key_a, Value("a0"));
+  store_.Seed(key_b, Value("b0"));
+
+  int replies = 0;
+  server_->HandleLviRequest(MakeRequest("reg_set", {Value(key_a), Value("a1")},
+                                        {{key_a, 1, LockMode::kWrite}}),
+                            [&](LviResponse) { ++replies; });
+  sim_.Schedule(Millis(10), [&] {
+    server_->HandleLviRequest(MakeRequest("reg_set", {Value(key_b), Value("b1")},
+                                          {{key_b, 1, LockMode::kWrite}}),
+                              [&](LviResponse) { ++replies; });
+  });
+  sim_.Run();
+  EXPECT_EQ(replies, 2);
+  EXPECT_EQ(server_->counters().Get("batches"), 2u);
+  EXPECT_EQ(server_->counters().Get("batch_members"), 2u);
+  EXPECT_EQ(server_->counters().Get("batch_aborts"), 0u);
+  EXPECT_TRUE(server_->idle());
+}
+
+// --- Defaults create no shard instruments ------------------------------------
+
+TEST(ShardDefaultsTest, SingletonServerRegistersNoShardScopedMetrics) {
+  // RADICAL_SHARDS deliberately overrides a default-config deployment (the
+  // CHECK_SHARD_MATRIX=1 run relies on that), which is exactly the knob this
+  // test needs left alone.
+  if (const char* env = std::getenv("RADICAL_SHARDS"); env != nullptr && env != std::string("1")) {
+    GTEST_SKIP() << "RADICAL_SHARDS=" << env << " overrides the defaults under test";
+  }
+  Simulator sim;
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  RadicalConfig config;  // shards = 1, batch_window = 0.
+  RadicalDeployment radical(&sim, &net, config, DeploymentRegions());
+  radical.RegisterFunction(Fn("reg_set", {"k", "v"}, {
+      Write(In("k"), In("v")),
+      Return(In("v")),
+  }));
+  radical.Seed("k", Value("v0"));
+  radical.WarmCaches();
+  int replies = 0;
+  radical.Invoke(Region::kCA, "reg_set", {Value("k"), Value("v1")},
+                 [&](Value) { ++replies; });
+  sim.Run();
+  ASSERT_EQ(replies, 1);
+  // The gate: at the defaults the sharded machinery must be fully dormant —
+  // no ".shard" scopes in either snapshot surface, no batch counters.
+  EXPECT_EQ(sim.metrics().SnapshotText().find(".shard"), std::string::npos);
+  EXPECT_EQ(sim.metrics().SnapshotJson().find(".shard"), std::string::npos);
+  EXPECT_EQ(radical.server().counters().Get("batches"), 0u);
+}
+
+// --- Fault sweep over the sharded + batched path ------------------------------
+
+class ShardedFaultSweepTest : public ::testing::Test {
+ protected:
+  ShardedFaultSweepTest() : sim_(777), net_(&sim_, LatencyMatrix::PaperDefault()) {
+    RadicalConfig config;
+    config.server.shards = 4;
+    config.server.batch_window = Micros(500);
+    config.server.intent_timeout = Millis(500);
+    config.retry.request_timeout = Millis(300);
+    config.retry.max_lvi_attempts = 2;
+    config.retry.followup_ack_timeout = Millis(300);
+    radical_ = std::make_unique<RadicalDeployment>(&sim_, &net_, config, DeploymentRegions());
+    radical_->RegisterFunction(Fn("reg_read", {"k"}, {
+        Read("v", In("k")),
+        Compute(Millis(5)),
+        Return(V("v")),
+    }));
+    radical_->RegisterFunction(Fn("reg_write", {"k", "v"}, {
+        Write(In("k"), In("v")),
+        Compute(Millis(5)),
+        Return(In("v")),
+    }));
+    radical_->Seed("k", Value("v0"));
+    radical_->WarmCaches();
+  }
+
+  void AddLoss(net::MessageKind kind, double probability) {
+    net::DropRule rule;
+    rule.kind = kind;
+    rule.probability = probability;
+    net_.fabric().AddDropRule(rule);
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::unique_ptr<RadicalDeployment> radical_;
+};
+
+TEST_F(ShardedFaultSweepTest, BatchedPathStaysLinearizableUnderLossAndCrash) {
+  AddLoss(net::MessageKind::kLviRequest, 0.1);
+  AddLoss(net::MessageKind::kLviResponse, 0.1);
+  AddLoss(net::MessageKind::kWriteFollowup, 0.1);
+
+  HistoryRecorder history;
+  Rng rng(424242);
+  int unique = 0;
+  const int total_ops = 60;
+  for (int i = 0; i < total_ops; ++i) {
+    const Region region = DeploymentRegions()[rng.NextBelow(DeploymentRegions().size())];
+    const bool is_write = rng.NextBool(0.5);
+    const SimDuration at = static_cast<SimDuration>(rng.NextBelow(Seconds(6)));
+    sim_.Schedule(at, [&, region, is_write] {
+      const SimTime invoke = sim_.Now();
+      if (is_write) {
+        const Value value("w" + std::to_string(unique++));
+        radical_->Invoke(region, "reg_write", {Value("k"), value}, [&, value, invoke](Value) {
+          history.Record(HistoryOp{true, "k", value, invoke, sim_.Now()});
+        });
+      } else {
+        radical_->Invoke(region, "reg_read", {Value("k")}, [&, invoke](Value result) {
+          history.Record(HistoryOp{false, "k", std::move(result), invoke, sim_.Now()});
+        });
+      }
+    });
+  }
+
+  // Crash mid-run: the batcher's pending members are volatile and vanish;
+  // their clients must recover through retries like any lost request.
+  while (radical_->server().counters().Get("lvi_requests") < 20 && sim_.Step()) {
+  }
+  ASSERT_GE(radical_->server().counters().Get("lvi_requests"), 20u);
+  radical_->server().Crash();
+  sim_.Schedule(Millis(1500), [&] { radical_->server().Recover(); });
+  sim_.Run();
+
+  EXPECT_EQ(history.size(), static_cast<size_t>(total_ops));
+  uint64_t requests = 0;
+  uint64_t replies = 0;
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;
+  uint64_t duplicate_replies = 0;
+  for (const Region region : DeploymentRegions()) {
+    const obs::MetricsScope counters = radical_->runtime(region).counters();
+    EXPECT_EQ(counters.Get("requests"), counters.Get("replies"))
+        << "region " << RegionName(region);
+    requests += counters.Get("requests");
+    replies += counters.Get("replies");
+    retries += counters.Get("retries");
+    timeouts += counters.Get("timeouts");
+    duplicate_replies += counters.Get("duplicate_replies");
+  }
+  EXPECT_EQ(requests, static_cast<uint64_t>(total_ops));
+  EXPECT_EQ(replies, static_cast<uint64_t>(total_ops));
+  EXPECT_EQ(duplicate_replies, 0u);
+  EXPECT_GT(timeouts, 0u);
+  EXPECT_GT(retries, 0u);
+
+  // The batched admission path actually ran (every LVI request traverses it
+  // when batch_window > 0), and per-shard instruments exist.
+  EXPECT_GT(radical_->server().counters().Get("batches"), 0u);
+  EXPECT_GE(radical_->server().counters().Get("batch_members"),
+            radical_->server().counters().Get("batches"));
+  EXPECT_NE(sim_.metrics().SnapshotText().find(".shard"), std::string::npos);
+
+  const LinearizabilityResult result = CheckHistory(history, {{"k", Value("v0")}});
+  EXPECT_TRUE(result.linearizable) << result.violation;
+  EXPECT_TRUE(radical_->server().idle());
+}
+
+}  // namespace
+}  // namespace radical

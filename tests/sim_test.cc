@@ -328,29 +328,27 @@ TEST(NetworkTest, BandwidthCounters) {
   EXPECT_EQ(net.wan_bytes_sent(), 1000u);
 }
 
-// The deprecated region-to-region shims stay for one PR; pin their behavior
-// until every external caller has moved to the endpoint API.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(NetworkTest, LegacyShimsStillDeliverAndFilter) {
+// The region-to-region Send/SetFilter shims are gone; the anchor-endpoint
+// API covers the same ground: anchors deliver at the matrix delay and the
+// fabric's filter (which also sees the message kind) drops by region pair.
+TEST(NetworkTest, AnchorSendsDeliverAndFabricFilterDrops) {
   Simulator sim;
   NetworkOptions options;
   options.jitter_stddev_frac = 0.0;
   Network net(&sim, LatencyMatrix::PaperDefault(), options);
   SimTime delivered_at = -1;
-  net.Send(Region::kCA, Region::kVA, [&] { delivered_at = sim.Now(); });
+  SendAnchor(net, Region::kCA, Region::kVA, [&] { delivered_at = sim.Now(); });
   sim.Run();
   EXPECT_EQ(delivered_at, Millis(69) / 2);
   int filtered = 0;
-  net.SetFilter([](Region from, Region to) {
-    return !(from == Region::kDE && to == Region::kVA);
+  net.fabric().SetFilter([](const net::SendContext& ctx) {
+    return !(ctx.from_region == Region::kDE && ctx.to_region == Region::kVA);
   });
-  net.Send(Region::kDE, Region::kVA, [&] { ++filtered; });
-  net.Send(Region::kVA, Region::kDE, [&] { ++filtered; });
+  SendAnchor(net, Region::kDE, Region::kVA, [&] { ++filtered; });
+  SendAnchor(net, Region::kVA, Region::kDE, [&] { ++filtered; });
   sim.Run();
   EXPECT_EQ(filtered, 1);
 }
-#pragma GCC diagnostic pop
 
 TEST(RegionTest, NamesAndDeploymentSet) {
   EXPECT_STREQ(RegionName(Region::kVA), "VA");

@@ -289,6 +289,43 @@ void CheckSummary(const JsonValue& summary, const std::string& where) {
   }
 }
 
+// Throughput-vs-configuration curves (bench/throughput_server.cc): each
+// curve is {name, points[]}, each point one measured server configuration.
+void CheckCurves(const JsonValue& curves, const std::string& path) {
+  for (size_t i = 0; i < curves.array.size(); ++i) {
+    const JsonValue& curve = curves.array[i];
+    const std::string where = path + " curves[" + std::to_string(i) + "]";
+    if (!curve.is(JsonValue::Type::kObject)) {
+      Report(where, "entry is not an object");
+      continue;
+    }
+    Require(curve, where, "name", JsonValue::Type::kString);
+    const JsonValue* points = Require(curve, where, "points", JsonValue::Type::kArray);
+    if (points == nullptr) {
+      continue;
+    }
+    if (points->array.empty()) {
+      Report(where, "points array is empty");
+    }
+    for (size_t j = 0; j < points->array.size(); ++j) {
+      const JsonValue& point = points->array[j];
+      const std::string pwhere = where + ".points[" + std::to_string(j) + "]";
+      if (!point.is(JsonValue::Type::kObject)) {
+        Report(pwhere, "entry is not an object");
+        continue;
+      }
+      for (const char* field : {"shards", "batch_window_us", "clients", "offered_rps",
+                                "throughput_rps", "p50_ms", "p90_ms", "p99_ms"}) {
+        Require(point, pwhere, field, JsonValue::Type::kNumber);
+      }
+      const JsonValue* shards = point.Find("shards");
+      if (shards != nullptr && shards->is(JsonValue::Type::kNumber) && shards->number < 1) {
+        Report(pwhere, "shards must be >= 1");
+      }
+    }
+  }
+}
+
 void CheckBenchReport(const JsonValue& root, const std::string& path) {
   if (!root.is(JsonValue::Type::kObject)) {
     Report(path, "top level is not an object");
@@ -297,19 +334,24 @@ void CheckBenchReport(const JsonValue& root, const std::string& path) {
   Require(root, path, "bench", JsonValue::Type::kString);
   Require(root, path, "smoke", JsonValue::Type::kBool);
   const JsonValue* version = Require(root, path, "schema_version", JsonValue::Type::kNumber);
-  if (version != nullptr && version->number != 1.0) {
-    Report(path, "unsupported schema_version");
+  if (version != nullptr && version->number != 2.0) {
+    Report(path, "unsupported schema_version (expected 2)");
   }
   const JsonValue* unit = Require(root, path, "latency_unit", JsonValue::Type::kString);
   if (unit != nullptr && unit->string != "ms") {
     Report(path, "latency_unit must be \"ms\"");
   }
+  const JsonValue* curves = Require(root, path, "curves", JsonValue::Type::kArray);
+  if (curves != nullptr) {
+    CheckCurves(*curves, path);
+  }
   const JsonValue* experiments = Require(root, path, "experiments", JsonValue::Type::kArray);
   if (experiments == nullptr) {
     return;
   }
-  if (experiments->array.empty()) {
-    Report(path, "experiments array is empty");
+  if (experiments->array.empty() &&
+      (curves == nullptr || curves->array.empty())) {
+    Report(path, "experiments and curves are both empty");
   }
   for (size_t i = 0; i < experiments->array.size(); ++i) {
     const JsonValue& exp = experiments->array[i];

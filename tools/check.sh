@@ -14,6 +14,11 @@
 # (RADICAL_BENCH_SMOKE=1 shrinks the load inside bench_util) and validates
 # the machine-readable BENCH_radical.json and Chrome trace-event exports
 # against their schemas with tools/bench_json_check.
+#
+# CHECK_SHARD_MATRIX=1 tools/check.sh  reruns the whole test suite against a
+# sharded LVI server (RADICAL_SHARDS=4, picked up by RadicalDeployment) after
+# the default shards=1 pass — every tier-1 invariant must hold at both
+# points of the matrix.
 set -eu
 
 SOURCE_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
@@ -35,6 +40,13 @@ fi
 
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [ "${CHECK_SHARD_MATRIX:-0}" = "1" ]; then
+  echo "== shard matrix: RADICAL_SHARDS=1 (explicit) =="
+  RADICAL_SHARDS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  echo "== shard matrix: RADICAL_SHARDS=4 =="
+  RADICAL_SHARDS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+fi
 
 if [ "${CHECK_BENCH_SMOKE:-0}" = "1" ]; then
   SMOKE_DIR="$BUILD_DIR/bench-smoke"
