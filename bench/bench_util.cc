@@ -143,6 +143,8 @@ void BenchReport::Add(const std::string& experiment_name, const ExperimentResult
 
 void BenchReport::AddCurve(ThroughputCurve curve) { curves_.push_back(std::move(curve)); }
 
+void BenchReport::AddMicro(MicroResult result) { micro_.push_back(std::move(result)); }
+
 std::string BenchReport::ToJson() const {
   obs::JsonWriter w;
   w.BeginObject();
@@ -227,6 +229,21 @@ std::string BenchReport::ToJson() const {
       w.EndObject();
     }
     w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("micro");
+  w.BeginArray();
+  for (const MicroResult& m : micro_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(m.name);
+    w.Key("iterations");
+    w.Uint(m.iterations);
+    w.Key("ns_per_op");
+    w.Double(m.ns_per_op, 2);
+    w.Key("ops_per_sec");
+    w.Double(m.ops_per_sec, 1);
     w.EndObject();
   }
   w.EndArray();

@@ -93,6 +93,18 @@ struct ThroughputCurve {
   std::vector<ThroughputPoint> points;
 };
 
+// One hand-timed microbenchmark result (bench/micro_core.cc): host-CPU cost
+// of a core simulator operation. Exported under "micro" in the report —
+// this is simulator *implementation* performance (events per host second),
+// not simulated-system latency, so it lives beside the experiments rather
+// than inside one.
+struct MicroResult {
+  std::string name;
+  uint64_t iterations = 0;
+  double ns_per_op = 0.0;
+  double ops_per_sec = 0.0;
+};
+
 // Machine-readable benchmark record. Each bench constructs one report, Add()s
 // an entry per (app, deployment) experiment it ran, and calls Write() at the
 // end. The file destination is the RADICAL_BENCH_JSON environment variable
@@ -104,6 +116,7 @@ class BenchReport {
 
   void Add(const std::string& experiment_name, const ExperimentResult& result);
   void AddCurve(ThroughputCurve curve);
+  void AddMicro(MicroResult result);
 
   // Serializes the report (schema documented in docs/observability.md).
   std::string ToJson() const;
@@ -116,6 +129,7 @@ class BenchReport {
   std::string bench_name_;
   std::vector<std::pair<std::string, ExperimentResult>> entries_;
   std::vector<ThroughputCurve> curves_;
+  std::vector<MicroResult> micro_;
 };
 
 // --- Table printing ----------------------------------------------------------

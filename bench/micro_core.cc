@@ -3,9 +3,22 @@
 // queue, and the zipf generator. These measure real CPU time (not virtual
 // time) — the simulator's own overhead matters for how large an experiment
 // the harness can run.
+//
+// Besides the google-benchmark suite, main() always runs two hand-timed
+// simulator-core loops — steady-state events per host second and fabric
+// envelope round-trips per host second — and exports them as the "micro"
+// section of BENCH_radical.json (bench_util BenchReport). tools/check.sh
+// CHECK_MICRO=1 runs exactly that export and enforces an events/sec floor
+// via RADICAL_MICRO_EVENTS_FLOOR, so a regression that reintroduces per-
+// event heap traffic fails CI, not just a manual bench run.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
 #include "src/analysis/analyzer.h"
 #include "src/apps/apps.h"
 #include "src/func/builder.h"
@@ -13,6 +26,8 @@
 #include "src/check/linearizability.h"
 #include "src/lvi/codec.h"
 #include "src/lvi/lock_table.h"
+#include "src/net/network.h"
+#include "src/sim/region.h"
 #include "src/sim/simulator.h"
 
 namespace radical {
@@ -31,6 +46,24 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   sim.Run();
 }
 BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EnvelopeRoundTrip(benchmark::State& state) {
+  Simulator sim;
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  const net::Endpoint& a = net.endpoint(Region::kCA);
+  const net::Endpoint& b = net.endpoint(Region::kVA);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    (void)_;
+    a.Send(b, net::MessageKind::kLviRequest, 256,
+           [&a, &b] { b.Send(a, net::MessageKind::kLviResponse, 512, [] {}); });
+    if (++i % 64 == 0) {
+      sim.Run();
+    }
+  }
+  sim.Run();
+}
+BENCHMARK(BM_EnvelopeRoundTrip);
 
 void BM_VersionedStorePut(benchmark::State& state) {
   VersionedStore store;
@@ -216,7 +249,104 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample);
 
+// --- BENCH_radical.json "micro" export ---------------------------------------
+
+// Hand-timed (steady_clock) rather than read back out of google-benchmark:
+// the export must not depend on reporter formats, and a plain loop over the
+// same operations is the measurement downstream scripts actually consume.
+
+MicroResult MeasureSteadyStateEvents() {
+  Simulator sim;
+  const uint64_t iterations = BenchSmokeMode() ? 200'000 : 2'000'000;
+  auto drive = [&sim](uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) {
+      sim.Schedule(static_cast<SimDuration>(i % 100), [] {});
+      if ((i + 1) % 64 == 0) {
+        sim.Run();
+      }
+    }
+    sim.Run();
+  };
+  drive(iterations / 10);  // Warm the node slab to its high-water mark.
+  const auto start = std::chrono::steady_clock::now();
+  drive(iterations);
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  MicroResult r;
+  r.name = "sim_events_steady_state";
+  r.iterations = iterations;
+  r.ns_per_op = seconds * 1e9 / static_cast<double>(iterations);
+  r.ops_per_sec = static_cast<double>(iterations) / seconds;
+  return r;
+}
+
+MicroResult MeasureEnvelopeRoundTrip() {
+  Simulator sim;
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  const net::Endpoint& a = net.endpoint(Region::kCA);
+  const net::Endpoint& b = net.endpoint(Region::kVA);
+  const uint64_t iterations = BenchSmokeMode() ? 20'000 : 500'000;
+  auto drive = [&](uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) {
+      a.Send(b, net::MessageKind::kLviRequest, 256,
+             [&a, &b] { b.Send(a, net::MessageKind::kLviResponse, 512, [] {}); });
+      if ((i + 1) % 64 == 0) {
+        sim.Run();
+      }
+    }
+    sim.Run();
+  };
+  drive(iterations / 10);  // Warm channels, counters, and the event slab.
+  const auto start = std::chrono::steady_clock::now();
+  drive(iterations);
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  MicroResult r;
+  r.name = "envelope_round_trip";
+  r.iterations = iterations;
+  r.ns_per_op = seconds * 1e9 / static_cast<double>(iterations);
+  r.ops_per_sec = static_cast<double>(iterations) / seconds;
+  return r;
+}
+
+// Runs both loops, writes the report, and enforces the optional events/sec
+// floor (RADICAL_MICRO_EVENTS_FLOOR). Returns the process exit status.
+int ExportMicroReport() {
+  BenchReport report("micro_core");
+  const MicroResult events = MeasureSteadyStateEvents();
+  const MicroResult round_trip = MeasureEnvelopeRoundTrip();
+  report.AddMicro(events);
+  report.AddMicro(round_trip);
+  const std::string path = report.Write();
+  std::printf("\nmicro: %s %.1f ns/op (%.0f ops/s)\n", events.name.c_str(), events.ns_per_op,
+              events.ops_per_sec);
+  std::printf("micro: %s %.1f ns/op (%.0f ops/s)\n", round_trip.name.c_str(),
+              round_trip.ns_per_op, round_trip.ops_per_sec);
+  if (!path.empty()) {
+    std::printf("micro: report written to %s\n", path.c_str());
+  }
+  const char* floor_env = std::getenv("RADICAL_MICRO_EVENTS_FLOOR");
+  if (floor_env != nullptr && *floor_env != '\0') {
+    const double floor = std::strtod(floor_env, nullptr);
+    if (events.ops_per_sec < floor) {
+      std::fprintf(stderr, "micro: FAIL %s %.0f ops/s below floor %.0f\n", events.name.c_str(),
+                   events.ops_per_sec, floor);
+      return 1;
+    }
+    std::printf("micro: %s above floor %.0f ops/s\n", events.name.c_str(), floor);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace radical
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return radical::ExportMicroReport();
+}

@@ -1,0 +1,163 @@
+// InlineTask: a move-only callable with fixed inline capture storage.
+//
+// std::function heap-allocates once a closure outgrows its (small,
+// implementation-defined) inline buffer — and the simulator schedules one
+// closure per event and one per delivered envelope, so that allocation was
+// the hot path's dominant cost. InlineTask replaces it on those paths with a
+// small-buffer-only design: the capture is constructed directly into a
+// fixed-size inline buffer, a closure too large for the buffer is a
+// *compile-time* error (static_assert, never a silent fallback to the heap),
+// and dispatch is one indirect call through a per-type ops table.
+//
+// The capacity is a deliberate budget. Closures on the schedule/deliver
+// paths capture a handful of pointers, ids, and occasionally a moved
+// protocol message; kInlineTaskCapacity is sized for the largest of those
+// (see docs/sim.md). If a new call site trips the static_assert, first try
+// to shrink the capture (capture a pointer or move a member out) before
+// reaching for the capacity knob.
+
+#ifndef RADICAL_SRC_COMMON_INLINE_TASK_H_
+#define RADICAL_SRC_COMMON_INLINE_TASK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace radical {
+
+// Capture budget in bytes. 192 holds: a shared_ptr request state (16), a
+// moved LviResponse/DirectResponse (~112 with its vectors), a std::function
+// respond callback (32), and change — the largest closure the runtime or
+// LVI server schedules today.
+inline constexpr size_t kInlineTaskCapacity = 192;
+
+class InlineTask {
+ public:
+  InlineTask() = default;
+
+  // Implicit, so every existing `sim->Schedule(d, [..]{...})` call site
+  // keeps compiling unchanged.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineTask> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineTask(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineTaskCapacity,
+                  "closure capture exceeds kInlineTaskCapacity: shrink the "
+                  "capture (see src/common/inline_task.h)");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned closure capture");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::kOps;
+  }
+
+  InlineTask(InlineTask&& other) noexcept { MoveFrom(std::move(other)); }
+
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // Constructs a callable directly into the inline storage, replacing any
+  // current one — the zero-move path used by the event queue's node slab.
+  // Passing an InlineTask (e.g. a closure forwarded out of an Envelope)
+  // moves it instead of wrapping a task inside a task.
+  template <typename F>
+  void Emplace(F&& f) {
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineTask>) {
+      *this = std::forward<F>(f);
+    } else {
+      using Fn = std::decay_t<F>;
+      static_assert(sizeof(Fn) <= kInlineTaskCapacity,
+                    "closure capture exceeds kInlineTaskCapacity: shrink the "
+                    "capture (see src/common/inline_task.h)");
+      static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                    "over-aligned closure capture");
+      Reset();
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &OpsFor<Fn>::kOps;
+    }
+  }
+
+  // Invokes the stored callable (which must be present). The callable stays
+  // stored afterwards; the owner destroys it by dropping the task.
+  void operator()() { ops_->invoke(storage_); }
+
+  // Invokes the stored callable (which must be present) and destroys it,
+  // leaving the task empty — one indirect call instead of invoke + destroy.
+  // This is the event-dispatch hot path: every fired event pays exactly one
+  // dispatch through the ops table.
+  void InvokeAndReset() {
+    const Ops* ops = ops_;
+    // Read as empty while the callback runs (a probe from inside it sees
+    // "nothing stored"). The storage itself stays live until the call
+    // returns — the callback must not Emplace into its own task; owners
+    // that recycle storage (the event queue's slab) wait for the return.
+    ops_ = nullptr;
+    ops->invoke_destroy(storage_);
+  }
+
+  // Destroys the stored callable, leaving the task empty.
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*invoke_destroy)(void* storage);  // Invoke, then destroy.
+    void (*move_construct)(void* dst, void* src);  // src is destroyed.
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static void Invoke(void* storage) { (*static_cast<Fn*>(storage))(); }
+    static void InvokeDestroy(void* storage) {
+      Fn* fn = static_cast<Fn*>(storage);
+      (*fn)();
+      fn->~Fn();
+    }
+    static void MoveConstruct(void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* storage) { static_cast<Fn*>(storage)->~Fn(); }
+    static constexpr Ops kOps{&Invoke, &InvokeDestroy, &MoveConstruct, &Destroy};
+  };
+
+  void MoveFrom(InlineTask&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move_construct(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  // ops_ precedes the storage so that a task with a small capture keeps its
+  // dispatch pointer and the first capture bytes on one cache line (the
+  // event queue embeds tasks in slab nodes; this ordering keeps a node's
+  // hot metadata together).
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineTaskCapacity];
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_INLINE_TASK_H_

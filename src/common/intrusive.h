@@ -1,0 +1,141 @@
+// Intrusive doubly-linked queue, in the style of dqlite's lib/queue.h.
+//
+// Nodes embed an IntrusiveLink member and link themselves into a circular
+// list anchored at a sentinel, so pushing and popping never allocates: the
+// memory for the link travels with the object it tracks. This is the
+// building block of the simulator's zero-allocation hot path — slab free
+// lists, scratch-buffer pools, and any FIFO whose elements already live in
+// recycled storage thread through it instead of a deque.
+//
+// Ownership: the list never owns its nodes. Destroying a node that is still
+// linked corrupts the list — callers unlink first (the link's destructor
+// asserts it is detached in debug builds).
+
+#ifndef RADICAL_SRC_COMMON_INTRUSIVE_H_
+#define RADICAL_SRC_COMMON_INTRUSIVE_H_
+
+#include <cassert>
+#include <cstddef>
+
+namespace radical {
+
+// One hook inside a node. A default-constructed link is detached (points at
+// itself, the circular-list convention dqlite uses: an empty queue is a
+// sentinel whose prev/next are the sentinel).
+class IntrusiveLink {
+ public:
+  IntrusiveLink() : prev_(this), next_(this) {}
+  ~IntrusiveLink() { assert(detached() && "destroying a still-linked node"); }
+
+  IntrusiveLink(const IntrusiveLink&) = delete;
+  IntrusiveLink& operator=(const IntrusiveLink&) = delete;
+
+  bool detached() const { return next_ == this; }
+
+  // Removes this link from whatever list holds it; no-op when detached.
+  void Unlink() {
+    prev_->next_ = next_;
+    next_->prev_ = prev_;
+    prev_ = this;
+    next_ = this;
+  }
+
+ private:
+  template <typename T, IntrusiveLink T::*Member>
+  friend class IntrusiveList;
+
+  // Inserts this link between `before` and `before->next_`.
+  void InsertAfter(IntrusiveLink* before) {
+    assert(detached() && "node is already on a list");
+    next_ = before->next_;
+    prev_ = before;
+    before->next_->prev_ = this;
+    before->next_ = this;
+  }
+
+  IntrusiveLink* prev_;
+  IntrusiveLink* next_;
+};
+
+// FIFO queue over nodes of type T that embed `IntrusiveLink T::*Member`.
+// Push/pop/remove are O(1) pointer splices with no bookkeeping: the list
+// keeps no size counter (the event queue pushes and pops one of these per
+// simulated event, and owners that need a count — EventQueue's live_ —
+// already track their own). size() walks and is for tests/diagnostics only.
+// Usage:
+//
+//   struct Waiter { ...; IntrusiveLink link; };
+//   IntrusiveList<Waiter, &Waiter::link> queue;
+//   queue.PushBack(&w);
+//   Waiter* head = queue.PopFront();
+template <typename T, IntrusiveLink T::*Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() = default;
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.detached(); }
+
+  // O(n); diagnostics and tests only — hot paths use empty() or the
+  // owner's own counter.
+  size_t size() const {
+    size_t n = 0;
+    for (T* node = front(); node != nullptr; node = Next(node)) {
+      ++n;
+    }
+    return n;
+  }
+
+  void PushBack(T* node) { (node->*Member).InsertAfter(head_.prev_); }
+
+  void PushFront(T* node) { (node->*Member).InsertAfter(&head_); }
+
+  T* front() const { return empty() ? nullptr : FromLink(head_.next_); }
+  T* back() const { return empty() ? nullptr : FromLink(head_.prev_); }
+
+  // Walks from `node` toward the back; nullptr past the last node. With
+  // front(), this is enough to traverse without exposing iterators:
+  //
+  //   for (T* n = list.front(); n != nullptr; n = list.Next(n)) ...
+  T* Next(T* node) const {
+    IntrusiveLink* next = (node->*Member).next_;
+    return next == &head_ ? nullptr : FromLink(next);
+  }
+
+  // Detaches and returns the oldest node; nullptr when empty.
+  T* PopFront() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* node = FromLink(head_.next_);
+    Remove(node);
+    return node;
+  }
+
+  // Detaches `node`, which must be on *this* list (unchecked beyond the
+  // linked assertion, as with dqlite's queue).
+  void Remove(T* node) {
+    assert(!(node->*Member).detached() && "removing a node that is not linked");
+    (node->*Member).Unlink();
+  }
+
+ private:
+  static T* FromLink(IntrusiveLink* link) {
+    // The standard container_of dance: Member's byte offset inside T.
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(link) - MemberOffset());
+  }
+  static size_t MemberOffset() {
+    alignas(T) static char probe_storage[sizeof(T)];
+    T* probe = reinterpret_cast<T*>(probe_storage);
+    return static_cast<size_t>(reinterpret_cast<char*>(&(probe->*Member)) -
+                               reinterpret_cast<char*>(probe));
+  }
+
+  IntrusiveLink head_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_INTRUSIVE_H_

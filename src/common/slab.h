@@ -1,0 +1,109 @@
+// Slab allocator: chunked, index-addressable object pool with free-list
+// recycling.
+//
+// A SlabPool hands out fixed-size slots from chunks of kChunkSlots objects.
+// Slot addresses are stable for the pool's lifetime (growth appends chunks,
+// it never moves existing ones), so intrusive links and raw pointers into
+// slots stay valid across Allocate/Release churn. Released slots go onto a
+// pointer-chained free list (the chain lives inside the free slots
+// themselves) and are reused LIFO, so a steady-state workload — allocate,
+// use, release,
+// repeat — touches the heap only while the pool is still growing toward its
+// high-water mark. This is the allocation discipline behind the simulator's
+// zero-allocation event path: the event queue recycles its nodes through a
+// SlabPool and the allocation-counter test (tests/alloc_test.cc) pins the
+// "zero" claim.
+//
+// Slots are also addressable by uint32_t index (chunk = index / kChunkSlots);
+// the index is what compact bookkeeping structures (EventIds) store instead
+// of a pointer. The free list is a raw pointer chain on purpose: popping a
+// free slot is one load and one store with no index-to-address translation,
+// the cheapest possible hot-path allocation, and the slot's intrusive link
+// member stays entirely the owner's (the event queue threads it into timing
+// wheel slot lists while the node is live).
+
+#ifndef RADICAL_SRC_COMMON_SLAB_H_
+#define RADICAL_SRC_COMMON_SLAB_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace radical {
+
+// T must be default-constructible and embed two bookkeeping members the pool
+// manages: `uint32_t slab_index;` (the slot's own index, written once at
+// chunk creation) and `T* slab_next_free;` (the free-list chain, meaningful
+// only while the slot is free).
+// T objects are constructed once when their chunk is created and reused in
+// place; per-use payload setup/teardown is the caller's job (the event queue
+// places/destroys its callback in raw storage inside the node).
+template <typename T, uint32_t kChunkSlots = 256>
+class SlabPool {
+  static_assert((kChunkSlots & (kChunkSlots - 1)) == 0,
+                "kChunkSlots must be a power of two (index math is a shift)");
+
+ public:
+  SlabPool() = default;
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  // Takes a slot off the free list, growing by one chunk when empty.
+  // Amortized O(1); allocates only when the pool grows. Returns the slot
+  // directly — the caller reaches its index through slab_index when a
+  // compact handle is needed.
+  T* Allocate() {
+    if (free_head_ == nullptr) {
+      Grow();
+    }
+    T* node = free_head_;
+    free_head_ = node->slab_next_free;
+    ++live_;
+    return node;
+  }
+
+  // Returns a slot to the free list. The caller has already torn down any
+  // per-use payload state.
+  void Release(T* node) {
+    assert(live_ > 0);
+    --live_;
+    node->slab_next_free = free_head_;
+    free_head_ = node;  // LIFO: the hottest slot is reused first.
+  }
+
+  T& At(uint32_t index) {
+    assert(index < capacity_);
+    return chunks_[index / kChunkSlots][index & (kChunkSlots - 1)];
+  }
+  const T& At(uint32_t index) const {
+    assert(index < capacity_);
+    return chunks_[index / kChunkSlots][index & (kChunkSlots - 1)];
+  }
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t live() const { return live_; }
+
+ private:
+  void Grow() {
+    chunks_.push_back(std::make_unique<T[]>(kChunkSlots));
+    T* chunk = chunks_.back().get();
+    // Chain in reverse so slots allocate in ascending index order.
+    for (uint32_t i = kChunkSlots; i-- > 0;) {
+      chunk[i].slab_index = capacity_ + i;
+      chunk[i].slab_next_free = free_head_;
+      free_head_ = &chunk[i];
+    }
+    capacity_ += kChunkSlots;
+  }
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  T* free_head_ = nullptr;
+  uint32_t capacity_ = 0;
+  uint32_t live_ = 0;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_SLAB_H_

@@ -1,0 +1,82 @@
+// Explicit state machine with checked transitions, in the style of dqlite's
+// lib/sm.h.
+//
+// Lifecycles that used to be ad-hoc boolean flags ("speculated",
+// "response_received", "completed", ...) become a declared graph: each state
+// lists the exact set of successors it may move to, and every Move() is
+// validated against that table. An illegal transition is a logic bug, so it
+// aborts immediately — in every build type, not just under assert() — with
+// the offending edge named. The table is a static array of StateSpec, one
+// per state, indexed by the enum's integer value.
+//
+// Usage:
+//   enum class Phase { kIdle, kRunning, kDone };
+//   constexpr SmStateSpec kPhaseSpec[] = {
+//       {"idle",    SmMask(Phase::kRunning)},
+//       {"running", SmMask(Phase::kDone) | SmMask(Phase::kIdle)},
+//       {"done",    0},  // Terminal.
+//   };
+//   Sm<Phase> sm(kPhaseSpec, Phase::kIdle);
+//   sm.Move(Phase::kRunning);   // OK.
+//   sm.Move(Phase::kDone);      // OK.
+//   sm.Move(Phase::kRunning);   // Aborts: "done -> running".
+
+#ifndef RADICAL_SRC_COMMON_SM_H_
+#define RADICAL_SRC_COMMON_SM_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace radical {
+
+// One row of a state machine's transition table.
+struct SmStateSpec {
+  const char* name;   // For diagnostics.
+  uint32_t allowed;   // Bitmask of legal successor states (SmMask below).
+};
+
+// Bit for state `s` in an `allowed` mask. States must therefore number < 32
+// — plenty for a lifecycle graph, and what keeps the check one AND.
+template <typename State>
+constexpr uint32_t SmMask(State s) {
+  return 1u << static_cast<uint32_t>(s);
+}
+
+// A tiny checked state machine over `State` (an enum with values 0..N-1).
+// The spec table outlives the machine (point it at a constexpr array).
+template <typename State>
+class Sm {
+ public:
+  Sm(const SmStateSpec* spec, State initial) : spec_(spec), state_(initial) {}
+
+  State state() const { return state_; }
+  bool Is(State s) const { return state_ == s; }
+  const char* name() const { return spec_[Index(state_)].name; }
+
+  // True when the table allows state() -> next.
+  bool CanMove(State next) const {
+    return (spec_[Index(state_)].allowed & SmMask(next)) != 0;
+  }
+
+  // Transitions to `next`; aborts the process on an edge the table does not
+  // declare. Self-loops must be declared like any other edge.
+  void Move(State next) {
+    if (!CanMove(next)) {
+      std::fprintf(stderr, "sm: illegal transition %s -> %s\n",
+                   spec_[Index(state_)].name, spec_[Index(next)].name);
+      std::abort();
+    }
+    state_ = next;
+  }
+
+ private:
+  static constexpr uint32_t Index(State s) { return static_cast<uint32_t>(s); }
+
+  const SmStateSpec* spec_;
+  State state_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_COMMON_SM_H_

@@ -205,9 +205,9 @@ FreshItem ReadFreshItem(WireReader& r) {
 
 }  // namespace
 
-WireBuffer EncodeLviRequest(const LviRequest& request) {
-  WireBuffer out;
-  WireWriter w(&out);
+void EncodeLviRequestTo(const LviRequest& request, WireBuffer* out) {
+  out->clear();
+  WireWriter w(out);
   WriteEnvelope(w, kMsgLviRequest);
   w.WriteVarint(request.exec_id);
   w.WriteVarint(static_cast<uint64_t>(request.origin));
@@ -222,6 +222,11 @@ WireBuffer EncodeLviRequest(const LviRequest& request) {
     w.WriteSigned(item.cached_version);
     w.WriteByte(item.mode == LockMode::kWrite ? 1 : 0);
   }
+}
+
+WireBuffer EncodeLviRequest(const LviRequest& request) {
+  WireBuffer out;
+  EncodeLviRequestTo(request, &out);
   return out;
 }
 
@@ -256,9 +261,9 @@ Result<LviRequest> DecodeLviRequest(const WireBuffer& buffer) {
   return request;
 }
 
-WireBuffer EncodeLviResponse(const LviResponse& response) {
-  WireBuffer out;
-  WireWriter w(&out);
+void EncodeLviResponseTo(const LviResponse& response, WireBuffer* out) {
+  out->clear();
+  WireWriter w(out);
   WriteEnvelope(w, kMsgLviResponse);
   w.WriteVarint(response.exec_id);
   w.WriteByte(response.validated ? 1 : 0);
@@ -267,6 +272,11 @@ WireBuffer EncodeLviResponse(const LviResponse& response) {
   for (const FreshItem& item : response.fresh_items) {
     WriteFreshItem(w, item);
   }
+}
+
+WireBuffer EncodeLviResponse(const LviResponse& response) {
+  WireBuffer out;
+  EncodeLviResponseTo(response, &out);
   return out;
 }
 
@@ -289,9 +299,9 @@ Result<LviResponse> DecodeLviResponse(const WireBuffer& buffer) {
   return response;
 }
 
-WireBuffer EncodeWriteFollowup(const WriteFollowup& followup) {
-  WireBuffer out;
-  WireWriter w(&out);
+void EncodeWriteFollowupTo(const WriteFollowup& followup, WireBuffer* out) {
+  out->clear();
+  WireWriter w(out);
   WriteEnvelope(w, kMsgFollowup);
   w.WriteVarint(followup.exec_id);
   w.WriteVarint(followup.writes.size());
@@ -299,6 +309,11 @@ WireBuffer EncodeWriteFollowup(const WriteFollowup& followup) {
     w.WriteString(write.key);
     w.WriteValue(write.value);
   }
+}
+
+WireBuffer EncodeWriteFollowup(const WriteFollowup& followup) {
+  WireBuffer out;
+  EncodeWriteFollowupTo(followup, &out);
   return out;
 }
 
@@ -322,9 +337,9 @@ Result<WriteFollowup> DecodeWriteFollowup(const WireBuffer& buffer) {
   return followup;
 }
 
-WireBuffer EncodeDirectRequest(const DirectRequest& request) {
-  WireBuffer out;
-  WireWriter w(&out);
+void EncodeDirectRequestTo(const DirectRequest& request, WireBuffer* out) {
+  out->clear();
+  WireWriter w(out);
   WriteEnvelope(w, kMsgDirectRequest);
   w.WriteVarint(request.exec_id);
   w.WriteVarint(static_cast<uint64_t>(request.origin));
@@ -333,6 +348,11 @@ WireBuffer EncodeDirectRequest(const DirectRequest& request) {
   for (const Value& input : request.inputs) {
     w.WriteValue(input);
   }
+}
+
+WireBuffer EncodeDirectRequest(const DirectRequest& request) {
+  WireBuffer out;
+  EncodeDirectRequestTo(request, &out);
   return out;
 }
 
@@ -359,9 +379,9 @@ Result<DirectRequest> DecodeDirectRequest(const WireBuffer& buffer) {
   return request;
 }
 
-WireBuffer EncodeDirectResponse(const DirectResponse& response) {
-  WireBuffer out;
-  WireWriter w(&out);
+void EncodeDirectResponseTo(const DirectResponse& response, WireBuffer* out) {
+  out->clear();
+  WireWriter w(out);
   WriteEnvelope(w, kMsgDirectResponse);
   w.WriteVarint(response.exec_id);
   w.WriteValue(response.result);
@@ -369,6 +389,11 @@ WireBuffer EncodeDirectResponse(const DirectResponse& response) {
   for (const FreshItem& item : response.fresh_items) {
     WriteFreshItem(w, item);
   }
+}
+
+WireBuffer EncodeDirectResponse(const DirectResponse& response) {
+  WireBuffer out;
+  EncodeDirectResponseTo(response, &out);
   return out;
 }
 

@@ -83,21 +83,66 @@ class WireReader {
 };
 
 // --- Message layer -------------------------------------------------------------
+//
+// Each message has two encode entry points:
+//
+//   EncodeXTo(msg, &buffer)  — clears `buffer` and encodes into it, reusing
+//                              its capacity. This is the steady-state form:
+//                              endpoints keep one scratch WireBuffer per
+//                              connection/runtime and encode every outgoing
+//                              message through it, so the codec stops
+//                              allocating once the scratch has grown to the
+//                              largest message seen (tests/alloc_test.cc
+//                              pins this).
+//   EncodeX(msg)             — convenience wrapper returning a fresh buffer;
+//                              fine for tests and cold paths.
 
+void EncodeLviRequestTo(const LviRequest& request, WireBuffer* out);
 WireBuffer EncodeLviRequest(const LviRequest& request);
 Result<LviRequest> DecodeLviRequest(const WireBuffer& buffer);
 
+void EncodeLviResponseTo(const LviResponse& response, WireBuffer* out);
 WireBuffer EncodeLviResponse(const LviResponse& response);
 Result<LviResponse> DecodeLviResponse(const WireBuffer& buffer);
 
+void EncodeWriteFollowupTo(const WriteFollowup& followup, WireBuffer* out);
 WireBuffer EncodeWriteFollowup(const WriteFollowup& followup);
 Result<WriteFollowup> DecodeWriteFollowup(const WireBuffer& buffer);
 
+void EncodeDirectRequestTo(const DirectRequest& request, WireBuffer* out);
 WireBuffer EncodeDirectRequest(const DirectRequest& request);
 Result<DirectRequest> DecodeDirectRequest(const WireBuffer& buffer);
 
+void EncodeDirectResponseTo(const DirectResponse& response, WireBuffer* out);
 WireBuffer EncodeDirectResponse(const DirectResponse& response);
 Result<DirectResponse> DecodeDirectResponse(const WireBuffer& buffer);
+
+// Reusable encode scratch for an endpoint. The simulated wire carries exact
+// encoded sizes, not bytes, so the steady-state need is "encode to measure":
+// WireScratch keeps one buffer and routes every measurement through the
+// EncodeXTo functions, reusing capacity across messages. One instance per
+// Runtime / Deployment endpoint; not shared across endpoints (the buffer is
+// live between SizeOf and the next call via buffer()).
+class WireScratch {
+ public:
+  size_t SizeOf(const LviRequest& m) { return Measure(EncodeLviRequestTo, m); }
+  size_t SizeOf(const LviResponse& m) { return Measure(EncodeLviResponseTo, m); }
+  size_t SizeOf(const WriteFollowup& m) { return Measure(EncodeWriteFollowupTo, m); }
+  size_t SizeOf(const DirectRequest& m) { return Measure(EncodeDirectRequestTo, m); }
+  size_t SizeOf(const DirectResponse& m) { return Measure(EncodeDirectResponseTo, m); }
+
+  // The bytes of the most recent SizeOf, valid until the next call.
+  const WireBuffer& buffer() const { return buf_; }
+
+ private:
+  template <typename Msg>
+  size_t Measure(void (*encode_to)(const Msg&, WireBuffer*), const Msg& m) {
+    encode_to(m, &buf_);
+    return buf_.size();
+  }
+
+  WireBuffer buf_;
+};
 
 // --- Function images (registration, §3.2) ---------------------------------------
 

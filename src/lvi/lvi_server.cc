@@ -129,6 +129,9 @@ void LviServer::Crash() {
       sim_->Cancel(state.intent_timer);
       state.intent_timer = kInvalidEventId;
     }
+    // armed -> orphaned (or the declared orphaned self-loop on a double
+    // crash): the timer is gone, the durable intent waits for Recover().
+    state.phase.Move(IntentPhase::kOrphaned);
   }
   inflight_lvi_.clear();
   inflight_direct_.clear();
@@ -172,6 +175,7 @@ void LviServer::Recover() {
   for (auto& [exec_id, state] : executions_) {
     if (IntentsFor(exec_id).IsPending(exec_id)) {
       const ExecutionId id = exec_id;
+      state.phase.Move(IntentPhase::kArmed);  // orphaned -> armed.
       state.intent_timer =
           sim_->Schedule(options_.intent_timeout, [this, id] { FireIntentTimer(id); });
     }
@@ -689,6 +693,7 @@ void LviServer::HandleFollowup(WriteFollowup followup, AckFn ack) {
     if (state.intent_timer != kInvalidEventId) {
       sim_->Cancel(state.intent_timer);
     }
+    state.phase.Move(IntentPhase::kApplying);  // The followup won the race.
     metrics_.Increment("followup_applied");
     BumpShard(ShardForExec(exec_id), "followup_applied");
     ApplyAndFinish(std::move(state), followup.writes, std::move(ack));
@@ -710,7 +715,11 @@ void LviServer::ApplyAndFinish(ExecState state, const std::vector<BufferedWrite>
   }
   const ExecutionId exec_id = state.request.exec_id;
   const uint64_t epoch = epoch_;
-  sim_->Schedule(apply_latency, [this, epoch, exec_id, ack = std::move(ack)] {
+  sim_->Schedule(apply_latency, [this, epoch, exec_id, phase = state.phase,
+                                 ack = std::move(ack)]() mutable {
+    // applying -> finished, on both branches below: the writes are durable
+    // at this point; only the lock release / ack differ by epoch.
+    phase.Move(IntentPhase::kFinished);
     if (!StillAlive(epoch)) {
       // The writes above are already durable (the intent is kDone; recovery
       // releases the locks). Nack so a two-RTT sender retransmits and learns
@@ -748,6 +757,7 @@ void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn 
   if (state.intent_timer != kInvalidEventId) {
     sim_->Cancel(state.intent_timer);  // Resolved by the direct path, not the timer.
   }
+  state.phase.Move(IntentPhase::kReExecuting);  // The timer/fallback won.
   metrics_.Increment("reexecute");
   if (replicated_ && !idempotency_.RecordOnce(exec_id)) {
     // At-most-once near storage: a previous near-storage run already
@@ -755,6 +765,7 @@ void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn 
     // the reply caches).
     locks_->ReleaseAll(exec_id);
     RetireIntent(exec_id);
+    state.phase.Move(IntentPhase::kFinished);
     return;
   }
   // Deterministic re-execution (§3.4): same inputs, and the read locks held
@@ -790,7 +801,12 @@ void LviServer::ResolveIntentByReExecution(ExecutionId exec_id, DirectRespondFn 
   }
   const uint64_t epoch = epoch_;
   sim_->Schedule(options_.backup_invoke_overhead + exec.elapsed,
-                 [this, epoch, exec_id, answer_direct, dresp = std::move(dresp)]() mutable {
+                 [this, epoch, exec_id, answer_direct, phase = state.phase,
+                  dresp = std::move(dresp)]() mutable {
+                   // reexecuting -> finished: the re-executed writes are
+                   // durable; on a stale epoch recovery's cleanup pass
+                   // releases the locks and retires the intent instead.
+                   phase.Move(IntentPhase::kFinished);
                    if (!StillAlive(epoch)) {
                      metrics_.Increment("stale_epoch_dropped");
                      return;  // Recovery's cleanup pass retires the intent.

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/analysis/registry.h"
+#include "src/common/sm.h"
 #include "src/common/stats.h"
 #include "src/kv/intent_table.h"
 #include "src/kv/versioned_store.h"
@@ -83,6 +84,34 @@ struct LviServerOptions {
   // disables batching (the historical request-at-a-time pipeline).
   SimDuration batch_window = 0;
   ExecLimits exec_limits;
+};
+
+// Lifecycle of a committed write intent (§3.4), as a checked state machine
+// (src/common/sm.h). The phases mirror the crash-epoch protocol: an armed
+// intent waits for its followup with a live timer; a crash orphans it (the
+// timer is volatile, the intent is durable) and recovery re-arms it; exactly
+// one resolver — the followup (apply) or the timer / direct fallback
+// (deterministic re-execution) — carries it to finished. The IntentTable's
+// TryComplete CAS picks the winner; the state machine makes the rest of the
+// path a declared graph, so a double-resolve or a resurrect-after-finish
+// aborts loudly instead of corrupting locks or the primary.
+enum class IntentPhase : uint32_t {
+  kArmed = 0,    // Intent durable, timer armed, waiting for the followup.
+  kOrphaned,     // Server down: the timer died, the intent survives on disk.
+  kApplying,     // Followup won the race: speculative writes being applied.
+  kReExecuting,  // Timer or direct fallback won: deterministic re-execution.
+  kFinished,     // Locks released, intent retired. Terminal.
+};
+
+inline constexpr SmStateSpec kIntentPhaseSpec[] = {
+    {"armed", SmMask(IntentPhase::kApplying) | SmMask(IntentPhase::kReExecuting) |
+                  SmMask(IntentPhase::kOrphaned)},
+    // orphaned -> orphaned: a second Crash() while already down is a no-op
+    // sweep over the same executions (idempotent double-crash).
+    {"orphaned", SmMask(IntentPhase::kArmed) | SmMask(IntentPhase::kOrphaned)},
+    {"applying", SmMask(IntentPhase::kFinished)},
+    {"reexecuting", SmMask(IntentPhase::kFinished)},
+    {"finished", 0},
 };
 
 class LviServer {
@@ -176,6 +205,11 @@ class LviServer {
     std::vector<Key> write_keys;              // Sorted.
     std::vector<Version> validated_versions;  // Parallel to write_keys.
     EventId intent_timer = kInvalidEventId;
+    // Where this intent is in its lifecycle; every phase change is a
+    // checked Move against kIntentPhaseSpec. The machine travels with the
+    // state — into the resolver's completion closure once a winner moves
+    // the state out of executions_.
+    Sm<IntentPhase> phase{kIntentPhaseSpec, IntentPhase::kArmed};
   };
 
   // True when the server is up and still in the epoch a continuation was

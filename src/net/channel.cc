@@ -29,8 +29,12 @@ EventId Channel::Deliver(Envelope env, SimDuration spike_extra) {
     const SimTime start_tx = std::max(now, busy_until_);
     queue_wait = start_tx - now;
     busy_until_ = start_tx + serialization;
+    // Sampled only on bandwidth-capped links: an infinite-bandwidth channel
+    // never queues, and appending a zero per message would be the only heap
+    // traffic on the delivery hot path (tests/alloc_test.cc pins it at
+    // none). An empty sampler reads as 0 everywhere, same as all-zeros.
+    stats_.queue_delay.Add(queue_wait);
   }
-  stats_.queue_delay.Add(queue_wait);
 
   SimTime deliver_at = now + queue_wait + serialization + JitteredPropagation() + spike_extra;
   // Channels are FIFO: a later message never overtakes an earlier one, even

@@ -54,7 +54,8 @@ struct LinkStats {
   std::array<uint64_t, kNumMessageKinds> bytes_by_kind{};
   std::array<uint64_t, kNumMessageKinds> drops_by_kind{};
   // Time each message waited for the link to free up (excludes its own
-  // serialization time); all zeros on infinite-bandwidth links.
+  // serialization time); sampled only on bandwidth-capped links (empty —
+  // reading as zero — on infinite-bandwidth ones, which never queue).
   LatencySampler queue_delay;
 };
 

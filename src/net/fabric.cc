@@ -6,7 +6,7 @@ namespace radical {
 namespace net {
 
 EventId Endpoint::Send(const Endpoint& to, MessageKind kind, size_t size_bytes,
-                       std::function<void()> deliver) const {
+                       InlineTask deliver) const {
   return fabric_->Send(id_, to.id_, Envelope{kind, size_bytes, std::move(deliver)});
 }
 

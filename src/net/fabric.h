@@ -64,9 +64,11 @@ class Endpoint {
   Endpoint() = default;
 
   // Sends a typed message to `to`; returns the scheduled delivery event id,
-  // or kInvalidEventId if the fabric dropped the message.
+  // or kInvalidEventId if the fabric dropped the message. `deliver` is an
+  // InlineTask: its captures ride inline through the envelope and the event
+  // queue, so a send never touches the heap.
   EventId Send(const Endpoint& to, MessageKind kind, size_t size_bytes,
-               std::function<void()> deliver) const;
+               InlineTask deliver) const;
 
   // True when a send to `to` would be dropped by a deterministic fault
   // (region/endpoint partition or isolation). A sender may use this to fail

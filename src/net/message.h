@@ -13,7 +13,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+
+#include "src/common/inline_task.h"
 
 namespace radical {
 namespace net {
@@ -50,11 +51,14 @@ inline constexpr int kNumMessageKinds = 15;
 const char* MessageKindName(MessageKind kind);
 
 // One message in flight: kind tag, wire size, and the delivery closure run
-// at the destination endpoint.
+// at the destination endpoint. The closure is an InlineTask — its captures
+// live inline in the envelope (and then inline in the event node that
+// schedules delivery), so sending a message performs no heap allocation.
+// Envelopes are move-only, like the closure they carry.
 struct Envelope {
   MessageKind kind = MessageKind::kGeneric;
   size_t size_bytes = kDefaultMessageBytes;
-  std::function<void()> deliver;
+  InlineTask deliver;
 };
 
 }  // namespace net

@@ -161,14 +161,14 @@ void PrimaryBaselineDeployment::Invoke(Region origin, const std::string& functio
   request.origin = origin;
   request.function = function;
   request.inputs = std::move(inputs);
-  const size_t request_size = EncodeDirectRequest(request).size();
+  const size_t request_size = wire_scratch_.SizeOf(request);
   network_->endpoint(origin).Send(
       network_->endpoint(kPrimaryRegion), net::MessageKind::kDirectRequest, request_size,
       [this, origin, request = std::move(request), done = std::move(done)]() mutable {
         server_->HandleDirect(
             std::move(request),
             [this, origin, done = std::move(done)](DirectResponse response) mutable {
-              const size_t response_size = EncodeDirectResponse(response).size();
+              const size_t response_size = wire_scratch_.SizeOf(response);
               network_->endpoint(kPrimaryRegion)
                   .Send(network_->endpoint(origin), net::MessageKind::kDirectResponse,
                         response_size,

@@ -130,6 +130,8 @@ class PrimaryBaselineDeployment : public AppService {
   VersionedStore primary_;
   std::unique_ptr<LocalLockService> locks_;
   std::unique_ptr<LviServer> server_;
+  // Reusable codec scratch for measuring request/response wire sizes.
+  WireScratch wire_scratch_;
 };
 
 class LocalIdealDeployment : public AppService {

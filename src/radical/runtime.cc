@@ -37,10 +37,6 @@ Runtime::Runtime(Simulator* sim, Network* network, Region region, Region server_
   }
 }
 
-void Runtime::Invoke(const std::string& function, std::vector<Value> inputs, DoneFn done) {
-  Submit(Request{function, std::move(inputs)}, RequestOptions(), std::move(done));
-}
-
 void Runtime::set_shard_endpoints(std::vector<net::Endpoint> endpoints) {
   shard_endpoints_ = std::move(endpoints);
   shard_router_ = ShardRouter(
@@ -149,7 +145,7 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
   // retry replays the cached reply or re-attaches to the running pipeline
   // rather than re-locking or re-executing.
   state->lvi_request = std::move(request);
-  state->lvi_request_size = EncodeLviRequest(state->lvi_request).size();
+  state->lvi_request_size = wire_scratch_.SizeOf(state->lvi_request);
   if (!state->lvi_request.items.empty()) {
     // Sharded server: now that the key set is known, re-route the request
     // onto its home shard's channel (a hint, if given, still wins).
@@ -236,7 +232,7 @@ void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
     SendToServer(state->server_ep, net::MessageKind::kLviRequest, state->lvi_request_size,
                  [this, state] {
       server_->HandleLviRequest(state->lvi_request, [this, state](LviResponse response) {
-        const size_t size = EncodeLviResponse(response).size();
+        const size_t size = wire_scratch_.SizeOf(response);
         SendFromServer(state->server_ep, net::MessageKind::kLviResponse, size,
                        [this, state, response = std::move(response)]() mutable {
                          OnLviResponse(state, std::move(response));
@@ -311,7 +307,7 @@ void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
     SendToServer(state->server_ep, net::MessageKind::kDirectRequest, state->direct_request_size,
                  [this, state] {
       server_->HandleDirect(state->direct_request, [this, state](DirectResponse response) {
-        const size_t response_size = EncodeDirectResponse(response).size();
+        const size_t response_size = wire_scratch_.SizeOf(response);
         SendFromServer(state->server_ep, net::MessageKind::kDirectResponse, response_size,
                        [this, state, response = std::move(response)]() mutable {
                          OnDirectResponse(state, std::move(response));
@@ -427,7 +423,7 @@ void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Valu
       // client — the write intent guarantees the updates reach the primary
       // even if this message is lost.
       Reply(state, std::move(result));
-      const size_t followup_size = EncodeWriteFollowup(followup).size();
+      const size_t followup_size = wire_scratch_.SizeOf(followup);
       SendToServer(state->server_ep, net::MessageKind::kWriteFollowup, followup_size,
                    [this, followup = std::move(followup)]() mutable {
         server_->HandleFollowup(std::move(followup));
@@ -441,7 +437,7 @@ void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Valu
     // the backoff schedule.
     metrics_.Increment("two_rtt_commits");
     state->followup = std::move(followup);
-    state->followup_size = EncodeWriteFollowup(state->followup).size();
+    state->followup_size = wire_scratch_.SizeOf(state->followup);
     state->pending_result = std::move(result);
     SendFollowupAttempt(state);
   });
@@ -559,7 +555,7 @@ void Runtime::InvokeDirect(std::shared_ptr<RequestState> state) {
   state->direct_request.function = state->function;
   state->direct_request.inputs = state->inputs;
   state->trace.direct = true;
-  state->direct_request_size = EncodeDirectRequest(state->direct_request).size();
+  state->direct_request_size = wire_scratch_.SizeOf(state->direct_request);
   SendDirectAttempt(state);
 }
 

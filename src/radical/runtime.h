@@ -26,6 +26,7 @@
 #include "src/analysis/registry.h"
 #include "src/common/stats.h"
 #include "src/kv/cache_store.h"
+#include "src/lvi/codec.h"
 #include "src/lvi/lvi_server.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
@@ -59,11 +60,6 @@ class Runtime {
   // when the result is released to the client. Prefer the radical::Client
   // facade over calling this directly.
   void Submit(Request request, RequestOptions options, DoneFn done);
-
-  // DEPRECATED: thin wrapper over Submit with default RequestOptions; kept
-  // for one PR. Migrate to radical::Client::Submit (docs/api.md).
-  [[deprecated("use radical::Client::Submit")]]
-  void Invoke(const std::string& function, std::vector<Value> inputs, DoneFn done);
 
   Region region() const { return region_; }
   CacheStore& cache() { return cache_; }
@@ -207,6 +203,9 @@ class Runtime {
   const Interpreter* interpreter_;
   const RadicalConfig& config_;
   CacheStore cache_;
+  // Per-runtime codec scratch: every outgoing message's exact wire size is
+  // measured by encoding into this one reusable buffer (see WireScratch).
+  WireScratch wire_scratch_;
   obs::MetricsScope metrics_;
   // Resolved once: end-to-end latency histogram, bumped on every Reply.
   obs::LatencyHistogram* latency_hist_ = nullptr;

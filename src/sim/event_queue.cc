@@ -1,73 +1,147 @@
 #include "src/sim/event_queue.h"
 
-#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace radical {
 
-namespace {
-// Don't bother compacting tiny heaps; rebuilds below this size cost more in
-// constant factors than the stale entries cost in memory.
-constexpr size_t kMinCompactHeapSize = 64;
-}  // namespace
+EventQueue::~EventQueue() {
+  // Pending nodes still hold callbacks; drop them so captured resources
+  // (shared_ptrs, buffers) are released, and unlink them so IntrusiveLink's
+  // destroyed-while-linked assertion holds when the slab chunks die.
+  for (auto& level : lists_) {
+    for (auto& list : level) {
+      while (Node* n = list.PopFront()) {
+        n->fn.Reset();
+      }
+    }
+  }
+}
 
-EventId EventQueue::Push(SimTime when, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id, std::make_shared<std::function<void()>>(std::move(fn))});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
-  pending_.insert(id);
-  return id;
+const EventQueue::Node* EventQueue::Lookup(EventId id) const {
+  const uint32_t low = static_cast<uint32_t>(id);
+  if (low == 0 || low - 1 >= slab_.capacity()) {
+    return nullptr;
+  }
+  const Node& node = slab_.At(low - 1);
+  return node.gen == static_cast<uint32_t>(id >> 32) ? &node : nullptr;
+}
+
+bool EventQueue::IsPending(EventId id) const { return Lookup(id) != nullptr; }
+
+void EventQueue::Place(Node* n) {
+  const uint64_t when = static_cast<uint64_t>(n->when);
+  // The highest 6-bit digit where `when` differs from the cursor is the
+  // lowest level whose covering slot has not been cascaded yet. Most events
+  // land inside the cursor's current 64-slot window (short timer deltas,
+  // zero-delay completions), so level 0 is decided by one compare before
+  // the generic digit math.
+  const uint64_t diff = when ^ base_;
+  uint32_t level = 0;
+  uint32_t slot = static_cast<uint32_t>(when) & (kSlotsPerLevel - 1);
+  if (diff >= kSlotsPerLevel) {
+    level = (static_cast<uint32_t>(std::bit_width(diff)) - 1) / kSlotBits;
+    slot = static_cast<uint32_t>(when >> (kSlotBits * level)) & (kSlotsPerLevel - 1);
+  }
+  n->level = static_cast<uint8_t>(level);
+  n->wslot = static_cast<uint8_t>(slot);
+  lists_[level][slot].PushBack(n);
+  occupied_[level] |= uint64_t{1} << slot;
+}
+
+uint32_t EventQueue::CascadeToLevel0() {
+  for (;;) {
+    if (occupied_[0] != 0) {
+      // Level-0 slots all sit in the cursor's current 64us window, and none
+      // can predate the earliest pending event, so the lowest set bit is
+      // the minimum timestamp.
+      return static_cast<uint32_t>(std::countr_zero(occupied_[0]));
+    }
+    uint32_t k = 1;
+    while (k < kLevels && occupied_[k] == 0) {
+      ++k;
+    }
+    assert(k < kLevels && "CascadeToLevel0 on an empty wheel");
+    const uint32_t slot = static_cast<uint32_t>(std::countr_zero(occupied_[k]));
+    // Advance the cursor to the start of this slot's window, then
+    // redistribute its events one or more levels down. Draining in FIFO
+    // order keeps same-time events in schedule order: appends land behind
+    // everything already cascaded, and anything pushed directly below this
+    // level can only have happened after the cursor entered the window.
+    const uint32_t shift = kSlotBits * (k + 1);
+    const uint64_t window = shift < 64 ? (base_ >> shift) << shift : 0;
+    base_ = window | (uint64_t{slot} << (kSlotBits * k));
+    occupied_[k] &= ~(uint64_t{1} << slot);
+    SlotList& list = lists_[k][slot];
+    while (Node* n = list.PopFront()) {
+      Place(n);  // Re-files strictly below level k: the digits now match.
+    }
+  }
+}
+
+EventQueue::Node* EventQueue::PopMinNode() {
+  const uint32_t slot = MinLevel0Slot();
+  SlotList& list = lists_[0][slot];
+  Node* n = list.PopFront();
+  assert(n != nullptr);
+  if (list.empty()) {
+    occupied_[0] &= ~(uint64_t{1} << slot);
+  }
+  return n;
+}
+
+void EventQueue::ReleaseNode(Node& n) {
+  n.fn.Reset();
+  ++n.gen;  // Outstanding handles for this node go stale.
+  slab_.Release(&n);
+  --live_;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (pending_.erase(id) == 0) {
+  Node* n = Lookup(id);
+  if (n == nullptr) {
     return false;
   }
-  MaybeCompact();
+  SlotList& list = lists_[n->level][n->wslot];
+  list.Remove(n);
+  if (list.empty()) {
+    occupied_[n->level] &= ~(uint64_t{1} << n->wslot);
+  }
+  ReleaseNode(*n);
   return true;
 }
 
-void EventQueue::MaybeCompact() {
-  // Stale entries (cancelled or fired, still occupying heap slots) are
-  // heap_.size() - pending_.size(). Rebuild once they outnumber live ones:
-  // amortized O(1) per cancellation, and heap memory stays <= 2x live count.
-  if (heap_.size() < kMinCompactHeapSize || heap_.size() - pending_.size() <= pending_.size()) {
-    return;
+SimTime EventQueue::NextTimeAboveLevel0() const {
+  uint32_t k = 1;
+  while (k < kLevels && occupied_[k] == 0) {
+    ++k;
   }
-  auto live_end = std::remove_if(heap_.begin(), heap_.end(), [this](const Entry& e) {
-    return pending_.count(e.id) == 0;
-  });
-  heap_.erase(live_end, heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
-}
-
-void EventQueue::SkipCancelled() const {
-  while (!heap_.empty() && pending_.count(heap_.front().id) == 0) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
-    heap_.pop_back();
+  assert(k < kLevels && "NextTime on an empty wheel");
+  const uint32_t slot = static_cast<uint32_t>(std::countr_zero(occupied_[k]));
+  // Higher-level slot lists are FIFO by schedule order, not sorted by
+  // time, so the minimum needs a scan. This is off the pop hot path: the
+  // next RunTop cascades this slot to level 0 and NextTime goes back to
+  // being a count-trailing-zeros.
+  const SlotList& list = lists_[k][slot];
+  SimTime min_when = list.front()->when;
+  for (Node* n = list.Next(list.front()); n != nullptr; n = list.Next(n)) {
+    if (n->when < min_when) {
+      min_when = n->when;
+    }
   }
+  return min_when;
 }
 
-SimTime EventQueue::NextTime() const {
+InlineTask EventQueue::Pop(SimTime* when, EventId* id) {
   assert(!empty());
-  SkipCancelled();
-  assert(!heap_.empty());
-  return heap_.front().when;
-}
-
-std::function<void()> EventQueue::Pop(SimTime* when, EventId* id) {
-  assert(!empty());
-  SkipCancelled();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
-  Entry top = std::move(heap_.back());
-  heap_.pop_back();
-  pending_.erase(top.id);
-  *when = top.when;
+  Node* n = PopMinNode();
+  *when = n->when;
   if (id != nullptr) {
-    *id = top.id;
+    *id = MakeId(n->slab_index, n->gen);
   }
-  return std::move(*top.fn);
+  InlineTask fn = std::move(n->fn);
+  ReleaseNode(*n);
+  return fn;
 }
 
 }  // namespace radical

@@ -1,19 +1,50 @@
-// Priority queue of timestamped events with stable FIFO ordering for
-// same-time events and O(1) cancellation.
+// Timestamped event queue with stable FIFO ordering for same-time events
+// and O(1) cancellation — the simulator's hot path, built for zero
+// steady-state heap allocations.
 //
 // Determinism requirement: two events scheduled for the same virtual time
-// must fire in the order they were scheduled, on every run. The queue keys on
-// (time, sequence number) to guarantee this.
+// must fire in the order they were scheduled, on every run. The queue keeps
+// events in intrusive FIFO lists keyed by timestamp, so schedule order is
+// preserved structurally — there is no explicit sequence counter to get
+// wrong.
+//
+// Structure: a hierarchical timing wheel (the kernel-timer / Kafka-purgatory
+// shape). Level k has 64 slots of 64^k microseconds each; an event is filed
+// at the highest 6-bit digit where its timestamp differs from the wheel
+// cursor `base_`, which is exactly the lowest level whose slot has not been
+// redistributed yet. Pops drain level-0 slots (one slot == one exact
+// timestamp, so its FIFO list *is* (time, schedule-order)); when level 0
+// runs dry, the earliest occupied higher slot is cascaded down, preserving
+// list order. Per-level occupancy bitmaps make "earliest occupied slot" a
+// count-trailing-zeros. Push and Cancel are O(1); pops are amortized O(1) —
+// each event cascades at most once per level it starts above.
+//
+// Callbacks live in slab-recycled nodes (src/common/slab.h) whose addresses
+// never move; the node's intrusive link doubles as the slab free-list hook
+// (while free) and the wheel-slot list hook (while pending). Pushing takes a
+// node off the free list and constructs the callback in place (InlineTask:
+// fixed inline capture storage, no heap); cancellation unlinks the node
+// eagerly — no lazy tombstones, no compaction debt. Once the slab reaches
+// its high-water mark, schedule/cancel/dispatch touch the allocator not at
+// all — tests/alloc_test.cc pins that at zero.
+//
+// EventId encodes (node generation << 32 | slot + 1). The generation bumps
+// every time a node is recycled, so a stale handle — cancelled, fired, or
+// from a previous occupant of the slot — simply misses. A false match would
+// need a handle held across 2^32 reuses of one node; timers in this
+// codebase live for bounded windows, orders of magnitude below that.
 
 #ifndef RADICAL_SRC_SIM_EVENT_QUEUE_H_
 #define RADICAL_SRC_SIM_EVENT_QUEUE_H_
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <unordered_set>
-#include <vector>
+#include <utility>
 
+#include "src/common/inline_task.h"
+#include "src/common/intrusive.h"
+#include "src/common/slab.h"
 #include "src/common/types.h"
 
 namespace radical {
@@ -29,64 +60,161 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  // Schedules `fn` at absolute time `when`. Returns a handle usable with
-  // Cancel().
-  EventId Push(SimTime when, std::function<void()> fn);
+  ~EventQueue();
+
+  // Schedules `fn` at absolute time `when` (non-negative). Returns a handle
+  // usable with Cancel(). Allocation-free once the node slab has grown to
+  // the high-water mark of concurrently pending events. Templated so the
+  // closure is constructed once, directly inside the slab node — no
+  // intermediate moves on the hot path.
+  template <typename F>
+  EventId Push(SimTime when, F&& fn) {
+    assert(when >= 0 && "event timestamps are non-negative");
+    // The wheel scan relies on no event predating the cursor, which only
+    // advances to windows of already-popped events. Pushing earlier than
+    // that would mean scheduling before an event that already fired; the
+    // Simulator's clamp to now_ rules it out.
+    assert(static_cast<uint64_t>(when) >= base_ && "push behind the cursor");
+    Node* node = slab_.Allocate();
+    node->fn.Emplace(std::forward<F>(fn));
+    node->when = when;
+    Place(node);
+    ++live_;
+    return MakeId(node->slab_index, node->gen);
+  }
+
+  // Pops the earliest event and invokes it in place (no callback move, one
+  // indirect call). Sets `*now` to the event's timestamp *before* invoking,
+  // so the caller's clock (Simulator::now_) is correct inside the callback.
+  // Requires !empty(). The firing event's handle goes stale before the
+  // callback runs — a self-Cancel from inside the callback returns false.
+  void RunTop(SimTime* now) {
+    assert(!empty());
+    const uint32_t slot = MinLevel0Slot();
+    SlotList& list = lists_[0][slot];
+    Node* n = list.PopFront();
+    if (list.empty()) {
+      occupied_[0] &= ~(uint64_t{1} << slot);
+    }
+    assert(n->when >= *now && "time must not move backwards");
+    *now = n->when;
+    // Invalidate the handle before invoking, but keep the node off the free
+    // list until the callback returns: events pushed *by* the callback must
+    // not overwrite the storage it is executing from.
+    ++n->gen;
+    --live_;
+    n->fn.InvokeAndReset();
+    slab_.Release(n);
+  }
 
   // Cancels a pending event; returns false if it already fired or was
-  // cancelled. Cancellation is lazy — the entry stays in the heap and is
-  // skipped on pop — but the heap is compacted whenever stale entries
-  // outnumber live ones, so memory stays proportional to live events even
-  // under schedule/cancel churn (e.g. per-request retry timers that almost
-  // always get cancelled).
+  // cancelled. O(1): the node unlinks from its wheel slot and recycles
+  // immediately — no stale entries linger, so churn-heavy workloads (e.g.
+  // per-request retry timers that almost always get cancelled) leave no
+  // compaction debt behind.
   bool Cancel(EventId id);
 
   // True if `id` is scheduled and not yet fired or cancelled.
-  bool IsPending(EventId id) const { return pending_.count(id) > 0; }
+  bool IsPending(EventId id) const;
 
-  bool empty() const { return pending_.empty(); }
-  size_t size() const { return pending_.size(); }
-  // Heap entries including cancelled-but-not-yet-removed ones; the
-  // compaction regression test bounds this against size().
-  size_t heap_size() const { return heap_.size(); }
+  bool empty() const { return live_ == 0; }
+  size_t size() const { return live_; }
+  // Bookkeeping entries held for pending events. The wheel unlinks on
+  // cancel, so this is exactly size(); the accessor survives from the
+  // binary-heap implementation, whose lazy cancellation could leave stale
+  // entries behind, and keeps the compaction regression test meaningful.
+  size_t heap_size() const { return live_; }
 
-  // Time of the earliest live event. Requires !empty().
-  SimTime NextTime() const;
+  // Time of the earliest event. Requires !empty(). Read-only on purpose:
+  // cascading here would advance the cursor past `now` when the caller
+  // peeks but does not pop (RunUntil with an early deadline), and later
+  // pushes would land behind it, breaking the lower-level-fires-first scan
+  // order. Only pops move the cursor.
+  SimTime NextTime() const {
+    assert(!empty());
+    if (occupied_[0] != 0) {
+      const uint32_t slot =
+          static_cast<uint32_t>(std::countr_zero(occupied_[0]));
+      return lists_[0][slot].front()->when;
+    }
+    return NextTimeAboveLevel0();
+  }
 
-  // Pops the earliest live event, setting `when` to its timestamp and `id`
-  // to its handle (may be null). Requires !empty().
-  std::function<void()> Pop(SimTime* when, EventId* id = nullptr);
+  // Pops the earliest event, setting `when` to its timestamp and `id` to
+  // its handle (may be null). Requires !empty().
+  InlineTask Pop(SimTime* when, EventId* id = nullptr);
 
  private:
-  struct Entry {
-    SimTime when;
-    EventId id;
-    // Heap entries are copied during sifting; store the callback indirectly.
-    std::shared_ptr<std::function<void()>> fn;
-
-    // Min-heap via std::*_heap with a greater-than comparison.
-    bool operator>(const Entry& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return id > other.id;
-    }
+  // One slab slot: the callback, the generation guard, and the wheel
+  // coordinates needed for O(1) cancel. `link` and `slab_index` are
+  // SlabPool's bookkeeping members; `link` threads the node into its wheel
+  // slot's FIFO while the event is pending.
+  struct Node {
+    IntrusiveLink link;
+    Node* slab_next_free = nullptr;
+    uint32_t slab_index = 0;
+    uint32_t gen = 1;
+    uint8_t level = 0;
+    uint8_t wslot = 0;
+    SimTime when = 0;
+    InlineTask fn;
   };
 
-  // Drops cancelled entries from the heap top. Mutates only bookkeeping
-  // state, so it is safe to call from const accessors (members are mutable).
-  void SkipCancelled() const;
+  using SlotList = IntrusiveList<Node, &Node::link>;
 
-  // Rebuilds the heap from live entries only, when stale entries dominate.
-  void MaybeCompact();
+  static constexpr uint32_t kSlotBits = 6;
+  static constexpr uint32_t kSlotsPerLevel = 1u << kSlotBits;  // 64
+  // 11 levels * 6 bits = 66 bits: covers every non-negative SimTime.
+  static constexpr uint32_t kLevels = 11;
 
-  // Binary min-heap managed with std::push_heap/pop_heap over a plain
-  // vector (std::priority_queue hides its container, which would make
-  // compaction impossible without popping everything).
-  mutable std::vector<Entry> heap_;
-  // Ids scheduled and not yet fired/cancelled.
-  mutable std::unordered_set<EventId> pending_;
-  EventId next_id_ = 1;
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (slot + 1);
+  }
+
+  // Decodes `id`; returns nullptr unless it names a currently live event.
+  const Node* Lookup(EventId id) const;
+  Node* Lookup(EventId id) {
+    return const_cast<Node*>(std::as_const(*this).Lookup(id));
+  }
+
+  // Files `n` into the wheel at the level/slot implied by n->when and the
+  // current cursor. Appends, so FIFO order within a slot is push order.
+  void Place(Node* n);
+
+  // Level-0 slot of the earliest event, cascading higher-level slots down
+  // first when level 0 is dry. Requires live_ > 0. Called only from pops:
+  // advancing the cursor without consuming the event it leads to would let
+  // later pushes land behind it (see NextTime()).
+  uint32_t MinLevel0Slot() {
+    if (occupied_[0] != 0) {
+      return static_cast<uint32_t>(std::countr_zero(occupied_[0]));
+    }
+    return CascadeToLevel0();
+  }
+
+  // Slow path of MinLevel0Slot: redistributes the earliest occupied
+  // higher-level slot downwards until level 0 is populated.
+  uint32_t CascadeToLevel0();
+
+  // Slow path of NextTime: scans the earliest occupied higher-level slot.
+  SimTime NextTimeAboveLevel0() const;
+
+  // Unlinks and returns the earliest node, clearing its occupancy bit if
+  // the slot list drained. Requires live_ > 0.
+  Node* PopMinNode();
+
+  // Recycles an already-unlinked node: drops the callback, bumps the
+  // generation (invalidating outstanding handles), returns it to the slab.
+  void ReleaseNode(Node& n);
+
+  SlotList lists_[kLevels][kSlotsPerLevel];
+  uint64_t occupied_[kLevels] = {};
+  // Cursor: start of the window most recently cascaded into level 0. Every
+  // pending event's placement is relative to this; it never passes the
+  // earliest pending event.
+  uint64_t base_ = 0;
+  SlabPool<Node> slab_;
+  size_t live_ = 0;
 };
 
 }  // namespace radical

@@ -6,20 +6,6 @@ namespace radical {
 
 Simulator::Simulator(uint64_t seed) : rng_(seed) {}
 
-EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
-  if (delay < 0) {
-    delay = 0;
-  }
-  return queue_.Push(now_ + delay, std::move(fn));
-}
-
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
-  if (when < now_) {
-    when = now_;
-  }
-  return queue_.Push(when, std::move(fn));
-}
-
 bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
 
 size_t Simulator::Run() {
@@ -40,19 +26,6 @@ size_t Simulator::RunUntil(SimTime deadline) {
     now_ = deadline;
   }
   return fired;
-}
-
-bool Simulator::Step() {
-  if (queue_.empty()) {
-    return false;
-  }
-  SimTime when = 0;
-  std::function<void()> fn = queue_.Pop(&when);
-  assert(when >= now_ && "time must not move backwards");
-  now_ = when;
-  ++events_fired_;
-  fn();
-  return true;
 }
 
 }  // namespace radical

@@ -10,8 +10,9 @@
 #define RADICAL_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
+#include "src/common/inline_task.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/obs/metrics.h"
@@ -29,11 +30,20 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run `delay` after now. Negative delays clamp to zero
-  // (fires this instant, after currently queued same-time events).
-  EventId Schedule(SimDuration delay, std::function<void()> fn);
+  // (fires this instant, after currently queued same-time events). The
+  // closure is constructed in place inside a slab-recycled event node:
+  // captures are stored inline (no heap), and a closure that outgrows
+  // kInlineTaskCapacity is a compile-time error.
+  template <typename F>
+  EventId Schedule(SimDuration delay, F&& fn) {
+    return queue_.Push(now_ + (delay < 0 ? 0 : delay), std::forward<F>(fn));
+  }
 
   // Schedules `fn` at absolute virtual time `when` (clamped to now).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  template <typename F>
+  EventId ScheduleAt(SimTime when, F&& fn) {
+    return queue_.Push(when < now_ ? now_ : when, std::forward<F>(fn));
+  }
 
   // Cancels a pending event. Returns false if it already fired.
   bool Cancel(EventId id);
@@ -52,7 +62,18 @@ class Simulator {
   size_t RunFor(SimDuration duration) { return RunUntil(now_ + duration); }
 
   // Runs a single event if any is ready. Returns false if the queue is empty.
-  bool Step();
+  // In-header so the event loop (Run/RunUntil and the benchmarks) inlines
+  // straight into the queue's dispatch fast path.
+  bool Step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    ++events_fired_;
+    // RunTop advances now_ to the event's timestamp before invoking it in
+    // place — no callback move, no allocation.
+    queue_.RunTop(&now_);
+    return true;
+  }
 
   bool idle() const { return queue_.empty(); }
   size_t pending_events() const { return queue_.size(); }

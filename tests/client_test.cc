@@ -55,13 +55,10 @@ TEST_F(ClientTest, SubmitWithDefaultsAnswersLikeInvoke) {
   EXPECT_EQ(Counters(Region::kCA).Get("replies"), 2u);
 }
 
-TEST_F(ClientTest, DeprecatedRuntimeInvokeStillAnswers) {
+TEST_F(ClientTest, RuntimeSubmitWithDefaultOptionsAnswers) {
   std::optional<Value> result;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  radical_->runtime(Region::kCA).Invoke("reg_read", {Value("k")},
+  radical_->runtime(Region::kCA).Submit(Request{"reg_read", {Value("k")}}, RequestOptions(),
                                         [&](Value v) { result = std::move(v); });
-#pragma GCC diagnostic pop
   sim_.Run();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(*result, Value("v0"));

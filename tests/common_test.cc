@@ -1,11 +1,21 @@
-// Unit tests for src/common: Result, Value, Rng/Zipf, stats, strings.
+// Unit tests for src/common: Result, Value, Rng/Zipf, stats, strings, and
+// the zero-allocation primitives (intrusive list, slab pool, inline task,
+// checked state machine).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "src/common/inline_task.h"
+#include "src/common/intrusive.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
+#include "src/common/slab.h"
+#include "src/common/sm.h"
 #include "src/common/stats.h"
 #include "src/common/string_util.h"
 #include "src/common/types.h"
@@ -339,6 +349,248 @@ TEST(StringUtilTest, FormatDouble) {
 TEST(StringUtilTest, StartsWith) {
   EXPECT_TRUE(StartsWith("timeline:u1", "timeline:"));
   EXPECT_FALSE(StartsWith("tim", "timeline:"));
+}
+
+// --- IntrusiveList -----------------------------------------------------------
+
+struct LinkedItem {
+  int id = 0;
+  IntrusiveLink link;
+};
+
+using ItemList = IntrusiveList<LinkedItem, &LinkedItem::link>;
+
+TEST(IntrusiveListTest, PushPopIsFifo) {
+  LinkedItem a{1}, b{2}, c{3};
+  ItemList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.PopFront(), nullptr);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.front(), &a);
+  EXPECT_EQ(list.back(), &c);
+  EXPECT_EQ(list.PopFront(), &a);
+  EXPECT_EQ(list.PopFront(), &b);
+  EXPECT_EQ(list.PopFront(), &c);
+  EXPECT_TRUE(list.empty());
+  EXPECT_TRUE(a.link.detached());
+}
+
+TEST(IntrusiveListTest, PushFrontAndRemoveMiddle) {
+  LinkedItem a{1}, b{2}, c{3};
+  ItemList list;
+  list.PushFront(&a);
+  list.PushFront(&b);  // b, a
+  list.PushBack(&c);   // b, a, c
+  list.Remove(&a);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_TRUE(a.link.detached());
+  EXPECT_EQ(list.PopFront(), &b);
+  EXPECT_EQ(list.PopFront(), &c);
+}
+
+TEST(IntrusiveListTest, NextWalksToNullptr) {
+  LinkedItem a{1}, b{2}, c{3};
+  ItemList list;
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  std::vector<int> seen;
+  for (LinkedItem* n = list.front(); n != nullptr; n = list.Next(n)) {
+    seen.push_back(n->id);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  while (list.PopFront() != nullptr) {
+  }
+}
+
+TEST(IntrusiveListTest, UnlinkIsIdempotent) {
+  LinkedItem a{1};
+  ItemList list;
+  list.PushBack(&a);
+  list.Remove(&a);
+  a.link.Unlink();  // Already detached: no-op.
+  EXPECT_TRUE(a.link.detached());
+}
+
+// --- SlabPool ----------------------------------------------------------------
+
+struct SlabItem {
+  uint32_t slab_index = 0;
+  SlabItem* slab_next_free = nullptr;
+  int payload = 0;
+};
+
+TEST(SlabPoolTest, AllocatesAscendingThenReusesLifo) {
+  SlabPool<SlabItem, 4> pool;
+  EXPECT_EQ(pool.capacity(), 0u);
+  SlabItem* first = pool.Allocate();
+  EXPECT_EQ(first->slab_index, 0u);
+  EXPECT_EQ(pool.capacity(), 4u);
+  SlabItem* second = pool.Allocate();
+  EXPECT_EQ(second->slab_index, 1u);
+  EXPECT_EQ(pool.live(), 2u);
+  // LIFO: the most recently released slot comes back first.
+  pool.Release(second);
+  pool.Release(first);
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(pool.Allocate(), first);
+  EXPECT_EQ(pool.Allocate(), second);
+}
+
+TEST(SlabPoolTest, AddressesAreStableAcrossGrowth) {
+  SlabPool<SlabItem, 4> pool;
+  std::vector<SlabItem*> slots;
+  for (int i = 0; i < 64; ++i) {
+    SlabItem* s = pool.Allocate();
+    s->payload = i;
+    slots.push_back(s);
+  }
+  EXPECT_EQ(pool.capacity(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    // Growth appended chunks without moving earlier ones, and the index
+    // round-trips through At().
+    EXPECT_EQ(slots[i]->payload, i);
+    EXPECT_EQ(&pool.At(slots[i]->slab_index), slots[i]);
+  }
+  for (SlabItem* s : slots) {
+    pool.Release(s);
+  }
+}
+
+TEST(SlabPoolTest, SteadyStateChurnNeverGrows) {
+  SlabPool<SlabItem, 4> pool;
+  SlabItem* warm = pool.Allocate();
+  pool.Release(warm);
+  const uint32_t capacity = pool.capacity();
+  for (int i = 0; i < 1000; ++i) {
+    SlabItem* s = pool.Allocate();
+    pool.Release(s);
+  }
+  EXPECT_EQ(pool.capacity(), capacity);
+}
+
+// --- InlineTask --------------------------------------------------------------
+
+TEST(InlineTaskTest, InvokesStoredClosure) {
+  int calls = 0;
+  InlineTask task([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(task));
+  task();
+  task();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineTaskTest, InvokeAndResetLeavesEmpty) {
+  int calls = 0;
+  InlineTask task([&calls] { ++calls; });
+  task.InvokeAndReset();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(static_cast<bool>(task));
+}
+
+TEST(InlineTaskTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  InlineTask task([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  InlineTask moved(std::move(task));
+  EXPECT_FALSE(static_cast<bool>(task));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(counter.use_count(), 2);
+  moved();
+  EXPECT_EQ(*counter, 1);
+  moved.Reset();
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineTaskTest, EmplaceReplacesAndDestroysOld) {
+  auto old_capture = std::make_shared<int>(0);
+  InlineTask task([old_capture] {});
+  EXPECT_EQ(old_capture.use_count(), 2);
+  int calls = 0;
+  task.Emplace([&calls] { ++calls; });
+  EXPECT_EQ(old_capture.use_count(), 1);  // Old closure destroyed.
+  task();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineTaskTest, EmplacingAnInlineTaskMovesIt) {
+  int calls = 0;
+  InlineTask inner([&calls] { ++calls; });
+  InlineTask outer;
+  outer.Emplace(std::move(inner));
+  EXPECT_FALSE(static_cast<bool>(inner));  // NOLINT(bugprone-use-after-move)
+  outer();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineTaskTest, ObservablyEmptyDuringInvokeAndReset) {
+  // The dispatch contract: the task reads as empty while its callback runs
+  // (a self-Cancel-style probe sees "nothing stored"), and is reusable once
+  // the call returns. The callback must NOT Emplace into the task it is
+  // executing from — the event queue keeps a firing node out of the slab
+  // until the callback returns for exactly that reason.
+  InlineTask task;
+  bool empty_during_invoke = false;
+  task.Emplace([&] { empty_during_invoke = !static_cast<bool>(task); });
+  task.InvokeAndReset();
+  EXPECT_TRUE(empty_during_invoke);
+  EXPECT_FALSE(static_cast<bool>(task));
+  int calls = 0;
+  task.Emplace([&calls] { ++calls; });
+  task.InvokeAndReset();
+  EXPECT_EQ(calls, 1);
+}
+
+// --- Sm ----------------------------------------------------------------------
+
+enum class TestPhase : uint32_t { kIdle = 0, kRunning, kDone };
+
+constexpr SmStateSpec kTestPhaseSpec[] = {
+    {"idle", SmMask(TestPhase::kRunning)},
+    {"running", SmMask(TestPhase::kDone) | SmMask(TestPhase::kIdle) |
+                    SmMask(TestPhase::kRunning)},
+    {"done", 0},
+};
+
+TEST(SmTest, LegalPathMoves) {
+  Sm<TestPhase> sm(kTestPhaseSpec, TestPhase::kIdle);
+  EXPECT_TRUE(sm.Is(TestPhase::kIdle));
+  EXPECT_STREQ(sm.name(), "idle");
+  sm.Move(TestPhase::kRunning);
+  sm.Move(TestPhase::kRunning);  // Declared self-loop.
+  sm.Move(TestPhase::kIdle);
+  sm.Move(TestPhase::kRunning);
+  sm.Move(TestPhase::kDone);
+  EXPECT_STREQ(sm.name(), "done");
+  EXPECT_EQ(sm.state(), TestPhase::kDone);
+}
+
+TEST(SmTest, CanMoveMatchesSpec) {
+  Sm<TestPhase> sm(kTestPhaseSpec, TestPhase::kIdle);
+  EXPECT_TRUE(sm.CanMove(TestPhase::kRunning));
+  EXPECT_FALSE(sm.CanMove(TestPhase::kDone));
+  EXPECT_FALSE(sm.CanMove(TestPhase::kIdle));  // Undeclared self-loop.
+  sm.Move(TestPhase::kRunning);
+  sm.Move(TestPhase::kDone);
+  EXPECT_FALSE(sm.CanMove(TestPhase::kIdle));
+  EXPECT_FALSE(sm.CanMove(TestPhase::kRunning));
+}
+
+TEST(SmTest, CopiesEvolveIndependently) {
+  // Completion lambdas carry the machine by value; the copy keeps checking.
+  Sm<TestPhase> original(kTestPhaseSpec, TestPhase::kIdle);
+  original.Move(TestPhase::kRunning);
+  Sm<TestPhase> copy = original;
+  copy.Move(TestPhase::kDone);
+  EXPECT_TRUE(original.Is(TestPhase::kRunning));
+  EXPECT_TRUE(copy.Is(TestPhase::kDone));
+}
+
+TEST(SmDeathTest, IllegalTransitionAborts) {
+  Sm<TestPhase> sm(kTestPhaseSpec, TestPhase::kIdle);
+  EXPECT_DEATH(sm.Move(TestPhase::kDone), "illegal transition idle -> done");
 }
 
 }  // namespace

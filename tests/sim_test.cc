@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/net/network.h"
 #include "src/sim/event_queue.h"
-#include "src/sim/network.h"
 #include "src/sim/region.h"
 #include "src/sim/simulator.h"
 
@@ -133,6 +136,138 @@ TEST(EventQueueTest, CompactionPreservesFifoAmongSameTime) {
   }
   ASSERT_EQ(order.size(), 100u);
   EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+// Node recycling must never resurrect a stale handle: a cancelled or fired
+// EventId stays dead even after its slab node is reused by later events, and
+// cancelling it then must not disturb the node's new occupant.
+TEST(EventQueueTest, EventIdsStayStaleAcrossNodeReuse) {
+  EventQueue q;
+  std::vector<EventId> stale;
+  // Burn through the same nodes many times: each round schedules, cancels,
+  // and keeps the dead handles.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(q.Push(100 + i, [] {}));
+    }
+    for (const EventId id : ids) {
+      ASSERT_TRUE(q.Cancel(id));
+      stale.push_back(id);
+    }
+  }
+  // The nodes are now reoccupied by live events.
+  int fired = 0;
+  std::vector<EventId> live;
+  for (int i = 0; i < 8; ++i) {
+    live.push_back(q.Push(200 + i, [&fired] { ++fired; }));
+  }
+  for (const EventId id : stale) {
+    EXPECT_FALSE(q.IsPending(id));
+    EXPECT_FALSE(q.Cancel(id));  // Must miss, not kill the new occupant.
+  }
+  for (const EventId id : live) {
+    EXPECT_TRUE(q.IsPending(id));
+  }
+  SimTime when = 0;
+  while (!q.empty()) {
+    q.Pop(&when)();
+  }
+  EXPECT_EQ(fired, 8);
+}
+
+// Regression (timing wheel): peeking NextTime() while the earliest event
+// sits on a higher wheel level must not advance the cursor — a later push
+// with an *earlier* timestamp still has to fire first.
+TEST(EventQueueTest, PeekThenEarlierPushKeepsOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(5'000'000, [&] { order.push_back(3); });  // High wheel level.
+  EXPECT_EQ(q.NextTime(), 5'000'000);
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.NextTime(), 10);
+  SimTime when = 0;
+  SimTime last = 0;
+  while (!q.empty()) {
+    q.Pop(&when)();
+    EXPECT_GE(when, last);
+    last = when;
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// Differential test: the wheel against a reference model (stable sort by
+// (when, push-sequence)) under randomized push/cancel/pop churn. Timestamps
+// span several wheel levels so cascades, same-slot FIFO lists, and
+// cross-level ordering all get exercised.
+TEST(EventQueueTest, RandomizedChurnMatchesReferenceOrder) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    EventQueue q;
+    Rng rng(seed);
+    struct Ref {
+      SimTime when;
+      uint64_t seq;
+    };
+    std::vector<std::pair<EventId, Ref>> pending;
+    std::vector<Ref> fired;
+    uint64_t seq = 0;
+    uint64_t cancelled = 0;
+    SimTime now = 0;
+    const SimDuration kSpans[] = {3, 64, 4096, 262'144, 16'777'216};
+    for (int op = 0; op < 4000; ++op) {
+      const uint64_t dice = rng.NextBelow(10);
+      if (dice < 6 || pending.empty()) {
+        // Push at a horizon drawn from a random wheel level.
+        const SimDuration span = kSpans[rng.NextBelow(5)];
+        const SimTime when = now + 1 + static_cast<SimDuration>(rng.NextBelow(span));
+        const Ref ref{when, seq++};
+        const EventId id = q.Push(when, [&fired, ref] { fired.push_back(ref); });
+        pending.push_back({id, ref});
+      } else if (dice < 8) {
+        // Cancel a random pending event.
+        const size_t victim = rng.NextBelow(pending.size());
+        ASSERT_TRUE(q.Cancel(pending[victim].first));
+        pending.erase(pending.begin() + static_cast<ptrdiff_t>(victim));
+        ++cancelled;
+      } else {
+        // Pop a small burst.
+        const uint64_t burst = 1 + rng.NextBelow(3);
+        for (uint64_t i = 0; i < burst && !q.empty(); ++i) {
+          SimTime when = 0;
+          q.Pop(&when)();
+          ASSERT_GE(when, now);
+          now = when;
+          ASSERT_FALSE(fired.empty());
+          const uint64_t just_fired = fired.back().seq;
+          auto it = std::find_if(
+              pending.begin(), pending.end(),
+              [just_fired](const auto& p) { return p.second.seq == just_fired; });
+          ASSERT_NE(it, pending.end());
+          pending.erase(it);
+        }
+      }
+    }
+    // Drain the rest.
+    while (!q.empty()) {
+      SimTime when = 0;
+      q.Pop(&when)();
+      ASSERT_GE(when, now);
+      now = when;
+    }
+    // Everything pushed and never cancelled must have fired, in stable
+    // (when, push-order) order.
+    ASSERT_EQ(fired.size(), seq - cancelled);
+    std::vector<Ref> reference = fired;
+    std::stable_sort(reference.begin(), reference.end(), [](const Ref& a, const Ref& b) {
+      return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    });
+    ASSERT_EQ(fired.size(), reference.size());
+    for (size_t i = 0; i < fired.size(); ++i) {
+      ASSERT_EQ(fired[i].seq, reference[i].seq) << "seed " << seed << " index " << i;
+      ASSERT_EQ(fired[i].when, reference[i].when) << "seed " << seed << " index " << i;
+    }
+  }
 }
 
 // --- Simulator -----------------------------------------------------------------
@@ -355,6 +490,32 @@ TEST(RegionTest, NamesAndDeploymentSet) {
   EXPECT_STREQ(RegionName(Region::kJP), "JP");
   EXPECT_EQ(DeploymentRegions().size(), 5u);
   EXPECT_EQ(DeploymentRegions().front(), kPrimaryRegion);
+}
+
+TEST(RegionTest, EveryRegionHasAUniqueName) {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumRegions; ++i) {
+    names.emplace_back(RegionName(static_cast<Region>(i)));
+  }
+  for (const std::string& name : names) {
+    EXPECT_EQ(name.size(), 2u) << name;
+    EXPECT_NE(name, "?");
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(RegionTest, DeploymentSetIsStableAndExcludesReplicaOnlyRegions) {
+  // The paper's five §5.2 locations, in paper order; OH/OR exist only as
+  // Figure-1 global-table replicas.
+  const std::vector<Region>& regions = DeploymentRegions();
+  EXPECT_EQ(&regions, &DeploymentRegions());  // One stable instance.
+  EXPECT_EQ(regions, (std::vector<Region>{Region::kVA, Region::kCA, Region::kIE, Region::kDE,
+                                          Region::kJP}));
+  for (const Region r : regions) {
+    EXPECT_NE(r, Region::kOH);
+    EXPECT_NE(r, Region::kOR);
+  }
 }
 
 }  // namespace

@@ -326,6 +326,27 @@ void CheckCurves(const JsonValue& curves, const std::string& path) {
   }
 }
 
+// Hand-timed simulator-core microbenchmarks (bench/micro_core.cc): each
+// entry is {name, iterations, ns_per_op, ops_per_sec}.
+void CheckMicro(const JsonValue& micro, const std::string& path) {
+  for (size_t i = 0; i < micro.array.size(); ++i) {
+    const JsonValue& entry = micro.array[i];
+    const std::string where = path + " micro[" + std::to_string(i) + "]";
+    if (!entry.is(JsonValue::Type::kObject)) {
+      Report(where, "entry is not an object");
+      continue;
+    }
+    Require(entry, where, "name", JsonValue::Type::kString);
+    for (const char* field : {"iterations", "ns_per_op", "ops_per_sec"}) {
+      Require(entry, where, field, JsonValue::Type::kNumber);
+    }
+    const JsonValue* ops = entry.Find("ops_per_sec");
+    if (ops != nullptr && ops->is(JsonValue::Type::kNumber) && ops->number <= 0) {
+      Report(where, "ops_per_sec must be positive");
+    }
+  }
+}
+
 void CheckBenchReport(const JsonValue& root, const std::string& path) {
   if (!root.is(JsonValue::Type::kObject)) {
     Report(path, "top level is not an object");
@@ -345,13 +366,24 @@ void CheckBenchReport(const JsonValue& root, const std::string& path) {
   if (curves != nullptr) {
     CheckCurves(*curves, path);
   }
+  // "micro" joined the schema with the simulator-core benchmarks; reports
+  // written before then simply lack the key, so it is optional.
+  const JsonValue* micro = root.Find("micro");
+  if (micro != nullptr) {
+    if (!micro->is(JsonValue::Type::kArray)) {
+      Report(path, "field 'micro' has the wrong type");
+      micro = nullptr;
+    } else {
+      CheckMicro(*micro, path);
+    }
+  }
   const JsonValue* experiments = Require(root, path, "experiments", JsonValue::Type::kArray);
   if (experiments == nullptr) {
     return;
   }
-  if (experiments->array.empty() &&
-      (curves == nullptr || curves->array.empty())) {
-    Report(path, "experiments and curves are both empty");
+  if (experiments->array.empty() && (curves == nullptr || curves->array.empty()) &&
+      (micro == nullptr || micro->array.empty())) {
+    Report(path, "experiments, curves, and micro are all empty");
   }
   for (size_t i = 0; i < experiments->array.size(); ++i) {
     const JsonValue& exp = experiments->array[i];

@@ -19,6 +19,13 @@
 # sharded LVI server (RADICAL_SHARDS=4, picked up by RadicalDeployment) after
 # the default shards=1 pass — every tier-1 invariant must hold at both
 # points of the matrix.
+#
+# CHECK_MICRO=1 tools/check.sh  additionally runs the hand-timed simulator-
+# core microbenchmarks (bench/micro_core) with an events-per-second floor
+# (CHECK_MICRO_EVENTS_FLOOR, default 25M/s — the pre-timing-wheel core did
+# ~11M/s, so the floor fails on a regression to the old allocation-heavy
+# path while leaving slack for slow CI machines) and schema-checks the
+# exported "micro" section of BENCH_radical.json.
 set -eu
 
 SOURCE_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
@@ -59,4 +66,16 @@ if [ "${CHECK_BENCH_SMOKE:-0}" = "1" ]; then
   RADICAL_BENCH_SMOKE=1 RADICAL_TRACE_JSON="$SMOKE_DIR/trace.json" \
     "$BUILD_DIR/bench/latency_breakdown" > "$SMOKE_DIR/latency_breakdown.out"
   "$BUILD_DIR/tools/bench_json_check" --trace "$SMOKE_DIR/trace.json"
+fi
+
+if [ "${CHECK_MICRO:-0}" = "1" ]; then
+  MICRO_DIR="$BUILD_DIR/micro"
+  mkdir -p "$MICRO_DIR"
+  echo "== micro: simulator-core events/sec + envelope round-trip =="
+  # --benchmark_filter matches nothing: only the hand-timed export runs.
+  RADICAL_BENCH_JSON="$MICRO_DIR/BENCH_radical.json" \
+    RADICAL_MICRO_EVENTS_FLOOR="${CHECK_MICRO_EVENTS_FLOOR:-25000000}" \
+    "$BUILD_DIR/bench/micro_core" --benchmark_filter='^$' > "$MICRO_DIR/micro_core.out"
+  cat "$MICRO_DIR/micro_core.out"
+  "$BUILD_DIR/tools/bench_json_check" "$MICRO_DIR/BENCH_radical.json"
 fi
