@@ -1,0 +1,290 @@
+// Parallel-core scaling: one million modeled clients across a partitioned
+// deployment, the workload the single-threaded core cannot hold in one
+// timeline at interactive speed.
+//
+// The world is split into 8 partitions (deployment regions cycled, the
+// primary region on partition 0, as radical::PartitionMap pins it). Each
+// partition hosts an equal slice of the clients as open-loop arrival
+// processes: every request does local work on its own partition and, with
+// the paper's cache-miss probability, a cross-partition LVI validation round
+// trip to the primary partition — two mailbox hops whose delay is drawn at
+// or above the WAN link's jitter floor (net::MinOneWayDelay), exactly the
+// bound the conservative window protocol needs.
+//
+// The same seed runs at RADICAL_SIM_THREADS-style worker counts 1, 2, 4, 8;
+// the bench asserts the merged metrics snapshot is byte-identical across all
+// of them (the parallel core's headline guarantee) and exports a "parallel"
+// BENCH section row per thread count: events fired, host events/sec, and
+// speedup over the 1-thread run. Real speedup needs real cores: when the
+// host has fewer than the requested workers the numbers are still measured
+// and exported honestly, but the optional RADICAL_PARALLEL_SPEEDUP_FLOOR
+// gate only applies where hardware_concurrency() can physically deliver it.
+//
+//   million_clients [--clients=N] [--requests=R]
+//
+// Defaults: 1,000,000 clients, 3 requests each; RADICAL_BENCH_SMOKE=1
+// shrinks to 20,000 clients for CI smoke runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/net/network.h"
+#include "src/sim/parallel.h"
+#include "src/sim/region.h"
+
+namespace radical {
+namespace {
+
+constexpr int kPartitions = 8;
+constexpr double kValidateFraction = 0.3;  // Cache-miss / validation rate.
+
+struct BenchState {
+  ParallelSimulator* psim = nullptr;
+  // Per partition: jitter-floor one-way delay to the primary partition
+  // (>= the configured lookahead by construction).
+  std::vector<SimDuration> to_primary;
+};
+
+Region PartitionRegion(int p) {
+  const std::vector<Region>& regions = DeploymentRegions();
+  return regions[static_cast<size_t>(p) % regions.size()];
+}
+
+void FinishRequest(BenchState* st, int p, int remaining, SimTime started);
+
+void StartRequest(BenchState* st, int p, int remaining) {
+  Simulator& sim = st->psim->partition(p);
+  sim.metrics().GetCounter("client.requests")->Increment();
+  const SimTime started = sim.Now();
+  if (p != 0 && sim.rng().NextBool(kValidateFraction)) {
+    // Validation round trip: client partition -> primary -> back. Both hops
+    // draw a delay at or above the link's jitter floor.
+    const SimDuration base = st->to_primary[static_cast<size_t>(p)];
+    const SimDuration out = base + static_cast<SimDuration>(
+                                       sim.rng().NextBelow(static_cast<uint64_t>(base / 2 + 1)));
+    st->psim->Post(p, 0, sim.Now() + out, InlineTask([st, p, remaining, started] {
+                     Simulator& primary = st->psim->partition(0);
+                     primary.metrics().GetCounter("server.validations")->Increment();
+                     const SimDuration base_back = st->to_primary[static_cast<size_t>(p)];
+                     const SimDuration back =
+                         base_back + static_cast<SimDuration>(primary.rng().NextBelow(
+                                         static_cast<uint64_t>(base_back / 2 + 1)));
+                     st->psim->Post(0, p, primary.Now() + back,
+                                    InlineTask([st, p, remaining, started] {
+                                      FinishRequest(st, p, remaining, started);
+                                    }));
+                   }));
+    return;
+  }
+  // Cache hit: local execution only.
+  const SimDuration local = 50 + static_cast<SimDuration>(sim.rng().NextBelow(500));
+  sim.Schedule(local, [st, p, remaining, started] { FinishRequest(st, p, remaining, started); });
+}
+
+void FinishRequest(BenchState* st, int p, int remaining, SimTime started) {
+  Simulator& sim = st->psim->partition(p);
+  sim.metrics().GetHistogram("client.latency")->Record(sim.Now() - started);
+  if (remaining > 0) {
+    const SimDuration think = 1000 + static_cast<SimDuration>(sim.rng().NextBelow(100000));
+    sim.Schedule(think, [st, p, remaining] { StartRequest(st, p, remaining - 1); });
+  }
+}
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  uint64_t events = 0;
+  uint64_t cross_posted = 0;
+  uint64_t overflows = 0;
+  std::string snapshot;
+};
+
+RunResult RunOnce(uint64_t seed, int threads, uint64_t clients, int requests) {
+  const LatencyMatrix latency = LatencyMatrix::PaperDefault();
+  const NetworkOptions net_options;
+
+  // Lookahead: the tightest cross-partition link is the jitter floor of the
+  // closest region pair that ends up on different partitions (two partitions
+  // can share a region when partitions > regions; their "WAN" is then the
+  // intra-region hop).
+  std::vector<SimDuration> to_primary(kPartitions, 0);
+  SimDuration lookahead = 0;
+  for (int p = 0; p < kPartitions; ++p) {
+    net::LinkModel model;
+    model.propagation_delay = latency.OneWay(PartitionRegion(p), PartitionRegion(0));
+    model.jitter_stddev_frac = net_options.jitter_stddev_frac;
+    model.min_delay_frac = net_options.min_delay_frac;
+    to_primary[static_cast<size_t>(p)] = net::MinOneWayDelay(model);
+    if (p > 0 && (lookahead == 0 || to_primary[static_cast<size_t>(p)] < lookahead)) {
+      lookahead = to_primary[static_cast<size_t>(p)];
+    }
+  }
+
+  ParallelSimulator::Options options;
+  options.partitions = kPartitions;
+  options.threads = threads;
+  options.seed = seed;
+  options.lookahead = lookahead;
+  options.mailbox_capacity = 1 << 14;
+  ParallelSimulator psim(options);
+  BenchState st;
+  st.psim = &psim;
+  st.to_primary = to_primary;
+
+  // Clients arrive spread over the first virtual second, an equal slice per
+  // partition (remainder to the low partitions, deterministically).
+  for (int p = 0; p < kPartitions; ++p) {
+    const uint64_t slice = clients / kPartitions + (static_cast<uint64_t>(p) < clients % kPartitions ? 1 : 0);
+    Simulator& sim = psim.partition(p);
+    for (uint64_t c = 0; c < slice; ++c) {
+      const SimTime start = static_cast<SimTime>(sim.rng().NextBelow(1'000'000));
+      sim.ScheduleAt(start, [&st, p, requests] { StartRequest(&st, p, requests - 1); });
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  psim.Run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start).count();
+  result.events = psim.total_events_fired();
+  result.cross_posted = psim.cross_events_posted();
+  result.overflows = psim.mailbox_overflows();
+  result.snapshot = psim.MergedMetricsJson();
+  return result;
+}
+
+struct Flags {
+  uint64_t clients = 1'000'000;
+  int requests = 3;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--clients=", 10) == 0) {
+      const long long n = std::atoll(arg + 10);
+      if (n >= 1) {
+        flags.clients = static_cast<uint64_t>(n);
+      }
+    } else if (std::strncmp(arg, "--requests=", 11) == 0) {
+      const int n = std::atoi(arg + 11);
+      if (n >= 1) {
+        flags.requests = n;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+    }
+  }
+  if (BenchSmokeMode()) {
+    flags.clients = std::min<uint64_t>(flags.clients, 20'000);
+    flags.requests = std::min(flags.requests, 2);
+  }
+  return flags;
+}
+
+}  // namespace
+}  // namespace radical
+
+int main(int argc, char** argv) {
+  using namespace radical;
+  const Flags flags = ParseFlags(argc, argv);
+  const uint64_t seed = 2026;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("Million-client parallel-core scaling: %llu clients x %d requests, "
+              "%d partitions, host cores: %u\n\n",
+              static_cast<unsigned long long>(flags.clients), flags.requests, kPartitions, hw);
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<int> widths = {8, 12, 12, 14, 10, 8};
+  PrintTableHeader({"threads", "events", "cross", "events/sec", "speedup", "same"}, widths);
+
+  BenchReport report("million_clients");
+  std::string reference;
+  double base_eps = 0.0;
+  bool all_identical = true;
+  std::vector<std::pair<int, double>> speedups;
+  for (const int threads : thread_counts) {
+    const RunResult r = RunOnce(seed, threads, flags.clients, flags.requests);
+    const double eps = r.wall_seconds > 0 ? static_cast<double>(r.events) / r.wall_seconds : 0.0;
+    if (threads == 1) {
+      reference = r.snapshot;
+      base_eps = eps;
+    }
+    const bool identical = r.snapshot == reference;
+    all_identical = all_identical && identical;
+    const double speedup = base_eps > 0 ? eps / base_eps : 0.0;
+    speedups.emplace_back(threads, speedup);
+    PrintTableRow({std::to_string(threads), std::to_string(r.events),
+                   std::to_string(r.cross_posted), Ms(eps, 0), Ms(speedup, 2),
+                   identical ? "yes" : "NO"},
+                  widths);
+    ParallelResult row;
+    row.name = "million_clients";
+    row.threads = threads;
+    row.partitions = kPartitions;
+    row.clients = flags.clients;
+    row.events = r.events;
+    row.wall_seconds = r.wall_seconds;
+    row.events_per_sec = eps;
+    row.speedup_vs_1thread = speedup;
+    row.deterministic = identical;
+    report.AddParallel(row);
+    if (r.overflows > 0) {
+      std::printf("  (mailbox ring overflowed %llu times at %d threads — size the ring up)\n",
+                  static_cast<unsigned long long>(r.overflows), threads);
+    }
+  }
+  PrintRule(widths);
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "\nFAIL: merged metrics snapshot diverged across thread counts — the "
+                 "parallel core's determinism guarantee is broken.\n");
+    return 1;
+  }
+  std::printf("\nMerged metrics snapshot byte-identical across all thread counts.\n");
+
+  // Optional speedup gate, honest about the hardware: a floor is only
+  // enforceable at thread counts the host can actually run in parallel.
+  const char* floor_env = std::getenv("RADICAL_PARALLEL_SPEEDUP_FLOOR");
+  if (floor_env != nullptr && floor_env[0] != '\0') {
+    const double floor = std::atof(floor_env);
+    bool enforced = false;
+    for (const auto& [threads, speedup] : speedups) {
+      if (threads == 1 || static_cast<unsigned>(threads) > hw) {
+        continue;
+      }
+      enforced = true;
+      if (speedup < floor) {
+        std::fprintf(stderr,
+                     "FAIL: speedup %.2fx at %d threads below floor %.2fx "
+                     "(host has %u cores)\n",
+                     speedup, threads, floor, hw);
+        return 1;
+      }
+    }
+    if (!enforced) {
+      std::printf("speedup floor %.2fx not enforced: host has %u core(s), every "
+                  "multi-thread point exceeds it\n",
+                  floor, hw);
+    } else {
+      std::printf("speedup floor %.2fx satisfied\n", floor);
+    }
+  }
+
+  const std::string path = report.Write();
+  if (!path.empty()) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -222,6 +222,11 @@ ThroughputPoint MeasureClosedLoop(int shards, int64_t batch_window_us, int clien
   point.throughput_rps =
       duration_s > 0 ? static_cast<double>(generator.total_requests()) / duration_s : 0.0;
   point.offered_rps = point.throughput_rps;  // Closed loop: arrival == completion.
+  point.aborts = radical.server().counters().Get("validate_fail");
+  point.reexecutions = radical.server().counters().Get("reexecute");
+  const uint64_t completed = generator.total_requests();
+  const uint64_t good = completed > point.reexecutions ? completed - point.reexecutions : 0;
+  point.goodput_rps = duration_s > 0 ? static_cast<double>(good) / duration_s : 0.0;
   point.p50_ms = latency.p50_ms;
   point.p90_ms = latency.p90_ms;
   point.p99_ms = latency.p99_ms;
@@ -280,6 +285,13 @@ ThroughputPoint MeasureOpenLoop(int shards, int64_t batch_window_us) {
   point.clients = 0;
   point.offered_rps = offered_rps;
   point.throughput_rps = duration_s > 0 ? static_cast<double>(completed) / duration_s : 0.0;
+  // Past saturation, completions alone overstate useful work: a completion
+  // whose speculation was invalidated paid an abort + re-execution round.
+  // Goodput counts only first-validation successes.
+  point.aborts = radical.server().counters().Get("validate_fail");
+  point.reexecutions = radical.server().counters().Get("reexecute");
+  const uint64_t good = completed > point.reexecutions ? completed - point.reexecutions : 0;
+  point.goodput_rps = duration_s > 0 ? static_cast<double>(good) / duration_s : 0.0;
   point.p50_ms = latency.p50_ms;
   point.p90_ms = latency.p90_ms;
   point.p99_ms = latency.p99_ms;
@@ -293,9 +305,9 @@ void RunScaling(const ScalingFlags& flags, BenchReport* report) {
               "(closed loop, weak scaling: %d clients/region per shard)\n\n",
               600ull, static_cast<long long>(flags.batch_window_us), kScalingKeys,
               flags.clients_per_region);
-  const std::vector<int> widths = {7, 16, 9, 12, 12, 10, 10, 10};
-  PrintTableHeader({"shards", "window us", "clients", "offered", "tput req/s", "p50 ms",
-                    "p90 ms", "p99 ms"},
+  const std::vector<int> widths = {7, 16, 9, 12, 12, 12, 8, 8, 10, 10, 10};
+  PrintTableHeader({"shards", "window us", "clients", "offered", "tput req/s", "good req/s",
+                    "aborts", "reexec", "p50 ms", "p90 ms", "p99 ms"},
                    widths);
   ThroughputCurve closed{"closed_loop_scaling", {}};
   for (const int shards : flags.shard_counts) {
@@ -304,21 +316,23 @@ void RunScaling(const ScalingFlags& flags, BenchReport* report) {
     closed.points.push_back(p);
     PrintTableRow({std::to_string(p.shards), std::to_string(p.batch_window_us),
                    std::to_string(p.clients), Ms(p.offered_rps, 0), Ms(p.throughput_rps, 0),
-                   Ms(p.p50_ms), Ms(p.p90_ms), Ms(p.p99_ms)},
+                   Ms(p.goodput_rps, 0), std::to_string(p.aborts),
+                   std::to_string(p.reexecutions), Ms(p.p50_ms), Ms(p.p90_ms), Ms(p.p99_ms)},
                   widths);
   }
   PrintRule(widths);
   std::printf("\nOpen loop (fixed arrival rate at 1.2x aggregate capacity, retries off):\n\n");
-  PrintTableHeader({"shards", "window us", "clients", "offered", "tput req/s", "p50 ms",
-                    "p90 ms", "p99 ms"},
+  PrintTableHeader({"shards", "window us", "clients", "offered", "tput req/s", "good req/s",
+                    "aborts", "reexec", "p50 ms", "p90 ms", "p99 ms"},
                    widths);
   ThroughputCurve open{"open_loop_scaling", {}};
   for (const int shards : flags.shard_counts) {
     const ThroughputPoint p = MeasureOpenLoop(shards, flags.batch_window_us);
     open.points.push_back(p);
     PrintTableRow({std::to_string(p.shards), std::to_string(p.batch_window_us), "-",
-                   Ms(p.offered_rps, 0), Ms(p.throughput_rps, 0), Ms(p.p50_ms), Ms(p.p90_ms),
-                   Ms(p.p99_ms)},
+                   Ms(p.offered_rps, 0), Ms(p.throughput_rps, 0), Ms(p.goodput_rps, 0),
+                   std::to_string(p.aborts), std::to_string(p.reexecutions), Ms(p.p50_ms),
+                   Ms(p.p90_ms), Ms(p.p99_ms)},
                   widths);
   }
   PrintRule(widths);

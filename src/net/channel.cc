@@ -18,7 +18,22 @@ SimDuration Channel::JitteredPropagation() {
   return static_cast<SimDuration>(static_cast<double>(model_.propagation_delay) * factor);
 }
 
+SimDuration MinOneWayDelay(const LinkModel& model) {
+  if (model.jitter_stddev_frac <= 0.0 || model.propagation_delay == 0) {
+    return model.propagation_delay;
+  }
+  // Mirrors JitteredPropagation: factor = max(min_delay_frac, gaussian), so
+  // the smallest possible result is propagation * min_delay_frac, truncated.
+  return static_cast<SimDuration>(static_cast<double>(model.propagation_delay) *
+                                  model.min_delay_frac);
+}
+
 EventId Channel::Deliver(Envelope env, SimDuration spike_extra) {
+  const SimTime deliver_at = ComputeDeliveryTime(env, spike_extra);
+  return sim_->ScheduleAt(deliver_at, std::move(env.deliver));
+}
+
+SimTime Channel::ComputeDeliveryTime(const Envelope& env, SimDuration spike_extra) {
   const SimTime now = sim_->Now();
   SimDuration queue_wait = 0;
   SimDuration serialization = 0;
@@ -41,7 +56,7 @@ EventId Channel::Deliver(Envelope env, SimDuration spike_extra) {
   // when the jitter draw would have let it.
   deliver_at = std::max(deliver_at, last_delivery_at_);
   last_delivery_at_ = deliver_at;
-  return sim_->ScheduleAt(deliver_at, std::move(env.deliver));
+  return deliver_at;
 }
 
 void Channel::RecordOffered(const Envelope& env) {

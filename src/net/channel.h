@@ -44,6 +44,13 @@ struct LinkModel {
   uint64_t bandwidth_bytes_per_sec = 0;
 };
 
+// Smallest one-way delay the model can ever produce: the jitter floor of the
+// propagation delay (exactly the clamp Channel::JitteredPropagation applies;
+// queueing, serialization and delay spikes only ever add). This is a link's
+// contribution to the parallel core's lookahead (net::LookaheadBound takes
+// the minimum over every cross-partition link).
+SimDuration MinOneWayDelay(const LinkModel& model);
+
 // Per-channel counters. Dropped messages still count toward sent/bytes —
 // they represent offered traffic, which is what the §5.7 cost model charges.
 struct LinkStats {
@@ -71,6 +78,12 @@ class Channel {
   // Fault decisions (drops, partitions, filters) happen in the fabric before
   // this is called. Returns the scheduled event id.
   EventId Deliver(Envelope env, SimDuration spike_extra);
+
+  // The delivery instant Deliver would schedule at, with identical side
+  // effects (queue occupancy, jitter draw, FIFO guard, stats) minus the
+  // scheduling itself. The fabric's remote-endpoint path uses this to hand
+  // (time, task) to another partition's mailbox instead of the local queue.
+  SimTime ComputeDeliveryTime(const Envelope& env, SimDuration spike_extra);
 
   // Accounts one offered message (called for every send, dropped or not).
   void RecordOffered(const Envelope& env);

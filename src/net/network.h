@@ -76,6 +76,21 @@ struct NetworkOptions {
   uint64_t wan_bandwidth_bytes_per_sec = 0;
 };
 
+namespace net {
+
+// Conservative lookahead for a partitioned run (src/sim/parallel.h): the
+// minimum, over every region pair assigned to different partitions by
+// `partition_of`, of the smallest one-way delay the network could ever
+// produce for that pair (MinOneWayDelay of the link model Network would
+// build; endpoint extra-hop delays are nonnegative and only add, so
+// ignoring them keeps the bound conservative). Returns 0 when no pair
+// crosses partitions — which ParallelSimulator rejects for 2+ partitions,
+// correctly: such a configuration has no safe window.
+SimDuration LookaheadBound(const LatencyMatrix& latency, const NetworkOptions& options,
+                           const std::function<int(Region)>& partition_of);
+
+}  // namespace net
+
 // One Network instance is shared by the whole deployment.
 class Network {
  public:

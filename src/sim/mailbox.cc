@@ -1,0 +1,56 @@
+#include "src/sim/mailbox.h"
+
+#include <utility>
+
+namespace radical {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+SpscMailbox::SpscMailbox(size_t capacity) : ring_(RoundUpPow2(capacity)) {
+  mask_ = ring_.size() - 1;
+}
+
+void SpscMailbox::Push(SimTime when, InlineTask fn) {
+  const uint64_t seq = seq_++;
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  if (tail - head_.load(std::memory_order_acquire) < ring_.size()) {
+    CrossEvent& slot = ring_[tail & mask_];
+    slot.when = when;
+    slot.seq = seq;
+    slot.fn = std::move(fn);
+    tail_.store(tail + 1, std::memory_order_release);
+    return;
+  }
+  ++overflow_pushes_;
+  overflow_.push_back(CrossEvent{when, seq, std::move(fn)});
+}
+
+void SpscMailbox::Drain(std::vector<CrossEvent>* out) {
+  uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  while (head != tail) {
+    out->push_back(std::move(ring_[head & mask_]));
+    ++head;
+  }
+  head_.store(head, std::memory_order_release);
+  // Between windows the producer is parked on the barrier, so reading its
+  // overflow vector is race-free; within one window every ring push precedes
+  // every overflow push (the ring cannot regain space until this drain), so
+  // appending after the ring preserves push order.
+  for (CrossEvent& e : overflow_) {
+    out->push_back(std::move(e));
+  }
+  overflow_.clear();
+}
+
+}  // namespace radical

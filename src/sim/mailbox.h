@@ -1,0 +1,93 @@
+// SpscMailbox: the cross-partition event conduit of the parallel simulator.
+//
+// Each ordered partition pair (src -> dst) of a ParallelSimulator owns one
+// mailbox. The source partition's worker thread is the only producer and the
+// destination partition's worker thread is the only consumer, which makes a
+// single-producer/single-consumer ring sufficient: Push publishes an entry
+// with one release store, Drain claims entries with one acquire load — no
+// locks, no CAS loops.
+//
+// The conservative time-window protocol only drains mailboxes at window
+// boundaries (both sides parked on the same barrier), so the ring is bounded
+// by one window's worth of cross-partition traffic. A burst that overflows
+// the ring falls back to a producer-owned overflow vector: it is touched by
+// the consumer only between windows, when the synchronization barrier has
+// already established a happens-before edge from every producer write, so
+// the fallback needs no atomics at all. Overflow is counted (overflowed())
+// so benchmarks can size the ring to make the steady state allocation-free.
+//
+// Ordering: entries carry a producer-assigned sequence number, strictly
+// increasing per mailbox, and Drain returns them in push order (ring first,
+// then overflow — within one window the ring fills before the overflow takes
+// its first entry, so that concatenation *is* push order). The consumer
+// merges mailboxes from all sources by (when, source partition, seq), the
+// global deterministic order of the parallel core.
+
+#ifndef RADICAL_SRC_SIM_MAILBOX_H_
+#define RADICAL_SRC_SIM_MAILBOX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/inline_task.h"
+#include "src/common/types.h"
+
+namespace radical {
+
+// One cross-partition event in flight: fire `fn` on the destination
+// partition at virtual time `when`. `seq` breaks same-time ties from the
+// same source deterministically (push order).
+struct CrossEvent {
+  SimTime when = 0;
+  uint64_t seq = 0;
+  InlineTask fn;
+};
+
+class SpscMailbox {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscMailbox(size_t capacity = 1024);
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  // Producer side only. Publishes one entry; falls back to the overflow
+  // vector when the ring is full (safe because the consumer reads overflow
+  // only after the next window barrier).
+  void Push(SimTime when, InlineTask fn);
+
+  // Consumer side only, and only between windows (barrier-separated from
+  // every Push). Appends all pending entries to `*out` in push order and
+  // leaves the mailbox empty.
+  void Drain(std::vector<CrossEvent>* out);
+
+  // Consumer-side view; exact between windows.
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire) &&
+           overflow_.empty();
+  }
+
+  size_t capacity() const { return ring_.size(); }
+  // Entries that missed the ring and took the overflow path (ever).
+  uint64_t overflowed() const { return overflow_pushes_; }
+  // Total entries ever pushed.
+  uint64_t pushed() const { return seq_; }
+
+ private:
+  std::vector<CrossEvent> ring_;
+  size_t mask_ = 0;
+  // Producer-owned cursor (also read by consumer under acquire).
+  std::atomic<uint64_t> tail_{0};
+  // Consumer-owned cursor (also read by producer under acquire).
+  std::atomic<uint64_t> head_{0};
+  // Producer-written; consumer-read only across a window barrier.
+  std::vector<CrossEvent> overflow_;
+  uint64_t seq_ = 0;
+  uint64_t overflow_pushes_ = 0;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_SIM_MAILBOX_H_

@@ -1,0 +1,258 @@
+#include "src/sim/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/obs/metrics.h"
+
+namespace radical {
+
+namespace {
+
+[[noreturn]] void Panic(const std::string& message) {
+  std::fprintf(stderr, "ParallelSimulator: %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(const Options& options)
+    : threads_(options.threads > 0 ? options.threads : ThreadsFromEnv()),
+      lookahead_(options.lookahead) {
+  if (options.partitions < 1) {
+    Panic("partitions must be >= 1");
+  }
+  if (options.partitions > 1 && lookahead_ <= 0) {
+    Panic("lookahead must be positive with 2+ partitions: a zero-lookahead "
+          "cross-partition link admits no safe conservative window. Derive a "
+          "positive bound from the link latency models with "
+          "net::LookaheadBound / net::MinOneWayDelay.");
+  }
+  threads_ = std::min(std::max(threads_, 1), 64);
+  partitions_.reserve(static_cast<size_t>(options.partitions));
+  for (int i = 0; i < options.partitions; ++i) {
+    // Per-partition seed derived from (root seed, partition id) only — never
+    // from the thread count — so every RNG stream is thread-invariant.
+    uint64_t state = options.seed + 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(i + 1);
+    auto p = std::make_unique<Partition>(SplitMix64(state));
+    p->sim.set_partition(static_cast<uint32_t>(i));
+    p->inboxes.reserve(static_cast<size_t>(options.partitions));
+    for (int src = 0; src < options.partitions; ++src) {
+      p->inboxes.push_back(std::make_unique<SpscMailbox>(options.mailbox_capacity));
+    }
+    partitions_.push_back(std::move(p));
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+int ParallelSimulator::ThreadsFromEnv() {
+  const char* env = std::getenv("RADICAL_SIM_THREADS");
+  if (env == nullptr || env[0] == '\0') {
+    return 1;
+  }
+  const int n = std::atoi(env);
+  return std::min(std::max(n, 1), 64);
+}
+
+void ParallelSimulator::Post(int from, int to, SimTime at, InlineTask fn) {
+  Partition& src = *partitions_[static_cast<size_t>(from)];
+  if (from == to) {
+    src.sim.ScheduleAt(at, std::move(fn));
+    return;
+  }
+  const SimTime now = src.sim.Now();
+  if (at < now + lookahead_) {
+    Panic("cross-partition post at t=" + std::to_string(at) + " violates lookahead " +
+          std::to_string(lookahead_) + " from partition " + std::to_string(from) + " at now=" +
+          std::to_string(now) + " — the modeled link delivers faster than the declared bound");
+  }
+  ++src.posted;
+  partitions_[static_cast<size_t>(to)]->inboxes[static_cast<size_t>(from)]->Push(at,
+                                                                                 std::move(fn));
+}
+
+SimTime ParallelSimulator::WindowEnd(SimTime min_next, SimTime deadline) const {
+  // Saturating min_next + lookahead - 1: all events strictly below the
+  // window opening time + lookahead are safe to run (see header).
+  const SimTime slack = lookahead_ - 1;
+  const SimTime end = slack > kNoEvent - min_next ? kNoEvent : min_next + slack;
+  return std::min(end, deadline);
+}
+
+void ParallelSimulator::DrainAndPlan(Partition& p) {
+  p.merge_scratch.clear();
+  for (std::unique_ptr<SpscMailbox>& inbox : p.inboxes) {
+    inbox->Drain(&p.merge_scratch);
+  }
+  // The concatenation is source-major with push order within each source, so
+  // a stable sort on time alone realizes the deterministic global order
+  // (when, source partition, seq) regardless of which threads ran what.
+  std::stable_sort(p.merge_scratch.begin(), p.merge_scratch.end(),
+                   [](const CrossEvent& a, const CrossEvent& b) { return a.when < b.when; });
+  for (CrossEvent& e : p.merge_scratch) {
+    p.sim.ScheduleAt(e.when, std::move(e.fn));
+  }
+  p.merge_scratch.clear();
+  p.next_time = p.sim.idle() ? kNoEvent : p.sim.NextEventTime();
+}
+
+size_t ParallelSimulator::RunWindowsSequential(SimTime deadline) {
+  size_t fired = 0;
+  for (std::unique_ptr<Partition>& p : partitions_) {
+    p->next_time = p->sim.idle() ? kNoEvent : p->sim.NextEventTime();
+  }
+  for (;;) {
+    SimTime min_next = kNoEvent;
+    for (const std::unique_ptr<Partition>& p : partitions_) {
+      min_next = std::min(min_next, p->next_time);
+    }
+    if (min_next == kNoEvent || min_next > deadline) {
+      break;
+    }
+    const SimTime window_end = WindowEnd(min_next, deadline);
+    for (std::unique_ptr<Partition>& p : partitions_) {
+      fired += p->sim.RunUntil(window_end);
+    }
+    for (std::unique_ptr<Partition>& p : partitions_) {
+      DrainAndPlan(*p);
+    }
+  }
+  return fired;
+}
+
+size_t ParallelSimulator::RunWindowsThreaded(SimTime deadline, int workers) {
+  struct Control {
+    SimTime window_end = 0;
+    bool done = false;
+  };
+  Control ctl;
+  const int parts = num_partitions();
+  // Completion step of the planning barrier: runs on exactly one thread,
+  // after every worker's next_time writes and before any worker resumes —
+  // the barrier provides the happens-before edges in both directions.
+  auto plan = [this, &ctl, deadline]() noexcept {
+    SimTime min_next = kNoEvent;
+    for (const std::unique_ptr<Partition>& p : partitions_) {
+      min_next = std::min(min_next, p->next_time);
+    }
+    if (min_next == kNoEvent || min_next > deadline) {
+      ctl.done = true;
+      return;
+    }
+    ctl.window_end = WindowEnd(min_next, deadline);
+  };
+  std::barrier<decltype(plan)> plan_barrier(workers, plan);
+  std::barrier<> run_barrier(workers);
+  std::atomic<size_t> fired_total{0};
+
+  auto worker = [&](int w) {
+    size_t fired = 0;
+    for (int i = w; i < parts; i += workers) {
+      Partition& p = *partitions_[static_cast<size_t>(i)];
+      p.next_time = p.sim.idle() ? kNoEvent : p.sim.NextEventTime();
+    }
+    for (;;) {
+      plan_barrier.arrive_and_wait();
+      if (ctl.done) {
+        break;
+      }
+      for (int i = w; i < parts; i += workers) {
+        fired += partitions_[static_cast<size_t>(i)]->sim.RunUntil(ctl.window_end);
+      }
+      // All of this window's sends are published before any mailbox drains.
+      run_barrier.arrive_and_wait();
+      for (int i = w; i < parts; i += workers) {
+        DrainAndPlan(*partitions_[static_cast<size_t>(i)]);
+      }
+    }
+    fired_total.fetch_add(fired, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) {
+    pool.emplace_back(worker, w);
+  }
+  worker(0);
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return fired_total.load(std::memory_order_relaxed);
+}
+
+size_t ParallelSimulator::RunWindows(SimTime deadline) {
+  if (num_partitions() == 1) {
+    // One partition has no cross-partition traffic (self-posts schedule
+    // directly); the plain event loop is both faster and definitionally the
+    // reference behavior.
+    Simulator& sim = partitions_[0]->sim;
+    return deadline == kNoEvent ? sim.Run() : sim.RunUntil(deadline);
+  }
+  const int workers = std::min(threads_, num_partitions());
+  if (workers == 1) {
+    return RunWindowsSequential(deadline);
+  }
+  return RunWindowsThreaded(deadline, workers);
+}
+
+size_t ParallelSimulator::RunUntil(SimTime deadline) {
+  const size_t fired = RunWindows(deadline);
+  for (std::unique_ptr<Partition>& p : partitions_) {
+    if (p->sim.Now() < deadline) {
+      p->sim.RunUntil(deadline);  // No events below the deadline remain.
+    }
+  }
+  return fired;
+}
+
+SimTime ParallelSimulator::Now() const {
+  SimTime floor = partitions_[0]->sim.Now();
+  for (const std::unique_ptr<Partition>& p : partitions_) {
+    floor = std::min(floor, p->sim.Now());
+  }
+  return floor;
+}
+
+uint64_t ParallelSimulator::total_events_fired() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Partition>& p : partitions_) {
+    total += p->sim.events_fired();
+  }
+  return total;
+}
+
+uint64_t ParallelSimulator::cross_events_posted() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Partition>& p : partitions_) {
+    total += p->posted;
+  }
+  return total;
+}
+
+uint64_t ParallelSimulator::mailbox_overflows() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Partition>& p : partitions_) {
+    for (const std::unique_ptr<SpscMailbox>& inbox : p->inboxes) {
+      total += inbox->overflowed();
+    }
+  }
+  return total;
+}
+
+std::string ParallelSimulator::MergedMetricsJson() const {
+  std::vector<const obs::MetricsRegistry*> shards;
+  shards.reserve(partitions_.size());
+  for (const std::unique_ptr<Partition>& p : partitions_) {
+    shards.push_back(&p->sim.metrics());
+  }
+  return obs::MergedSnapshotJson(shards);
+}
+
+}  // namespace radical

@@ -1,0 +1,159 @@
+// ParallelSimulator: partitioned event loops with conservative time-window
+// synchronization, deterministic at any thread count.
+//
+// The single-threaded Simulator executes one deployment's events in one
+// virtual timeline. To use all cores, a ParallelSimulator partitions the
+// world (by region / deployment — see radical::PartitionMap): each partition
+// owns a full Simulator — its own timing-wheel EventQueue, slab pools, RNG
+// stream, and MetricsRegistry shard — and one worker thread drives a stripe
+// of partitions. Nothing is shared between partitions except the SPSC
+// mailboxes (src/sim/mailbox.h) that carry cross-partition events.
+//
+// Synchronization is conservative (no rollback): all cross-partition links
+// have a minimum delivery delay, the *lookahead* L — derived from the
+// network's link latency models (net::MinOneWayDelay / net::LookaheadBound).
+// The window protocol:
+//
+//   1. horizon T = min over partitions of their earliest pending event
+//   2. every worker drains its partitions' events with timestamp < T + L
+//   3. barrier; mailboxes are drained into the destination queues
+//   4. repeat until every queue (and mailbox) is empty, or the deadline
+//
+// Step 2 is safe because an event at time t >= T can only post a
+// cross-partition event at t' >= t + L >= T + L — beyond the window — so no
+// partition ever receives a straggler from its past. Post() enforces that
+// bound; a configuration whose minimum cross-partition delay is zero is
+// rejected at construction (there is no window in which it would be safe).
+//
+// Determinism: a given (seed, partition count) produces byte-identical
+// results at ANY thread count, including 1. Within a partition, events fire
+// in the Simulator's (time, schedule order); across partitions, mailbox
+// events are merged at each window boundary in (when, source partition, seq)
+// order before being pushed — so the global event order is a pure function
+// of the configuration, never of thread scheduling. RADICAL_SIM_THREADS
+// selects the worker count without changing any output.
+
+#ifndef RADICAL_SRC_SIM_PARALLEL_H_
+#define RADICAL_SRC_SIM_PARALLEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/inline_task.h"
+#include "src/common/types.h"
+#include "src/sim/mailbox.h"
+#include "src/sim/simulator.h"
+
+namespace radical {
+
+class ParallelSimulator {
+ public:
+  struct Options {
+    // Number of partitions (independent event loops). The partition count is
+    // part of the simulated configuration: changing it changes which events
+    // cross a mailbox, so outputs are comparable only at a fixed count.
+    int partitions = 1;
+    // Worker threads; 0 reads RADICAL_SIM_THREADS (default 1). More threads
+    // than partitions are clamped. Thread count never changes output.
+    int threads = 0;
+    // Root seed; partition i's Simulator is seeded from (seed, i).
+    uint64_t seed = 1;
+    // Conservative window: minimum delivery delay of any cross-partition
+    // event. Must be > 0 when partitions > 1; derive it from the network
+    // with net::LookaheadBound. Construction aborts on a zero lookahead.
+    SimDuration lookahead = 0;
+    // Ring capacity of each cross-partition mailbox (entries beyond it take
+    // the allocating overflow path; see src/sim/mailbox.h).
+    size_t mailbox_capacity = 1024;
+  };
+
+  explicit ParallelSimulator(const Options& options);
+  ~ParallelSimulator();
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  int threads() const { return threads_; }
+  SimDuration lookahead() const { return lookahead_; }
+
+  // The partition's own simulator: components of partition i register their
+  // endpoints, timers, and metrics here exactly as on a single-threaded sim.
+  Simulator& partition(int i) { return partitions_[static_cast<size_t>(i)]->sim; }
+  const Simulator& partition(int i) const { return partitions_[static_cast<size_t>(i)]->sim; }
+
+  // Posts a cross-partition event: `fn` runs on partition `to` at virtual
+  // time `at`. Must be called from partition `from`'s worker (inside one of
+  // its events) with at >= partition(from).Now() + lookahead — the
+  // conservative bound every modeled cross-partition link already satisfies;
+  // violating it aborts (it would mean delivering into a window that may
+  // already have run). A self-post (from == to) is an ordinary ScheduleAt.
+  void Post(int from, int to, SimTime at, InlineTask fn);
+
+  // Runs windows until every queue and mailbox is empty. Returns events
+  // fired. Same caveat as Simulator::Run: self-perpetuating timers never
+  // drain — drive those with RunUntil.
+  size_t Run() { return RunWindows(kNoEvent); }
+
+  // Runs events with timestamp <= deadline and advances every partition's
+  // clock to `deadline`. Returns events fired.
+  size_t RunUntil(SimTime deadline);
+
+  // Sum of partition clocks' minimum — the global virtual time floor.
+  SimTime Now() const;
+
+  // Total events fired across partitions so far (deterministic).
+  uint64_t total_events_fired() const;
+  // Cross-partition events posted so far (deterministic).
+  uint64_t cross_events_posted() const;
+  // Cross events that overflowed a mailbox ring (deterministic; sizing aid).
+  uint64_t mailbox_overflows() const;
+
+  // Deterministic merged export of every partition's MetricsRegistry shard:
+  // counters/gauges summed, histogram reservoirs merged in partition order
+  // (see obs::MergedSnapshotJson and docs/observability.md). Byte-identical
+  // across thread counts for a given (seed, partitions).
+  std::string MergedMetricsJson() const;
+
+  // RADICAL_SIM_THREADS, clamped to [1, 64]; 1 when unset or unparsable.
+  static int ThreadsFromEnv();
+
+ private:
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
+  struct Partition {
+    explicit Partition(uint64_t seed) : sim(seed) {}
+    Simulator sim;
+    // inboxes[src]: events posted by partition `src` to this partition.
+    std::vector<std::unique_ptr<SpscMailbox>> inboxes;
+    // Scratch for the window-boundary merge (reused, no steady-state alloc).
+    std::vector<CrossEvent> merge_scratch;
+    // Earliest pending event after the last drain (kNoEvent when idle).
+    SimTime next_time = kNoEvent;
+    // Events fired / cross posts made, owned by this partition's worker.
+    size_t fired = 0;
+    uint64_t posted = 0;
+  };
+
+  // End of the window opening at `min_next` (saturating, capped at deadline).
+  SimTime WindowEnd(SimTime min_next, SimTime deadline) const;
+  // Drains p's inboxes, merges by (when, src, seq), pushes into its queue,
+  // and refreshes p.next_time.
+  void DrainAndPlan(Partition& p);
+  // The window loop at threads == 1 (also the reference semantics).
+  size_t RunWindowsSequential(SimTime deadline);
+  // The window loop on a worker pool with barrier-synchronized phases.
+  size_t RunWindowsThreaded(SimTime deadline, int workers);
+  size_t RunWindows(SimTime deadline);
+
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  int threads_ = 1;
+  SimDuration lookahead_ = 0;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_SIM_PARALLEL_H_
