@@ -234,6 +234,16 @@ std::string BenchReport::ToJson() const {
       w.Double(p.p90_ms);
       w.Key("p99_ms");
       w.Double(p.p99_ms);
+      w.Key("overload_control");
+      w.Bool(p.overload_control);
+      w.Key("rejected");
+      w.Uint(p.rejected);
+      w.Key("shed");
+      w.Uint(p.shed);
+      w.Key("deadline_exceeded");
+      w.Uint(p.deadline_exceeded);
+      w.Key("queue_depth_peak");
+      w.Uint(p.queue_depth_peak);
       w.EndObject();
     }
     w.EndArray();

@@ -91,6 +91,14 @@ struct ThroughputPoint {
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
+  // --- Overload control (bench/throughput_server RunOverload) --------------
+  // Whether the point ran with bounded admission + deadline shedding on; the
+  // counters below are the server's backpressure activity during the point.
+  bool overload_control = false;
+  uint64_t rejected = 0;          // kOverloaded early rejections (admission).
+  uint64_t shed = 0;              // Deadline sheds (admission + mid-pipeline).
+  uint64_t deadline_exceeded = 0;  // Client-side deadline completions.
+  uint64_t queue_depth_peak = 0;  // Peak admission-queue depth (requests).
 };
 
 // A named throughput-vs-configuration curve, exported under "curves" in the

@@ -203,6 +203,52 @@ FreshItem ReadFreshItem(WireReader& r) {
   return item;
 }
 
+// --- Optional trailing fields ---------------------------------------------------
+//
+// Overload control (deadlines on requests, status + retry-after on
+// responses) rides as *optional trailing fields*: they are encoded only when
+// non-default, and decoders read them only when bytes remain after the base
+// message. A default-valued message therefore encodes byte-identically to
+// the pre-overload wire format — old captures still decode, sizes (and the
+// bandwidth model fed by them) are unchanged, and the truncation tests keep
+// their property that every strict prefix of a *base* encoding fails.
+
+void WriteRequestDeadline(WireWriter& w, SimTime deadline) {
+  if (deadline != 0) {
+    w.WriteSigned(deadline);
+  }
+}
+
+SimTime ReadRequestDeadline(WireReader& r) {
+  if (r.ok() && !r.AtEnd()) {
+    return r.ReadSigned();
+  }
+  return 0;
+}
+
+void WriteResponseStatus(WireWriter& w, ResponseStatus status, SimDuration retry_after) {
+  if (status != ResponseStatus::kOk || retry_after != 0) {
+    w.WriteByte(static_cast<uint8_t>(status));
+    w.WriteSigned(retry_after);
+  }
+}
+
+// Returns false on a malformed status byte.
+bool ReadResponseStatus(WireReader& r, ResponseStatus* status, SimDuration* retry_after) {
+  *status = ResponseStatus::kOk;
+  *retry_after = 0;
+  if (!r.ok() || r.AtEnd()) {
+    return true;
+  }
+  const uint8_t raw = r.ReadByte();
+  if (raw > static_cast<uint8_t>(ResponseStatus::kShed)) {
+    return false;
+  }
+  *status = static_cast<ResponseStatus>(raw);
+  *retry_after = r.ReadSigned();
+  return true;
+}
+
 }  // namespace
 
 void EncodeLviRequestTo(const LviRequest& request, WireBuffer* out) {
@@ -222,6 +268,7 @@ void EncodeLviRequestTo(const LviRequest& request, WireBuffer* out) {
     w.WriteSigned(item.cached_version);
     w.WriteByte(item.mode == LockMode::kWrite ? 1 : 0);
   }
+  WriteRequestDeadline(w, request.deadline);
 }
 
 WireBuffer EncodeLviRequest(const LviRequest& request) {
@@ -255,6 +302,7 @@ Result<LviRequest> DecodeLviRequest(const WireBuffer& buffer) {
     item.mode = r.ReadByte() == 1 ? LockMode::kWrite : LockMode::kRead;
     request.items.push_back(std::move(item));
   }
+  request.deadline = ReadRequestDeadline(r);
   if (!r.AtEnd()) {
     return Status::Error(r.ok() ? "trailing bytes in LVI request" : r.error());
   }
@@ -272,6 +320,7 @@ void EncodeLviResponseTo(const LviResponse& response, WireBuffer* out) {
   for (const FreshItem& item : response.fresh_items) {
     WriteFreshItem(w, item);
   }
+  WriteResponseStatus(w, response.status, response.retry_after);
 }
 
 WireBuffer EncodeLviResponse(const LviResponse& response) {
@@ -292,6 +341,9 @@ Result<LviResponse> DecodeLviResponse(const WireBuffer& buffer) {
   const uint64_t count = r.ReadVarint();
   for (uint64_t i = 0; i < count && r.ok(); ++i) {
     response.fresh_items.push_back(ReadFreshItem(r));
+  }
+  if (!ReadResponseStatus(r, &response.status, &response.retry_after)) {
+    return Status::Error("invalid response status in LVI response");
   }
   if (!r.AtEnd()) {
     return Status::Error(r.ok() ? "trailing bytes in LVI response" : r.error());
@@ -348,6 +400,7 @@ void EncodeDirectRequestTo(const DirectRequest& request, WireBuffer* out) {
   for (const Value& input : request.inputs) {
     w.WriteValue(input);
   }
+  WriteRequestDeadline(w, request.deadline);
 }
 
 WireBuffer EncodeDirectRequest(const DirectRequest& request) {
@@ -373,6 +426,7 @@ Result<DirectRequest> DecodeDirectRequest(const WireBuffer& buffer) {
   for (uint64_t i = 0; i < num_inputs && r.ok(); ++i) {
     request.inputs.push_back(r.ReadValue());
   }
+  request.deadline = ReadRequestDeadline(r);
   if (!r.AtEnd()) {
     return Status::Error(r.ok() ? "trailing bytes in direct request" : r.error());
   }
@@ -389,6 +443,7 @@ void EncodeDirectResponseTo(const DirectResponse& response, WireBuffer* out) {
   for (const FreshItem& item : response.fresh_items) {
     WriteFreshItem(w, item);
   }
+  WriteResponseStatus(w, response.status, response.retry_after);
 }
 
 WireBuffer EncodeDirectResponse(const DirectResponse& response) {
@@ -408,6 +463,9 @@ Result<DirectResponse> DecodeDirectResponse(const WireBuffer& buffer) {
   const uint64_t count = r.ReadVarint();
   for (uint64_t i = 0; i < count && r.ok(); ++i) {
     response.fresh_items.push_back(ReadFreshItem(r));
+  }
+  if (!ReadResponseStatus(r, &response.status, &response.retry_after)) {
+    return Status::Error("invalid response status in direct response");
   }
   if (!r.AtEnd()) {
     return Status::Error(r.ok() ? "trailing bytes in direct response" : r.error());

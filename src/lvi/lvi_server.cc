@@ -13,7 +13,24 @@ namespace {
 
 size_t ValueWireSize(const Value& v) { return v.ApproxSizeBytes() + 4; }
 
+// The simulator ticks in microseconds, so one request per tick is the
+// highest capacity the M/D/1 model can represent; anything above it used to
+// truncate service_time to 0 and silently model an *unlimited* server.
+constexpr uint64_t kMaxServingCapacityRps = 1'000'000;
+
 }  // namespace
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kOverloaded:
+      return "overloaded";
+    case ResponseStatus::kShed:
+      return "shed";
+  }
+  return "?";
+}
 
 size_t LviRequest::ApproxSizeBytes() const {
   size_t n = 64;  // Header, exec id, function name.
@@ -60,6 +77,16 @@ LviServer::LviServer(Simulator* sim, VersionedStore* store, const FunctionRegist
       batches_(static_cast<size_t>(options.shards)),
       metrics_(&sim->metrics(), sim->metrics().UniqueScopeName("lvi_server")),
       busy_until_(static_cast<size_t>(options.shards), 0) {
+  if (options_.serving_capacity_rps > kMaxServingCapacityRps) {
+    RLOG(kWarn) << "lvi_server: serving_capacity_rps=" << options_.serving_capacity_rps
+                << " exceeds the simulator tick rate (" << kMaxServingCapacityRps
+                << "/s); clamping to the maximum modelable capacity";
+    options_.serving_capacity_rps = kMaxServingCapacityRps;
+  }
+  if (options_.admission_queue_limit > 0 && options_.serving_capacity_rps == 0) {
+    RLOG(kWarn) << "lvi_server: admission_queue_limit=" << options_.admission_queue_limit
+                << " has no effect without serving_capacity_rps (capacity model off)";
+  }
   if (options_.shards > 1) {
     // Per-shard scopes exist only in sharded configurations, so the default
     // server registers exactly the instruments it always did.
@@ -182,6 +209,37 @@ void LviServer::Recover() {
   }
 }
 
+SimDuration LviServer::ServiceTime() const {
+  // Ceiling division: a capacity above 1 req per tick still costs at least
+  // one tick per request. Plain `Seconds(1) / rps` truncated to 0 for any
+  // rps > 1e6, modeling an unlimited server (the constructor additionally
+  // clamps such capacities loudly).
+  const SimDuration rps = static_cast<SimDuration>(options_.serving_capacity_rps);
+  return (Seconds(1) + rps - 1) / rps;
+}
+
+size_t LviServer::QueueDepth(int shard) const {
+  if (options_.serving_capacity_rps == 0) {
+    return 0;
+  }
+  const SimTime busy_until = busy_until_[static_cast<size_t>(shard)];
+  const SimDuration backlog = busy_until - sim_->Now();
+  if (backlog <= 0) {
+    return 0;
+  }
+  const SimDuration service_time = ServiceTime();
+  return static_cast<size_t>((backlog + service_time - 1) / service_time);
+}
+
+void LviServer::NoteQueueDepth(int shard) {
+  const int64_t depth = static_cast<int64_t>(QueueDepth(shard));
+  metrics_.gauge("queue_depth")->Set(depth);
+  metrics_.gauge("queue_depth_peak")->SetMax(depth);
+  if (!shard_metrics_.empty()) {
+    shard_metrics_[static_cast<size_t>(shard)].gauge("queue_depth_peak")->SetMax(depth);
+  }
+}
+
 SimDuration LviServer::AdmissionDelay(int shard) {
   if (options_.serving_capacity_rps == 0) {
     return options_.process_delay;
@@ -189,8 +247,7 @@ SimDuration LviServer::AdmissionDelay(int shard) {
   // Deterministic service time 1/capacity; arrivals queue behind their home
   // shard's busy period (M/D/1 with the workload's arrival process). Each
   // shard serves at the full capacity, so N shards are an N-fold scale-out.
-  const SimDuration service_time =
-      Seconds(1) / static_cast<SimDuration>(options_.serving_capacity_rps);
+  const SimDuration service_time = ServiceTime();
   SimTime& busy_until = busy_until_[static_cast<size_t>(shard)];
   const SimTime start = std::max(sim_->Now(), busy_until);
   busy_until = start + service_time;
@@ -199,7 +256,78 @@ SimDuration LviServer::AdmissionDelay(int shard) {
     metrics_.Increment("queued_arrivals");
     BumpShard(shard, "queued_arrivals");
   }
+  NoteQueueDepth(shard);
   return queueing + service_time + options_.process_delay;
+}
+
+ResponseStatus LviServer::AdmissionVerdict(int shard, SimTime deadline, SimDuration* retry_after) {
+  SimDuration drain = 0;
+  if (options_.serving_capacity_rps > 0) {
+    const SimTime busy_until = busy_until_[static_cast<size_t>(shard)];
+    drain = std::max<SimDuration>(busy_until - sim_->Now(), 0);
+    if (options_.admission_queue_limit > 0 && QueueDepth(shard) >= options_.admission_queue_limit) {
+      if (retry_after != nullptr) {
+        *retry_after = drain;
+      }
+      return ResponseStatus::kOverloaded;
+    }
+  }
+  if (deadline != 0 &&
+      sim_->Now() + drain + (options_.serving_capacity_rps > 0 ? ServiceTime() : 0) +
+              options_.process_delay >
+          deadline) {
+    // Even if admitted right now, the reply would leave after the client's
+    // deadline: shed instead of burning a service slot on dead work.
+    if (retry_after != nullptr) {
+      *retry_after = drain;
+    }
+    return ResponseStatus::kShed;
+  }
+  return ResponseStatus::kOk;
+}
+
+void LviServer::RejectLvi(ExecutionId exec_id, RespondFn respond, ResponseStatus status,
+                          SimDuration retry_after) {
+  LviResponse response;
+  response.exec_id = exec_id;
+  response.validated = false;
+  response.status = status;
+  response.retry_after = retry_after;
+  const uint64_t epoch = epoch_;
+  // Rejection is the cheap path by design: parse + verdict cost only, no
+  // admission slot consumed, nothing cached.
+  sim_->Schedule(options_.process_delay,
+                 [this, epoch, respond = std::move(respond), response = std::move(response)]() mutable {
+                   if (!StillAlive(epoch)) {
+                     metrics_.Increment("stale_epoch_dropped");
+                     return;
+                   }
+                   respond(std::move(response));
+                 });
+}
+
+void LviServer::RespondLviUncached(ExecutionId exec_id, LviResponse response) {
+  RespondFn respond;
+  const auto it = inflight_lvi_.find(exec_id);
+  if (it != inflight_lvi_.end()) {
+    respond = std::move(it->second);
+    inflight_lvi_.erase(it);
+  }
+  if (respond) {
+    respond(std::move(response));
+  }
+}
+
+void LviServer::ShedMidPipeline(const LviRequest& request, const char* stage) {
+  metrics_.Increment("shed_total");
+  metrics_.Increment(std::string("shed_") + stage);
+  BumpShard(HomeShard(request), "shed_total");
+  locks_->ReleaseAll(request.exec_id);
+  LviResponse response;
+  response.exec_id = request.exec_id;
+  response.validated = false;
+  response.status = ResponseStatus::kShed;
+  RespondLviUncached(request.exec_id, std::move(response));
 }
 
 void LviServer::CacheLviReply(ExecutionId exec_id, LviResponse response) {
@@ -282,8 +410,12 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
     if (!IntentsFor(exec_id).Exists(exec_id)) {
       locks_->ReleaseAll(exec_id);
     }
+    // Cache hits are a lookup, not an execution: answer after the parse/
+    // dispatch cost only. Charging a full AdmissionDelay service slot here
+    // (as this path used to) let duplicate retries consume real capacity
+    // and amplify the very overload that caused them.
     const uint64_t epoch = epoch_;
-    sim_->Schedule(AdmissionDelay(HomeShard(request)),
+    sim_->Schedule(options_.process_delay,
                    [this, epoch, respond = std::move(respond), response = hit->second]() mutable {
                      if (!StillAlive(epoch)) {
                        metrics_.Increment("stale_epoch_dropped");
@@ -293,8 +425,20 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
                    });
     return;
   }
-  metrics_.Increment("lvi_requests");
   const int home = HomeShard(request);
+  SimDuration retry_after = 0;
+  const ResponseStatus verdict = AdmissionVerdict(home, request.deadline, &retry_after);
+  if (verdict != ResponseStatus::kOk) {
+    metrics_.Increment(verdict == ResponseStatus::kOverloaded ? "rejected_overload"
+                                                              : "shed_admission");
+    if (verdict == ResponseStatus::kShed) {
+      metrics_.Increment("shed_total");
+    }
+    BumpShard(home, verdict == ResponseStatus::kOverloaded ? "rejected_overload" : "shed_total");
+    RejectLvi(exec_id, std::move(respond), verdict, retry_after);
+    return;
+  }
+  metrics_.Increment("lvi_requests");
   BumpShard(home, "lvi_requests");
   inflight_lvi_[exec_id] = std::move(respond);
   const uint64_t epoch = epoch_;
@@ -338,6 +482,14 @@ void LviServer::HandleLviRequest(LviRequest request, RespondFn respond) {
 }
 
 void LviServer::Validate(LviRequest request) {
+  // Deadline re-check at the validation stage: admission's projection can be
+  // overtaken by lock waits, so work whose deadline has already passed is
+  // dropped here rather than carried through the version read, the intent
+  // write, and a backup execution nobody will read.
+  if (request.deadline != 0 && sim_->Now() >= request.deadline) {
+    ShedMidPipeline(request, "validation");
+    return;
+  }
   // (5) One batched read of the primary's versions for every item.
   std::vector<Key> keys;
   keys.reserve(request.items.size());
@@ -510,6 +662,12 @@ void LviServer::FlushBatch(int shard) {
     };
     std::vector<Writer> writers;
     for (LviRequest& member : members) {
+      if (member.deadline != 0 && sim_->Now() >= member.deadline) {
+        // Same validation-stage deadline check as the unbatched pipeline;
+        // shedding one member never poisons its batchmates.
+        ShedMidPipeline(member, "validation");
+        continue;
+      }
       EmitSpan("server.validate", member.exec_id, validate_start);
       std::vector<size_t> stale;
       for (size_t i = 0; i < member.items.size(); ++i) {
@@ -907,6 +1065,27 @@ void LviServer::HandleDirect(DirectRequest request, DirectRespondFn respond) {
     response.exec_id = exec_id;
     response.result = lvi_hit->second.backup_result;
     response.fresh_items = lvi_hit->second.fresh_items;
+    const uint64_t epoch = epoch_;
+    sim_->Schedule(options_.process_delay,
+                   [this, epoch, respond = std::move(respond),
+                    response = std::move(response)]() mutable {
+                     if (!StillAlive(epoch)) {
+                       metrics_.Increment("stale_epoch_dropped");
+                       return;
+                     }
+                     respond(std::move(response));
+                   });
+    return;
+  }
+  if (request.deadline != 0 && sim_->Now() >= request.deadline) {
+    // Fresh direct work whose deadline has already passed: shed at the door
+    // (pending-intent and cached-reply paths above still run — they resolve
+    // durable state, not client-visible work).
+    metrics_.Increment("shed_total");
+    metrics_.Increment("shed_direct");
+    DirectResponse response;
+    response.exec_id = exec_id;
+    response.status = ResponseStatus::kShed;
     const uint64_t epoch = epoch_;
     sim_->Schedule(options_.process_delay,
                    [this, epoch, respond = std::move(respond),

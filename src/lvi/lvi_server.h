@@ -69,6 +69,15 @@ struct LviServerOptions {
   // (§5.3): with a finite capacity, arrivals queue M/D/1-style and response
   // times blow up near saturation (bench/throughput_server).
   uint64_t serving_capacity_rps = 0;
+  // Overload control: maximum number of requests allowed to wait in a
+  // shard's admission queue (the backlog behind `busy_until_`). 0 =
+  // unbounded (the historical M/D/1 model, where response times grow
+  // without limit past saturation). With a limit, an arrival that finds the
+  // queue full is rejected immediately with ResponseStatus::kOverloaded and
+  // a retry-after hint equal to the backlog's drain time, instead of being
+  // queued — bounding both queue depth and tail latency. Only meaningful
+  // when serving_capacity_rps > 0.
+  size_t admission_queue_limit = 0;
   // Bound on the per-kind reply caches that make retried requests
   // idempotent; oldest entries are evicted FIFO. Modeled as durable (they
   // live with the idempotency keys in the primary store, §3.4/§5.6).
@@ -310,6 +319,34 @@ class LviServer {
   // Admission: returns the queueing + processing delay for one message
   // arriving at `shard` under its capacity model.
   SimDuration AdmissionDelay(int shard);
+  // Deterministic per-request service time under the capacity model
+  // (rounded up so sub-microsecond service never truncates to "free").
+  SimDuration ServiceTime() const;
+  // Requests currently waiting in `shard`'s admission queue (0 when the
+  // capacity model is off or the shard is idle).
+  size_t QueueDepth(int shard) const;
+
+  // --- Overload control --------------------------------------------------------
+  // Admission-time verdict for a new request on `shard` with (absolute)
+  // client deadline `deadline` (0 = none). kOk admits; kOverloaded means the
+  // admission queue is full; kShed means the queueing + service + processing
+  // time already overruns the deadline. `retry_after` (may be null) receives
+  // the backlog drain-time hint on a non-kOk verdict.
+  ResponseStatus AdmissionVerdict(int shard, SimTime deadline, SimDuration* retry_after);
+  // Answers an LVI request with a non-kOk status after process_delay only —
+  // no admission slot, no reply-cache entry (a retry under lighter load
+  // should process fresh).
+  void RejectLvi(ExecutionId exec_id, RespondFn respond, ResponseStatus status,
+                 SimDuration retry_after);
+  // Sheds a request mid-pipeline (locks already granted): releases its
+  // locks and answers the in-flight respond slot with kShed, uncached.
+  void ShedMidPipeline(const LviRequest& request, const char* stage);
+  // RespondLvi minus the reply-cache write, for reject/shed verdicts.
+  void RespondLviUncached(ExecutionId exec_id, LviResponse response);
+  // Tracks the shard's queue depth on the registry gauges ("queue_depth" +
+  // high-water "queue_depth_peak"); only touched when the capacity model is
+  // on, so default configurations register no extra instruments.
+  void NoteQueueDepth(int shard);
 
   // --- Shard helpers ----------------------------------------------------------
   // Home shard of a request: the shard of its first item (0 when item-less).

@@ -22,6 +22,20 @@
 
 namespace radical {
 
+// Server verdict attached to every response. `kOk` is the normal case and
+// encodes to zero extra bytes on the wire (the status block is an optional
+// trailing field). `kOverloaded` means the request was rejected at admission
+// because the per-shard queue limit was full; `kShed` means the server
+// accepted it but dropped it once it became clear the client deadline could
+// no longer be met. Both carry a server-suggested retry-after hint.
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  kOverloaded = 1,
+  kShed = 2,
+};
+
+const char* ResponseStatusName(ResponseStatus status);
+
 // One entry of the request's item list.
 struct LviItem {
   Key key;
@@ -36,6 +50,9 @@ struct LviRequest {
   std::vector<Value> inputs;  // Needed near-storage for backup execution and
                               // deterministic re-execution (§3.4).
   std::vector<LviItem> items;  // Sorted by key.
+  // Absolute client deadline (simulator time); 0 = none. The server sheds
+  // work that can no longer be answered by this time instead of queueing it.
+  SimTime deadline = 0;
 
   // Approximate wire size for bandwidth accounting.
   size_t ApproxSizeBytes() const;
@@ -58,6 +75,11 @@ struct LviResponse {
   // the version the primary will assign when the followup lands.)
   Value backup_result;
   std::vector<FreshItem> fresh_items;
+  // Overload verdict. When != kOk the response carries no result; the
+  // request was rejected (kOverloaded) or shed (kShed) and `retry_after`
+  // hints how long the client should wait before retrying (0 = no hint).
+  ResponseStatus status = ResponseStatus::kOk;
+  SimDuration retry_after = 0;
 
   size_t ApproxSizeBytes() const;
 };
@@ -76,12 +98,15 @@ struct DirectRequest {
   Region origin = Region::kVA;
   std::string function;
   std::vector<Value> inputs;
+  SimTime deadline = 0;  // Absolute client deadline; 0 = none.
 };
 
 struct DirectResponse {
   ExecutionId exec_id = 0;
   Value result;
   std::vector<FreshItem> fresh_items;  // Written items, for cache repair.
+  ResponseStatus status = ResponseStatus::kOk;
+  SimDuration retry_after = 0;
 };
 
 }  // namespace radical

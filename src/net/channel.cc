@@ -71,5 +71,10 @@ void Channel::RecordDropped(MessageKind kind) {
   stats_.drops_by_kind[static_cast<int>(kind)]++;
 }
 
+void Channel::RecordExpired(MessageKind kind) {
+  (void)kind;
+  stats_.messages_expired++;
+}
+
 }  // namespace net
 }  // namespace radical

@@ -56,6 +56,9 @@ SimDuration MinOneWayDelay(const LinkModel& model);
 struct LinkStats {
   uint64_t messages_sent = 0;
   uint64_t messages_dropped = 0;
+  // Deadline-expired discards (the delivery instant fell past the message's
+  // deadline); disjoint from messages_dropped, which counts injected faults.
+  uint64_t messages_expired = 0;
   uint64_t bytes_sent = 0;
   std::array<uint64_t, kNumMessageKinds> messages_by_kind{};
   std::array<uint64_t, kNumMessageKinds> bytes_by_kind{};
@@ -89,6 +92,8 @@ class Channel {
   void RecordOffered(const Envelope& env);
   // Accounts one dropped message.
   void RecordDropped(MessageKind kind);
+  // Accounts one deadline-expired discard.
+  void RecordExpired(MessageKind kind);
 
   EndpointId from() const { return from_; }
   EndpointId to() const { return to_; }

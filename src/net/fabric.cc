@@ -10,6 +10,11 @@ EventId Endpoint::Send(const Endpoint& to, MessageKind kind, size_t size_bytes,
   return fabric_->Send(id_, to.id_, Envelope{kind, size_bytes, std::move(deliver)});
 }
 
+EventId Endpoint::Send(const Endpoint& to, MessageKind kind, size_t size_bytes,
+                       InlineTask deliver, SimTime deadline) const {
+  return fabric_->Send(id_, to.id_, Envelope{kind, size_bytes, std::move(deliver), deadline});
+}
+
 bool Endpoint::CanReach(const Endpoint& to) const {
   return fabric_ != nullptr && to.fabric_ == fabric_ && !fabric_->Unreachable(id_, to.id_);
 }
@@ -139,16 +144,29 @@ EventId Fabric::Send(EndpointId from, EndpointId to, Envelope env) {
     kc.dropped->Increment();
     return kInvalidEventId;
   }
+  const SimTime deliver_at = ch.ComputeDeliveryTime(env, SpikeExtra(from, to));
+  if (env.deadline != 0 && deliver_at > env.deadline) {
+    // The message would land after the sender's deadline: the bytes occupied
+    // the link (queue/FIFO state above already advanced), but the receiver
+    // would only discard the payload — model that discard here and save the
+    // event. Counted separately from fault drops: an expiry is the overload
+    // model working, not the network failing.
+    ch.RecordExpired(env.kind);
+    if (messages_expired_ == nullptr) {
+      messages_expired_ = sim_->metrics().GetCounter(prefix_ + ".messages_expired");
+    }
+    messages_expired_->Increment();
+    return kInvalidEventId;
+  }
   const auto remote = remote_.find(to);
   if (remote != remote_.end()) {
     // Same pipeline as a local delivery — the channel advances its queue,
     // draws jitter and enforces FIFO — but the event lands on the remote
     // partition's queue via the deployment's forward hook.
-    const SimTime deliver_at = ch.ComputeDeliveryTime(env, SpikeExtra(from, to));
     remote->second(deliver_at, std::move(env.deliver));
     return kInvalidEventId;
   }
-  return ch.Deliver(std::move(env), SpikeExtra(from, to));
+  return sim_->ScheduleAt(deliver_at, std::move(env.deliver));
 }
 
 void Fabric::MarkRemote(EndpointId id, RemoteForward forward) {

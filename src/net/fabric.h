@@ -70,6 +70,13 @@ class Endpoint {
   EventId Send(const Endpoint& to, MessageKind kind, size_t size_bytes,
                InlineTask deliver) const;
 
+  // Deadline-carrying send: the fabric discards the message (counted under
+  // "messages_expired") when its computed delivery instant would land past
+  // `deadline` (absolute; 0 = none) — the bytes still occupy the link, the
+  // receiver just never runs the closure.
+  EventId Send(const Endpoint& to, MessageKind kind, size_t size_bytes, InlineTask deliver,
+               SimTime deadline) const;
+
   // True when a send to `to` would be dropped by a deterministic fault
   // (region/endpoint partition or isolation). A sender may use this to fail
   // fast instead of waiting out a full timeout; probabilistic loss and
@@ -297,6 +304,9 @@ class Fabric {
   obs::Counter* messages_dropped_;
   obs::Counter* bytes_sent_;
   obs::Counter* wan_bytes_sent_;
+  // Deadline-expired discards; resolved lazily on the first expiry so
+  // fabrics that never carry deadlines register no extra instrument.
+  obs::Counter* messages_expired_ = nullptr;
   std::array<KindCounters, kNumMessageKinds> kind_counters_{};
 };
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "src/common/inline_task.h"
+#include "src/common/types.h"
 
 namespace radical {
 namespace net {
@@ -59,6 +60,12 @@ struct Envelope {
   MessageKind kind = MessageKind::kGeneric;
   size_t size_bytes = kDefaultMessageBytes;
   InlineTask deliver;
+  // Absolute deadline the payload is useful until; 0 = none. A message whose
+  // computed delivery instant lands past its deadline is discarded by the
+  // fabric — it still consumed link capacity (queue/FIFO state advanced),
+  // but the receiver would only throw it away. Overload-control requests and
+  // their responses carry the client deadline here.
+  SimTime deadline = 0;
 };
 
 }  // namespace net

@@ -51,6 +51,12 @@ class Gauge {
  public:
   void Set(int64_t value) { value_ = value; }
   void Add(int64_t delta) { value_ += delta; }
+  // High-water update: keeps the largest value ever set (queue-depth peaks).
+  void SetMax(int64_t value) {
+    if (value > value_) {
+      value_ = value;
+    }
+  }
   int64_t value() const { return value_; }
 
  private:

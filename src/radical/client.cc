@@ -4,11 +4,31 @@
 
 namespace radical {
 
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
 void Client::Submit(Request request, DoneFn done) {
   Submit(std::move(request), RequestOptions(), std::move(done));
 }
 
 void Client::Submit(Request request, RequestOptions options, DoneFn done) {
+  runtime_->Submit(std::move(request), std::move(options), std::move(done));
+}
+
+void Client::Submit(Request request, OutcomeFn done) {
+  Submit(std::move(request), RequestOptions(), std::move(done));
+}
+
+void Client::Submit(Request request, RequestOptions options, OutcomeFn done) {
   runtime_->Submit(std::move(request), std::move(options), std::move(done));
 }
 

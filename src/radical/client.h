@@ -49,6 +49,40 @@ struct Request {
   std::vector<Value> inputs;
 };
 
+// How a submitted request ended, as seen by the client. (Named RequestStatus
+// because radical::Status is the generic error-status type in
+// src/common/result.h.)
+enum class RequestStatus {
+  // The request executed and `result` is its value.
+  kOk = 0,
+  // Backpressure: the server refused or shed the request (bounded admission
+  // queue, deadline-aware shedding) and the client's retry budget did not
+  // allow riding it out. The request did NOT execute; `retry_after` carries
+  // the server's drain hint when one was given. Retrying immediately is
+  // exactly the amplification the budget exists to prevent — honor the hint.
+  kRejected = 1,
+  // The request's deadline passed before a usable response arrived. The
+  // request may or may not have executed server-side; the client stopped
+  // waiting (and stopped retrying) because the answer is no longer useful.
+  kDeadlineExceeded = 2,
+};
+
+const char* RequestStatusName(RequestStatus status);
+
+// Full completion record for the outcome-aware Submit overloads. The
+// Value-only DoneFn API remains and is unchanged: it only ever fires with an
+// executed result, so callers that opt into deadlines or retry budgets (the
+// features that can end a request without a result) use OutcomeFn.
+struct Outcome {
+  RequestStatus status = RequestStatus::kOk;
+  // Meaningful only when status == kOk.
+  Value result;
+  // kRejected only: the server's suggested wait before new load (0 = none).
+  SimDuration retry_after = 0;
+
+  bool ok() const { return status == RequestStatus::kOk; }
+};
+
 // Per-request knobs. The zero-argument default reproduces the deployment's
 // configured behaviour exactly.
 struct RequestOptions {
@@ -67,6 +101,13 @@ struct RequestOptions {
   // so a wrong hint costs locality, never correctness. -1 = route
   // automatically.
   int shard_hint = -1;
+  // Relative deadline from Submit; 0 = none (the historical behaviour). The
+  // deadline travels with the request: the fabric discards messages that
+  // would land after it, the server sheds work it cannot finish in time
+  // (answering kShed instead of queueing), and the client stops
+  // waiting/retrying past it. A deadlined request can therefore complete
+  // with RequestStatus::kDeadlineExceeded — use the OutcomeFn Submit overloads.
+  SimDuration deadline = 0;
 };
 
 // Thin facade over a Runtime. Copyable and cheap; the Runtime must outlive
@@ -74,13 +115,19 @@ struct RequestOptions {
 class Client {
  public:
   using DoneFn = std::function<void(Value result)>;
+  using OutcomeFn = std::function<void(Outcome outcome)>;
 
   explicit Client(Runtime* runtime) : runtime_(runtime) {}
 
   // Submits `request`; `done` fires (as a simulator event) when the result
-  // is released to the client.
+  // is released to the client. The DoneFn overloads only ever fire with an
+  // executed result; requests that end in backpressure (kRejected) or a
+  // missed deadline fire a DoneFn with an empty Value — use the OutcomeFn
+  // overloads to distinguish those endings.
   void Submit(Request request, DoneFn done);
   void Submit(Request request, RequestOptions options, DoneFn done);
+  void Submit(Request request, OutcomeFn done);
+  void Submit(Request request, RequestOptions options, OutcomeFn done);
 
   Runtime* runtime() const { return runtime_; }
 

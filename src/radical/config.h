@@ -41,6 +41,24 @@ struct RetryPolicy {
   // the writes reach the primary via deterministic re-execution.
   SimDuration followup_ack_timeout = Millis(1200);
   int max_followup_attempts = 4;
+
+  // --- Retry budget (overload control) -----------------------------------
+  // Token bucket shared by every request on a Runtime, so a saturation event
+  // cannot turn into a retry storm that amplifies itself: each retry spends
+  // tokens, tokens refill with virtual time, and an empty bucket completes
+  // the request with Status::kRejected instead of retrying. The bucket is
+  // deployment-wide state, so it always reads these fields from
+  // RadicalConfig::retry — a per-request RetryPolicy override does not get
+  // its own bucket. 0 = no budget (the historical unbounded behaviour, and
+  // the default).
+  double retry_budget = 0.0;
+  // Tokens regained per second of virtual time (up to retry_budget).
+  double retry_budget_refill_per_sec = 1.0;
+  // Tokens one retry costs after an explicit backpressure reply (kOverloaded
+  // / kShed), vs. 1.0 for a timeout retry: when the server *says* it is
+  // overloaded, retrying into it is what melts it down, so backpressure
+  // drains the budget faster than silence does.
+  double reject_retry_cost = 2.0;
 };
 
 struct RadicalConfig {

@@ -58,29 +58,59 @@ void Runtime::RouteToServer(RequestState* state, const Key* first_key) const {
 }
 
 void Runtime::Submit(Request request, RequestOptions options, DoneFn done) {
+  SubmitImpl(std::move(request), std::move(options), std::move(done), nullptr);
+}
+
+void Runtime::Submit(Request request, RequestOptions options, OutcomeFn done) {
+  SubmitImpl(std::move(request), std::move(options), nullptr, std::move(done));
+}
+
+void Runtime::SubmitImpl(Request request, RequestOptions options, DoneFn done,
+                         OutcomeFn outcome_done) {
   metrics_.Increment("requests");
   const SimTime invoked_at = sim_->Now();
+  // Everything per-request moves onto the heap-allocated state up front, so
+  // the scheduled closure stays within the event queue's inline capacity
+  // (this + shared_ptr + the consistency mode). exec_id is still assigned
+  // when the event *runs* — id allocation order is part of the deterministic
+  // schedule and must not move to Submit time.
+  auto state = std::make_shared<RequestState>();
+  state->function = std::move(request.function);
+  state->inputs = std::move(request.inputs);
+  state->done = std::move(done);
+  state->outcome_done = std::move(outcome_done);
+  state->retry = options.retry.has_value() ? *options.retry : config_.retry;
+  state->trace_enabled = options.trace;
+  state->shard_hint = options.shard_hint;
+  // A relative deadline anchors at Submit: instantiation and blob load count
+  // against it, same as they count against the user's patience.
+  state->deadline = options.deadline == 0 ? 0 : invoked_at + options.deadline;
+  state->trace.region = region_;
+  state->trace.invoked = invoked_at;
+  if (state->deadline != 0) {
+    // Deadline watchdog: a deadlined request always completes by its
+    // deadline, even with retries disabled and its response discarded on the
+    // wire (the fabric drops messages that would land past the deadline, and
+    // without a retry timer nothing else would ever fire).
+    state->deadline_event = sim_->Schedule(state->deadline - invoked_at, [this, state] {
+      state->deadline_event = kInvalidEventId;
+      if (!state->completed) {
+        CompleteRejected(state, RequestStatus::kDeadlineExceeded, 0);
+      }
+    });
+  }
+  const ConsistencyMode consistency = options.consistency;
   // §5.5 components (1) and (2): instantiate the function, load the blob.
   sim_->Schedule(config_.lambda_invoke + config_.blob_load,
-                 [this, request = std::move(request), options = std::move(options),
-                  done = std::move(done), invoked_at]() mutable {
-    auto state = std::make_shared<RequestState>();
+                 [this, state = std::move(state), consistency]() mutable {
     state->exec_id = sim_->NextId();
-    state->function = std::move(request.function);
-    state->inputs = std::move(request.inputs);
-    state->done = std::move(done);
-    state->retry = options.retry.has_value() ? *options.retry : config_.retry;
-    state->trace_enabled = options.trace;
-    state->shard_hint = options.shard_hint;
     RouteToServer(state.get(), nullptr);
     state->trace.exec_id = state->exec_id;
     state->trace.function = state->function;
-    state->trace.region = region_;
-    state->trace.invoked = invoked_at;
     state->trace.frw_started = sim_->Now();
     const AnalyzedFunction* fn = registry_->Find(state->function);
     assert(fn != nullptr && "function not registered");
-    if (options.consistency == ConsistencyMode::kDirect) {
+    if (consistency == ConsistencyMode::kDirect) {
       // The caller opted out of the near-user protocol: execute at the
       // near-storage location, same as the unanalyzable path.
       metrics_.Increment("direct_requested");
@@ -122,6 +152,7 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
   request.origin = region_;
   request.function = state->function;
   request.inputs = state->inputs;
+  request.deadline = state->deadline;
   // Speculation is pointless only when a key the function *reads* is absent
   // from the cache (validation is then guaranteed to fail, §3.2). A missing
   // blind-write key is normal — functions create keys (new posts, bookings,
@@ -152,6 +183,11 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
     RouteToServer(state.get(), &state->lvi_request.items.front().key);
   }
   SendLviAttempt(state);
+  if (state->completed) {
+    // The first attempt already ended the request (deadline passed before
+    // the send): don't start a speculation nobody will consume.
+    return;
+  }
 
   // (2a) Speculatively execute f against the cache, writes buffered. Skipped
   // on a cache miss (validation is guaranteed to fail) and under the
@@ -198,7 +234,28 @@ void Runtime::CancelTimeout(const std::shared_ptr<RequestState>& state) {
 
 void Runtime::RecordAttempt(const std::shared_ptr<RequestState>& state, AttemptPath path,
                             int number) {
-  state->trace.attempts.push_back(RequestAttempt{path, number, sim_->Now(), 0, {}});
+  RequestTrace& trace = state->trace;
+  ++trace.attempts_total;
+  if (trace.attempts.size() >= kMaxStoredAttempts) {
+    // A request stuck behind a long partition retries forever; without this
+    // cap its trace grew one record per retry for the life of the outage.
+    // Evict the oldest *resolved* record — open attempts stay, because
+    // ResolveAttempt must still find them. At most one attempt per path is
+    // open at a time, so a full window always has something resolved.
+    bool evicted = false;
+    for (auto it = trace.attempts.begin(); it != trace.attempts.end(); ++it) {
+      if (!it->outcome.empty()) {
+        trace.attempts.erase(it);
+        evicted = true;
+        break;
+      }
+    }
+    ++trace.attempts_dropped;
+    if (!evicted) {
+      return;  // Every stored record is open: count the send, drop its record.
+    }
+  }
+  trace.attempts.push_back(RequestAttempt{path, number, sim_->Now(), 0, {}});
 }
 
 void Runtime::ResolveAttempt(const std::shared_ptr<RequestState>& state, AttemptPath path,
@@ -215,6 +272,10 @@ void Runtime::ResolveAttempt(const std::shared_ptr<RequestState>& state, Attempt
 
 void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
   if (state->completed || state->response_received) {
+    return;
+  }
+  if (DeadlinePassed(*state)) {
+    CompleteRejected(state, RequestStatus::kDeadlineExceeded, 0);
     return;
   }
   ++state->lvi_attempts;
@@ -236,9 +297,10 @@ void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
         SendFromServer(state->server_ep, net::MessageKind::kLviResponse, size,
                        [this, state, response = std::move(response)]() mutable {
                          OnLviResponse(state, std::move(response));
-                       });
+                       },
+                       state->deadline);
       });
-    });
+    }, state->deadline);
   } else {
     metrics_.Increment("fast_fail");
     ResolveAttempt(state, AttemptPath::kLvi, "fast_fail");
@@ -260,6 +322,16 @@ void Runtime::OnLviResponse(const std::shared_ptr<RequestState>& state, LviRespo
     metrics_.Increment("late_response_ignored");
     return;
   }
+  if (response.status != ResponseStatus::kOk) {
+    // Backpressure, not an answer: the server refused admission (kOverloaded)
+    // or shed the request against its deadline (kShed). Nothing executed.
+    CancelTimeout(state);
+    const bool overloaded = response.status == ResponseStatus::kOverloaded;
+    metrics_.Increment(overloaded ? "rejected_by_server" : "shed_by_server");
+    ResolveAttempt(state, AttemptPath::kLvi, overloaded ? "rejected" : "shed");
+    OnBackpressure(state, AttemptPath::kLvi, response.status, response.retry_after);
+    return;
+  }
   CancelTimeout(state);
   state->response_received = true;
   ResolveAttempt(state, AttemptPath::kLvi, "response");
@@ -275,6 +347,17 @@ void Runtime::OnLviTimeout(const std::shared_ptr<RequestState>& state) {
   }
   metrics_.Increment("timeouts");
   ResolveAttempt(state, AttemptPath::kLvi, "timeout");
+  if (DeadlinePassed(*state)) {
+    CompleteRejected(state, RequestStatus::kDeadlineExceeded, 0);
+    return;
+  }
+  if (!SpendRetryBudget(1.0)) {
+    // Every retry — including the degrade-to-direct below, which is just a
+    // retry on a different path — spends budget; an empty bucket ends the
+    // request instead of adding load to a struggling deployment.
+    CompleteRejected(state, RequestStatus::kRejected, 0);
+    return;
+  }
   if (state->lvi_attempts >= state->retry.max_lvi_attempts) {
     // Budget exhausted: degrade to the direct path, which retries without
     // bound. Discard the speculation — the direct response is authoritative
@@ -296,6 +379,10 @@ void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
   if (state->completed) {
     return;
   }
+  if (DeadlinePassed(*state)) {
+    CompleteRejected(state, RequestStatus::kDeadlineExceeded, 0);
+    return;
+  }
   ++state->direct_attempts;
   if (state->direct_attempts > 1) {
     metrics_.Increment("retries");
@@ -311,9 +398,10 @@ void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
         SendFromServer(state->server_ep, net::MessageKind::kDirectResponse, response_size,
                        [this, state, response = std::move(response)]() mutable {
                          OnDirectResponse(state, std::move(response));
-                       });
+                       },
+                       state->deadline);
       });
-    });
+    }, state->deadline);
   } else {
     metrics_.Increment("fast_fail");
     ResolveAttempt(state, AttemptPath::kDirect, "fast_fail");
@@ -334,6 +422,14 @@ void Runtime::OnDirectResponse(const std::shared_ptr<RequestState>& state,
     metrics_.Increment("late_response_ignored");
     return;
   }
+  if (response.status != ResponseStatus::kOk) {
+    CancelTimeout(state);
+    const bool overloaded = response.status == ResponseStatus::kOverloaded;
+    metrics_.Increment(overloaded ? "rejected_by_server" : "shed_by_server");
+    ResolveAttempt(state, AttemptPath::kDirect, overloaded ? "rejected" : "shed");
+    OnBackpressure(state, AttemptPath::kDirect, response.status, response.retry_after);
+    return;
+  }
   CancelTimeout(state);
   state->completed = true;
   ResolveAttempt(state, AttemptPath::kDirect, "response");
@@ -350,7 +446,98 @@ void Runtime::OnDirectTimeout(const std::shared_ptr<RequestState>& state) {
   }
   metrics_.Increment("timeouts");
   ResolveAttempt(state, AttemptPath::kDirect, "timeout");
+  if (DeadlinePassed(*state)) {
+    CompleteRejected(state, RequestStatus::kDeadlineExceeded, 0);
+    return;
+  }
+  if (!SpendRetryBudget(1.0)) {
+    CompleteRejected(state, RequestStatus::kRejected, 0);
+    return;
+  }
   SendDirectAttempt(state);
+}
+
+void Runtime::OnBackpressure(const std::shared_ptr<RequestState>& state, AttemptPath path,
+                             ResponseStatus status, SimDuration retry_after) {
+  (void)status;
+  if (state->completed) {
+    return;
+  }
+  if (DeadlinePassed(*state)) {
+    CompleteRejected(state, RequestStatus::kDeadlineExceeded, retry_after);
+    return;
+  }
+  // An LVI request that exhausts its attempts on backpressure does NOT
+  // degrade to the direct path — that sends the same work to the same
+  // overloaded deployment with a longer critical path. It completes
+  // kRejected, which is the graceful ending the budget exists to provide.
+  if (!state->retry.enabled ||
+      (path == AttemptPath::kLvi && state->lvi_attempts >= state->retry.max_lvi_attempts)) {
+    CompleteRejected(state, RequestStatus::kRejected, retry_after);
+    return;
+  }
+  // A backpressure retry costs more than a timeout retry: the server
+  // explicitly said it cannot take the load.
+  if (!SpendRetryBudget(config_.retry.reject_retry_cost)) {
+    CompleteRejected(state, RequestStatus::kRejected, retry_after);
+    return;
+  }
+  // Honor the server's drain hint, never retrying sooner than the backoff
+  // schedule would have: an immediate resend into a server that just said
+  // "overloaded" is precisely the amplification this path removes.
+  const int attempts = path == AttemptPath::kLvi ? state->lvi_attempts : state->direct_attempts;
+  const SimDuration wait = std::max(retry_after, AttemptTimeout(state->retry, attempts));
+  sim_->Schedule(wait, [this, state, path] {
+    if (path == AttemptPath::kLvi) {
+      SendLviAttempt(state);
+    } else {
+      SendDirectAttempt(state);
+    }
+  });
+}
+
+bool Runtime::SpendRetryBudget(double cost) {
+  const RetryPolicy& policy = config_.retry;
+  if (policy.retry_budget <= 0.0) {
+    return true;  // No budget configured: the historical unbounded behaviour.
+  }
+  const SimTime now = sim_->Now();
+  if (!retry_bucket_init_) {
+    retry_bucket_init_ = true;
+    retry_tokens_ = policy.retry_budget;
+    retry_tokens_at_ = now;
+  }
+  const double elapsed_sec =
+      static_cast<double>(now - retry_tokens_at_) / static_cast<double>(Seconds(1));
+  retry_tokens_ = std::min(policy.retry_budget,
+                           retry_tokens_ + elapsed_sec * policy.retry_budget_refill_per_sec);
+  retry_tokens_at_ = now;
+  if (retry_tokens_ + 1e-9 < cost) {
+    metrics_.Increment("retry_budget_exhausted");
+    return false;
+  }
+  retry_tokens_ -= cost;
+  return true;
+}
+
+bool Runtime::DeadlinePassed(const RequestState& state) const {
+  return state.deadline != 0 && sim_->Now() >= state.deadline;
+}
+
+void Runtime::CompleteRejected(const std::shared_ptr<RequestState>& state, RequestStatus status,
+                               SimDuration retry_after) {
+  if (state->completed) {
+    return;
+  }
+  CancelTimeout(state);
+  state->completed = true;
+  if (state->buffer != nullptr) {
+    state->buffer->Discard();
+    state->buffer.reset();
+  }
+  metrics_.Increment(status == RequestStatus::kDeadlineExceeded ? "deadline_exceeded_replies"
+                                                         : "rejected_replies");
+  FinishReply(state, Outcome{status, Value(), retry_after});
 }
 
 void Runtime::TryComplete(const std::shared_ptr<RequestState>& state) {
@@ -554,6 +741,7 @@ void Runtime::InvokeDirect(std::shared_ptr<RequestState> state) {
   state->direct_request.origin = region_;
   state->direct_request.function = state->function;
   state->direct_request.inputs = state->inputs;
+  state->direct_request.deadline = state->deadline;
   state->trace.direct = true;
   state->direct_request_size = wire_scratch_.SizeOf(state->direct_request);
   SendDirectAttempt(state);
@@ -561,34 +749,53 @@ void Runtime::InvokeDirect(std::shared_ptr<RequestState> state) {
 
 
 void Runtime::SendToServer(const net::Endpoint& server, net::MessageKind kind, size_t bytes,
-                           std::function<void()> deliver) {
-  self_.Send(server, kind, bytes, std::move(deliver));
+                           std::function<void()> deliver, SimTime deadline) {
+  self_.Send(server, kind, bytes, std::move(deliver), deadline);
 }
 
 void Runtime::SendFromServer(const net::Endpoint& server, net::MessageKind kind, size_t bytes,
-                             std::function<void()> deliver) {
-  server.Send(self_, kind, bytes, std::move(deliver));
+                             std::function<void()> deliver, SimTime deadline) {
+  server.Send(self_, kind, bytes, std::move(deliver), deadline);
 }
 
 void Runtime::Reply(const std::shared_ptr<RequestState>& state, Value result) {
-  if (!state->done) {
+  FinishReply(state, Outcome{RequestStatus::kOk, std::move(result), 0});
+}
+
+void Runtime::FinishReply(const std::shared_ptr<RequestState>& state, Outcome outcome) {
+  if (!state->done && !state->outcome_done) {
     // A duplicate completion (a late response racing a retry, or a second
     // ack) must not inflate the reply count: the client was answered once.
     metrics_.Increment("duplicate_replies");
     return;
   }
   state->completed = true;
+  if (state->deadline_event != kInvalidEventId) {
+    sim_->Cancel(state->deadline_event);
+    state->deadline_event = kInvalidEventId;
+  }
   metrics_.Increment("replies");
   RequestTrace::StampOnce(&state->trace.replied, sim_->Now());
-  latency_hist_->Record(state->trace.Total());
+  if (outcome.status == RequestStatus::kOk) {
+    // Only executed results feed the end-to-end histogram: a rejection
+    // completes in a fraction of a real request's latency and would drag the
+    // percentiles down exactly when they matter most (rejected/deadline
+    // endings have their own counters).
+    latency_hist_->Record(state->trace.Total());
+  }
   if (state->trace_enabled) {
     if (tracer_ != nullptr) {
       tracer_->Record(state->trace);
     }
     AppendSpans(state->trace, spans_);
   }
+  if (state->outcome_done) {
+    OutcomeFn done = std::move(state->outcome_done);
+    done(std::move(outcome));
+    return;
+  }
   DoneFn done = std::move(state->done);
-  done(std::move(result));
+  done(std::move(outcome.result));
 }
 
 }  // namespace radical

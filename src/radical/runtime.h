@@ -40,6 +40,7 @@ namespace radical {
 class Runtime {
  public:
   using DoneFn = std::function<void(Value result)>;
+  using OutcomeFn = std::function<void(Outcome outcome)>;
 
   // `server` lives in `server_region` (the near-storage location); all
   // pointers must outlive the runtime. `server_endpoint` is the server's
@@ -58,8 +59,11 @@ class Runtime {
   // options (retry override, consistency mode, trace opt-out, shard hint —
   // see RequestOptions in client.h). `done` fires (as a simulator event)
   // when the result is released to the client. Prefer the radical::Client
-  // facade over calling this directly.
+  // facade over calling this directly. The OutcomeFn overload additionally
+  // reports how the request ended (kOk / kRejected / kDeadlineExceeded);
+  // the DoneFn overload fires with an empty Value on a non-kOk ending.
   void Submit(Request request, RequestOptions options, DoneFn done);
+  void Submit(Request request, RequestOptions options, OutcomeFn done);
 
   Region region() const { return region_; }
   CacheStore& cache() { return cache_; }
@@ -96,10 +100,14 @@ class Runtime {
     std::string function;
     std::vector<Value> inputs;
     DoneFn done;
+    OutcomeFn outcome_done;      // Exactly one of done/outcome_done is set.
     // Per-request knobs, resolved from RequestOptions at Submit time.
     RetryPolicy retry;           // options.retry or the deployment default.
     bool trace_enabled = true;   // Record trace/spans on completion.
     int shard_hint = -1;         // Channel pin; -1 = route by key.
+    SimTime deadline = 0;        // Absolute; 0 = none. Travels with every
+                                 // request message (fabric + server shed
+                                 // against it) and bounds client retries.
     net::Endpoint server_ep;     // The server channel this request uses.
     // Cached version per write key (sorted), for post-success installs.
     std::vector<Key> write_keys;
@@ -124,6 +132,7 @@ class Runtime {
     int lvi_attempts = 0;
     int direct_attempts = 0;
     EventId timeout_event = kInvalidEventId;  // Current attempt's timeout.
+    EventId deadline_event = kInvalidEventId;  // Deadline watchdog (if any).
     bool lvi_abandoned = false;  // LVI budget exhausted; degraded to direct.
     // Two-RTT ablation: the followup kept for retransmission, the result
     // held back until its ack, and the ack timer.
@@ -135,6 +144,9 @@ class Runtime {
     bool followup_done = false;
   };
 
+  // Shared body of the DoneFn/OutcomeFn Submit overloads (exactly one of
+  // `done` / `outcome_done` is non-null).
+  void SubmitImpl(Request request, RequestOptions options, DoneFn done, OutcomeFn outcome_done);
   // Runs the LVI path once f^rw produced a read/write set.
   void StartLvi(std::shared_ptr<RequestState> state, RwSet rw);
   // Fallback: execute in the near-storage location (unanalyzable functions,
@@ -157,6 +169,22 @@ class Runtime {
   void OnFollowupAck(const std::shared_ptr<RequestState>& state, bool applied);
   void OnFollowupTimeout(const std::shared_ptr<RequestState>& state);
   void GiveUpFollowup(const std::shared_ptr<RequestState>& state);
+  // --- Overload control ----------------------------------------------------
+  // Reaction to an explicit backpressure reply (kOverloaded / kShed) on the
+  // LVI or direct path: retry after max(server hint, backoff) if the retry
+  // budget allows, else complete the request with RequestStatus::kRejected. Never
+  // degrades to the direct path — that would move the load, not shed it.
+  void OnBackpressure(const std::shared_ptr<RequestState>& state, AttemptPath path,
+                      ResponseStatus status, SimDuration retry_after);
+  // Takes `cost` tokens from the runtime-wide retry budget (config_.retry);
+  // true = spend allowed. Always true when no budget is configured.
+  bool SpendRetryBudget(double cost);
+  // True when the request carries a deadline that has already passed.
+  bool DeadlinePassed(const RequestState& state) const;
+  // Terminal non-kOk completion: cancels timers, discards any speculation,
+  // and answers the client with `status` (no result ever executed).
+  void CompleteRejected(const std::shared_ptr<RequestState>& state, RequestStatus status,
+                        SimDuration retry_after);
   // Exponential backoff: retry.request_timeout * backoff^(attempt-1),
   // capped at retry.max_backoff.
   static SimDuration AttemptTimeout(const RetryPolicy& retry, int attempt);
@@ -174,16 +202,23 @@ class Runtime {
   // Installs speculative writes into the cache and ships the followup.
   void CommitSpeculation(const std::shared_ptr<RequestState>& state, Value result);
   void Reply(const std::shared_ptr<RequestState>& state, Value result);
+  // Single exit point for every completion (ok or not): counters, trace,
+  // spans, then whichever of done/outcome_done the caller registered.
+  void FinishReply(const std::shared_ptr<RequestState>& state, Outcome outcome);
   // Message legs to/from the LVI server over the fabric: the WAN path plus
   // the intra-DC hop to the server's EC2 instance, which rides as the server
   // endpoint's extra_hop_delay (kServerHopRtt / 2 each way; Table 2's
   // lat_nu<->ns is the sum of both).
   // `server` is the request's channel (RequestState::server_ep) — the shared
   // server endpoint, or a per-shard channel under set_shard_endpoints.
+  // `deadline` (0 = none) rides on the envelope: the fabric discards the
+  // message outright when it would land past the deadline — the receiver
+  // would only throw it away. Followups never carry one (writes must reach
+  // the primary regardless of the client's patience).
   void SendToServer(const net::Endpoint& server, net::MessageKind kind, size_t bytes,
-                    std::function<void()> deliver);
+                    std::function<void()> deliver, SimTime deadline = 0);
   void SendFromServer(const net::Endpoint& server, net::MessageKind kind, size_t bytes,
-                      std::function<void()> deliver);
+                      std::function<void()> deliver, SimTime deadline = 0);
   // Picks the server channel for `state`: shard_hint if set, else the shard
   // owning `first_key` (nullptr = shard 0), else the single endpoint.
   void RouteToServer(RequestState* state, const Key* first_key) const;
@@ -212,6 +247,12 @@ class Runtime {
   ExternalServiceRegistry* externals_;
   TraceCollector* tracer_ = nullptr;
   obs::SpanCollector* spans_ = nullptr;
+  // Runtime-wide retry-budget token bucket (see RetryPolicy::retry_budget).
+  // Lazily refilled with virtual time on each spend attempt; initialized on
+  // first use so a no-budget deployment never touches it.
+  bool retry_bucket_init_ = false;
+  double retry_tokens_ = 0.0;
+  SimTime retry_tokens_at_ = 0;
 };
 
 }  // namespace radical

@@ -31,6 +31,14 @@ namespace radical {
 // Which protocol leg a network attempt belongs to.
 enum class AttemptPath { kLvi, kDirect, kFollowup };
 
+// Cap on RequestAttempt records stored per trace. A request stuck behind a
+// long partition retries its direct path indefinitely; without a cap its
+// trace grew one record per retry for the life of the outage. When the cap
+// is hit the oldest *resolved* record is evicted (open attempts are never
+// evicted — ResolveAttempt still needs them) and the trace's attempts_total
+// / attempts_dropped counters keep the full tally.
+inline constexpr size_t kMaxStoredAttempts = 32;
+
 const char* AttemptPathName(AttemptPath path);
 
 // One transmission on the wire: the original send or any retry, on any path.
@@ -80,8 +88,13 @@ struct RequestTrace {
   bool fallback_direct = false;
 
   // Every transmission, in send order (first LVI try, its retries, a direct
-  // fallback, followup (re)transmissions, ...).
+  // fallback, followup (re)transmissions, ...), capped at
+  // kMaxStoredAttempts records; attempts_total always counts every
+  // transmission and attempts_dropped the records the cap evicted, so
+  // attempts.size() + attempts_dropped == attempts_total.
   std::vector<RequestAttempt> attempts;
+  uint64_t attempts_total = 0;
+  uint64_t attempts_dropped = 0;
 
   // True when every nonzero phase boundary is in timeline order. Traces
   // recorded by the runtime must satisfy this even across retries (the

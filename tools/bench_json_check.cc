@@ -336,6 +336,32 @@ void CheckCurves(const JsonValue& curves, const std::string& path) {
       if (shards != nullptr && shards->is(JsonValue::Type::kNumber) && shards->number < 1) {
         Report(pwhere, "shards must be >= 1");
       }
+      // Overload-control accounting joined the point schema with bounded
+      // admission + deadline shedding; reports written before then simply
+      // lack the keys. When any of the group is present, the whole group
+      // must be, with the right types.
+      const JsonValue* control = point.Find("overload_control");
+      if (control != nullptr) {
+        if (!control->is(JsonValue::Type::kBool)) {
+          Report(pwhere, "field 'overload_control' has the wrong type");
+        }
+        for (const char* field : {"rejected", "shed", "deadline_exceeded", "queue_depth_peak"}) {
+          const JsonValue* v = Require(point, pwhere, field, JsonValue::Type::kNumber);
+          if (v != nullptr && v->number < 0) {
+            Report(pwhere, std::string("field '") + field + "' must be >= 0");
+          }
+        }
+        // An uncontrolled point cannot report backpressure activity: with no
+        // queue limit and no deadline the server never rejects or sheds.
+        if (control->is(JsonValue::Type::kBool) && !control->boolean) {
+          for (const char* field : {"rejected", "shed"}) {
+            const JsonValue* v = point.Find(field);
+            if (v != nullptr && v->is(JsonValue::Type::kNumber) && v->number > 0) {
+              Report(pwhere, std::string("uncontrolled point reports nonzero '") + field + "'");
+            }
+          }
+        }
+      }
     }
   }
 }

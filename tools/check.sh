@@ -39,6 +39,13 @@
 # ~11M/s, so the floor fails on a regression to the old allocation-heavy
 # path while leaving slack for slow CI machines) and schema-checks the
 # exported "micro" section of BENCH_radical.json.
+#
+# CHECK_OVERLOAD=1 tools/check.sh  additionally runs the open-loop overload
+# sweep (bench/throughput_server in smoke mode, which includes the
+# uncontrolled/controlled saturation curves from RunOverload) and
+# schema-checks the exported overload-control point fields (rejected, shed,
+# deadline_exceeded, queue_depth_peak) with tools/bench_json_check, then
+# asserts both overload curves made it into the report.
 set -eu
 
 SOURCE_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
@@ -98,6 +105,22 @@ if [ "${CHECK_BENCH_SMOKE:-0}" = "1" ]; then
   RADICAL_BENCH_SMOKE=1 RADICAL_TRACE_JSON="$SMOKE_DIR/trace.json" \
     "$BUILD_DIR/bench/latency_breakdown" > "$SMOKE_DIR/latency_breakdown.out"
   "$BUILD_DIR/tools/bench_json_check" --trace "$SMOKE_DIR/trace.json"
+fi
+
+if [ "${CHECK_OVERLOAD:-0}" = "1" ]; then
+  OVERLOAD_DIR="$BUILD_DIR/overload"
+  mkdir -p "$OVERLOAD_DIR"
+  echo "== overload: open-loop saturation sweep (uncontrolled vs controlled) =="
+  RADICAL_BENCH_SMOKE=1 RADICAL_BENCH_JSON="$OVERLOAD_DIR/BENCH_radical.json" \
+    "$BUILD_DIR/bench/throughput_server" > "$OVERLOAD_DIR/throughput_server.out"
+  cat "$OVERLOAD_DIR/throughput_server.out"
+  "$BUILD_DIR/tools/bench_json_check" "$OVERLOAD_DIR/BENCH_radical.json"
+  for curve in open_loop_overload_uncontrolled open_loop_overload_controlled; do
+    if ! grep -q "\"$curve\"" "$OVERLOAD_DIR/BENCH_radical.json"; then
+      echo "check.sh: missing overload curve '$curve' in BENCH_radical.json" >&2
+      exit 1
+    fi
+  done
 fi
 
 if [ "${CHECK_MICRO:-0}" = "1" ]; then
