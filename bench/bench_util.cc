@@ -244,6 +244,18 @@ std::string BenchReport::ToJson() const {
       w.Uint(p.deadline_exceeded);
       w.Key("queue_depth_peak");
       w.Uint(p.queue_depth_peak);
+      if (p.raft_groups > 0) {
+        // Replicated-lock point: present only for multi-Raft curves, keyed
+        // on raft_groups (tools/bench_json_check validates the group).
+        w.Key("raft_groups");
+        w.Int(p.raft_groups);
+        w.Key("leader_kills");
+        w.Uint(p.leader_kills);
+        w.Key("replies_pct");
+        w.Double(p.replies_pct, 2);
+        w.Key("linearizable");
+        w.Bool(p.linearizable);
+      }
       w.EndObject();
     }
     w.EndArray();

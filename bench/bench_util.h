@@ -99,6 +99,13 @@ struct ThroughputPoint {
   uint64_t shed = 0;              // Deadline sheds (admission + mid-pipeline).
   uint64_t deadline_exceeded = 0;  // Client-side deadline completions.
   uint64_t queue_depth_peak = 0;  // Peak admission-queue depth (requests).
+  // --- Replicated locks (bench/sec5_6_replication multi-Raft curves) --------
+  // Number of Raft lock groups the point ran with (0 = not a replicated
+  // point; the group below is then omitted from the JSON).
+  int raft_groups = 0;
+  uint64_t leader_kills = 0;   // Group leaders crashed mid-run (fault sweep).
+  double replies_pct = 0.0;    // Requests answered, percent of issued.
+  bool linearizable = false;   // Wing&Gong check over the observed history.
 };
 
 // A named throughput-vs-configuration curve, exported under "curves" in the

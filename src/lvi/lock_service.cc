@@ -89,45 +89,74 @@ uint64_t ShardedLockService::total_waits() const {
 
 ReplicatedLockService::ReplicatedLockService(Simulator* sim, int node_count,
                                              RaftOptions raft_options,
-                                             LocalMeshOptions mesh_options, bool batched)
-    : sim_(sim), batched_(batched) {
-  machines_.reserve(static_cast<size_t>(node_count));
+                                             LocalMeshOptions mesh_options, bool batched,
+                                             int shards)
+    : sim_(sim),
+      batched_(batched),
+      lease_reads_enabled_(raft_options.leader_lease),
+      raft_options_(raft_options),
+      router_(std::max(1, shards)),
+      groups_(static_cast<size_t>(router_.shards())) {
+  for (int g = 0; g < router_.shards(); ++g) {
+    BuildGroup(g, node_count, raft_options, mesh_options);
+  }
+}
+
+void ReplicatedLockService::BuildGroup(int g, int node_count, const RaftOptions& raft_options,
+                                       const LocalMeshOptions& mesh_options) {
+  LockGroup& group = groups_[static_cast<size_t>(g)];
+  group.machines.reserve(static_cast<size_t>(node_count));
   for (int i = 0; i < node_count; ++i) {
     auto machine = std::make_unique<LockStateMachine>();
     machine->set_grant_listener(
         [this](ExecutionId exec, const Key& key) { OnGrant(exec, key); });
-    machines_.push_back(std::move(machine));
+    group.machines.push_back(std::move(machine));
   }
-  cluster_ = std::make_unique<RaftCluster>(
-      sim, node_count, raft_options,
-      [this](NodeId id) -> RaftNode::ApplyFn {
+  // A single group keeps the historical "raft" metric scope; multi-group
+  // deployments get one scope per shard so each group is observable.
+  const std::string scope =
+      router_.shards() == 1 ? "raft" : "raft.shard" + std::to_string(g);
+  group.cluster = std::make_unique<RaftCluster>(
+      sim_, node_count, raft_options,
+      [this, g](NodeId id) -> RaftNode::ApplyFn {
         // On restart the machine is rebuilt from scratch and replayed.
         auto machine = std::make_unique<LockStateMachine>();
         machine->set_grant_listener(
             [this](ExecutionId exec, const Key& key) { OnGrant(exec, key); });
-        machines_[static_cast<size_t>(id)] = std::move(machine);
-        LockStateMachine* raw = machines_[static_cast<size_t>(id)].get();
+        auto& slot = groups_[static_cast<size_t>(g)].machines[static_cast<size_t>(id)];
+        slot = std::move(machine);
+        LockStateMachine* raw = slot.get();
         return [raw](LogIndex index, const std::string& command) { raw->Apply(index, command); };
       },
-      mesh_options);
+      mesh_options, scope);
   // Snapshot hooks resolve the machine at call time, so they stay valid
   // across node restarts (which recreate the machines).
   for (NodeId id = 0; id < node_count; ++id) {
-    cluster_->node(id)->set_snapshot_hooks(
-        [this, id]() { return machines_[static_cast<size_t>(id)]->EncodeSnapshot(); },
-        [this, id](const std::string& data) {
-          machines_[static_cast<size_t>(id)]->RestoreSnapshot(data);
+    group.cluster->node(id)->set_snapshot_hooks(
+        [this, g, id]() {
+          return groups_[static_cast<size_t>(g)].machines[static_cast<size_t>(id)]->EncodeSnapshot();
+        },
+        [this, g, id](const std::string& data) {
+          groups_[static_cast<size_t>(g)].machines[static_cast<size_t>(id)]->RestoreSnapshot(data);
         });
   }
 }
 
 ReplicatedLockService::~ReplicatedLockService() = default;
 
-bool ReplicatedLockService::Bootstrap() { return cluster_->StartAndElect() >= 0; }
+bool ReplicatedLockService::Bootstrap() {
+  for (auto& group : groups_) {
+    if (group.cluster->StartAndElect() < 0) {
+      return false;
+    }
+  }
+  return true;
+}
 
-const LockStateMachine* ReplicatedLockService::LeaderState() const {
-  const NodeId id = cluster_->LeaderId();
-  return id < 0 ? nullptr : machines_[static_cast<size_t>(id)].get();
+const LockStateMachine* ReplicatedLockService::LeaderState(int shard) const {
+  const LockGroup& group = groups_[static_cast<size_t>(shard)];
+  const NodeId id = group.cluster->LeaderId();
+  return id < 0 ? nullptr : group.machines[static_cast<size_t>(id)].get();
 }
 
 void ReplicatedLockService::AcquireAll(ExecutionId exec, std::vector<Key> keys,
@@ -138,6 +167,12 @@ void ReplicatedLockService::AcquireAll(ExecutionId exec, std::vector<Key> keys,
     sim_->Schedule(0, std::move(granted));
     return;
   }
+  if (lease_held_.count(exec) > 0) {
+    // A retry of an acquisition already served off a leader lease: the
+    // lease registration still stands.
+    sim_->Schedule(0, std::move(granted));
+    return;
+  }
   const auto pit = pending_.find(exec);
   if (pit != pending_.end()) {
     // Retried acquisition while the original is still working through Raft:
@@ -145,7 +180,34 @@ void ReplicatedLockService::AcquireAll(ExecutionId exec, std::vector<Key> keys,
     pit->second.granted = std::move(granted);
     return;
   }
-  PendingAcquire acq{std::move(keys), std::move(modes), 0, {}, std::move(granted)};
+  PendingAcquire acq;
+  if (router_.shards() == 1) {
+    acq.keys = std::move(keys);
+    acq.modes = std::move(modes);
+    acq.shard_of.assign(acq.keys.size(), 0);
+  } else {
+    // Re-order the (lexicographically sorted) key set into (shard, key)
+    // order — the same total order ShardedLockService acquires in, so the
+    // resource-ordering deadlock-freedom argument carries over.
+    std::vector<size_t> order(keys.size());
+    std::vector<int> shard(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      order[i] = i;
+      shard[i] = router_.ShardOf(keys[i]);
+    }
+    std::stable_sort(order.begin(), order.end(), [&shard](size_t a, size_t b) {
+      return shard[a] < shard[b];
+    });
+    acq.keys.reserve(keys.size());
+    acq.modes.reserve(keys.size());
+    acq.shard_of.reserve(keys.size());
+    for (size_t i : order) {
+      acq.keys.push_back(std::move(keys[i]));
+      acq.modes.push_back(modes[i]);
+      acq.shard_of.push_back(shard[i]);
+    }
+  }
+  acq.granted = std::move(granted);
   // Grants this exec already received (a retry after a crash re-acquires
   // locks it still holds in the replicated table) count immediately.
   for (const Key& key : acq.keys) {
@@ -157,25 +219,113 @@ void ReplicatedLockService::AcquireAll(ExecutionId exec, std::vector<Key> keys,
     sim_->Schedule(0, std::move(acq.granted));
     return;
   }
+  if (acq.granted_keys.empty() && TryLeaseRead(exec, acq)) {
+    return;
+  }
   while (!batched_ && acq.next < acq.keys.size() &&
          acq.granted_keys.count(acq.keys[acq.next]) > 0) {
     ++acq.next;
   }
-  const auto [it, inserted] = pending_.emplace(exec, std::move(acq));
-  (void)inserted;
+  pending_.emplace(exec, std::move(acq));
   if (batched_) {
-    // One commit carries the whole (sorted) key set; the state machine
-    // grants what is free and queues the rest atomically.
-    cluster_->SubmitToLeader(
-        LockStateMachine::EncodeBatchAcquire(exec, it->second.keys, it->second.modes),
-        [](LogIndex index) {
-          if (index == 0) {
-            RLOG(kWarn) << "replicated batch-acquire proposal timed out";
-          }
-        });
+    SubmitNextBatch(exec);
     return;
   }
   SubmitNext(exec);
+}
+
+bool ReplicatedLockService::TryLeaseRead(ExecutionId exec, PendingAcquire& acq) {
+  if (!lease_reads_enabled_) {
+    return false;
+  }
+  for (LockMode mode : acq.modes) {
+    if (mode != LockMode::kRead) {
+      return false;
+    }
+  }
+  // Every key's group leader must hold a valid lease, and the key must be
+  // write-free with an empty wait queue in that leader's applied state.
+  for (size_t i = 0; i < acq.keys.size(); ++i) {
+    const LockGroup& group = groups_[static_cast<size_t>(acq.shard_of[i])];
+    RaftNode* leader = group.cluster->leader();
+    if (leader == nullptr || !leader->HasLeaderLease()) {
+      ++lease_read_fallbacks_;
+      return false;
+    }
+    const LockStateMachine* machine =
+        group.machines[static_cast<size_t>(leader->id())].get();
+    if (machine->IsWriteLocked(acq.keys[i]) || machine->WaitingCount(acq.keys[i]) > 0) {
+      ++lease_read_fallbacks_;
+      return false;
+    }
+  }
+  // No in-flight (submitted or parked) write on any of the keys either: the
+  // service is the groups' sole client, so checking its own pending set
+  // closes the window between a write's submission and its commit.
+  for (const auto& [other, other_acq] : pending_) {
+    (void)other;
+    for (size_t i = 0; i < other_acq.keys.size(); ++i) {
+      if (other_acq.modes[i] != LockMode::kWrite ||
+          other_acq.granted_keys.count(other_acq.keys[i]) > 0) {
+        continue;
+      }
+      if (std::find(acq.keys.begin(), acq.keys.end(), other_acq.keys[i]) != acq.keys.end()) {
+        ++lease_read_fallbacks_;
+        return false;
+      }
+    }
+  }
+  for (const Key& key : acq.keys) {
+    lease_readers_[key].insert(exec);
+  }
+  lease_held_.emplace(exec, acq.keys);
+  ++lease_reads_;
+  sim_->Schedule(0, std::move(acq.granted));
+  return true;
+}
+
+bool ReplicatedLockService::ReleaseLeaseReads(ExecutionId exec) {
+  const auto it = lease_held_.find(exec);
+  const bool had_lease = it != lease_held_.end();
+  if (had_lease) {
+    for (const Key& key : it->second) {
+      const auto rit = lease_readers_.find(key);
+      if (rit == lease_readers_.end()) {
+        continue;
+      }
+      rit->second.erase(exec);
+      if (!rit->second.empty()) {
+        continue;
+      }
+      lease_readers_.erase(rit);
+      // The key's last lease reader is gone: wake writers parked behind it.
+      const auto bit = lease_blocked_.find(key);
+      if (bit == lease_blocked_.end()) {
+        continue;
+      }
+      std::set<ExecutionId> waiters = std::move(bit->second);
+      lease_blocked_.erase(bit);
+      for (ExecutionId waiter : waiters) {
+        sim_->Schedule(0, [this, waiter] {
+          if (pending_.count(waiter) == 0) {
+            return;
+          }
+          if (batched_) {
+            SubmitNextBatch(waiter);
+          } else {
+            SubmitNext(waiter);
+          }
+        });
+      }
+    }
+    lease_held_.erase(it);
+  }
+  // Drop any parked-writer registrations `exec` itself holds.
+  for (auto bit = lease_blocked_.begin(); bit != lease_blocked_.end();) {
+    bit->second.erase(exec);
+    bit = bit->second.empty() ? lease_blocked_.erase(bit) : std::next(bit);
+  }
+  return had_lease;
 }
 
 void ReplicatedLockService::SubmitNext(ExecutionId exec) {
@@ -184,14 +334,114 @@ void ReplicatedLockService::SubmitNext(ExecutionId exec) {
     return;
   }
   PendingAcquire& acq = it->second;
-  assert(acq.next < acq.keys.size());
-  const std::string command =
-      LockStateMachine::EncodeAcquire(exec, acq.modes[acq.next], acq.keys[acq.next]);
+  while (acq.next < acq.keys.size() && acq.granted_keys.count(acq.keys[acq.next]) > 0) {
+    ++acq.next;
+  }
+  if (acq.next >= acq.keys.size()) {
+    return;  // Completion is handled on the grant path.
+  }
+  const Key& key = acq.keys[acq.next];
+  if (acq.modes[acq.next] == LockMode::kWrite) {
+    const auto rit = lease_readers_.find(key);
+    if (rit != lease_readers_.end() && !rit->second.empty()) {
+      // Lease readers hold the key outside the replicated table; park until
+      // the last one releases (ReleaseLeaseReads resumes us).
+      lease_blocked_[key].insert(exec);
+      return;
+    }
+  }
+  const std::string command = LockStateMachine::EncodeAcquire(exec, acq.modes[acq.next], key);
   // Locks are acquired in series (§5.6): the next key is only submitted once
   // this one is granted — see OnGrant.
-  cluster_->SubmitToLeader(command, [](LogIndex index) {
-    if (index == 0) {
-      RLOG(kWarn) << "replicated lock acquire proposal timed out";
+  cluster(acq.shard_of[acq.next])
+      .SubmitToLeader(command, [this, exec](LogIndex index) {
+        if (index == 0) {
+          OnAcquireSubmitFailed(exec);
+        }
+      });
+}
+
+size_t ReplicatedLockService::RunEnd(const PendingAcquire& acq, size_t from) {
+  if (from >= acq.keys.size()) {
+    return from;
+  }
+  const int shard = acq.shard_of[from];
+  size_t end = from;
+  while (end < acq.keys.size() && acq.shard_of[end] == shard) {
+    ++end;
+  }
+  return end;
+}
+
+void ReplicatedLockService::SubmitNextBatch(ExecutionId exec) {
+  const auto it = pending_.find(exec);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingAcquire& acq = it->second;
+  // Skip over runs whose keys are all already granted (pre-grants from a
+  // retry after crash).
+  while (acq.batch_from < acq.keys.size()) {
+    const size_t end = RunEnd(acq, acq.batch_from);
+    bool all_granted = true;
+    for (size_t i = acq.batch_from; i < end; ++i) {
+      if (acq.granted_keys.count(acq.keys[i]) == 0) {
+        all_granted = false;
+        break;
+      }
+    }
+    if (!all_granted) {
+      break;
+    }
+    acq.batch_from = end;
+  }
+  if (acq.batch_from >= acq.keys.size()) {
+    return;  // Completion is handled on the grant path.
+  }
+  const size_t end = RunEnd(acq, acq.batch_from);
+  std::vector<Key> run_keys;
+  std::vector<LockMode> run_modes;
+  for (size_t i = acq.batch_from; i < end; ++i) {
+    if (acq.modes[i] == LockMode::kWrite) {
+      const auto rit = lease_readers_.find(acq.keys[i]);
+      if (rit != lease_readers_.end() && !rit->second.empty()) {
+        lease_blocked_[acq.keys[i]].insert(exec);
+        return;
+      }
+    }
+    run_keys.push_back(acq.keys[i]);
+    run_modes.push_back(acq.modes[i]);
+  }
+  // One commit carries the run's whole key set; the state machine grants
+  // what is free and queues the rest atomically. Runs are taken in
+  // ascending shard order, chaining on the run's last grant.
+  cluster(acq.shard_of[acq.batch_from])
+      .SubmitToLeader(LockStateMachine::EncodeBatchAcquire(exec, run_keys, run_modes),
+                      [this, exec](LogIndex index) {
+                        if (index == 0) {
+                          OnAcquireSubmitFailed(exec);
+                        }
+                      });
+}
+
+void ReplicatedLockService::OnAcquireSubmitFailed(ExecutionId exec) {
+  if (pending_.count(exec) == 0) {
+    return;  // Granted through another path or released meanwhile.
+  }
+  // The proposal outlived the submit deadline (a leaderless spell, or the
+  // proposing leader lost its term). The command may or may not be in some
+  // log; resubmitting is idempotent either way, and *not* resubmitting
+  // would stall the acquisition forever.
+  ++acquire_resubmits_;
+  RLOG(kWarn) << "replicated acquire proposal timed out; resubmitting exec=" << exec;
+  sim_->Schedule(raft_options_.election_timeout_min, [this, exec] {
+    if (pending_.count(exec) == 0) {
+      return;
+    }
+    if (batched_) {
+      SubmitNextBatch(exec);
+    } else {
+      SubmitNext(exec);
     }
   });
 }
@@ -203,6 +453,14 @@ void ReplicatedLockService::OnGrant(ExecutionId exec, const Key& key) {
   }
   const auto it = pending_.find(exec);
   if (it == pending_.end()) {
+    if (released_execs_.count(exec) > 0) {
+      // The exec released before this (retried) acquire committed. Submit a
+      // fresh release: it necessarily lands after the acquire in the
+      // group's log, so the stray lock cannot leak.
+      const int shard = router_.ShardOf(key);
+      releasing_[exec].insert(shard);
+      SubmitRelease(exec, shard);
+    }
     return;
   }
   PendingAcquire& acq = it->second;
@@ -214,9 +472,28 @@ void ReplicatedLockService::OnGrant(ExecutionId exec, const Key& key) {
   acq.granted_keys.insert(key);
   if (!batched_ && acq.next < acq.keys.size() && acq.keys[acq.next] == key) {
     ++acq.next;
+    while (acq.next < acq.keys.size() && acq.granted_keys.count(acq.keys[acq.next]) > 0) {
+      ++acq.next;
+    }
     if (acq.next < acq.keys.size()) {
       // Schedule rather than recurse: grants fire inside Raft's apply path.
       sim_->Schedule(0, [this, exec] { SubmitNext(exec); });
+    }
+  }
+  if (batched_ && acq.batch_from < acq.keys.size()) {
+    const size_t end = RunEnd(acq, acq.batch_from);
+    bool run_granted = true;
+    for (size_t i = acq.batch_from; i < end; ++i) {
+      if (acq.granted_keys.count(acq.keys[i]) == 0) {
+        run_granted = false;
+        break;
+      }
+    }
+    if (run_granted) {
+      acq.batch_from = end;
+      if (acq.batch_from < acq.keys.size()) {
+        sim_->Schedule(0, [this, exec] { SubmitNextBatch(exec); });
+      }
     }
   }
   if (acq.granted_keys.size() < acq.keys.size()) {
@@ -230,15 +507,69 @@ void ReplicatedLockService::OnGrant(ExecutionId exec, const Key& key) {
 }
 
 void ReplicatedLockService::ReleaseAll(ExecutionId exec) {
-  pending_.erase(exec);
+  // Collect the groups that may hold state for this exec: those of every
+  // granted key, plus those of every key at or before the submission
+  // frontier of a still-pending acquire (submitted but ungranted commands
+  // may be queued in the group's table).
+  std::set<int> shards;
   for (auto it = seen_grants_.begin(); it != seen_grants_.end();) {
     if (it->first == exec) {
+      shards.insert(router_.ShardOf(it->second));
       it = seen_grants_.erase(it);
     } else {
       ++it;
     }
   }
-  cluster_->SubmitToLeader(LockStateMachine::EncodeRelease(exec), {});
+  const auto pit = pending_.find(exec);
+  if (pit != pending_.end()) {
+    const PendingAcquire& acq = pit->second;
+    const size_t frontier =
+        batched_ ? RunEnd(acq, acq.batch_from) : std::min(acq.next + 1, acq.keys.size());
+    for (size_t i = 0; i < frontier; ++i) {
+      shards.insert(acq.shard_of[i]);
+    }
+    pending_.erase(pit);
+  }
+  const bool had_lease = ReleaseLeaseReads(exec);
+  if (shards.empty()) {
+    if (had_lease) {
+      return;  // A pure lease read never touched any log: zero-commit release.
+    }
+    shards.insert(0);  // Stray release: route to group 0 (harmless no-op).
+  }
+  released_execs_.insert(exec);
+  for (int shard : shards) {
+    if (releasing_[exec].insert(shard).second) {
+      SubmitRelease(exec, shard);
+    }
+  }
+}
+
+void ReplicatedLockService::SubmitRelease(ExecutionId exec, int shard) {
+  cluster(shard).SubmitToLeader(
+      LockStateMachine::EncodeRelease(exec), [this, exec, shard](LogIndex index) {
+        const auto rit = releasing_.find(exec);
+        if (rit == releasing_.end()) {
+          return;
+        }
+        if (index != 0) {
+          rit->second.erase(shard);
+          if (rit->second.empty()) {
+            releasing_.erase(rit);
+          }
+          return;
+        }
+        // The release outlived the submit deadline. Retry until it commits:
+        // dropping it would leak the lock in the replicated table forever.
+        ++release_retries_;
+        RLOG(kWarn) << "replicated release timed out; retrying exec=" << exec;
+        sim_->Schedule(raft_options_.election_timeout_min, [this, exec, shard] {
+          const auto rit2 = releasing_.find(exec);
+          if (rit2 != releasing_.end() && rit2->second.count(shard) > 0) {
+            SubmitRelease(exec, shard);
+          }
+        });
+      });
 }
 
 }  // namespace radical

@@ -16,12 +16,17 @@
 //    in a 3-node etcd (Raft) cluster across availability zones. Each lock
 //    acquisition is one Raft commit (~2.3 ms) and the implementation
 //    acquires locks in series, so an LVI request with L locks pays ~2.3·L ms
-//    extra — the constant the paper reports.
+//    extra — the constant the paper reports. With `shards` > 1 it runs one
+//    independent Raft group per key-range shard (multi-Raft): requests are
+//    re-ordered into the same (shard, key) total order the sharded in-memory
+//    service uses, so deadlock freedom carries over, while unrelated shards
+//    commit in parallel.
 
 #ifndef RADICAL_SRC_LVI_LOCK_SERVICE_H_
 #define RADICAL_SRC_LVI_LOCK_SERVICE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -94,50 +99,113 @@ class ShardedLockService : public LockService {
   std::vector<std::unique_ptr<LockTable>> tables_;
 };
 
-// Locks behind a Raft (etcd-like) cluster. Owns the cluster and its per-node
+// Locks behind Raft (etcd-like) groups. Owns the groups and their per-node
 // lock state machines; grants are observed on the applied command stream.
 class ReplicatedLockService : public LockService {
  public:
   // `node_count` is 3 in the paper's deployment (one per availability zone).
   // `batched` enables the §5.6 batching optimization: one Raft commit per
-  // AcquireAll instead of one per lock (the paper acquires in series and
-  // notes batching as future work).
+  // contiguous same-shard key run instead of one per lock (the paper
+  // acquires in series and notes batching as future work). `shards` > 1
+  // partitions the key space across that many independent Raft groups
+  // (each `node_count` wide) keyed by ShardRouter. When
+  // raft_options.leader_lease is set, all-read acquisitions additionally
+  // take a local lease-read fast path on group leaders holding a valid
+  // lease (see docs/raft.md), skipping the commit path entirely.
   ReplicatedLockService(Simulator* sim, int node_count, RaftOptions raft_options = {},
-                        LocalMeshOptions mesh_options = {}, bool batched = false);
+                        LocalMeshOptions mesh_options = {}, bool batched = false,
+                        int shards = 1);
   ~ReplicatedLockService() override;
 
-  // Elects the initial leader; call once before issuing acquisitions.
-  // Returns false if no leader emerged (misconfiguration).
+  // Elects the initial leader of every group; call once before issuing
+  // acquisitions. Returns false if any group failed to elect
+  // (misconfiguration).
   bool Bootstrap();
 
   void AcquireAll(ExecutionId exec, std::vector<Key> keys, std::vector<LockMode> modes,
                   std::function<void()> granted) override;
   void ReleaseAll(ExecutionId exec) override;
 
-  RaftCluster& cluster() { return *cluster_; }
-  // The leader's view of the lock state (tests).
-  const LockStateMachine* LeaderState() const;
+  int shards() const { return router_.shards(); }
+  const ShardRouter& router() const { return router_; }
+  RaftCluster& cluster(int shard = 0) { return *groups_[static_cast<size_t>(shard)].cluster; }
+  // The group leader's view of the lock state (tests).
+  const LockStateMachine* LeaderState(int shard = 0) const;
+
+  // Liveness and fast-path counters.
+  // Acquire proposals that timed out (e.g. a leaderless spell outlasting the
+  // submit deadline) and were resubmitted instead of stalling forever.
+  uint64_t acquire_resubmits() const { return acquire_resubmits_; }
+  // Release proposals that timed out and were retried until committed
+  // (dropping one would leak the lock in the replicated table).
+  uint64_t release_retries() const { return release_retries_; }
+  // All-read acquisitions served locally off a leader lease (zero commits).
+  uint64_t lease_reads() const { return lease_reads_; }
+  // All-read acquisitions that had to fall back to the commit path.
+  uint64_t lease_read_fallbacks() const { return lease_read_fallbacks_; }
 
  private:
+  struct LockGroup {
+    std::vector<std::unique_ptr<LockStateMachine>> machines;  // One per node.
+    std::unique_ptr<RaftCluster> cluster;
+  };
+
   struct PendingAcquire {
+    // Keys re-ordered into (shard, key) order; `shard_of` is parallel.
     std::vector<Key> keys;
     std::vector<LockMode> modes;
-    size_t next = 0;  // Serial mode: next key to submit through Raft.
+    std::vector<int> shard_of;
+    size_t next = 0;        // Serial mode: next key to submit through Raft.
+    size_t batch_from = 0;  // Batched mode: first key of the current run.
     std::set<Key> granted_keys;
     std::function<void()> granted;
   };
 
+  void BuildGroup(int g, int node_count, const RaftOptions& raft_options,
+                  const LocalMeshOptions& mesh_options);
   // Submits the acquire command for `exec`'s next key; continues on grant.
   void SubmitNext(ExecutionId exec);
+  // Batched mode: submits the contiguous same-shard run at `batch_from`.
+  void SubmitNextBatch(ExecutionId exec);
+  // End of the contiguous same-shard run starting at `from`.
+  static size_t RunEnd(const PendingAcquire& acq, size_t from);
+  // An acquire proposal timed out; resubmit once the dust settles.
+  void OnAcquireSubmitFailed(ExecutionId exec);
   void OnGrant(ExecutionId exec, const Key& key);
+  // Submits (and retries until committed) `exec`'s release in `shard`.
+  void SubmitRelease(ExecutionId exec, int shard);
+  // Lease-read fast path: grants an all-read acquisition locally when every
+  // key's group leader holds a valid lease and no writer is committed,
+  // queued, or pending on any of the keys. Consumes acq.granted on success.
+  bool TryLeaseRead(ExecutionId exec, PendingAcquire& acq);
+  // Drops `exec`'s lease-read registrations, waking parked writers; returns
+  // whether it held any.
+  bool ReleaseLeaseReads(ExecutionId exec);
 
   Simulator* sim_;
   bool batched_;
-  std::unique_ptr<RaftCluster> cluster_;
-  std::vector<std::unique_ptr<LockStateMachine>> machines_;
+  bool lease_reads_enabled_ = false;
+  RaftOptions raft_options_;
+  ShardRouter router_;
+  std::vector<LockGroup> groups_;
   std::unordered_map<ExecutionId, PendingAcquire> pending_;
   // Dedupe grant notifications (each replica applies every command).
   std::set<std::pair<ExecutionId, Key>> seen_grants_;
+  // Execs that have released: a grant that commits after the release (a
+  // retried acquire landing late in the log) triggers a compensating
+  // release instead of leaking the lock.
+  std::set<ExecutionId> released_execs_;
+  // Shards with a release submitted but not yet committed, per exec.
+  std::unordered_map<ExecutionId, std::set<int>> releasing_;
+  // Lease-read bookkeeping: per-key lease readers, each exec's lease-read
+  // key set, and writers parked behind a key's lease readers.
+  std::map<Key, std::set<ExecutionId>> lease_readers_;
+  std::unordered_map<ExecutionId, std::vector<Key>> lease_held_;
+  std::map<Key, std::set<ExecutionId>> lease_blocked_;
+  uint64_t acquire_resubmits_ = 0;
+  uint64_t release_retries_ = 0;
+  uint64_t lease_reads_ = 0;
+  uint64_t lease_read_fallbacks_ = 0;
 };
 
 }  // namespace radical

@@ -87,6 +87,12 @@ struct LviServerOptions {
   // shard gets the full serving_capacity_rps — the model for "one server
   // process per shard".
   int shards = 1;
+  // Replicated (§5.6) deployments only: number of Raft lock groups —
+  // multi-Raft, one group per key-range shard (the deployment also sets
+  // `shards` to match, so the server's hot path and its lock groups share
+  // one ShardRouter). <= 0 means unset: a single group, the paper's
+  // configuration.
+  int replicated_shards = 0;
   // Admission-window batching: LVI requests on the same home shard that
   // clear their locks within this window validate and write their intents as
   // one group (one BatchVersions + one conditional multi-write round). 0

@@ -43,12 +43,10 @@ RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalCo
       interpreter_(&HostRegistry::Standard()),
       registry_(&analyzer_),
       primary_(config_.primary_store) {
-  // CHECK_SHARD_MATRIX support: the environment can force the server's shard
-  // count and batch window when the config leaves them at the defaults, so
-  // the whole tier-1 suite exercises the sharded hot path unchanged
-  // (tools/check.sh). Replicated locks keep a single shard — the Raft group
-  // serializes every lock round anyway, so sharding the tables under it
-  // would claim a scale-out the deployment cannot deliver.
+  // CHECK_SHARD_MATRIX / CHECK_REPLICATED support: the environment can force
+  // the server's shard count, batch window and replicated lock-group count
+  // when the config leaves them at the defaults, so the whole tier-1 suite
+  // exercises those hot paths unchanged (tools/check.sh).
   if (config_.server.shards <= 1) {
     if (const char* env = std::getenv("RADICAL_SHARDS")) {
       config_.server.shards = std::max(1, std::atoi(env));
@@ -60,11 +58,27 @@ RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalCo
     }
   }
   if (replicated_locks > 0) {
-    config_.server.shards = 1;
+    // Multi-Raft: one Raft lock group per key-range shard. The server's
+    // table shard count follows the group count so the hot path and the
+    // lock groups share one ShardRouter partition (replicated_shards unset
+    // keeps the paper's single-group, single-shard configuration).
+    if (config_.server.replicated_shards <= 0) {
+      if (const char* env = std::getenv("RADICAL_REPLICATED_SHARDS")) {
+        config_.server.replicated_shards = std::max(1, std::atoi(env));
+      }
+    }
+    config_.server.shards = std::max(1, config_.server.replicated_shards);
   }
   LockService* locks = nullptr;
   if (replicated_locks > 0) {
-    replicated_locks_ = std::make_unique<ReplicatedLockService>(sim, replicated_locks);
+    const int groups = config_.server.shards;
+    RaftOptions raft_options;
+    // Multi-group deployments harden elections with pre-vote (a restarting
+    // or partitioned node cannot depose a healthy group leader); the
+    // single-group default keeps the exact historical option set.
+    raft_options.pre_vote = groups > 1;
+    replicated_locks_ = std::make_unique<ReplicatedLockService>(
+        sim, replicated_locks, raft_options, LocalMeshOptions{}, /*batched=*/false, groups);
     const bool elected = replicated_locks_->Bootstrap();
     assert(elected && "replicated lock service failed to elect a leader");
     (void)elected;

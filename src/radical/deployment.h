@@ -76,14 +76,17 @@ class AppService {
 class RadicalDeployment : public AppService {
  public:
   // `replicated_locks > 0` switches the LVI server to the §5.6 configuration
-  // with that many Raft nodes holding the locks (which forces a single
-  // shard: the Raft group serializes all lock traffic anyway).
+  // with that many Raft nodes holding the locks. By default the locks live
+  // in one Raft group; `config.server.replicated_shards > 1` runs that many
+  // independent groups (multi-Raft), one per key-range shard, and shards the
+  // server's hot path to match.
   //
-  // Environment overrides RADICAL_SHARDS / RADICAL_BATCH_WINDOW_US set the
-  // server's shard count and admission batch window when the config leaves
-  // them at their defaults — tools/check.sh (CHECK_SHARD_MATRIX=1) uses this
-  // to run the whole test suite against a sharded server without touching
-  // any call site.
+  // Environment overrides RADICAL_SHARDS / RADICAL_BATCH_WINDOW_US /
+  // RADICAL_REPLICATED_SHARDS set the server's shard count, admission batch
+  // window and replicated lock-group count when the config leaves them at
+  // their defaults — tools/check.sh (CHECK_SHARD_MATRIX=1, CHECK_REPLICATED=1)
+  // uses this to run the whole test suite against those paths without
+  // touching any call site.
   RadicalDeployment(Simulator* sim, Network* network, RadicalConfig config,
                     std::vector<Region> regions, int replicated_locks = 0);
   ~RadicalDeployment() override;

@@ -7,7 +7,8 @@
 namespace radical {
 
 RaftCluster::RaftCluster(Simulator* sim, int node_count, RaftOptions options,
-                         ApplyFactory apply_factory, LocalMeshOptions mesh_options)
+                         ApplyFactory apply_factory, LocalMeshOptions mesh_options,
+                         const std::string& metric_scope)
     : sim_(sim), options_(options), apply_factory_(std::move(apply_factory)) {
   mesh_ = std::make_unique<LocalMesh>(sim, node_count, mesh_options);
   for (NodeId id = 0; id < node_count; ++id) {
@@ -20,7 +21,7 @@ RaftCluster::RaftCluster(Simulator* sim, int node_count, RaftOptions options,
   }
   // Per-node health gauges, read off the node at snapshot time.
   obs::MetricsRegistry& reg = sim->metrics();
-  const std::string prefix = reg.UniqueScopeName("raft");
+  const std::string prefix = reg.UniqueScopeName(metric_scope);
   for (NodeId id = 0; id < node_count; ++id) {
     const RaftNode* n = nodes_[static_cast<size_t>(id)].get();
     const std::string base = prefix + ".node" + std::to_string(id);
@@ -109,6 +110,14 @@ void RaftCluster::TrySubmit(std::string command, RaftNode::ProposeCallback done,
 }
 
 void RaftCluster::CrashNode(NodeId id) { nodes_[static_cast<size_t>(id)]->Crash(); }
+
+bool RaftCluster::TransferLeadership(NodeId target) {
+  RaftNode* lead = leader();
+  if (lead == nullptr || target < 0 || target >= size()) {
+    return false;
+  }
+  return lead->TransferLeadership(target);
+}
 
 void RaftCluster::RestartNode(NodeId id) {
   RaftNode* node = nodes_[static_cast<size_t>(id)].get();

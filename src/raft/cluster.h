@@ -22,8 +22,11 @@ class RaftCluster {
   // restart so the state machine can be rebuilt by replay).
   using ApplyFactory = std::function<RaftNode::ApplyFn(NodeId)>;
 
+  // `metric_scope` prefixes the per-node health gauges (made unique via
+  // UniqueScopeName); multi-group deployments pass "raft.shard<i>" so each
+  // lock shard's group is separately observable.
   RaftCluster(Simulator* sim, int node_count, RaftOptions options, ApplyFactory apply_factory,
-              LocalMeshOptions mesh_options = {});
+              LocalMeshOptions mesh_options = {}, const std::string& metric_scope = "raft");
 
   // Starts all nodes and runs the simulator until a leader emerges.
   // Returns the leader id, or -1 if none emerged within the deadline.
@@ -46,6 +49,10 @@ class RaftCluster {
   // Fault injection.
   void CrashNode(NodeId id);
   void RestartNode(NodeId id);
+
+  // Asks the current leader to hand leadership to `target`. Returns false
+  // when there is no leader or the transfer cannot start.
+  bool TransferLeadership(NodeId target);
 
  private:
   void TrySubmit(std::string command, RaftNode::ProposeCallback done, SimTime deadline_at);

@@ -206,6 +206,11 @@ bool LockStateMachine::IsWriteHeldBy(const Key& key, ExecutionId exec) const {
   return it != locks_.end() && it->second.writer == exec;
 }
 
+bool LockStateMachine::IsWriteLocked(const Key& key) const {
+  const auto it = locks_.find(key);
+  return it != locks_.end() && it->second.writer != 0;
+}
+
 bool LockStateMachine::IsReadHeldBy(const Key& key, ExecutionId exec) const {
   const auto it = locks_.find(key);
   return it != locks_.end() && it->second.readers.count(exec) > 0;
@@ -219,6 +224,14 @@ size_t LockStateMachine::WaitingCount(const Key& key) const {
 size_t LockStateMachine::HeldKeyCount(ExecutionId exec) const {
   const auto it = held_.find(exec);
   return it == held_.end() ? 0 : it->second.size();
+}
+
+size_t LockStateMachine::TotalHeldKeys() const {
+  size_t held = 0;
+  for (const auto& [key, lock] : locks_) {
+    if (!lock.Free()) ++held;
+  }
+  return held;
 }
 
 }  // namespace radical

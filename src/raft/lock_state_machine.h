@@ -56,11 +56,16 @@ class LockStateMachine {
   std::string EncodeSnapshot() const;
   void RestoreSnapshot(const std::string& data);
 
-  // --- Introspection (tests) ---------------------------------------------
+  // --- Introspection (tests, lease-read gating) ---------------------------
   bool IsWriteHeldBy(const Key& key, ExecutionId exec) const;
+  // Any writer at all holds `key` (the lease-read fast path refuses keys
+  // with a committed writer).
+  bool IsWriteLocked(const Key& key) const;
   bool IsReadHeldBy(const Key& key, ExecutionId exec) const;
   size_t WaitingCount(const Key& key) const;
   size_t HeldKeyCount(ExecutionId exec) const;
+  // Keys held by anyone at all — zero once every execution has released.
+  size_t TotalHeldKeys() const;
   LogIndex last_applied() const { return last_applied_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "src/raft/log.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace radical {
@@ -60,6 +61,27 @@ std::vector<LogEntry> RaftLog::EntriesAfter(LogIndex from, size_t max_batch) con
     out.push_back(At(i));
   }
   return out;
+}
+
+LogIndex RaftLog::FirstIndexOfTerm(LogIndex index) const {
+  const Term term = TermAt(index);
+  assert(term != 0);
+  LogIndex first = index;
+  while (first > snapshot_index_ + 1 && TermAt(first - 1) == term) {
+    --first;
+  }
+  return first;
+}
+
+LogIndex RaftLog::LastIndexOfTerm(Term term, LogIndex bound) const {
+  LogIndex i = std::min(bound, last_index());
+  while (i > snapshot_index_) {
+    if (TermAt(i) == term) {
+      return i;
+    }
+    --i;
+  }
+  return 0;
 }
 
 void RaftLog::CompactTo(LogIndex index) {

@@ -63,6 +63,16 @@ class RaftLog {
   // from >= snapshot_index().
   std::vector<LogEntry> EntriesAfter(LogIndex from, size_t max_batch = 64) const;
 
+  // First index of the run of same-term entries ending at `index` (bounded
+  // below by the snapshot base). Feeds the AppendEntries conflict hint.
+  // Requires TermAt(index) != 0.
+  LogIndex FirstIndexOfTerm(LogIndex index) const;
+
+  // Largest retained index <= `bound` whose entry has exactly `term`
+  // (0 when no such entry is retained). The leader uses it to resume
+  // replication right after its last entry of a follower's conflict term.
+  LogIndex LastIndexOfTerm(Term term, LogIndex bound) const;
+
   // Discards entries up to and including `index` (which must be present or
   // the base itself); the caller has captured their effect in a snapshot.
   void CompactTo(LogIndex index);

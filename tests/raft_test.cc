@@ -222,6 +222,148 @@ TEST(RaftTest, LogMatchingAfterChaos) {
   }
 }
 
+// Regression: a duplicated (retransmitted) vote reply must not count twice
+// toward the majority. With the old scalar vote counter, three copies of one
+// peer's grant elected a leader with only 2 of 5 distinct voters.
+TEST(RaftTest, VoteReplyDuplicatesDoNotElect) {
+  Simulator sim(43);
+  Applied applied;
+  RaftCluster cluster(&sim, 5, RaftOptions{}, applied.Factory());
+  // Start only node 0: it times out and campaigns, but no real peer answers.
+  cluster.node(0)->Start();
+  while (cluster.node(0)->role() != RaftRole::kCandidate && sim.Step()) {
+  }
+  ASSERT_EQ(cluster.node(0)->role(), RaftRole::kCandidate);
+  const Term term = cluster.node(0)->term();
+  // Inject three copies of the same granted reply: self + one distinct peer
+  // is 2 < 3 (the majority of 5), so node 0 must stay a candidate.
+  for (int i = 0; i < 3; ++i) {
+    RequestVoteReply reply;
+    reply.term = term;
+    reply.granted = true;
+    reply.from = 1;
+    cluster.node(0)->HandleVoteReply(reply);
+  }
+  EXPECT_FALSE(cluster.node(0)->is_leader());
+  // A grant from a second distinct peer reaches the majority.
+  RequestVoteReply reply;
+  reply.term = term;
+  reply.granted = true;
+  reply.from = 2;
+  cluster.node(0)->HandleVoteReply(reply);
+  EXPECT_TRUE(cluster.node(0)->is_leader());
+}
+
+// Pre-vote: a partitioned follower polls instead of campaigning, so its term
+// never inflates and the healthy leader is not deposed when it rejoins.
+TEST(RaftTest, PreVotePreventsTermInflation) {
+  Simulator sim(47);
+  Applied applied;
+  RaftOptions options;
+  options.pre_vote = true;
+  RaftCluster cluster(&sim, 3, options, applied.Factory());
+  const NodeId leader = cluster.StartAndElect();
+  ASSERT_GE(leader, 0);
+  sim.RunFor(Millis(200));
+  const Term stable_term = cluster.node(leader)->term();
+  const NodeId isolated = (leader + 1) % 3;
+  cluster.mesh().Isolate(isolated, true);
+  // Two virtual seconds of election timeouts: without pre-vote the isolated
+  // node would bump its term ~10+ times. Polling changes nothing.
+  sim.RunFor(Seconds(2));
+  EXPECT_EQ(cluster.node(isolated)->term(), stable_term);
+  EXPECT_EQ(cluster.node(isolated)->role(), RaftRole::kFollower);
+  cluster.mesh().Isolate(isolated, false);
+  sim.RunFor(Seconds(1));
+  // The healthy leader survived the rejoin at the same term.
+  EXPECT_EQ(cluster.LeaderId(), leader);
+  EXPECT_EQ(cluster.node(leader)->term(), stable_term);
+}
+
+TEST(RaftTest, LeadershipTransferMovesLeader) {
+  Simulator sim(53);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  const NodeId old_leader = cluster.StartAndElect();
+  ASSERT_GE(old_leader, 0);
+  cluster.SubmitToLeader("before-transfer", {});
+  sim.RunFor(Millis(100));
+  const NodeId target = (old_leader + 1) % 3;
+  ASSERT_TRUE(cluster.TransferLeadership(target));
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(cluster.LeaderId(), target);
+  EXPECT_FALSE(cluster.node(old_leader)->is_leader());
+  // The new leader commits; the old entry survived the hand-off.
+  bool committed = false;
+  cluster.SubmitToLeader("after-transfer", [&](LogIndex index) { committed = index != 0; });
+  sim.RunFor(Seconds(1));
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(applied.by_node[target],
+            (std::vector<std::string>{"before-transfer", "after-transfer"}));
+}
+
+TEST(RaftTest, LeaderLeaseHeldAndExpiresOnPartition) {
+  Simulator sim(59);
+  Applied applied;
+  RaftOptions options;
+  options.pre_vote = true;
+  options.leader_lease = true;
+  RaftCluster cluster(&sim, 3, options, applied.Factory());
+  const NodeId leader = cluster.StartAndElect();
+  ASSERT_GE(leader, 0);
+  // The election no-op commits and heartbeats anchor a majority quickly.
+  sim.RunFor(Millis(200));
+  EXPECT_TRUE(cluster.node(leader)->HasLeaderLease());
+  // Cut the leader off: its anchors go stale within election_timeout_min and
+  // the lease must lapse before any rival could be elected.
+  cluster.mesh().Isolate(leader, true);
+  sim.RunFor(Millis(300));
+  EXPECT_FALSE(cluster.node(leader)->HasLeaderLease());
+  // The remaining pair may have elected a successor by now, but never two
+  // leases at once, and only an actual leader ever holds one.
+  int leases = 0;
+  for (NodeId id = 0; id < 3; ++id) {
+    if (cluster.node(id)->HasLeaderLease()) {
+      ++leases;
+      EXPECT_TRUE(cluster.node(id)->is_leader()) << "node " << id;
+      EXPECT_NE(id, leader);
+    }
+  }
+  EXPECT_LE(leases, 1);
+}
+
+// Regression: catching up a far-behind follower must cost O(divergence
+// terms) round trips, not O(log length). A follower that missed ~300
+// commits rejoins under a freshly elected leader (whose next_index starts
+// at its own log end); the conflict hint must jump next_index straight to
+// the follower's log end instead of decrementing one entry per round trip
+// (~300 round trips at ~2 ms each would blow the deadline below).
+TEST(RaftTest, FastBackoffCatchesUpLongDivergenceQuickly) {
+  Simulator sim(61);
+  Applied applied;
+  RaftCluster cluster(&sim, 3, RaftOptions{}, applied.Factory());
+  const NodeId leader = cluster.StartAndElect();
+  ASSERT_GE(leader, 0);
+  const NodeId laggard = (leader + 1) % 3;
+  const NodeId survivor = (leader + 2) % 3;
+  cluster.CrashNode(laggard);
+  const int entries = 300;
+  for (int i = 0; i < entries; ++i) {
+    cluster.node(leader)->Propose("e" + std::to_string(i), {});
+  }
+  sim.RunFor(Seconds(2));
+  ASSERT_EQ(applied.by_node[survivor].size(), static_cast<size_t>(entries));
+  // Force a fresh election among {survivor, laggard}: the survivor wins (its
+  // log is complete) with next_index[laggard] = 301.
+  cluster.CrashNode(leader);
+  cluster.RestartNode(laggard);
+  sim.RunFor(Millis(600));
+  EXPECT_EQ(cluster.LeaderId(), survivor);
+  // 600 ms covers the election plus a handful of append rounds — enough with
+  // the conflict hint, hopeless with one-entry-per-round-trip decrements.
+  EXPECT_EQ(applied.by_node[laggard].size(), static_cast<size_t>(entries));
+}
+
 // --- Snapshotting / log compaction -------------------------------------------------
 
 // A snapshottable counter state machine for compaction tests.

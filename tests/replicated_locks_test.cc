@@ -1,13 +1,29 @@
-// Tests for the replicated (Raft-backed) lock service of §5.6.
+// Tests for the replicated (Raft-backed) lock service of §5.6: the original
+// single-group configuration, the multi-Raft sharded-group configuration,
+// the acquire/release liveness machinery (resubmits and retried releases
+// across leaderless spells), the leader-lease read fast path, and a
+// deployment-level sharded fault sweep with a linearizability check.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sstream>
+
+#include "src/check/linearizability.h"
 #include "src/common/stats.h"
+#include "src/func/builder.h"
 #include "src/lvi/lock_service.h"
+#include "src/radical/deployment.h"
 #include "src/raft/transport.h"
 
 namespace radical {
 namespace {
+
+NetworkOptions NoJitter() {
+  NetworkOptions options;
+  options.jitter_stddev_frac = 0.0;
+  return options;
+}
 
 class ReplicatedLocksTest : public ::testing::Test {
  protected:
@@ -148,6 +164,350 @@ TEST_F(ReplicatedLocksTest, SurvivesLeaderFailover) {
   service_.ReleaseAll(1);
   sim_.RunFor(Millis(500));
   EXPECT_TRUE(granted2);
+}
+
+// --- Liveness: acquires and releases across leaderless spells ---------------
+
+TEST_F(ReplicatedLocksTest, StalledAcquireRecoversAfterLeaderlessWindow) {
+  ASSERT_TRUE(bootstrapped_);
+  sim_.RunFor(Millis(100));  // Settle heartbeats.
+  // Kill the leader and one follower: 1 of 3 nodes left, no majority, so no
+  // proposal can commit and no election can succeed.
+  const NodeId leader = service_.cluster().LeaderId();
+  service_.cluster().CrashNode(leader);
+  service_.cluster().CrashNode((leader + 1) % 3);
+  bool granted = false;
+  service_.AcquireAll(1, {"k"}, {LockMode::kWrite}, [&] { granted = true; });
+  // The submit deadline fires during the leaderless spell; before the fix the
+  // proposal was dropped on the floor and the acquire stalled forever.
+  sim_.RunFor(Seconds(6));
+  EXPECT_FALSE(granted);
+  service_.cluster().RestartNode(leader);
+  service_.cluster().RestartNode((leader + 1) % 3);
+  sim_.RunFor(Seconds(8));
+  EXPECT_TRUE(granted);
+  EXPECT_GE(service_.acquire_resubmits(), 1u);
+  const LockStateMachine* state = service_.LeaderState();
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->IsWriteHeldBy("k", 1));
+}
+
+TEST_F(ReplicatedLocksTest, TimedOutReleaseRetriesUntilCommitted) {
+  ASSERT_TRUE(bootstrapped_);
+  bool granted1 = false;
+  service_.AcquireAll(1, {"k"}, {LockMode::kWrite}, [&] { granted1 = true; });
+  sim_.RunFor(Millis(100));
+  ASSERT_TRUE(granted1);
+  // Majority loss, then release: the release proposal cannot commit until the
+  // cluster heals. Before the fix the timed-out release was dropped and the
+  // lock leaked forever in the replicated table.
+  const NodeId leader = service_.cluster().LeaderId();
+  service_.cluster().CrashNode(leader);
+  service_.cluster().CrashNode((leader + 1) % 3);
+  service_.ReleaseAll(1);
+  sim_.RunFor(Seconds(7));
+  service_.cluster().RestartNode(leader);
+  service_.cluster().RestartNode((leader + 1) % 3);
+  sim_.RunFor(Seconds(8));
+  EXPECT_GE(service_.release_retries(), 1u);
+  // The retried release committed: a competing writer gets the lock.
+  bool granted2 = false;
+  service_.AcquireAll(2, {"k"}, {LockMode::kWrite}, [&] { granted2 = true; });
+  sim_.RunFor(Seconds(1));
+  EXPECT_TRUE(granted2);
+}
+
+// --- Multi-Raft sharded lock groups -----------------------------------------
+
+TEST(ShardedReplicatedLocksTest, AcquiresSpanIndependentGroups) {
+  Simulator sim(303);
+  ReplicatedLockService service(&sim, 3, RaftOptions{}, LocalMeshOptions{},
+                                /*batched=*/false, /*shards=*/4);
+  ASSERT_EQ(service.shards(), 4);
+  ASSERT_TRUE(service.Bootstrap());
+  sim.RunFor(Millis(100));
+  // Sorted key set (the interface contract) chosen to span several distinct
+  // groups — short keys sharing a prefix tend to collapse onto one shard
+  // (FNV-1a's high bits barely move), so vary lengths and first letters.
+  const std::vector<Key> keys = {"a", "aa", "aaa", "b", "jaa", "k", "ka", "ra"};
+  std::vector<LockMode> modes(keys.size(), LockMode::kWrite);
+  std::set<int> groups_hit;
+  for (const Key& key : keys) {
+    groups_hit.insert(service.router().ShardOf(key));
+  }
+  ASSERT_GE(groups_hit.size(), 3u) << "pick keys spanning more groups";
+  bool granted = false;
+  service.AcquireAll(1, keys, modes, [&] { granted = true; });
+  sim.RunFor(Millis(500));
+  EXPECT_TRUE(granted);
+  // Every lock lives in its own key's group, nowhere else.
+  for (const Key& key : keys) {
+    const int home = service.router().ShardOf(key);
+    for (int g = 0; g < service.shards(); ++g) {
+      const LockStateMachine* state = service.LeaderState(g);
+      ASSERT_NE(state, nullptr) << "group " << g;
+      EXPECT_EQ(state->IsWriteHeldBy(key, 1), g == home)
+          << "key " << key << " in group " << g;
+    }
+  }
+  service.ReleaseAll(1);
+  sim.RunFor(Millis(500));
+  for (int g = 0; g < service.shards(); ++g) {
+    EXPECT_EQ(service.LeaderState(g)->HeldKeyCount(1), 0u) << "group " << g;
+  }
+}
+
+TEST(ShardedReplicatedLocksTest, ContentionResolvesInShardKeyOrder) {
+  // Two executions acquiring overlapping cross-group key sets must not
+  // deadlock: both re-order their (sorted) keys into the same (shard, key)
+  // total order, so the resource-ordering argument holds across groups.
+  Simulator sim(307);
+  ReplicatedLockService service(&sim, 3, RaftOptions{}, LocalMeshOptions{},
+                                /*batched=*/false, /*shards=*/4);
+  ASSERT_TRUE(service.Bootstrap());
+  sim.RunFor(Millis(100));
+  const std::vector<Key> keys = {"a", "aa", "aaa", "b", "jaa", "k"};
+  const std::vector<Key> overlap = {"aa", "b", "jaa"};
+  const std::vector<LockMode> all_write(keys.size(), LockMode::kWrite);
+  const std::vector<LockMode> overlap_write(overlap.size(), LockMode::kWrite);
+  int granted = 0;
+  service.AcquireAll(1, keys, all_write, [&] {
+    ++granted;
+    sim.Schedule(Millis(5), [&] { service.ReleaseAll(1); });
+  });
+  service.AcquireAll(2, overlap, overlap_write, [&] {
+    ++granted;
+    sim.Schedule(Millis(5), [&] { service.ReleaseAll(2); });
+  });
+  sim.RunFor(Seconds(2));
+  EXPECT_EQ(granted, 2);
+}
+
+// --- Leader-lease read fast path --------------------------------------------
+
+TEST(LeaseReadTest, AllReadAcquisitionSkipsCommitAndParksWriters) {
+  Simulator sim(311);
+  RaftOptions options;
+  options.pre_vote = true;
+  options.leader_lease = true;
+  ReplicatedLockService service(&sim, 3, options, LocalMeshOptions{},
+                                /*batched=*/false, /*shards=*/2);
+  ASSERT_TRUE(service.Bootstrap());
+  // Let the election noop commit and lease anchors freshen on every group.
+  sim.RunFor(Millis(300));
+  std::vector<LogIndex> log_before;
+  for (int g = 0; g < service.shards(); ++g) {
+    RaftNode* leader = service.cluster(g).leader();
+    ASSERT_NE(leader, nullptr);
+    EXPECT_TRUE(leader->HasLeaderLease()) << "group " << g;
+    log_before.push_back(leader->log().last_index());
+  }
+  bool read_granted = false;
+  service.AcquireAll(1, {"ra", "rb"}, {LockMode::kRead, LockMode::kRead},
+                     [&] { read_granted = true; });
+  sim.RunFor(Millis(10));
+  EXPECT_TRUE(read_granted);
+  EXPECT_EQ(service.lease_reads(), 1u);
+  EXPECT_EQ(service.lease_read_fallbacks(), 0u);
+  // Zero Raft commits: no group's log grew.
+  for (int g = 0; g < service.shards(); ++g) {
+    EXPECT_EQ(service.cluster(g).leader()->log().last_index(), log_before[g])
+        << "group " << g;
+  }
+  // A writer on a lease-read key parks until the lease readers drain; granting
+  // it early would let it commit underneath an uncommitted local read.
+  bool write_granted = false;
+  service.AcquireAll(2, {"ra"}, {LockMode::kWrite}, [&] { write_granted = true; });
+  sim.RunFor(Millis(200));
+  EXPECT_FALSE(write_granted);
+  service.ReleaseAll(1);
+  sim.RunFor(Millis(200));
+  EXPECT_TRUE(write_granted);
+  EXPECT_TRUE(service.LeaderState(service.router().ShardOf("ra"))->IsWriteHeldBy("ra", 2));
+  service.ReleaseAll(2);
+}
+
+TEST(LeaseReadTest, FallsBackToCommitWithoutLease) {
+  // Same configuration but lease disabled: reads go through the commit path.
+  Simulator sim(313);
+  ReplicatedLockService service(&sim, 3, RaftOptions{}, LocalMeshOptions{},
+                                /*batched=*/false, /*shards=*/2);
+  ASSERT_TRUE(service.Bootstrap());
+  sim.RunFor(Millis(300));
+  bool granted = false;
+  service.AcquireAll(1, {"ra"}, {LockMode::kRead}, [&] { granted = true; });
+  sim.RunFor(Millis(100));
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(service.lease_reads(), 0u);
+}
+
+// --- Deployment-level sharded fault sweep -----------------------------------
+
+TEST(ShardedReplicatedDeploymentTest, FaultSweepStaysLinearizable) {
+  Simulator sim(515);
+  Network net(&sim, LatencyMatrix::PaperDefault());
+  RadicalConfig config;
+  config.server.replicated_shards = 4;
+  config.retry.request_timeout = Millis(400);
+  config.retry.followup_ack_timeout = Millis(400);
+  RadicalDeployment radical(&sim, &net, config, DeploymentRegions(),
+                            /*replicated_locks=*/3);
+  radical.RegisterFunction(Fn("reg_read", {"k"}, {
+      Read("v", In("k")),
+      Compute(Millis(5)),
+      Return(V("v")),
+  }));
+  radical.RegisterFunction(Fn("reg_write", {"k", "v"}, {
+      Write(In("k"), In("v")),
+      Compute(Millis(5)),
+      Return(In("v")),
+  }));
+  // Keys chosen to land in distinct lock groups (FNV-1a high bits), so the
+  // sweep drives commits through several groups, not just one.
+  const std::vector<Key> kKeys = {"a", "aa", "aaa"};
+  for (const Key& key : kKeys) radical.Seed(key, Value("v0"));
+  radical.WarmCaches();
+  ASSERT_EQ(radical.replicated_locks()->shards(), 4);
+  {
+    std::set<int> key_groups;
+    for (const Key& key : kKeys) {
+      key_groups.insert(radical.replicated_locks()->router().ShardOf(key));
+    }
+    ASSERT_GE(key_groups.size(), 3u);
+  }
+
+  // 10% loss on every LVI protocol leg.
+  for (const net::MessageKind kind :
+       {net::MessageKind::kLviRequest, net::MessageKind::kLviResponse,
+        net::MessageKind::kWriteFollowup}) {
+    net::DropRule rule;
+    rule.kind = kind;
+    rule.probability = 0.1;
+    net.fabric().AddDropRule(rule);
+  }
+
+  HistoryRecorder history;
+  Rng rng(99331);
+  int unique = 0;
+  const int total_ops = 36;
+  for (int i = 0; i < total_ops; ++i) {
+    const Region region = DeploymentRegions()[rng.NextBelow(DeploymentRegions().size())];
+    const Key key = kKeys[rng.NextBelow(kKeys.size())];
+    const bool is_write = rng.NextBool(0.5);
+    const SimDuration at = static_cast<SimDuration>(rng.NextBelow(Seconds(5)));
+    sim.Schedule(at, [&, region, key, is_write] {
+      const SimTime invoke = sim.Now();
+      if (is_write) {
+        const Value value("w" + std::to_string(unique++));
+        radical.Invoke(region, "reg_write", {Value(key), value}, [&, key, value, invoke](Value) {
+          history.Record(HistoryOp{true, key, value, invoke, sim.Now()});
+        });
+      } else {
+        radical.Invoke(region, "reg_read", {Value(key)}, [&, key, invoke](Value result) {
+          history.Record(HistoryOp{false, key, std::move(result), invoke, sim.Now()});
+        });
+      }
+    });
+  }
+  // Crash every group's leader mid-run, staggered, and bring each back 800 ms
+  // later: each group must re-elect and the service must re-route in-flight
+  // acquires/releases without losing or double-granting a lock.
+  for (int g = 0; g < 4; ++g) {
+    sim.Schedule(Seconds(1) + g * Millis(900), [&radical, g] {
+      RaftCluster& cluster = radical.replicated_locks()->cluster(g);
+      const NodeId leader = cluster.LeaderId();
+      if (leader < 0) return;
+      cluster.CrashNode(leader);
+    });
+    sim.Schedule(Seconds(1) + g * Millis(900) + Millis(800), [&radical, g] {
+      RaftCluster& cluster = radical.replicated_locks()->cluster(g);
+      for (NodeId id = 0; id < cluster.size(); ++id) cluster.RestartNode(id);
+    });
+  }
+  // Raft heartbeats run forever, so drive a bounded window instead of Run().
+  sim.RunFor(Seconds(5) + Seconds(20));
+
+  EXPECT_EQ(history.size(), static_cast<size_t>(total_ops));
+  std::map<Key, Value> initials;
+  for (const Key& key : kKeys) initials[key] = Value("v0");
+  const LinearizabilityResult result = CheckHistory(history, initials);
+  EXPECT_TRUE(result.linearizable) << result.violation;
+  // No leaked locks once the dust settles.
+  for (int g = 0; g < 4; ++g) {
+    const LockStateMachine* state = radical.replicated_locks()->LeaderState(g);
+    ASSERT_NE(state, nullptr) << "group " << g;
+    EXPECT_EQ(state->TotalHeldKeys(), 0u) << "group " << g;
+  }
+  EXPECT_TRUE(radical.server().idle());
+}
+
+// --- Defaults pin: replicated_shards unset is byte-identical to one group ---
+
+// Runs a small replicated-deployment workload and fingerprints every latency,
+// the primary-store state, and the simulator's event count.
+std::string ReplicatedFingerprint(int replicated_shards) {
+  Simulator sim(606);
+  Network net(&sim, LatencyMatrix::PaperDefault(), NoJitter());
+  RadicalConfig config;
+  config.server.replicated_shards = replicated_shards;
+  RadicalDeployment radical(&sim, &net, config, {Region::kCA, Region::kJP},
+                            /*replicated_locks=*/3);
+  radical.RegisterFunction(Fn("reg_write", {"k", "v"}, {
+      Write(In("k"), In("v")),
+      Compute(Millis(5)),
+      Return(In("v")),
+  }));
+  radical.RegisterFunction(Fn("reg_read", {"k"}, {
+      Read("v", In("k")),
+      Compute(Millis(5)),
+      Return(V("v")),
+  }));
+  radical.Seed("ka", Value("v0"));
+  radical.Seed("kb", Value("v0"));
+  radical.WarmCaches();
+  std::ostringstream fingerprint;
+  int completed = 0;
+  const std::vector<std::vector<Value>> calls = {
+      {Value("ka"), Value("v1")}, {Value("kb"), Value("v2")}, {Value("ka"), Value("v3")}};
+  for (size_t i = 0; i < calls.size(); ++i) {
+    sim.Schedule(Millis(50) * static_cast<SimDuration>(i + 1), [&, i] {
+      const SimTime start = sim.Now();
+      radical.Invoke(Region::kCA, "reg_write", calls[i], [&, start](Value result) {
+        fingerprint << (sim.Now() - start) << ":" << result.StableHash() << ";";
+        ++completed;
+      });
+    });
+  }
+  sim.RunFor(Seconds(3));
+  fingerprint << "|completed=" << completed;
+  radical.primary().ForEachItem([&](const Key& key, const Item& item) {
+    fingerprint << "|" << key << "@" << item.version << "=" << item.value.StableHash();
+  });
+  fingerprint << "|events=" << sim.events_fired() << "|now=" << sim.Now();
+  return fingerprint.str();
+}
+
+TEST(ShardedReplicatedDeploymentTest, DefaultsAreByteIdenticalToSingleGroup) {
+  // The multi-Raft refactor must be invisible until opted into: with
+  // replicated_shards unset (and no env override) the deployment behaves
+  // byte-for-byte like the explicit single-group configuration.
+  const char* saved = std::getenv("RADICAL_REPLICATED_SHARDS");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+  unsetenv("RADICAL_REPLICATED_SHARDS");
+  const std::string unset = ReplicatedFingerprint(0);
+  const std::string one = ReplicatedFingerprint(1);
+  const std::string four = ReplicatedFingerprint(4);
+  if (saved != nullptr) setenv("RADICAL_REPLICATED_SHARDS", saved_value.c_str(), 1);
+  EXPECT_EQ(unset, one);
+  // Sanity: the knob is not a no-op — four groups simulate differently.
+  EXPECT_NE(unset, four);
+  // But the application-visible store state matches either way.
+  auto store_part = [](const std::string& fp) {
+    const size_t from = fp.find("|completed=");
+    const size_t to = fp.find("|events=");
+    return fp.substr(from, to - from);
+  };
+  EXPECT_EQ(store_part(unset), store_part(four));
 }
 
 }  // namespace

@@ -362,6 +362,35 @@ void CheckCurves(const JsonValue& curves, const std::string& path) {
           }
         }
       }
+      // Replicated-lock accounting (bench/sec5_6_replication multi-Raft
+      // curves) is keyed on 'raft_groups': when present the whole group must
+      // be, a point must run at least one group, answer percentages must be
+      // percentages, and the observed history must have checked out
+      // linearizable — a non-linearizable point is a correctness failure,
+      // not a measurement.
+      const JsonValue* groups = point.Find("raft_groups");
+      if (groups != nullptr) {
+        if (!groups->is(JsonValue::Type::kNumber) || groups->number < 1) {
+          Report(pwhere, "field 'raft_groups' must be a number >= 1");
+        }
+        for (const char* field : {"leader_kills", "replies_pct"}) {
+          const JsonValue* v = Require(point, pwhere, field, JsonValue::Type::kNumber);
+          if (v != nullptr && v->number < 0) {
+            Report(pwhere, std::string("field '") + field + "' must be >= 0");
+          }
+        }
+        const JsonValue* replies = point.Find("replies_pct");
+        if (replies != nullptr && replies->is(JsonValue::Type::kNumber) &&
+            replies->number > 100.0 + 1e-9) {
+          Report(pwhere, "field 'replies_pct' must be <= 100");
+        }
+        const JsonValue* linearizable = point.Find("linearizable");
+        if (linearizable == nullptr || !linearizable->is(JsonValue::Type::kBool)) {
+          Report(pwhere, "missing or mistyped field 'linearizable'");
+        } else if (!linearizable->boolean) {
+          Report(pwhere, "replicated point's history was not linearizable");
+        }
+      }
     }
   }
 }

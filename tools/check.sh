@@ -33,6 +33,16 @@
 # the default shards=1 pass — every tier-1 invariant must hold at both
 # points of the matrix.
 #
+# CHECK_REPLICATED=1 tools/check.sh  reruns the whole test suite against the
+# multi-Raft replicated lock path (RADICAL_REPLICATED_SHARDS=1 and =4, picked
+# up by RadicalDeployment whenever a test constructs a replicated
+# deployment), then runs bench/sec5_6_replication in smoke mode — which
+# includes the lock-group throughput curve and the leader kill/rejoin
+# linearizability sweep (the bench exits nonzero on lost replies or a
+# non-linearizable history) — and schema-checks the exported
+# replicated-point fields with tools/bench_json_check, asserting both
+# multi-Raft curves made it into the report.
+#
 # CHECK_MICRO=1 tools/check.sh  additionally runs the hand-timed simulator-
 # core microbenchmarks (bench/micro_core) with an events-per-second floor
 # (CHECK_MICRO_EVENTS_FLOOR, default 25M/s — the pre-timing-wheel core did
@@ -118,6 +128,26 @@ if [ "${CHECK_OVERLOAD:-0}" = "1" ]; then
   for curve in open_loop_overload_uncontrolled open_loop_overload_controlled; do
     if ! grep -q "\"$curve\"" "$OVERLOAD_DIR/BENCH_radical.json"; then
       echo "check.sh: missing overload curve '$curve' in BENCH_radical.json" >&2
+      exit 1
+    fi
+  done
+fi
+
+if [ "${CHECK_REPLICATED:-0}" = "1" ]; then
+  echo "== replicated matrix: RADICAL_REPLICATED_SHARDS=1 (explicit) =="
+  RADICAL_REPLICATED_SHARDS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  echo "== replicated matrix: RADICAL_REPLICATED_SHARDS=4 =="
+  RADICAL_REPLICATED_SHARDS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  REPL_DIR="$BUILD_DIR/replicated"
+  mkdir -p "$REPL_DIR"
+  echo "== replicated: multi-Raft throughput + leader kill/rejoin sweep =="
+  RADICAL_BENCH_SMOKE=1 RADICAL_BENCH_JSON="$REPL_DIR/BENCH_radical.json" \
+    "$BUILD_DIR/bench/sec5_6_replication" > "$REPL_DIR/sec5_6_replication.out"
+  cat "$REPL_DIR/sec5_6_replication.out"
+  "$BUILD_DIR/tools/bench_json_check" "$REPL_DIR/BENCH_radical.json"
+  for curve in replicated_shards replicated_failover; do
+    if ! grep -q "\"$curve\"" "$REPL_DIR/BENCH_radical.json"; then
+      echo "check.sh: missing replicated curve '$curve' in BENCH_radical.json" >&2
       exit 1
     fi
   done
