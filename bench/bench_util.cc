@@ -256,6 +256,23 @@ std::string BenchReport::ToJson() const {
         w.Key("linearizable");
         w.Bool(p.linearizable);
       }
+      if (p.session_point) {
+        // Consistency-spectrum point: present only for session/preview
+        // curves, keyed on session_point (tools/bench_json_check validates
+        // the group).
+        w.Key("session_point");
+        w.Bool(p.session_point);
+        w.Key("preview_gap_ms");
+        w.Double(p.preview_gap_ms, 2);
+        w.Key("preview_p50_ms");
+        w.Double(p.preview_p50_ms, 2);
+        w.Key("preview_accuracy_pct");
+        w.Double(p.preview_accuracy_pct, 2);
+        w.Key("previews");
+        w.Uint(p.previews);
+        w.Key("failovers");
+        w.Uint(p.failovers);
+      }
       w.EndObject();
     }
     w.EndArray();

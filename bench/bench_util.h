@@ -106,6 +106,16 @@ struct ThroughputPoint {
   uint64_t leader_kills = 0;   // Group leaders crashed mid-run (fault sweep).
   double replies_pct = 0.0;    // Requests answered, percent of issued.
   bool linearizable = false;   // Wing&Gong check over the observed history.
+  // --- Consistency spectrum (bench/consistency_spectrum session curves) -----
+  // Whether the point measured the preview/final session path; the fields
+  // below form an optional JSON group keyed on this flag (omitted when
+  // false; tools/bench_json_check validates the group's ranges).
+  bool session_point = false;
+  double preview_gap_ms = 0.0;        // Mean final-minus-preview latency gap.
+  double preview_p50_ms = 0.0;        // Preview-delivery latency median.
+  double preview_accuracy_pct = 0.0;  // Previews whose value matched the final.
+  uint64_t previews = 0;              // Previews delivered during the point.
+  uint64_t failovers = 0;             // Session re-binds (PoP kills survived).
 };
 
 // A named throughput-vs-configuration curve, exported under "curves" in the

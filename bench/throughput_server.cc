@@ -270,7 +270,7 @@ ThroughputPoint MeasureOpenLoop(int shards, int64_t batch_window_us) {
     sim.Schedule(at, [&, region, spec] {
       const SimTime start = sim.Now();
       radical.client(region).Submit(Request{spec.function, spec.inputs}, options,
-                                    [&, start](Value) {
+                                    [&, start](Outcome) {
                                       ++completed;
                                       sampler.Add(sim.Now() - start);
                                     });

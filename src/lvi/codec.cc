@@ -226,6 +226,50 @@ SimTime ReadRequestDeadline(WireReader& r) {
   return 0;
 }
 
+// The session group (session id + the items' floor versions, in item order)
+// stacks as a *second* optional trailing group after the deadline. Presence
+// is still detected by bytes-remaining, which makes the stacking rule
+// load-bearing: whenever the session group is written, the deadline is
+// written too (even when zero), so the decoder's read order is unambiguous —
+// first optional signed = deadline, anything after it = session group. A
+// sessionless request therefore encodes byte-identically to the pre-session
+// wire format.
+
+void WriteRequestSessionTrailer(WireWriter& w, SimTime deadline, uint64_t session_id,
+                                const std::vector<LviItem>* items) {
+  if (session_id == 0) {
+    WriteRequestDeadline(w, deadline);
+    return;
+  }
+  w.WriteSigned(deadline);  // Explicit, even when 0: anchors the read order.
+  w.WriteVarint(session_id);
+  if (items == nullptr) {
+    w.WriteVarint(0);  // Direct requests carry no floor (already linearizable).
+    return;
+  }
+  w.WriteVarint(items->size());
+  for (const LviItem& item : *items) {
+    w.WriteSigned(item.session_floor);
+  }
+}
+
+void ReadRequestSessionTrailer(WireReader& r, SimTime* deadline, uint64_t* session_id,
+                               std::vector<LviItem>* items) {
+  *deadline = ReadRequestDeadline(r);
+  *session_id = 0;
+  if (!r.ok() || r.AtEnd()) {
+    return;
+  }
+  *session_id = r.ReadVarint();
+  const uint64_t count = r.ReadVarint();
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    const Version floor = r.ReadSigned();
+    if (items != nullptr && i < items->size()) {
+      (*items)[i].session_floor = floor;
+    }
+  }
+}
+
 void WriteResponseStatus(WireWriter& w, ResponseStatus status, SimDuration retry_after) {
   if (status != ResponseStatus::kOk || retry_after != 0) {
     w.WriteByte(static_cast<uint8_t>(status));
@@ -268,7 +312,7 @@ void EncodeLviRequestTo(const LviRequest& request, WireBuffer* out) {
     w.WriteSigned(item.cached_version);
     w.WriteByte(item.mode == LockMode::kWrite ? 1 : 0);
   }
-  WriteRequestDeadline(w, request.deadline);
+  WriteRequestSessionTrailer(w, request.deadline, request.session_id, &request.items);
 }
 
 WireBuffer EncodeLviRequest(const LviRequest& request) {
@@ -302,7 +346,7 @@ Result<LviRequest> DecodeLviRequest(const WireBuffer& buffer) {
     item.mode = r.ReadByte() == 1 ? LockMode::kWrite : LockMode::kRead;
     request.items.push_back(std::move(item));
   }
-  request.deadline = ReadRequestDeadline(r);
+  ReadRequestSessionTrailer(r, &request.deadline, &request.session_id, &request.items);
   if (!r.AtEnd()) {
     return Status::Error(r.ok() ? "trailing bytes in LVI request" : r.error());
   }
@@ -400,7 +444,7 @@ void EncodeDirectRequestTo(const DirectRequest& request, WireBuffer* out) {
   for (const Value& input : request.inputs) {
     w.WriteValue(input);
   }
-  WriteRequestDeadline(w, request.deadline);
+  WriteRequestSessionTrailer(w, request.deadline, request.session_id, nullptr);
 }
 
 WireBuffer EncodeDirectRequest(const DirectRequest& request) {
@@ -426,7 +470,7 @@ Result<DirectRequest> DecodeDirectRequest(const WireBuffer& buffer) {
   for (uint64_t i = 0; i < num_inputs && r.ok(); ++i) {
     request.inputs.push_back(r.ReadValue());
   }
-  request.deadline = ReadRequestDeadline(r);
+  ReadRequestSessionTrailer(r, &request.deadline, &request.session_id, nullptr);
   if (!r.AtEnd()) {
     return Status::Error(r.ok() ? "trailing bytes in direct request" : r.error());
   }

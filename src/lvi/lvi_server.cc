@@ -41,6 +41,9 @@ size_t LviRequest::ApproxSizeBytes() const {
   for (const LviItem& item : items) {
     n += item.key.size() + 9;  // Key + version + mode.
   }
+  if (session_id != 0) {
+    n += 8 + 8 * items.size();  // Session id + per-item floor versions.
+  }
   return n;
 }
 
@@ -498,9 +501,22 @@ void LviServer::Validate(LviRequest request) {
   }
   SimDuration read_latency = 0;
   std::vector<Version> primary_versions = store_->BatchVersions(keys, &read_latency);
+  if (request.session_id != 0) {
+    metrics_.Increment("session_requests");
+  }
   std::vector<size_t> stale;
   for (size_t i = 0; i < request.items.size(); ++i) {
     if (request.items[i].cached_version != primary_versions[i]) {
+      stale.push_back(i);
+    } else if (request.items[i].session_floor > 0 &&
+               primary_versions[i] < request.items[i].session_floor) {
+      // Validating here would hand the session an older state than it has
+      // already observed (monotonic-read violation). Floor 0 means the
+      // session never saw the key, so absent items (version -1) pass.
+      // Defensive: the runtime upgrades too-stale cache reads before
+      // speculating, so this only fires if the primary itself regressed
+      // below the session's floor.
+      metrics_.Increment("session_floor_stale");
       stale.push_back(i);
     }
   }
@@ -669,9 +685,16 @@ void LviServer::FlushBatch(int shard) {
         continue;
       }
       EmitSpan("server.validate", member.exec_id, validate_start);
+      if (member.session_id != 0) {
+        metrics_.Increment("session_requests");
+      }
       std::vector<size_t> stale;
       for (size_t i = 0; i < member.items.size(); ++i) {
-        if (member.items[i].cached_version != version_of.at(member.items[i].key)) {
+        const Version primary = version_of.at(member.items[i].key);
+        if (member.items[i].cached_version != primary) {
+          stale.push_back(i);
+        } else if (member.items[i].session_floor > 0 && primary < member.items[i].session_floor) {
+          metrics_.Increment("session_floor_stale");
           stale.push_back(i);
         }
       }

@@ -41,6 +41,13 @@ struct LviItem {
   Key key;
   Version cached_version = kMissingVersion;  // -1 when absent from the cache.
   LockMode mode = LockMode::kRead;
+  // Session high-water mark for this key: the highest version the session
+  // has observed (read or written), 0 when sessionless or never observed.
+  // Validation marks the item stale when the primary sits below it (a
+  // would-be monotonic-read violation, SwiftCloud-style) so the backup
+  // execution answers with fresh state instead. Rides on the wire only when
+  // the request carries a session (optional trailing group).
+  Version session_floor = 0;
 };
 
 struct LviRequest {
@@ -53,6 +60,10 @@ struct LviRequest {
   // Absolute client deadline (simulator time); 0 = none. The server sheds
   // work that can no longer be answered by this time instead of queueing it.
   SimTime deadline = 0;
+  // Session tag (optional trailing wire group; absent = byte-identical to
+  // the sessionless encoding). 0 = no session. When nonzero, the items'
+  // session_floor versions travel with it.
+  uint64_t session_id = 0;
 
   // Approximate wire size for bandwidth accounting.
   size_t ApproxSizeBytes() const;
@@ -99,6 +110,11 @@ struct DirectRequest {
   std::string function;
   std::vector<Value> inputs;
   SimTime deadline = 0;  // Absolute client deadline; 0 = none.
+  // Session tag (optional trailing wire field; 0 = none). Direct execution is
+  // already linearizable at the primary, so no floor travels with it — the id
+  // identifies session traffic (metrics) and failover replays, which reuse
+  // the original exec_id on this path for exactly-once resolution.
+  uint64_t session_id = 0;
 };
 
 struct DirectResponse {

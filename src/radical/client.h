@@ -17,11 +17,14 @@
 #define RADICAL_SRC_RADICAL_CLIENT_H_
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/types.h"
 #include "src/common/value.h"
 #include "src/radical/config.h"
 
@@ -29,12 +32,27 @@ namespace radical {
 
 class Runtime;
 
-// How a submitted request is allowed to execute.
+// How a submitted request is allowed to execute — the consistency spectrum.
 enum class ConsistencyMode {
   // The default: the full LVI protocol — near-user speculation with
   // near-storage lock/validate/intent — falling back to direct execution
-  // only when the LVI retry budget is exhausted. Linearizable.
+  // only when the LVI retry budget is exhausted. Linearizable. One callback:
+  // the final outcome.
   kLinearizable,
+  // Correctables-style incremental results: same execution as
+  // kLinearizable, but the callback may fire *twice* — once with
+  // Outcome{kPreview} the moment the speculative edge execution produces a
+  // tentative result, then once with the final outcome (kOk when validation
+  // confirmed the preview, kAborted when it didn't and the final result
+  // differs). Finals alone are still linearizable; the preview is exactly as
+  // trustworthy as the near-user cache it ran against.
+  kPreviewThenFinal,
+  // kPreviewThenFinal plus session guarantees: requests submitted through
+  // the same radical::Session see read-your-writes and monotonic reads even
+  // across previews. A cache read below the session's high-water version
+  // upgrades to a validated (non-speculative) read instead of previewing
+  // stale state. radical::Session::Submit selects this automatically.
+  kSession,
   // Skip the near-user protocol entirely and execute at the near-storage
   // location. Still linearizable (the primary serializes it), but pays the
   // full WAN round trip — the explicit escape hatch for requests known to be
@@ -65,22 +83,63 @@ enum class RequestStatus {
   // request may or may not have executed server-side; the client stopped
   // waiting (and stopped retrying) because the answer is no longer useful.
   kDeadlineExceeded = 2,
+  // kPreviewThenFinal / kSession only: a *tentative* result from the
+  // speculative edge execution, delivered before validation resolves. Never
+  // the last callback — a final (kOk/kAborted/kRejected/kDeadlineExceeded)
+  // always follows for the same request.
+  kPreview = 3,
+  // kPreviewThenFinal / kSession only: the final outcome when a preview was
+  // delivered but LVI validation failed, so the authoritative result (in
+  // `result`) came from the backup execution and may differ from the
+  // preview. The request DID execute — kAborted aborts the *speculation*,
+  // not the request.
+  kAborted = 4,
 };
 
 const char* RequestStatusName(RequestStatus status);
 
-// Full completion record for the outcome-aware Submit overloads. The
-// Value-only DoneFn API remains and is unchanged: it only ever fires with an
-// executed result, so callers that opt into deadlines or retry budgets (the
-// features that can end a request without a result) use OutcomeFn.
+// Full completion record delivered to OutcomeFn — the canonical callback
+// payload. (The Value-only DoneFn overloads survive as deprecated wrappers
+// that discard everything but `result`.)
 struct Outcome {
   RequestStatus status = RequestStatus::kOk;
-  // Meaningful only when status == kOk.
+  // Meaningful when executed(): the tentative result for kPreview, the
+  // authoritative one for kOk/kAborted.
   Value result;
   // kRejected only: the server's suggested wait before new load (0 = none).
   SimDuration retry_after = 0;
 
+  // Final, validated success. (kAborted finals are also authoritative; test
+  // executed() when "did it run" is the question.)
   bool ok() const { return status == RequestStatus::kOk; }
+  // Tentative result — a final callback is still coming.
+  bool preview() const { return status == RequestStatus::kPreview; }
+  // The request executed and `result` holds a value (tentative for kPreview,
+  // authoritative for kOk/kAborted).
+  bool executed() const {
+    return status == RequestStatus::kOk || status == RequestStatus::kPreview ||
+           status == RequestStatus::kAborted;
+  }
+};
+
+// Shared per-session state threaded (by radical::Session) through every
+// request it submits. Lives behind a shared_ptr because callbacks referencing
+// it can outlive both the Session handle and a crashed Runtime.
+struct SessionCtx {
+  // Deployment-scoped id; travels on the wire (LviRequest/DirectRequest).
+  uint64_t id = 0;
+  // High-water version vector: the highest version this session has observed
+  // (read or written) per key. Admission compares the near-user cache
+  // against it; below-floor reads upgrade to validated reads.
+  std::map<Key, Version> floor;
+  // Set by radical::Session: called (synchronously, inside Submit's
+  // instantiate event) when the runtime assigns the request's ExecutionId,
+  // keyed by the session's own sequence number. Failover replay needs the id
+  // to re-resolve in-flight requests exactly once.
+  std::function<void(uint64_t session_seq, ExecutionId exec_id)> on_exec_assigned;
+  // Counters surfaced through Session::stats().
+  uint64_t stale_upgrades = 0;  // Cache reads forced validated by the floor.
+  uint64_t previews = 0;        // Preview callbacks delivered.
 };
 
 // Per-request knobs. The zero-argument default reproduces the deployment's
@@ -108,6 +167,16 @@ struct RequestOptions {
   // waiting/retrying past it. A deadlined request can therefore complete
   // with RequestStatus::kDeadlineExceeded — use the OutcomeFn Submit overloads.
   SimDuration deadline = 0;
+  // --- Set by radical::Session, not by applications. -----------------------
+  // Session this request rides on (floor checks, wire tagging, preview
+  // accounting). Null = sessionless.
+  std::shared_ptr<SessionCtx> session;
+  // The session's own sequence number for this request (on_exec_assigned key).
+  uint64_t session_seq = 0;
+  // Failover replay only: reuse this ExecutionId instead of allocating one,
+  // so the server's idempotency machinery resolves the original execution
+  // exactly once. 0 = allocate normally.
+  ExecutionId replay_exec_id = 0;
 };
 
 // Thin facade over a Runtime. Copyable and cheap; the Runtime must outlive
@@ -120,14 +189,18 @@ class Client {
   explicit Client(Runtime* runtime) : runtime_(runtime) {}
 
   // Submits `request`; `done` fires (as a simulator event) when the result
-  // is released to the client. The DoneFn overloads only ever fire with an
-  // executed result; requests that end in backpressure (kRejected) or a
-  // missed deadline fire a DoneFn with an empty Value — use the OutcomeFn
-  // overloads to distinguish those endings.
-  void Submit(Request request, DoneFn done);
-  void Submit(Request request, RequestOptions options, DoneFn done);
+  // is released to the client — and additionally, under
+  // kPreviewThenFinal/kSession, once earlier with Outcome{kPreview}.
   void Submit(Request request, OutcomeFn done);
   void Submit(Request request, RequestOptions options, OutcomeFn done);
+
+  // Deprecated: thin wrappers over the OutcomeFn overloads that fire with
+  // outcome.result — an empty Value for non-executed endings (kRejected,
+  // kDeadlineExceeded), and never for previews. New code should take the
+  // Outcome. (Deliberately not [[deprecated]]: the wrappers stay warning-free
+  // under CHECK_WERROR for the one release callers have to migrate.)
+  void Submit(Request request, DoneFn done);
+  void Submit(Request request, RequestOptions options, DoneFn done);
 
   Runtime* runtime() const { return runtime_; }
 

@@ -57,6 +57,9 @@ RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalCo
       config_.server.batch_window = Micros(std::max(0, std::atoi(env)));
     }
   }
+  if (const char* env = std::getenv("RADICAL_FORCE_SESSIONS")) {
+    force_sessions_ = std::atoi(env) != 0;
+  }
   if (replicated_locks > 0) {
     // Multi-Raft: one Raft lock group per key-range shard. The server's
     // table shard count follows the group count so the hot path and the
@@ -106,6 +109,7 @@ RadicalDeployment::RadicalDeployment(Simulator* sim, Network* network, RadicalCo
                                kServerHopRtt / 2));
     }
   }
+  regions_ = regions;
   for (const Region region : regions) {
     auto runtime = std::make_unique<Runtime>(sim, network, region, kPrimaryRegion,
                                              server_.get(), &registry_, &interpreter_,
@@ -137,7 +141,26 @@ RadicalDeployment::~RadicalDeployment() = default;
 
 void RadicalDeployment::Invoke(Region origin, const std::string& function,
                                std::vector<Value> inputs, std::function<void(Value)> done) {
-  client(origin).Submit(Request{function, std::move(inputs)}, std::move(done));
+  if (force_sessions_) {
+    // Ambient per-region session (RADICAL_FORCE_SESSIONS=1): same guarantees
+    // as an app-opened session, but Invoke's one-callback contract holds —
+    // previews are swallowed and only the final's result is delivered.
+    auto it = ambient_sessions_.find(origin);
+    if (it == ambient_sessions_.end()) {
+      it = ambient_sessions_.emplace(origin, OpenSession(origin)).first;
+    }
+    it->second.Submit(Request{function, std::move(inputs)},
+                      [done = std::move(done)](Outcome outcome) {
+                        if (!outcome.preview()) {
+                          done(std::move(outcome.result));
+                        }
+                      });
+    return;
+  }
+  client(origin).Submit(Request{function, std::move(inputs)},
+                        [done = std::move(done)](Outcome outcome) {
+                          done(std::move(outcome.result));
+                        });
 }
 
 const AnalyzedFunction& RadicalDeployment::RegisterFunction(const FunctionDef& fn) {

@@ -23,6 +23,7 @@
 
 #include "src/radical/client.h"
 #include "src/radical/runtime.h"
+#include "src/radical/session.h"
 #include "src/sim/region.h"
 
 namespace radical {
@@ -109,6 +110,20 @@ class RadicalDeployment : public AppService {
   // The submission facade for clients colocated with `region` — the
   // preferred entry point (cheap, copyable; see src/radical/client.h).
   Client client(Region region) { return Client(&runtime(region)); }
+  // Opens a session bound to `region`'s runtime: preview+final callbacks,
+  // read-your-writes / monotonic reads, and transparent failover to another
+  // deployment location when that runtime crashes (src/radical/session.h).
+  Session OpenSession(Region region) {
+    return Session(this, region, AllocateSessionId());
+  }
+  // Session ids come from a plain deployment counter — NOT sim->NextId(),
+  // whose allocation order is part of the pinned deterministic schedule.
+  uint64_t AllocateSessionId() { return ++next_session_id_; }
+  const std::vector<Region>& regions() const { return regions_; }
+  // PoP failure injection: Crash() orphans the region's in-flight requests
+  // and wipes its cache; sessions bound there fail over immediately.
+  void CrashRuntime(Region region) { runtime(region).Crash(); }
+  void RecoverRuntime(Region region) { runtime(region).Recover(); }
   LviServer& server() { return *server_; }
   // The LVI server's fabric address, shared by every runtime; its
   // extra_hop_delay models the intra-DC hop to the server's EC2 instance.
@@ -137,6 +152,14 @@ class RadicalDeployment : public AppService {
   // Sharded server: one fabric channel per shard (empty otherwise).
   std::vector<net::Endpoint> shard_endpoints_;
   std::map<Region, std::unique_ptr<Runtime>> runtimes_;
+  std::vector<Region> regions_;
+  uint64_t next_session_id_ = 0;
+  // RADICAL_FORCE_SESSIONS=1 (tools/check.sh CHECK_SESSION=1): route every
+  // Invoke through a per-region ambient session, so the whole tier-1 suite
+  // exercises the session path without touching any call site. Previews are
+  // filtered — Invoke's contract is one callback with the final result.
+  bool force_sessions_ = false;
+  std::map<Region, Session> ambient_sessions_;
 };
 
 class PrimaryBaselineDeployment : public AppService {

@@ -57,16 +57,46 @@ void Runtime::RouteToServer(RequestState* state, const Key* first_key) const {
   state->server_ep = shard_endpoints_[static_cast<size_t>(shard)];
 }
 
-void Runtime::Submit(Request request, RequestOptions options, DoneFn done) {
-  SubmitImpl(std::move(request), std::move(options), std::move(done), nullptr);
+void Runtime::Crash() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  ++epoch_;
+  metrics_.Increment("crashes");
+  // The process died: the cache's contents are gone (a restarted PoP warms
+  // from scratch) and every in-flight request's pending events now carry a
+  // dead epoch, so they drop on arrival instead of answering anyone.
+  cache_.CrashRestart();
+  // One-shot: listeners re-register on whichever runtime they re-bind to.
+  std::vector<std::function<void()>> listeners = std::move(crash_listeners_);
+  crash_listeners_.clear();
+  for (auto& listener : listeners) {
+    listener();
+  }
+}
+
+void Runtime::Recover() {
+  if (alive_) {
+    return;
+  }
+  alive_ = true;
+  metrics_.Increment("recoveries");
 }
 
 void Runtime::Submit(Request request, RequestOptions options, OutcomeFn done) {
-  SubmitImpl(std::move(request), std::move(options), nullptr, std::move(done));
+  SubmitImpl(std::move(request), std::move(options), std::move(done));
 }
 
-void Runtime::SubmitImpl(Request request, RequestOptions options, DoneFn done,
-                         OutcomeFn outcome_done) {
+void Runtime::SubmitImpl(Request request, RequestOptions options, OutcomeFn done) {
+  if (!alive_) {
+    // A crashed PoP accepts nothing; sessions re-bind on the crash signal,
+    // so only a caller holding a stale handle lands here.
+    metrics_.Increment("rejected_runtime_down");
+    auto fn = std::make_shared<OutcomeFn>(std::move(done));
+    sim_->Schedule(0, [fn] { (*fn)(Outcome{RequestStatus::kRejected, Value(), 0}); });
+    return;
+  }
   metrics_.Increment("requests");
   const SimTime invoked_at = sim_->Now();
   // Everything per-request moves onto the heap-allocated state up front, so
@@ -78,7 +108,12 @@ void Runtime::SubmitImpl(Request request, RequestOptions options, DoneFn done,
   state->function = std::move(request.function);
   state->inputs = std::move(request.inputs);
   state->done = std::move(done);
-  state->outcome_done = std::move(outcome_done);
+  state->session = std::move(options.session);
+  state->session_seq = options.session_seq;
+  state->replay_exec_id = options.replay_exec_id;
+  state->preview_requested = options.consistency == ConsistencyMode::kPreviewThenFinal ||
+                             options.consistency == ConsistencyMode::kSession;
+  state->born_epoch = epoch_;
   state->retry = options.retry.has_value() ? *options.retry : config_.retry;
   state->trace_enabled = options.trace;
   state->shard_hint = options.shard_hint;
@@ -94,7 +129,7 @@ void Runtime::SubmitImpl(Request request, RequestOptions options, DoneFn done,
     // without a retry timer nothing else would ever fire).
     state->deadline_event = sim_->Schedule(state->deadline - invoked_at, [this, state] {
       state->deadline_event = kInvalidEventId;
-      if (!state->completed) {
+      if (!state->completed && !DeadRequest(*state)) {
         CompleteRejected(state, RequestStatus::kDeadlineExceeded, 0);
       }
     });
@@ -103,7 +138,16 @@ void Runtime::SubmitImpl(Request request, RequestOptions options, DoneFn done,
   // §5.5 components (1) and (2): instantiate the function, load the blob.
   sim_->Schedule(config_.lambda_invoke + config_.blob_load,
                  [this, state = std::move(state), consistency]() mutable {
-    state->exec_id = sim_->NextId();
+    if (DeadRequest(*state)) {
+      return;
+    }
+    // Failover replays reuse the original execution's id so the server's
+    // idempotency machinery resolves it exactly once; everything else draws
+    // a fresh id here (allocation order is part of the schedule).
+    state->exec_id = state->replay_exec_id != 0 ? state->replay_exec_id : sim_->NextId();
+    if (state->session != nullptr && state->session->on_exec_assigned) {
+      state->session->on_exec_assigned(state->session_seq, state->exec_id);
+    }
     RouteToServer(state.get(), nullptr);
     state->trace.exec_id = state->exec_id;
     state->trace.function = state->function;
@@ -142,6 +186,9 @@ void Runtime::SubmitImpl(Request request, RequestOptions options, DoneFn done,
 }
 
 void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
+  if (DeadRequest(*state)) {
+    return;
+  }
   RequestTrace::StampOnce(&state->trace.lvi_sent, sim_->Now());
   const AnalyzedFunction* fn = registry_->Find(state->function);
   // Assemble the LVI request: every item with its cached version and lock
@@ -170,6 +217,31 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
       state->write_base_versions.push_back(version);
     }
   }
+  // Session admission check (read-your-writes / monotonic reads): an item
+  // the cache holds *below* the session's high-water mark means speculating
+  // would preview state the session has already seen past. Upgrade to a
+  // validated read — the LVI request still goes out (validation fails
+  // against the fresher primary and the backup execution answers with
+  // current state), but no speculation runs and no stale preview fires. The
+  // floor also travels on the wire so validation can assert the primary
+  // itself hasn't regressed.
+  bool session_stale = false;
+  if (state->session != nullptr) {
+    request.session_id = state->session->id;
+    for (LviItem& item : request.items) {
+      const auto it = state->session->floor.find(item.key);
+      if (it != state->session->floor.end()) {
+        item.session_floor = it->second;
+      }
+      if (item.cached_version < item.session_floor) {
+        session_stale = true;
+      }
+    }
+    if (session_stale) {
+      ++state->session->stale_upgrades;
+      metrics_.Increment("session_stale_upgrade");
+    }
+  }
   // (2b) Send the LVI request to the near-storage location. Wire sizes are
   // the exact encoded lengths (src/lvi/codec.h). The request is kept on the
   // state for retransmission: exec_ids make the server side idempotent, so a
@@ -196,6 +268,10 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
     metrics_.Increment("spec_skipped_miss");
     return;
   }
+  if (session_stale) {
+    metrics_.Increment("spec_skipped_session_stale");
+    return;
+  }
   if (!config_.speculation_enabled) {
     metrics_.Increment("spec_disabled");
     return;
@@ -209,11 +285,34 @@ void Runtime::StartLvi(std::shared_ptr<RequestState> state, RwSet rw) {
   state->trace.speculated = true;
   metrics_.Increment("speculations");
   sim_->Schedule(exec.elapsed, [this, state, result = exec.return_value] {
+    if (DeadRequest(*state)) {
+      return;
+    }
     state->spec_finished = true;
     RequestTrace::StampOnce(&state->trace.spec_finished, sim_->Now());
     state->spec_result = result;
+    MaybeDeliverPreview(state);
     TryComplete(state);
   });
+}
+
+void Runtime::MaybeDeliverPreview(const std::shared_ptr<RequestState>& state) {
+  // A preview is worth delivering only while the final is still unknown: if
+  // the LVI response already arrived, the authoritative callback fires at
+  // this same instant and a preview would be pure noise.
+  if (!state->preview_requested || state->preview_fired || state->completed ||
+      state->response_received || !state->done) {
+    return;
+  }
+  state->preview_fired = true;
+  metrics_.Increment("previews_delivered");
+  if (state->session != nullptr) {
+    ++state->session->previews;
+  }
+  RequestTrace::StampOnce(&state->trace.preview_delivered, sim_->Now());
+  // Copy, not move: the same callback still owes the client its final.
+  OutcomeFn done = state->done;
+  done(Outcome{RequestStatus::kPreview, state->spec_result, 0});
 }
 
 SimDuration Runtime::AttemptTimeout(const RetryPolicy& retry, int attempt) {
@@ -271,7 +370,7 @@ void Runtime::ResolveAttempt(const std::shared_ptr<RequestState>& state, Attempt
 }
 
 void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
-  if (state->completed || state->response_received) {
+  if (state->completed || state->response_received || DeadRequest(*state)) {
     return;
   }
   if (DeadlinePassed(*state)) {
@@ -316,6 +415,9 @@ void Runtime::SendLviAttempt(const std::shared_ptr<RequestState>& state) {
 }
 
 void Runtime::OnLviResponse(const std::shared_ptr<RequestState>& state, LviResponse response) {
+  if (DeadRequest(*state)) {
+    return;
+  }
   if (state->completed || state->response_received || state->lvi_abandoned) {
     // A slow or duplicate response raced a retry (or the direct fallback
     // already owns the request): the first one in wins.
@@ -342,7 +444,7 @@ void Runtime::OnLviResponse(const std::shared_ptr<RequestState>& state, LviRespo
 }
 
 void Runtime::OnLviTimeout(const std::shared_ptr<RequestState>& state) {
-  if (state->completed || state->response_received) {
+  if (state->completed || state->response_received || DeadRequest(*state)) {
     return;
   }
   metrics_.Increment("timeouts");
@@ -376,7 +478,7 @@ void Runtime::OnLviTimeout(const std::shared_ptr<RequestState>& state) {
 }
 
 void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
-  if (state->completed) {
+  if (state->completed || DeadRequest(*state)) {
     return;
   }
   if (DeadlinePassed(*state)) {
@@ -418,6 +520,9 @@ void Runtime::SendDirectAttempt(const std::shared_ptr<RequestState>& state) {
 
 void Runtime::OnDirectResponse(const std::shared_ptr<RequestState>& state,
                                DirectResponse response) {
+  if (DeadRequest(*state)) {
+    return;
+  }
   if (state->completed) {
     metrics_.Increment("late_response_ignored");
     return;
@@ -437,11 +542,12 @@ void Runtime::OnDirectResponse(const std::shared_ptr<RequestState>& state,
   for (const FreshItem& item : response.fresh_items) {
     cache_.Install(item.key, item.value, item.version);
   }
+  AdvanceSessionFloor(state, response.fresh_items);
   Reply(state, response.result);
 }
 
 void Runtime::OnDirectTimeout(const std::shared_ptr<RequestState>& state) {
-  if (state->completed) {
+  if (state->completed || DeadRequest(*state)) {
     return;
   }
   metrics_.Increment("timeouts");
@@ -460,7 +566,7 @@ void Runtime::OnDirectTimeout(const std::shared_ptr<RequestState>& state) {
 void Runtime::OnBackpressure(const std::shared_ptr<RequestState>& state, AttemptPath path,
                              ResponseStatus status, SimDuration retry_after) {
   (void)status;
-  if (state->completed) {
+  if (state->completed || DeadRequest(*state)) {
     return;
   }
   if (DeadlinePassed(*state)) {
@@ -540,6 +646,17 @@ void Runtime::CompleteRejected(const std::shared_ptr<RequestState>& state, Reque
   FinishReply(state, Outcome{status, Value(), retry_after});
 }
 
+void Runtime::AdvanceSessionFloor(const std::shared_ptr<RequestState>& state,
+                                  const std::vector<FreshItem>& items) {
+  if (state->session == nullptr) {
+    return;
+  }
+  for (const FreshItem& item : items) {
+    Version& slot = state->session->floor[item.key];
+    slot = std::max(slot, item.version);
+  }
+}
+
 void Runtime::TryComplete(const std::shared_ptr<RequestState>& state) {
   // The client is answered only once the LVI response is in and — on the
   // speculative path — the execution has finished (§3.2: "Radical delays
@@ -578,6 +695,9 @@ void Runtime::CompleteValidated(const std::shared_ptr<RequestState>& state) {
                                                 config_.exec_limits, &env);
   assert(exec.ok());
   sim_->Schedule(exec.elapsed, [this, state, result = exec.return_value] {
+    if (DeadRequest(*state)) {
+      return;
+    }
     CommitSpeculation(state, result);
   });
 }
@@ -593,11 +713,30 @@ void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Valu
     assert(pos != state->write_keys.end() && *pos == write.key &&
            "speculative write outside the predicted write set");
     const size_t idx = static_cast<size_t>(pos - state->write_keys.begin());
-    cache_.Install(write.key, write.value, state->write_base_versions[idx] + 1);
+    const Version installed = state->write_base_versions[idx] + 1;
+    cache_.Install(write.key, write.value, installed);
+    if (state->session != nullptr) {
+      Version& slot = state->session->floor[write.key];
+      slot = std::max(slot, installed);
+    }
+  }
+  if (state->session != nullptr) {
+    // Validation pinned every item's cached version to the primary: those
+    // are versions this session has now observed, so they raise its floor
+    // (reads too — monotonic reads span the whole item set).
+    for (const LviItem& item : state->lvi_request.items) {
+      if (item.cached_version > 0) {
+        Version& slot = state->session->floor[item.key];
+        slot = std::max(slot, item.cached_version);
+      }
+    }
   }
   const SimDuration install_cost = writes.empty() ? 0 : cache_.options().write_latency;
   sim_->Schedule(install_cost, [this, state, result = std::move(result),
                                 writes = std::move(writes)]() mutable {
+    if (DeadRequest(*state)) {
+      return;
+    }
     if (writes.empty()) {
       Reply(state, std::move(result));
       return;
@@ -631,7 +770,7 @@ void Runtime::CommitSpeculation(const std::shared_ptr<RequestState>& state, Valu
 }
 
 void Runtime::SendFollowupAttempt(const std::shared_ptr<RequestState>& state) {
-  if (state->followup_done) {
+  if (state->followup_done || DeadRequest(*state)) {
     return;
   }
   ++state->followup_attempts;
@@ -671,7 +810,7 @@ void Runtime::SendFollowupAttempt(const std::shared_ptr<RequestState>& state) {
 }
 
 void Runtime::OnFollowupAck(const std::shared_ptr<RequestState>& state, bool applied) {
-  if (state->followup_done) {
+  if (state->followup_done || DeadRequest(*state)) {
     return;
   }
   if (state->followup_timer != kInvalidEventId) {
@@ -697,7 +836,7 @@ void Runtime::OnFollowupAck(const std::shared_ptr<RequestState>& state, bool app
 }
 
 void Runtime::OnFollowupTimeout(const std::shared_ptr<RequestState>& state) {
-  if (state->followup_done) {
+  if (state->followup_done || DeadRequest(*state)) {
     return;
   }
   ResolveAttempt(state, AttemptPath::kFollowup, "timeout");
@@ -729,9 +868,23 @@ void Runtime::CompleteFailed(const std::shared_ptr<RequestState>& state) {
   for (const FreshItem& item : state->response.fresh_items) {
     cache_.Install(item.key, item.value, item.version);
   }
+  AdvanceSessionFloor(state, state->response.fresh_items);
+  if (state->session != nullptr) {
+    // Items that *did* match the primary were observed at their cached
+    // version even though the request as a whole aborted.
+    for (const LviItem& item : state->lvi_request.items) {
+      if (item.cached_version > 0) {
+        Version& slot = state->session->floor[item.key];
+        slot = std::max(slot, item.cached_version);
+      }
+    }
+  }
   const SimDuration repair_cost =
       state->response.fresh_items.empty() ? 0 : cache_.options().write_latency;
   sim_->Schedule(repair_cost, [this, state] {
+    if (DeadRequest(*state)) {
+      return;
+    }
     Reply(state, state->response.backup_result);
   });
 }
@@ -742,6 +895,7 @@ void Runtime::InvokeDirect(std::shared_ptr<RequestState> state) {
   state->direct_request.function = state->function;
   state->direct_request.inputs = state->inputs;
   state->direct_request.deadline = state->deadline;
+  state->direct_request.session_id = state->session != nullptr ? state->session->id : 0;
   state->trace.direct = true;
   state->direct_request_size = wire_scratch_.SizeOf(state->direct_request);
   SendDirectAttempt(state);
@@ -759,11 +913,23 @@ void Runtime::SendFromServer(const net::Endpoint& server, net::MessageKind kind,
 }
 
 void Runtime::Reply(const std::shared_ptr<RequestState>& state, Value result) {
-  FinishReply(state, Outcome{RequestStatus::kOk, std::move(result), 0});
+  // When a preview went out but validation never confirmed the speculation
+  // (abort with backup result, or degrade to the direct path), the final is
+  // kAborted: still authoritative — `result` is what actually executed — but
+  // the tentative answer the client may have acted on is not it.
+  const bool confirmed = state->trace.validated && !state->trace.direct;
+  const RequestStatus status = state->preview_fired && !confirmed ? RequestStatus::kAborted
+                                                                  : RequestStatus::kOk;
+  if (status == RequestStatus::kAborted) {
+    metrics_.Increment("preview_aborted");
+  } else if (state->preview_fired) {
+    metrics_.Increment("preview_confirmed");
+  }
+  FinishReply(state, Outcome{status, std::move(result), 0});
 }
 
 void Runtime::FinishReply(const std::shared_ptr<RequestState>& state, Outcome outcome) {
-  if (!state->done && !state->outcome_done) {
+  if (!state->done) {
     // A duplicate completion (a late response racing a retry, or a second
     // ack) must not inflate the reply count: the client was answered once.
     metrics_.Increment("duplicate_replies");
@@ -776,11 +942,12 @@ void Runtime::FinishReply(const std::shared_ptr<RequestState>& state, Outcome ou
   }
   metrics_.Increment("replies");
   RequestTrace::StampOnce(&state->trace.replied, sim_->Now());
-  if (outcome.status == RequestStatus::kOk) {
+  if (outcome.status == RequestStatus::kOk || outcome.status == RequestStatus::kAborted) {
     // Only executed results feed the end-to-end histogram: a rejection
     // completes in a fraction of a real request's latency and would drag the
     // percentiles down exactly when they matter most (rejected/deadline
-    // endings have their own counters).
+    // endings have their own counters). kAborted finals executed in full —
+    // they belong in the distribution.
     latency_hist_->Record(state->trace.Total());
   }
   if (state->trace_enabled) {
@@ -789,13 +956,8 @@ void Runtime::FinishReply(const std::shared_ptr<RequestState>& state, Outcome ou
     }
     AppendSpans(state->trace, spans_);
   }
-  if (state->outcome_done) {
-    OutcomeFn done = std::move(state->outcome_done);
-    done(std::move(outcome));
-    return;
-  }
-  DoneFn done = std::move(state->done);
-  done(std::move(outcome.result));
+  OutcomeFn done = std::move(state->done);
+  done(std::move(outcome));
 }
 
 }  // namespace radical

@@ -56,13 +56,12 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   // Submits a request on behalf of a colocated client with per-request
-  // options (retry override, consistency mode, trace opt-out, shard hint —
-  // see RequestOptions in client.h). `done` fires (as a simulator event)
-  // when the result is released to the client. Prefer the radical::Client
-  // facade over calling this directly. The OutcomeFn overload additionally
-  // reports how the request ended (kOk / kRejected / kDeadlineExceeded);
-  // the DoneFn overload fires with an empty Value on a non-kOk ending.
-  void Submit(Request request, RequestOptions options, DoneFn done);
+  // options (retry override, consistency mode, trace opt-out, shard hint,
+  // session — see RequestOptions in client.h). `done` fires (as a simulator
+  // event) when the result is released to the client, and — under
+  // kPreviewThenFinal/kSession — once earlier with Outcome{kPreview}. Prefer
+  // the radical::Client facade over calling this directly. (The legacy
+  // DoneFn shape lives on only as Client's deprecated wrapper overloads.)
   void Submit(Request request, RequestOptions options, OutcomeFn done);
 
   Region region() const { return region_; }
@@ -94,13 +93,34 @@ class Runtime {
   // Pass nullptr to detach. Must outlive the runtime while attached.
   void set_span_collector(obs::SpanCollector* spans) { spans_ = spans; }
 
+  // --- PoP failure (SwiftCloud-style session failover) ---------------------
+  // Crash() models the edge runtime's process dying: every in-flight request
+  // is orphaned (its pending events fire into a dead epoch and drop), the
+  // cache loses its contents, and new Submits complete kRejected until
+  // Recover(). Crash listeners — registered by sessions bound here — fire
+  // once per Crash(), after the epoch bump, so they can re-bind elsewhere.
+  void Crash();
+  void Recover();
+  bool alive() const { return alive_; }
+  void OnCrash(std::function<void()> listener) {
+    crash_listeners_.push_back(std::move(listener));
+  }
+
  private:
   struct RequestState {
     ExecutionId exec_id = 0;
     std::string function;
     std::vector<Value> inputs;
-    DoneFn done;
-    OutcomeFn outcome_done;      // Exactly one of done/outcome_done is set.
+    // The single completion representation: every ending — preview, final,
+    // rejection — flows through this one callback with its status.
+    OutcomeFn done;
+    // Consistency spectrum (kPreviewThenFinal / kSession).
+    std::shared_ptr<SessionCtx> session;  // Null = sessionless.
+    uint64_t session_seq = 0;
+    ExecutionId replay_exec_id = 0;  // Failover replay: reuse this exec id.
+    bool preview_requested = false;  // Mode asks for an early kPreview.
+    bool preview_fired = false;      // ... and it was delivered.
+    uint64_t born_epoch = 0;         // Runtime epoch_ at Submit time.
     // Per-request knobs, resolved from RequestOptions at Submit time.
     RetryPolicy retry;           // options.retry or the deployment default.
     bool trace_enabled = true;   // Record trace/spans on completion.
@@ -144,9 +164,18 @@ class Runtime {
     bool followup_done = false;
   };
 
-  // Shared body of the DoneFn/OutcomeFn Submit overloads (exactly one of
-  // `done` / `outcome_done` is non-null).
-  void SubmitImpl(Request request, RequestOptions options, DoneFn done, OutcomeFn outcome_done);
+  void SubmitImpl(Request request, RequestOptions options, OutcomeFn done);
+  // True when `state` belongs to an epoch that died in a Crash(); such
+  // requests silently stop (the session layer owns replaying them).
+  bool DeadRequest(const RequestState& state) const {
+    return !alive_ || state.born_epoch != epoch_;
+  }
+  // Raises the session's high-water mark to each fresh (key, version).
+  static void AdvanceSessionFloor(const std::shared_ptr<RequestState>& state,
+                                  const std::vector<FreshItem>& items);
+  // Fires Outcome{kPreview} with the speculative result if the request asked
+  // for one and the final is not already determined. At most once.
+  void MaybeDeliverPreview(const std::shared_ptr<RequestState>& state);
   // Runs the LVI path once f^rw produced a read/write set.
   void StartLvi(std::shared_ptr<RequestState> state, RwSet rw);
   // Fallback: execute in the near-storage location (unanalyzable functions,
@@ -253,6 +282,11 @@ class Runtime {
   bool retry_bucket_init_ = false;
   double retry_tokens_ = 0.0;
   SimTime retry_tokens_at_ = 0;
+  // PoP crash modeling (mirrors LviServer's alive_/epoch_ pattern): events
+  // scheduled before a Crash() carry the old epoch and drop on arrival.
+  bool alive_ = true;
+  uint64_t epoch_ = 0;
+  std::vector<std::function<void()>> crash_listeners_;
 };
 
 }  // namespace radical

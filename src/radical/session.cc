@@ -1,0 +1,158 @@
+#include "src/radical/session.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/radical/deployment.h"
+
+namespace radical {
+
+struct Session::Impl : std::enable_shared_from_this<Session::Impl> {
+  // One submitted-but-not-finalized request, kept whole so a failover can
+  // replay it against another runtime.
+  struct Pending {
+    Request request;         // Copy of the original submission.
+    RequestOptions options;  // As resolved by Submit (session fields set).
+    OutcomeFn done;          // The caller's callback; consumed by the final.
+    ExecutionId exec_id = 0;  // Assigned by the runtime (0 = not yet).
+    bool preview_seen = false;
+  };
+
+  RadicalDeployment* deployment = nullptr;
+  Region region = Region::kVA;
+  std::shared_ptr<SessionCtx> ctx;
+  std::map<uint64_t, Pending> pending;  // seq -> in-flight request.
+  uint64_t next_seq = 1;
+  uint64_t failovers = 0;
+
+  void Bind(Region r) {
+    region = r;
+    std::weak_ptr<Impl> weak = weak_from_this();
+    deployment->runtime(r).OnCrash([weak] {
+      if (auto self = weak.lock()) {
+        self->HandleCrash();
+      }
+    });
+  }
+
+  // Wraps the caller's callback for request `seq`: previews pass through
+  // (the entry stays pending), the first final consumes the entry — and only
+  // the first, so a replay racing a pre-crash duplicate stays exactly-once.
+  OutcomeFn Wrap(uint64_t seq) {
+    std::weak_ptr<Impl> weak = weak_from_this();
+    return [weak, seq](Outcome outcome) {
+      auto self = weak.lock();
+      if (self == nullptr) {
+        return;  // Every Session handle is gone; nobody to answer.
+      }
+      auto it = self->pending.find(seq);
+      if (it == self->pending.end()) {
+        return;  // Final already delivered.
+      }
+      if (outcome.preview()) {
+        it->second.preview_seen = true;
+        it->second.done(std::move(outcome));
+        return;
+      }
+      OutcomeFn done = std::move(it->second.done);
+      self->pending.erase(it);
+      done(std::move(outcome));
+    };
+  }
+
+  void SubmitSeq(uint64_t seq) {
+    Pending& entry = pending.at(seq);
+    deployment->runtime(region).Submit(entry.request, entry.options, Wrap(seq));
+  }
+
+  void HandleCrash() {
+    ++failovers;
+    // Re-bind to the next alive runtime, cycling through the deployment's
+    // regions from the one after the crashed PoP (deterministic, and spreads
+    // sessions of different homes across survivors). No survivor = stay put;
+    // new submissions complete kRejected until someone recovers.
+    const std::vector<Region>& regions = deployment->regions();
+    size_t start = 0;
+    for (size_t i = 0; i < regions.size(); ++i) {
+      if (regions[i] == region) {
+        start = i;
+        break;
+      }
+    }
+    Region target = region;
+    for (size_t step = 1; step <= regions.size(); ++step) {
+      const Region candidate = regions[(start + step) % regions.size()];
+      if (deployment->runtime(candidate).alive()) {
+        target = candidate;
+        break;
+      }
+    }
+    Bind(target);  // Re-arms the crash listener even when staying put.
+    if (!deployment->runtime(target).alive()) {
+      return;
+    }
+    deployment->runtime(target).counters().Increment("session_failover_in");
+    // Replay every unacked request on the new runtime as a *direct*
+    // execution reusing the original ExecutionId: the primary is
+    // authoritative for whether that execution already ran (intent records,
+    // reply caches), so a request answered just before the crash resolves
+    // from the cache and one that never arrived executes fresh — exactly
+    // once either way. The session's floor travels in ctx, so monotonic
+    // reads hold against the new (possibly colder) cache.
+    for (auto& [seq, entry] : pending) {
+      entry.options.consistency = ConsistencyMode::kDirect;
+      entry.options.replay_exec_id = entry.exec_id;
+      SubmitSeq(seq);
+    }
+  }
+};
+
+Session::Session(RadicalDeployment* deployment, Region region, uint64_t id)
+    : impl_(std::make_shared<Impl>()) {
+  impl_->deployment = deployment;
+  impl_->ctx = std::make_shared<SessionCtx>();
+  impl_->ctx->id = id;
+  std::weak_ptr<Impl> weak = impl_;
+  impl_->ctx->on_exec_assigned = [weak](uint64_t seq, ExecutionId exec_id) {
+    if (auto self = weak.lock()) {
+      auto it = self->pending.find(seq);
+      if (it != self->pending.end()) {
+        it->second.exec_id = exec_id;
+      }
+    }
+  };
+  impl_->Bind(region);
+}
+
+void Session::Submit(Request request, OutcomeFn done) {
+  Submit(std::move(request), RequestOptions(), std::move(done));
+}
+
+void Session::Submit(Request request, RequestOptions options, OutcomeFn done) {
+  if (options.consistency == ConsistencyMode::kLinearizable) {
+    options.consistency = ConsistencyMode::kSession;
+  }
+  options.session = impl_->ctx;
+  const uint64_t seq = impl_->next_seq++;
+  options.session_seq = seq;
+  Impl::Pending entry;
+  entry.request = std::move(request);
+  entry.options = std::move(options);
+  entry.done = std::move(done);
+  impl_->pending.emplace(seq, std::move(entry));
+  impl_->SubmitSeq(seq);
+}
+
+uint64_t Session::id() const { return impl_->ctx->id; }
+Region Session::region() const { return impl_->region; }
+uint64_t Session::failovers() const { return impl_->failovers; }
+size_t Session::unacked() const { return impl_->pending.size(); }
+uint64_t Session::previews() const { return impl_->ctx->previews; }
+uint64_t Session::stale_upgrades() const { return impl_->ctx->stale_upgrades; }
+
+Version Session::FloorOf(const Key& key) const {
+  const auto it = impl_->ctx->floor.find(key);
+  return it == impl_->ctx->floor.end() ? 0 : it->second;
+}
+
+}  // namespace radical

@@ -1,0 +1,75 @@
+// radical::Session — the consistency-spectrum client surface.
+//
+// A session is a lightweight, copyable handle bound to one deployment
+// location. Submitting through it buys three things on top of radical::Client:
+//
+//  - Incremental results (Correctables-style): the callback fires up to twice
+//    per request — Outcome{kPreview} the moment the speculative edge
+//    execution has a tentative answer, then exactly one final
+//    (kOk/kAborted/kRejected/kDeadlineExceeded) when LVI validation resolves.
+//  - Session guarantees: read-your-writes and monotonic reads, enforced
+//    against the near-user cache by a per-session high-water version vector.
+//    A cache read below the session's floor upgrades to a validated read
+//    (the LVI round trip still runs; the stale preview does not).
+//  - SwiftCloud-style failover: when the bound edge runtime crashes
+//    (Runtime::Crash), the session transparently re-binds to another alive
+//    Runtime in the deployment, carrying its version vector with it and
+//    replaying every unacked request — as a direct execution reusing the
+//    original ExecutionId, so the server's idempotency machinery resolves
+//    each one exactly once. Guarantees hold across the switch; callers just
+//    see finals arrive (plus Session::failovers() ticking up).
+//
+// The handle must outlive the requests submitted through it: callbacks
+// resolve through a weak reference and are dropped once every handle is gone.
+
+#ifndef RADICAL_SRC_RADICAL_SESSION_H_
+#define RADICAL_SRC_RADICAL_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/radical/client.h"
+#include "src/sim/region.h"
+
+namespace radical {
+
+class RadicalDeployment;
+
+class Session {
+ public:
+  using OutcomeFn = Client::OutcomeFn;
+
+  // Prefer RadicalDeployment::OpenSession(region) — it allocates the id.
+  Session(RadicalDeployment* deployment, Region region, uint64_t id);
+
+  // Submits through the currently bound runtime. options.consistency
+  // kLinearizable (the default) upgrades to kSession — previews plus session
+  // guarantees; kPreviewThenFinal and kDirect are honored as given (kDirect
+  // never previews). `done` receives at most one preview and exactly one
+  // final while any handle to this session is alive.
+  void Submit(Request request, OutcomeFn done);
+  void Submit(Request request, RequestOptions options, OutcomeFn done);
+
+  uint64_t id() const;
+  // Where the session is currently bound (changes on failover).
+  Region region() const;
+  // Crash re-binds this session has survived.
+  uint64_t failovers() const;
+  // Requests submitted but without a final yet.
+  size_t unacked() const;
+  // Guarantee/preview accounting (see SessionCtx).
+  uint64_t previews() const;
+  uint64_t stale_upgrades() const;
+  // The session's high-water version for `key` (0 = never observed).
+  Version FloorOf(const Key& key) const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace radical
+
+#endif  // RADICAL_SRC_RADICAL_SESSION_H_

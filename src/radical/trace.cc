@@ -52,6 +52,11 @@ void AppendSpans(const RequestTrace& trace, obs::SpanCollector* spans) {
   if (trace.speculated && trace.spec_finished != 0) {
     AddClientSpan(spans, trace, "speculation", trace.lvi_sent, trace.spec_finished);
   }
+  if (trace.preview_delivered != 0) {
+    // Preview phase: from the tentative answer until the final resolves.
+    AddClientSpan(spans, trace, "preview_window", trace.preview_delivered, trace.replied,
+                  {{"confirmed", trace.validated && !trace.direct ? "true" : "false"}});
+  }
   if (trace.LviStall() > 0) {
     AddClientSpan(spans, trace, "lvi_stall", trace.spec_finished, trace.response_received);
   }

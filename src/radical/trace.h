@@ -66,8 +66,10 @@ struct RequestTrace {
   SimTime lvi_sent = 0;       // f^rw done; LVI request leaves (speculation
                               // starts at the same instant when it runs).
   SimTime spec_finished = 0;  // Speculative execution completed.
+  SimTime preview_delivered = 0;  // Outcome{kPreview} fired (preview modes
+                                  // only; == spec_finished when stamped).
   SimTime response_received = 0;  // LVI response (or direct response) back.
-  SimTime replied = 0;        // Client answered.
+  SimTime replied = 0;        // Client answered (the final outcome).
 
   // Stamps `now` into `*slot` only if the slot is still zero; retries reuse
   // this so the first occurrence of a phase wins.

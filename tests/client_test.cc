@@ -43,7 +43,7 @@ TEST_F(ClientTest, SubmitWithDefaultsAnswersLikeInvoke) {
   Client client = radical_->client(Region::kCA);
   std::optional<Value> submitted;
   client.Submit(Request{"reg_read", {Value("k")}},
-                [&](Value result) { submitted = std::move(result); });
+                [&](Outcome outcome) { submitted = std::move(outcome.result); });
   std::optional<Value> invoked;
   radical_->Invoke(Region::kCA, "reg_read", {Value("k")},
                    [&](Value result) { invoked = std::move(result); });
@@ -58,7 +58,7 @@ TEST_F(ClientTest, SubmitWithDefaultsAnswersLikeInvoke) {
 TEST_F(ClientTest, RuntimeSubmitWithDefaultOptionsAnswers) {
   std::optional<Value> result;
   radical_->runtime(Region::kCA).Submit(Request{"reg_read", {Value("k")}}, RequestOptions(),
-                                        [&](Value v) { result = std::move(v); });
+                                        [&](Outcome o) { result = std::move(o.result); });
   sim_.Run();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(*result, Value("v0"));
@@ -70,7 +70,7 @@ TEST_F(ClientTest, DirectConsistencySkipsSpeculation) {
   options.consistency = ConsistencyMode::kDirect;
   std::optional<Value> result;
   client.Submit(Request{"reg_write", {Value("k"), Value("v1")}}, options,
-                [&](Value v) { result = std::move(v); });
+                [&](Outcome o) { result = std::move(o.result); });
   sim_.Run();
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(*result, Value("v1"));
@@ -79,7 +79,7 @@ TEST_F(ClientTest, DirectConsistencySkipsSpeculation) {
   // The write is authoritative: a linearizable read sees it.
   std::optional<Value> read_back;
   client.Submit(Request{"reg_read", {Value("k")}},
-                [&](Value v) { read_back = std::move(v); });
+                [&](Outcome o) { read_back = std::move(o.result); });
   sim_.Run();
   ASSERT_TRUE(read_back.has_value());
   EXPECT_EQ(*read_back, Value("v1"));
@@ -99,7 +99,7 @@ TEST_F(ClientTest, PerRequestRetryPolicyOverridesConfig) {
   fast_retry.retry = RetryPolicy{};
   fast_retry.retry->request_timeout = Millis(300);
   client.Submit(Request{"reg_read", {Value("k")}}, fast_retry,
-                [&](Value v) { retried = std::move(v); });
+                [&](Outcome o) { retried = std::move(o.result); });
   sim_.Run();
   ASSERT_TRUE(retried.has_value());
   EXPECT_EQ(*retried, Value("v0"));
@@ -117,7 +117,8 @@ TEST_F(ClientTest, PerRequestRetryPolicyOverridesConfig) {
   no_retry.retry = RetryPolicy{};
   no_retry.retry->enabled = false;
   bool answered = false;
-  client.Submit(Request{"reg_read", {Value("k")}}, no_retry, [&](Value) { answered = true; });
+  client.Submit(Request{"reg_read", {Value("k")}}, no_retry,
+                [&](Outcome) { answered = true; });
   sim_.Run();
   EXPECT_FALSE(answered);
   EXPECT_EQ(Counters(Region::kCA).Get("timeouts"), timeouts_after_first);
@@ -134,7 +135,7 @@ TEST_F(ClientTest, TraceOptOutRecordsNothing) {
   untraced.trace = false;
   std::optional<Value> first;
   client.Submit(Request{"reg_read", {Value("k")}}, untraced,
-                [&](Value v) { first = std::move(v); });
+                [&](Outcome o) { first = std::move(o.result); });
   sim_.Run();
   ASSERT_TRUE(first.has_value());
   EXPECT_EQ(collector.size(), 0u);
@@ -142,7 +143,7 @@ TEST_F(ClientTest, TraceOptOutRecordsNothing) {
   // Opt-in (the default) still records.
   std::optional<Value> second;
   client.Submit(Request{"reg_read", {Value("k")}},
-                [&](Value v) { second = std::move(v); });
+                [&](Outcome o) { second = std::move(o.result); });
   sim_.Run();
   ASSERT_TRUE(second.has_value());
   EXPECT_EQ(collector.size(), 1u);
@@ -182,12 +183,12 @@ TEST_F(ShardedClientTest, ShardHintIsLocalityOnlyNeverCorrectness) {
     options.shard_hint = hint;
     std::optional<Value> written;
     client.Submit(Request{"reg_write", {Value("k"), Value("h" + std::to_string(hint))}},
-                  options, [&](Value v) { written = std::move(v); });
+                  options, [&](Outcome o) { written = std::move(o.result); });
     sim_.Run();
     ASSERT_TRUE(written.has_value()) << "hint " << hint;
     std::optional<Value> read_back;
     client.Submit(Request{"reg_read", {Value("k")}}, options,
-                  [&](Value v) { read_back = std::move(v); });
+                  [&](Outcome o) { read_back = std::move(o.result); });
     sim_.Run();
     ASSERT_TRUE(read_back.has_value()) << "hint " << hint;
     EXPECT_EQ(*read_back, Value("h" + std::to_string(hint))) << "hint " << hint;

@@ -170,6 +170,69 @@ TEST(WireCodecTest, DirectRequestRoundTrip) {
   EXPECT_EQ(decoded->inputs[1], Value(static_cast<int64_t>(17)));
 }
 
+// Session trailer: per-item floors and the session id ride as an optional
+// trailing group. When the session is absent the encoding must stay
+// byte-identical to the legacy (pre-session) format — here pinned by
+// checking the sessionless buffer never grows and old-style decoding sees
+// the defaults.
+TEST(WireCodecTest, LviRequestSessionTrailerRoundTrip) {
+  LviRequest request = SampleRequest();
+  request.deadline = 0;  // Even a zero deadline is written once a session is.
+  request.session_id = 31337;
+  request.items[0].session_floor = 4;
+  request.items[2].session_floor = 9;
+  const Result<LviRequest> decoded = DecodeLviRequest(EncodeLviRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_EQ(decoded->session_id, 31337u);
+  EXPECT_EQ(decoded->deadline, 0);
+  ASSERT_EQ(decoded->items.size(), 3u);
+  EXPECT_EQ(decoded->items[0].session_floor, 4);
+  EXPECT_EQ(decoded->items[1].session_floor, 0);
+  EXPECT_EQ(decoded->items[2].session_floor, 9);
+}
+
+TEST(WireCodecTest, SessionlessLviRequestEncodingUnchanged) {
+  const LviRequest legacy = SampleRequest();
+  const WireBuffer legacy_bytes = EncodeLviRequest(legacy);
+  // Setting floors without a session id must not leak onto the wire: the
+  // trailer exists only when session_id != 0.
+  LviRequest floors_only = SampleRequest();
+  floors_only.items[0].session_floor = 7;
+  EXPECT_EQ(EncodeLviRequest(floors_only), legacy_bytes);
+  const Result<LviRequest> decoded = DecodeLviRequest(legacy_bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->session_id, 0u);
+  for (const LviItem& item : decoded->items) {
+    EXPECT_EQ(item.session_floor, 0);
+  }
+  // A session strictly appends: the legacy bytes are a prefix of the
+  // sessioned encoding of the same (deadlined) request.
+  LviRequest with_session = SampleRequest();
+  with_session.deadline = 1500;
+  with_session.session_id = 8;
+  LviRequest deadline_only = SampleRequest();
+  deadline_only.deadline = 1500;
+  const WireBuffer base = EncodeLviRequest(deadline_only);
+  const WireBuffer extended = EncodeLviRequest(with_session);
+  ASSERT_GT(extended.size(), base.size());
+  EXPECT_TRUE(std::equal(base.begin(), base.end(), extended.begin()));
+}
+
+TEST(WireCodecTest, DirectRequestSessionTrailerRoundTrip) {
+  DirectRequest request;
+  request.exec_id = 11;
+  request.function = "f";
+  request.session_id = 99;
+  const Result<DirectRequest> decoded = DecodeDirectRequest(EncodeDirectRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_EQ(decoded->session_id, 99u);
+  // And sessionless stays sessionless after a round trip.
+  request.session_id = 0;
+  const Result<DirectRequest> plain = DecodeDirectRequest(EncodeDirectRequest(request));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->session_id, 0u);
+}
+
 TEST(WireCodecTest, DirectResponseRoundTrip) {
   DirectResponse response;
   response.exec_id = 99;

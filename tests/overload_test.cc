@@ -66,8 +66,8 @@ TEST_F(OverloadTest, ReplyCacheHitSkipsAdmissionSlot) {
 
   Client client = radical_->client(Region::kCA);
   std::optional<SimTime> replied_at;
-  client.Submit(Request{"reg_read", {Value("k")}}, [&](Value result) {
-    EXPECT_EQ(result, Value("v0"));
+  client.Submit(Request{"reg_read", {Value("k")}}, [&](Outcome outcome) {
+    EXPECT_EQ(outcome.result, Value("v0"));
     replied_at = sim_.Now();
   });
   sim_.Run();
@@ -104,7 +104,8 @@ TEST_F(OverloadTest, TraceCapBoundsAttemptRecordsAcrossLongPartition) {
 
   Client client = radical_->client(Region::kCA);
   std::optional<Value> result;
-  client.Submit(Request{"reg_read", {Value("k")}}, [&](Value v) { result = std::move(v); });
+  client.Submit(Request{"reg_read", {Value("k")}},
+                [&](Outcome o) { result = std::move(o.result); });
   sim_.Run();
 
   ASSERT_TRUE(result.has_value());
@@ -199,6 +200,10 @@ TEST_F(OverloadTest, DeadlinedRequestsCompleteByDeadlineAndShedEarly) {
           break;
         case RequestStatus::kDeadlineExceeded:
           ++deadline_exceeded;
+          break;
+        case RequestStatus::kPreview:
+        case RequestStatus::kAborted:
+          ADD_FAILURE() << "unexpected status for a linearizable request";
           break;
       }
     });
@@ -422,10 +427,10 @@ TEST(OverloadDefaultsTest, DefaultsStayDormantAndDeterministic) {
         Client client = radical.client(region);
         if (is_write) {
           client.Submit(Request{"reg_write", {Value("k"), Value("w" + std::to_string(i))}},
-                        [&](Value) { reply_times.push_back(sim.Now()); });
+                        [&](Outcome) { reply_times.push_back(sim.Now()); });
         } else {
           client.Submit(Request{"reg_read", {Value("k")}},
-                        [&](Value) { reply_times.push_back(sim.Now()); });
+                        [&](Outcome) { reply_times.push_back(sim.Now()); });
         }
       });
     }

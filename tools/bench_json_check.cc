@@ -391,6 +391,39 @@ void CheckCurves(const JsonValue& curves, const std::string& path) {
           Report(pwhere, "replicated point's history was not linearizable");
         }
       }
+      // Consistency-spectrum accounting (bench/consistency_spectrum session
+      // curves) is keyed on 'session_point': when present the whole group
+      // must be, the preview gap cannot be negative (a preview never lands
+      // after its final), accuracy is a percentage, and preview/failover
+      // counts are non-negative.
+      const JsonValue* session = point.Find("session_point");
+      if (session != nullptr) {
+        if (!session->is(JsonValue::Type::kBool)) {
+          Report(pwhere, "field 'session_point' has the wrong type");
+        }
+        for (const char* field :
+             {"preview_gap_ms", "preview_p50_ms", "preview_accuracy_pct", "previews",
+              "failovers"}) {
+          const JsonValue* v = Require(point, pwhere, field, JsonValue::Type::kNumber);
+          if (v != nullptr && v->number < 0) {
+            Report(pwhere, std::string("field '") + field + "' must be >= 0");
+          }
+        }
+        const JsonValue* accuracy = point.Find("preview_accuracy_pct");
+        if (accuracy != nullptr && accuracy->is(JsonValue::Type::kNumber) &&
+            accuracy->number > 100.0 + 1e-9) {
+          Report(pwhere, "field 'preview_accuracy_pct' must be <= 100");
+        }
+        // A point that delivered previews must have measured a positive gap:
+        // previews are only worth delivering while the final is unresolved.
+        const JsonValue* previews = point.Find("previews");
+        const JsonValue* gap = point.Find("preview_gap_ms");
+        if (previews != nullptr && previews->is(JsonValue::Type::kNumber) &&
+            previews->number > 0 && gap != nullptr && gap->is(JsonValue::Type::kNumber) &&
+            gap->number <= 0) {
+          Report(pwhere, "session point delivered previews but preview_gap_ms is not > 0");
+        }
+      }
     }
   }
 }

@@ -43,6 +43,17 @@
 # replicated-point fields with tools/bench_json_check, asserting both
 # multi-Raft curves made it into the report.
 #
+# CHECK_SESSION=1 tools/check.sh  reruns the whole test suite with
+# RADICAL_FORCE_SESSIONS=1 (RadicalDeployment routes every Invoke through a
+# per-region ambient radical::Session, so the tier-1 invariants all hold on
+# the session path), then runs bench/consistency_spectrum in smoke mode —
+# which exits nonzero on a missing final, a preview arriving after its
+# final, a sub-100% reply rate across the mid-run PoP kill, or a
+# monotonic-read violation — and schema-checks the exported session-point
+# fields (preview_gap_ms, preview_accuracy_pct, failovers) with
+# tools/bench_json_check, asserting both session curves made it into the
+# report.
+#
 # CHECK_MICRO=1 tools/check.sh  additionally runs the hand-timed simulator-
 # core microbenchmarks (bench/micro_core) with an events-per-second floor
 # (CHECK_MICRO_EVENTS_FLOOR, default 25M/s — the pre-timing-wheel core did
@@ -148,6 +159,24 @@ if [ "${CHECK_REPLICATED:-0}" = "1" ]; then
   for curve in replicated_shards replicated_failover; do
     if ! grep -q "\"$curve\"" "$REPL_DIR/BENCH_radical.json"; then
       echo "check.sh: missing replicated curve '$curve' in BENCH_radical.json" >&2
+      exit 1
+    fi
+  done
+fi
+
+if [ "${CHECK_SESSION:-0}" = "1" ]; then
+  echo "== session matrix: RADICAL_FORCE_SESSIONS=1 =="
+  RADICAL_FORCE_SESSIONS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  SESSION_DIR="$BUILD_DIR/session"
+  mkdir -p "$SESSION_DIR"
+  echo "== session: preview/final + PoP-failover spectrum bench =="
+  RADICAL_BENCH_SMOKE=1 RADICAL_BENCH_JSON="$SESSION_DIR/BENCH_radical.json" \
+    "$BUILD_DIR/bench/consistency_spectrum" > "$SESSION_DIR/consistency_spectrum.out"
+  cat "$SESSION_DIR/consistency_spectrum.out"
+  "$BUILD_DIR/tools/bench_json_check" "$SESSION_DIR/BENCH_radical.json"
+  for curve in preview_vs_final session_failover; do
+    if ! grep -q "\"$curve\"" "$SESSION_DIR/BENCH_radical.json"; then
+      echo "check.sh: missing session curve '$curve' in BENCH_radical.json" >&2
       exit 1
     fi
   done
